@@ -1,0 +1,99 @@
+//! Criterion benchmarks of the simulator's own building blocks: how
+//! fast the substrate simulates, independent of any paper figure.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+use gmmu::prelude::*;
+use gmmu_core::mmu::{Mmu, PageReq, TranslateBuf};
+use gmmu_mem::{AccessKind, MemConfig, MemorySystem};
+use gmmu_simt::coalesce::{coalesce, CoalesceBuf};
+use gmmu_simt::gpu::run_kernel;
+use gmmu_vm::{AddressSpace, SpaceConfig, VAddr};
+use std::hint::black_box;
+
+fn bench_components(c: &mut Criterion) {
+    // Keep wall time modest: the interesting output is relative cost.
+
+    // TLB lookup/fill throughput through the MMU front door.
+    let mut space = AddressSpace::new(SpaceConfig::default());
+    let region = space
+        .map_region("bench", 16 << 20, PageSize::Base4K)
+        .expect("map");
+    let mut mem = MemorySystem::new(MemConfig::default());
+    let mut mmu = Mmu::new(MmuModel::augmented());
+    let mut buf = TranslateBuf::new();
+    // Warm 64 pages.
+    let mut now = 0u64;
+    for i in 0..64u64 {
+        mmu.advance(now, &mut mem, &space);
+        let _ = mmu.translate(
+            now,
+            0,
+            &[PageReq::new(region.at(i * 4096).vpn(), 0)],
+            &space,
+            &mut buf,
+        );
+        now += 2_000;
+    }
+    for _ in 0..16 {
+        mmu.advance(now, &mut mem, &space);
+        now += 2_000;
+    }
+    c.bench_function("mmu_translate_hit", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            let vpn = region.at((i % 64) * 4096).vpn();
+            i += 1;
+            now += 1;
+            black_box(mmu.translate(now, 0, &[PageReq::new(vpn, 0)], &space, &mut buf))
+        })
+    });
+
+    c.bench_function("coalesce_32_threads", |b| {
+        let mut out = CoalesceBuf::new();
+        b.iter(|| {
+            coalesce(
+                (0..32u64).map(|l| (VAddr::new(0x4000_0000 + l * 512), 0u16)),
+                &mut out,
+            );
+            black_box(out.page_divergence())
+        })
+    });
+
+    c.bench_function("shared_memory_access", |b| {
+        let mut line = 0u64;
+        b.iter(|| {
+            line += 7;
+            now += 1;
+            black_box(mem.access(now, line % 100_000, AccessKind::Load))
+        })
+    });
+}
+
+fn bench_full_runs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("end_to_end");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_secs(5));
+    group.warm_up_time(Duration::from_secs(1));
+    for bench in [Bench::Kmeans, Bench::Memcached] {
+        let w = build(bench, Scale::Tiny, 7);
+        group.bench_function(format!("{bench}_tiny_augmented"), |b| {
+            b.iter(|| {
+                let mut cfg = GpuConfig::experiment_scale(MmuModel::augmented());
+                cfg.n_cores = 2;
+                cfg.mem.channels = 1;
+                black_box(run_kernel(cfg, w.kernel.as_ref(), &w.space).cycles)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1));
+    targets = bench_components, bench_full_runs
+);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Runs every figure harness in paper order and prints all tables —
+//! the full evaluation in one command. `--quick` for a smoke pass.
+fn main() {
+    let opts = gmmu::ExperimentOpts::from_args();
+    let mut runner = gmmu::Runner::new(opts);
+    let started = std::time::Instant::now();
+    for table in gmmu::figures::table_config(opts) {
+        println!("{table}");
+    }
+    for table in gmmu::figures::fig09() {
+        println!("{table}");
+    }
+    type FigFn = fn(&mut gmmu::Runner) -> Vec<gmmu::prelude::Table>;
+    let figs: [(&str, FigFn); 13] = [
+        ("fig02", gmmu::figures::fig02),
+        ("fig03", gmmu::figures::fig03),
+        ("fig04", gmmu::figures::fig04),
+        ("fig06", gmmu::figures::fig06),
+        ("fig07", gmmu::figures::fig07),
+        ("fig10", gmmu::figures::fig10),
+        ("fig11", gmmu::figures::fig11),
+        ("fig13", gmmu::figures::fig13),
+        ("fig16", gmmu::figures::fig16),
+        ("fig17", gmmu::figures::fig17),
+        ("fig18", gmmu::figures::fig18),
+        ("fig20", gmmu::figures::fig20),
+        ("fig22", gmmu::figures::fig22),
+    ];
+    for (name, f) in figs {
+        let t0 = std::time::Instant::now();
+        for table in f(&mut runner) {
+            println!("{table}");
+        }
+        eprintln!("[{name}] done in {:.1?}", t0.elapsed());
+    }
+    for table in gmmu::figures::sec9(&mut runner) {
+        println!("{table}");
+    }
+    eprintln!(
+        "[all] {} simulations in {:.1?}",
+        runner.runs,
+        started.elapsed()
+    );
+}

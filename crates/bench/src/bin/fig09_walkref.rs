@@ -1,0 +1,16 @@
+//! Regenerates the Figures 8/9 worked example: three concurrent page
+//! walks whose 12 serial PTE loads the coalescing scheduler reduces
+//! to 7.
+fn main() {
+    // No simulations run here, but parse args anyway so flag handling
+    // (and unknown-argument warnings) match the sibling binaries.
+    let _ = gmmu::ExperimentOpts::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    for table in gmmu::figures::fig09() {
+        println!("{table}");
+        if csv {
+            print!("{}", table.to_csv());
+            println!();
+        }
+    }
+}

@@ -1,0 +1,21 @@
+//! Regenerates Figure 16 of the paper. Pass `--quick` for a smoke-scale run,
+//! `--full` for the 30-core configuration, `--csv` for
+//! machine-readable output after each table.
+fn main() {
+    let opts = gmmu::ExperimentOpts::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    let mut runner = gmmu::Runner::new(opts);
+    let started = std::time::Instant::now();
+    for table in gmmu::figures::fig16(&mut runner) {
+        println!("{table}");
+        if csv {
+            print!("{}", table.to_csv());
+            println!();
+        }
+    }
+    eprintln!(
+        "[fig16] {} simulations in {:.1?}",
+        runner.runs,
+        started.elapsed()
+    );
+}

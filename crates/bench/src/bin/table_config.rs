@@ -1,0 +1,7 @@
+//! Prints the Section 5.2 methodology table for the selected scope.
+fn main() {
+    let opts = gmmu::ExperimentOpts::from_args();
+    for table in gmmu::figures::table_config(opts) {
+        println!("{table}");
+    }
+}

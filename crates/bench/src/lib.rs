@@ -1,0 +1,14 @@
+//! Figure/table reproduction harnesses for the ASPLOS 2014 GPU MMU
+//! paper, plus Criterion performance benchmarks of the simulator
+//! itself.
+//!
+//! Every figure in the paper's evaluation has a binary here:
+//!
+//! ```text
+//! cargo run --release -p gmmu-bench --bin fig02            # Figure 2
+//! cargo run --release -p gmmu-bench --bin all_figures      # everything
+//! cargo run --release -p gmmu-bench --bin fig06 -- --quick # smoke scale
+//! ```
+//!
+//! The binaries wrap [`gmmu::figures`]; `EXPERIMENTS.md` in the
+//! repository root records paper-reported vs. measured values.

@@ -1,0 +1,38 @@
+#![warn(missing_docs)]
+
+//! GPU MMU designs — the paper's primary contribution.
+//!
+//! This crate implements every hardware mechanism proposed or evaluated in
+//! *Architectural Support for Address Translation on GPUs* (ASPLOS 2014):
+//!
+//! * [`tlb`] — per-shader-core TLBs accessed in parallel with the L1 data
+//!   cache: set-associative, LRU, multi-ported, with CACTI-derived access
+//!   latencies, MSHRs, and the paper's three operating modes (blocking,
+//!   hit-under-miss, hit-under-miss + TLB-hit/cache-access overlap).
+//! * [`walker`] — hardware page-table walkers: the naive serial design
+//!   (one or many walkers), and the proposed *coalesced* walker that
+//!   deduplicates upper-level PTE loads and groups same-cache-line loads
+//!   across concurrent walks (Figures 8 and 9).
+//! * [`mmu`] — the per-core MMU tying TLB + walker + MSHRs together and
+//!   exposing the translation interface the shader core pipeline uses.
+//!   Also provides the *ideal* (no-TLB) model every figure normalizes to.
+//! * [`vta`] — victim tag arrays (cache-line or page granularity).
+//! * [`lls`] — lost-locality scoring (the CCWS score/cutoff machinery).
+//! * [`ccws`] — the scheduling policies: CCWS, TLB-aware CCWS, and TLB
+//!   conscious warp scheduling (Section 7).
+//! * [`cpm`] — the Common Page Matrix that makes thread block compaction
+//!   TLB-aware (Section 8).
+
+pub mod ccws;
+pub mod cpm;
+pub mod lls;
+pub mod mmu;
+pub mod tlb;
+pub mod vta;
+pub mod walker;
+
+pub use ccws::{LocalityPolicy, PolicyKind};
+pub use cpm::CommonPageMatrix;
+pub use mmu::{Mmu, MmuEvent, MmuModel, PageReq, TranslateBuf, TranslateOutcome, Translation};
+pub use tlb::{Tlb, TlbConfig, TlbMode};
+pub use walker::{Walker, WalkerConfig, WalkerKind};

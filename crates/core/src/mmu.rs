@@ -1,0 +1,777 @@
+//! The per-shader-core memory management unit.
+//!
+//! One [`Mmu`] sits next to each shader core's L1 (Figure 1): the memory
+//! unit coalesces a warp's accesses into unique cache lines *and unique
+//! virtual pages*, presents the pages here, and overlaps the lookup with
+//! L1 access (virtually-indexed physically-tagged caches). The MMU owns
+//! the TLB, its MSHRs (one per warp thread), and the page-table walker,
+//! and implements the paper's blocking and non-blocking semantics:
+//!
+//! * blocking TLB — while any walk is outstanding, no memory instruction
+//!   may access the TLB (swapped-in warps with memory references stall);
+//! * hit-under-miss — other warps' TLB hits proceed; further misses swap
+//!   their warps out and queue behind the walker;
+//! * cache overlap — a partially missing warp's hit pages return
+//!   translations immediately so their L1 accesses launch under the walk.
+//!
+//! The [`MmuModel::Ideal`] variant translates instantly and is the
+//! no-TLB baseline every figure normalizes against.
+
+use crate::tlb::{Tlb, TlbConfig};
+use crate::walker::{WalkDone, Walker, WalkerConfig};
+use gmmu_mem::mshr::{MshrFile, MshrOutcome};
+use gmmu_mem::MemorySystem;
+use gmmu_sim::stats::{Counter, Summary};
+use gmmu_sim::Cycle;
+use gmmu_vm::{AddressSpace, Ppn, Vpn};
+use std::collections::HashMap;
+
+/// Which address-translation hardware a shader core has.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuModel {
+    /// Perfect translation at zero cost — the paper's baseline GPU
+    /// "without TLBs" that all speedups are normalized to.
+    Ideal,
+    /// A real per-core TLB + page-table walker.
+    Real {
+        /// TLB geometry and non-blocking mode.
+        tlb: TlbConfig,
+        /// Walker microarchitecture.
+        walker: WalkerConfig,
+    },
+}
+
+impl MmuModel {
+    /// The naive Figure 2 design: 128-entry 3-port blocking TLB, one
+    /// serial walker.
+    pub fn naive() -> Self {
+        MmuModel::Real {
+            tlb: TlbConfig::naive(),
+            walker: WalkerConfig::serial(),
+        }
+    }
+
+    /// The fully augmented design (Section 6.3): 4 ports, hit-under-miss
+    /// with cache overlap, coalesced walk scheduling.
+    pub fn augmented() -> Self {
+        MmuModel::Real {
+            tlb: TlbConfig::augmented(),
+            walker: WalkerConfig::coalesced(),
+        }
+    }
+
+    /// The impractical ideal TLB of Figures 7/10 (512 entries, 32 ports,
+    /// no latency penalty) with the coalesced walker.
+    pub fn ideal_large_tlb() -> Self {
+        MmuModel::Real {
+            tlb: TlbConfig::ideal_large(),
+            walker: WalkerConfig::coalesced(),
+        }
+    }
+
+    /// True for [`MmuModel::Ideal`].
+    pub fn is_ideal(&self) -> bool {
+        matches!(self, MmuModel::Ideal)
+    }
+}
+
+/// One page of a warp memory instruction presented for translation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PageReq {
+    /// Virtual page (from the pre-TLB coalescer).
+    pub vpn: Vpn,
+    /// Home (static) warp of the threads referencing the page — recorded
+    /// in TLB entry history/ownership for TCWS and the CPM. Under
+    /// dynamic warp formation this differs from the requesting unit.
+    pub warp: u16,
+}
+
+impl PageReq {
+    /// Convenience constructor.
+    pub fn new(vpn: Vpn, warp: u16) -> Self {
+        Self { vpn, warp }
+    }
+}
+
+/// One translated page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Translation {
+    /// Virtual page.
+    pub vpn: Vpn,
+    /// Physical frame (4 KiB granular even for large pages).
+    pub ppn: Ppn,
+}
+
+/// Per-hit scheduler information (consumed by TCWS and the CPM).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HitInfo {
+    /// LRU depth of the entry before the hit (0 = MRU).
+    pub lru_depth: u8,
+    /// Previous warps that hit the entry, most recent first.
+    pub history: [u16; crate::tlb::WARP_HISTORY],
+    /// Valid prefix of `history`.
+    pub hist_len: u8,
+}
+
+/// Reusable output buffer for [`Mmu::translate`] (hot path: avoids
+/// per-instruction allocation).
+#[derive(Debug, Clone, Default)]
+pub struct TranslateBuf {
+    /// Pages that hit, with their translations.
+    pub hits: Vec<Translation>,
+    /// Scheduler info parallel to `hits`.
+    pub hit_info: Vec<HitInfo>,
+    /// Pages that missed (walks queued).
+    pub misses: Vec<Vpn>,
+}
+
+impl TranslateBuf {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn clear(&mut self) {
+        self.hits.clear();
+        self.hit_info.clear();
+        self.misses.clear();
+    }
+}
+
+/// Outcome of presenting a warp's coalesced pages to the MMU.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TranslateOutcome {
+    /// Every page hit. Translations are usable at `ready_at`.
+    AllHit {
+        /// Cycle the lookup completes (ports + access penalty).
+        ready_at: Cycle,
+    },
+    /// At least one page missed; walks are queued and the warp must
+    /// sleep until [`MmuEvent::Wake`] events arrive for it. Pages that
+    /// hit are in the buffer — usable at `ready_at`, but only if the TLB
+    /// mode supports cache overlap.
+    Miss {
+        /// Cycle the lookup (for the hit pages) completes.
+        ready_at: Cycle,
+        /// Number of pages that missed.
+        misses: usize,
+    },
+    /// The MMU cannot accept the request this cycle (blocking TLB with
+    /// an outstanding walk, or MSHRs exhausted). Retry at `retry_at`.
+    Reject {
+        /// Earliest cycle worth retrying.
+        retry_at: Cycle,
+    },
+}
+
+/// Events the shader core drains from the MMU each cycle and forwards to
+/// its scheduler policy / sleeping warps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmuEvent {
+    /// A TLB fill displaced an entry (TCWS inserts it into the owner's
+    /// victim tag array).
+    Evicted {
+        /// Displaced page.
+        vpn: Vpn,
+        /// Warp that allocated the displaced entry.
+        owner: u16,
+    },
+    /// A page walk finished: its translation is delivered directly to
+    /// the waiting warp (hardware forwards the fill to the memory
+    /// unit's MSHR, so the access proceeds even if the TLB entry is
+    /// evicted before the warp next runs).
+    Wake {
+        /// Warp to wake.
+        warp: u16,
+        /// Page whose translation arrived.
+        vpn: Vpn,
+        /// The translation (4 KiB granular).
+        ppn: Ppn,
+    },
+    /// A walk found the page unmapped (page fault — the paper interrupts
+    /// a CPU; our workloads pre-map everything so this is fatal).
+    Fault {
+        /// Faulting page.
+        vpn: Vpn,
+    },
+}
+
+/// The per-core MMU.
+///
+/// Drive it with [`Mmu::advance`] once per core cycle (before issuing),
+/// then call [`Mmu::translate`] for each memory instruction and drain
+/// [`Mmu::events`].
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_core::mmu::{Mmu, MmuModel, TranslateBuf, TranslateOutcome};
+/// use gmmu_mem::{MemConfig, MemorySystem};
+/// use gmmu_vm::{AddressSpace, PageSize, SpaceConfig};
+///
+/// let mut space = AddressSpace::new(SpaceConfig::default());
+/// let r = space.map_region("d", 1 << 20, PageSize::Base4K)?;
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// let mut mmu = Mmu::new(MmuModel::naive());
+/// let mut buf = TranslateBuf::new();
+///
+/// mmu.advance(0, &mut mem, &space);
+/// let page = gmmu_core::mmu::PageReq::new(r.base.vpn(), 0);
+/// let out = mmu.translate(0, 0, &[page], &space, &mut buf);
+/// assert!(matches!(out, TranslateOutcome::Miss { misses: 1, .. }));
+/// # Ok::<(), gmmu_vm::VmError>(())
+/// ```
+#[derive(Debug)]
+pub struct Mmu {
+    model: MmuModel,
+    tlb: Option<Tlb>,
+    walker: Option<Walker>,
+    mshrs: MshrFile,
+    /// Warps waiting on each in-flight page.
+    waiters: HashMap<u64, Vec<u16>>,
+    /// Finished walks not yet applied (completion in the future).
+    pending_fills: Vec<WalkDone>,
+    done_scratch: Vec<WalkDone>,
+    /// Events for the shader core to drain.
+    events: Vec<MmuEvent>,
+    /// Lookup-port reservation.
+    lookup_next_free: Cycle,
+    /// Monotonic stamp for TLB LRU.
+    stamp: u64,
+    /// Requests rejected (blocking / MSHR-full).
+    pub rejects: Counter,
+    /// Per-miss resolution latency: miss detection → TLB fill applied
+    /// (the Figure 4 "cycles per TLB miss").
+    pub miss_latency: Summary,
+    /// Page faults observed.
+    pub faults: Counter,
+}
+
+impl Mmu {
+    /// Creates an MMU of the given model.
+    pub fn new(model: MmuModel) -> Self {
+        let (tlb, walker, mshrs) = match model {
+            MmuModel::Ideal => (None, None, MshrFile::new(1)),
+            MmuModel::Real { tlb, walker } => (
+                Some(Tlb::new(tlb)),
+                Some(Walker::new(walker)),
+                MshrFile::new(tlb.mshrs),
+            ),
+        };
+        Self {
+            model,
+            tlb,
+            walker,
+            mshrs,
+            waiters: HashMap::new(),
+            pending_fills: Vec::new(),
+            done_scratch: Vec::new(),
+            events: Vec::new(),
+            lookup_next_free: 0,
+            stamp: 0,
+            rejects: Counter::new(),
+            miss_latency: Summary::new(),
+            faults: Counter::new(),
+        }
+    }
+
+    /// The model this MMU implements.
+    pub fn model(&self) -> MmuModel {
+        self.model
+    }
+
+    /// The TLB, when the model has one.
+    pub fn tlb(&self) -> Option<&Tlb> {
+        self.tlb.as_ref()
+    }
+
+    /// The walker, when the model has one.
+    pub fn walker(&self) -> Option<&Walker> {
+        self.walker.as_ref()
+    }
+
+    /// Whether cache overlap is enabled (hit pages of a missing warp may
+    /// access the L1 immediately).
+    pub fn cache_overlap(&self) -> bool {
+        match self.model {
+            MmuModel::Ideal => true,
+            MmuModel::Real { tlb, .. } => tlb.mode.cache_overlap(),
+        }
+    }
+
+    /// Walks in flight (queued or awaiting fill).
+    pub fn outstanding_walks(&self) -> usize {
+        self.mshrs.len()
+    }
+
+    /// Services the walker and applies due TLB fills. Call once per core
+    /// cycle before translating.
+    pub fn advance(&mut self, now: Cycle, mem: &mut MemorySystem, space: &AddressSpace) {
+        let Some(walker) = self.walker.as_mut() else {
+            return;
+        };
+        self.done_scratch.clear();
+        walker.advance(now, mem, space, &mut self.done_scratch);
+        for done in self.done_scratch.drain(..) {
+            self.mshrs.set_completion(done.vpn.raw(), done.complete);
+            self.pending_fills.push(done);
+        }
+        // Apply fills whose data has returned.
+        let mut i = 0;
+        while i < self.pending_fills.len() {
+            if self.pending_fills[i].complete <= now {
+                let done = self.pending_fills.swap_remove(i);
+                self.apply_fill(now, done);
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    fn apply_fill(&mut self, now: Cycle, done: WalkDone) {
+        self.miss_latency.record(done.complete - done.enqueued);
+        self.mshrs.release(done.vpn.raw());
+        let waiters = self.waiters.remove(&done.vpn.raw()).unwrap_or_default();
+        let _ = now;
+        match done.translation {
+            Some((ppn, _size)) => {
+                let owner = done.warp;
+                self.stamp += 1;
+                let tlb = self.tlb.as_mut().expect("fills only occur with a TLB");
+                if let Some(victim) = tlb.fill(done.vpn, ppn, owner, self.stamp) {
+                    self.events.push(MmuEvent::Evicted {
+                        vpn: victim.vpn,
+                        owner: victim.owner,
+                    });
+                }
+                for warp in waiters {
+                    self.events.push(MmuEvent::Wake {
+                        warp,
+                        vpn: done.vpn,
+                        ppn,
+                    });
+                }
+            }
+            None => {
+                self.faults.inc();
+                self.events.push(MmuEvent::Fault { vpn: done.vpn });
+            }
+        }
+    }
+
+    /// Drains pending events.
+    pub fn events(&mut self) -> std::vec::Drain<'_, MmuEvent> {
+        self.events.drain(..)
+    }
+
+    /// Presents a warp's coalesced pages for translation at cycle `now`.
+    ///
+    /// `pages` must be the deduplicated virtual pages of one memory
+    /// instruction (the pre-TLB coalescer's output). Results land in
+    /// `buf`; the return value says how to proceed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pages` is empty, or (for the ideal model) if a page is
+    /// unmapped.
+    pub fn translate(
+        &mut self,
+        now: Cycle,
+        requester: u16,
+        pages: &[PageReq],
+        space: &AddressSpace,
+        buf: &mut TranslateBuf,
+    ) -> TranslateOutcome {
+        assert!(!pages.is_empty(), "translate needs at least one page");
+        buf.clear();
+        let MmuModel::Real { tlb: tlb_cfg, .. } = self.model else {
+            // Ideal: perfect translation, no cost.
+            for req in pages {
+                let (pa, _) = space
+                    .translate(req.vpn.base())
+                    .expect("ideal MMU requires pre-mapped pages");
+                buf.hits.push(Translation {
+                    vpn: req.vpn,
+                    ppn: pa.ppn(),
+                });
+                buf.hit_info.push(HitInfo {
+                    lru_depth: 0,
+                    history: [0; crate::tlb::WARP_HISTORY],
+                    hist_len: 0,
+                });
+            }
+            return TranslateOutcome::AllHit { ready_at: now };
+        };
+
+        // Blocking TLB: any outstanding walk blocks all memory
+        // instructions (Section 6.2).
+        if !tlb_cfg.mode.hits_under_miss() && !self.mshrs.is_empty() {
+            self.rejects.inc();
+            let earliest = self.mshrs.earliest_completion();
+            let retry_at = if earliest == gmmu_sim::NEVER {
+                now + 8
+            } else {
+                earliest.max(now + 1)
+            };
+            return TranslateOutcome::Reject { retry_at };
+        }
+
+        // If the MSHR file is completely full and this request needs a
+        // fresh walk, nothing can be registered: reject (probe-only, so
+        // no side effects). Partially free files accept what they can —
+        // the remaining pages stay pending and re-present on replay,
+        // like hardware splitting a wide request.
+        let tlb = self.tlb.as_ref().expect("real model has a TLB");
+        if self.mshrs.len() == self.mshrs.capacity()
+            && pages
+                .iter()
+                .any(|p| !tlb.probe(p.vpn) && self.mshrs.lookup(p.vpn.raw()).is_none())
+        {
+            self.rejects.inc();
+            let earliest = self.mshrs.earliest_completion();
+            let retry_at = if earliest == gmmu_sim::NEVER {
+                now + 8
+            } else {
+                earliest.max(now + 1)
+            };
+            return TranslateOutcome::Reject { retry_at };
+        }
+
+        // Port arbitration: `ports` lookups per cycle, shared by all
+        // warps; plus the CACTI access penalty for oversized TLBs.
+        let start = now.max(self.lookup_next_free);
+        let lookup_cycles = (pages.len() as u64).div_ceil(tlb_cfg.ports as u64);
+        self.lookup_next_free = start + lookup_cycles;
+        let ready_at = start + (lookup_cycles - 1) + tlb_cfg.access_penalty();
+
+        let tlb = self.tlb.as_mut().expect("real model has a TLB");
+        for req in pages {
+            self.stamp += 1;
+            match tlb.lookup(req.vpn, req.warp, self.stamp) {
+                Some(hit) => {
+                    buf.hits.push(Translation {
+                        vpn: req.vpn,
+                        ppn: hit.ppn,
+                    });
+                    buf.hit_info.push(HitInfo {
+                        lru_depth: hit.lru_depth,
+                        history: hit.history,
+                        hist_len: hit.hist_len,
+                    });
+                }
+                None => buf.misses.push(req.vpn),
+            }
+        }
+        if buf.misses.is_empty() {
+            return TranslateOutcome::AllHit { ready_at };
+        }
+        let mut registered = 0usize;
+        for &vpn in &buf.misses {
+            let home = pages
+                .iter()
+                .find(|p| p.vpn == vpn)
+                .expect("miss came from the request")
+                .warp;
+            match self.mshrs.allocate(vpn.raw()) {
+                MshrOutcome::Allocated => {
+                    self.walker
+                        .as_mut()
+                        .expect("real model has a walker")
+                        .enqueue(vpn, home, now);
+                    self.waiters.insert(vpn.raw(), vec![requester]);
+                    registered += 1;
+                }
+                MshrOutcome::Merged(_) => {
+                    self.waiters.entry(vpn.raw()).or_default().push(requester);
+                    registered += 1;
+                }
+                // No free MSHR for this page: it stays pending and is
+                // re-presented when the registered subset wakes the
+                // requester.
+                MshrOutcome::Full => {}
+            }
+        }
+        debug_assert!(registered > 0, "full-file case rejected above");
+        TranslateOutcome::Miss {
+            ready_at,
+            misses: registered,
+        }
+    }
+
+    /// Flushes the TLB (shootdown from the launching CPU, Section 6.2).
+    /// In-flight walks complete and refill naturally, mirroring hardware.
+    pub fn flush_tlb(&mut self) {
+        if let Some(tlb) = self.tlb.as_mut() {
+            tlb.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlb::TlbMode;
+    use gmmu_mem::MemConfig;
+    use gmmu_vm::{PageSize, SpaceConfig};
+
+    struct Rig {
+        space: AddressSpace,
+        mem: MemorySystem,
+        mmu: Mmu,
+        buf: TranslateBuf,
+        base: Vpn,
+    }
+
+    fn rig(model: MmuModel) -> Rig {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let r = space.map_region("d", 4 << 20, PageSize::Base4K).unwrap();
+        Rig {
+            base: r.base.vpn(),
+            space,
+            mem: MemorySystem::new(MemConfig::default()),
+            mmu: Mmu::new(model),
+            buf: TranslateBuf::new(),
+        }
+    }
+
+    fn page(r: &Rig, i: u64) -> Vpn {
+        Vpn::new(r.base.raw() + i)
+    }
+
+    fn pr(vpn: Vpn, warp: u16) -> PageReq {
+        PageReq::new(vpn, warp)
+    }
+
+    /// Runs the MMU forward until all outstanding walks have filled.
+    fn settle(r: &mut Rig, mut now: Cycle) -> (Cycle, Vec<MmuEvent>) {
+        let mut events = Vec::new();
+        for _ in 0..1_000_000 {
+            r.mmu.advance(now, &mut r.mem, &r.space);
+            events.extend(r.mmu.events());
+            if r.mmu.outstanding_walks() == 0 {
+                return (now, events);
+            }
+            now += 1;
+        }
+        panic!("walks never completed");
+    }
+
+    #[test]
+    fn ideal_model_always_hits_instantly() {
+        let mut r = rig(MmuModel::Ideal);
+        let pages = [pr(page(&r, 0), 0), pr(page(&r, 1), 0)];
+        let out = r.mmu.translate(5, 0, &pages, &r.space, &mut r.buf);
+        assert_eq!(out, TranslateOutcome::AllHit { ready_at: 5 });
+        assert_eq!(r.buf.hits.len(), 2);
+        let expect = r.space.translate(pages[1].vpn.base()).unwrap().0.ppn();
+        assert_eq!(r.buf.hits[1].ppn, expect);
+    }
+
+    #[test]
+    fn miss_then_wake_then_hit() {
+        let mut r = rig(MmuModel::naive());
+        let p = page(&r, 3);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let out = r.mmu.translate(0, 7, &[pr(p, 7)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Miss { misses: 1, .. }));
+        let (now, events) = settle(&mut r, 1);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MmuEvent::Wake { warp: 7, vpn, .. } if *vpn == p)));
+        // Replay hits.
+        let out = r.mmu.translate(now, 7, &[pr(p, 7)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::AllHit { .. }));
+        assert_eq!(r.mmu.miss_latency.count(), 1);
+        assert!(r.mmu.miss_latency.mean() > 0.0);
+    }
+
+    #[test]
+    fn blocking_tlb_rejects_while_walk_outstanding() {
+        let mut r = rig(MmuModel::naive());
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let p0 = page(&r, 0);
+        let p1 = page(&r, 1);
+        let _ = r.mmu.translate(0, 0, &[pr(p0, 0)], &r.space, &mut r.buf);
+        // A different warp's access — even one that would hit — is
+        // rejected while the walk is outstanding.
+        let out = r.mmu.translate(1, 1, &[pr(p1, 1)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Reject { .. }));
+        assert_eq!(r.mmu.rejects.get(), 1);
+    }
+
+    #[test]
+    fn hit_under_miss_allows_other_warps() {
+        let model = MmuModel::Real {
+            tlb: TlbConfig {
+                mode: TlbMode::HitUnderMiss,
+                ..TlbConfig::naive()
+            },
+            walker: WalkerConfig::serial(),
+        };
+        let mut r = rig(model);
+        // Warm page 1 into the TLB.
+        let p1 = page(&r, 1);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let _ = r.mmu.translate(0, 0, &[pr(p1, 0)], &r.space, &mut r.buf);
+        let (now, _) = settle(&mut r, 1);
+        // Warp 0 misses on page 2; warp 1 hits page 1 under that miss.
+        let p2 = page(&r, 2);
+        let _ = r.mmu.translate(now, 0, &[pr(p2, 0)], &r.space, &mut r.buf);
+        let out = r.mmu.translate(now + 1, 1, &[pr(p1, 1)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::AllHit { .. }));
+        // A second miss is also accepted (queued behind the walker).
+        let p3 = page(&r, 3);
+        let out = r.mmu.translate(now + 2, 2, &[pr(p3, 2)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Miss { .. }));
+    }
+
+    #[test]
+    fn same_page_misses_merge_in_mshrs() {
+        let model = MmuModel::Real {
+            tlb: TlbConfig {
+                mode: TlbMode::HitUnderMiss,
+                ..TlbConfig::naive()
+            },
+            walker: WalkerConfig::serial(),
+        };
+        let mut r = rig(model);
+        let p = page(&r, 5);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let _ = r.mmu.translate(0, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+        let _ = r.mmu.translate(0, 1, &[pr(p, 1)], &r.space, &mut r.buf);
+        assert_eq!(r.mmu.outstanding_walks(), 1);
+        // Only one walk ran, but both warps wake.
+        let (_, events) = settle(&mut r, 1);
+        let wakes: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                MmuEvent::Wake { warp, .. } => Some(*warp),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(wakes.len(), 2);
+        assert!(wakes.contains(&0) && wakes.contains(&1));
+        assert_eq!(r.mmu.walker().unwrap().stats.walks.get(), 1);
+    }
+
+    #[test]
+    fn port_count_serializes_wide_requests() {
+        let mut r = rig(MmuModel::naive()); // 3 ports
+        // Warm 6 pages.
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let pages: Vec<PageReq> = (0..6).map(|i| pr(page(&r, i), 0)).collect();
+        for p in &pages {
+            let _ = r.mmu.translate(0, 0, &[*p], &r.space, &mut r.buf);
+            let _ = settle(&mut r, 1);
+        }
+        let t0 = 1_000_000;
+        let out = r.mmu.translate(t0, 0, &pages, &r.space, &mut r.buf);
+        // 6 pages / 3 ports = 2 cycles → ready one cycle after `now`.
+        assert_eq!(out, TranslateOutcome::AllHit { ready_at: t0 + 1 });
+    }
+
+    #[test]
+    fn oversized_tlb_pays_access_penalty() {
+        let model = MmuModel::Real {
+            tlb: TlbConfig {
+                entries: 512,
+                ..TlbConfig::naive()
+            },
+            walker: WalkerConfig::serial(),
+        };
+        let mut r = rig(model);
+        let p = page(&r, 0);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let _ = r.mmu.translate(0, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+        let (now, _) = settle(&mut r, 1);
+        let out = r.mmu.translate(now + 100, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+        assert_eq!(
+            out,
+            TranslateOutcome::AllHit {
+                ready_at: now + 100 + 4
+            }
+        );
+    }
+
+    #[test]
+    fn eviction_events_reach_the_core() {
+        // Tiny TLB (8 entries) to force evictions quickly.
+        let model = MmuModel::Real {
+            tlb: TlbConfig {
+                entries: 8,
+                ways: 4,
+                ports: 4,
+                mode: TlbMode::HitUnderMiss,
+                mshrs: 32,
+                ideal_latency: false,
+            },
+            walker: WalkerConfig::coalesced(),
+        };
+        let mut r = rig(model);
+        let mut evicted = false;
+        let mut now = 0;
+        for i in 0..64 {
+            r.mmu.advance(now, &mut r.mem, &r.space);
+            let p = page(&r, i);
+            let _ = r.mmu.translate(now, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+            let (n2, events) = settle(&mut r, now + 1);
+            now = n2;
+            evicted |= events.iter().any(|e| matches!(e, MmuEvent::Evicted { .. }));
+        }
+        assert!(evicted, "64 pages through an 8-entry TLB must evict");
+    }
+
+    #[test]
+    fn wide_requests_split_across_scarce_mshrs() {
+        // An instruction with more missing pages than MSHR entries must
+        // make progress in rounds rather than rejecting forever.
+        let model = MmuModel::Real {
+            tlb: TlbConfig {
+                mshrs: 2,
+                mode: TlbMode::HitUnderMiss,
+                ..TlbConfig::naive()
+            },
+            walker: WalkerConfig::coalesced(),
+        };
+        let mut r = rig(model);
+        let pages: Vec<PageReq> = (0..6).map(|i| pr(page(&r, i), 0)).collect();
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let out = r.mmu.translate(0, 0, &pages, &r.space, &mut r.buf);
+        // Only the MSHR capacity registers; the rest wait.
+        assert!(matches!(out, TranslateOutcome::Miss { misses: 2, .. }), "{out:?}");
+        let (now, events) = settle(&mut r, 1);
+        let wakes = events
+            .iter()
+            .filter(|e| matches!(e, MmuEvent::Wake { .. }))
+            .count();
+        assert_eq!(wakes, 2);
+        // Re-presenting the remaining pages registers the next round.
+        let remaining: Vec<PageReq> = pages[2..].to_vec();
+        let out = r.mmu.translate(now, 0, &remaining, &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Miss { misses: 2, .. }));
+    }
+
+    #[test]
+    fn fault_event_for_unmapped_page() {
+        let mut r = rig(MmuModel::naive());
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let _ = r
+            .mmu
+            .translate(0, 0, &[pr(Vpn::new(0x1), 0)], &r.space, &mut r.buf);
+        let (_, events) = settle(&mut r, 1);
+        assert!(events.iter().any(|e| matches!(e, MmuEvent::Fault { .. })));
+        assert_eq!(r.mmu.faults.get(), 1);
+    }
+
+    #[test]
+    fn flush_forces_rewalk() {
+        let mut r = rig(MmuModel::naive());
+        let p = page(&r, 0);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let _ = r.mmu.translate(0, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+        let (now, _) = settle(&mut r, 1);
+        r.mmu.flush_tlb();
+        let out = r.mmu.translate(now, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Miss { .. }));
+    }
+}

@@ -1,0 +1,658 @@
+//! Hardware page-table walkers.
+//!
+//! The paper evaluates three walker organizations (Sections 6.2–6.3):
+//!
+//! * **Serial** — the naive CPU-like design: one walk at a time, four
+//!   dependent PTE loads each, misses queued FIFO behind it. This is the
+//!   walker that makes TLB misses twice as expensive as L1 misses
+//!   (Figure 4).
+//! * **Multiple serial walkers** — 2–8 lanes draining the same queue
+//!   (Figure 11's comparison point).
+//! * **Coalesced** ("PTW scheduling", Figures 8–9) — drains the whole
+//!   miss queue as a batch and walks all pages level-by-level:
+//!   duplicate PTE loads at a level are issued once (upper levels
+//!   rarely change across pages), and distinct PTEs on one 128-byte
+//!   cache line are issued back-to-back so the trailing ones hit in the
+//!   shared L2. The hardware is an MSHR-scanning comparator tree; here
+//!   we model its function and timing.
+
+use gmmu_mem::cache::{Cache, CacheConfig};
+use gmmu_mem::{AccessKind, MemorySystem, LINE_SHIFT};
+use gmmu_sim::stats::{Counter, Summary};
+use gmmu_sim::Cycle;
+use gmmu_vm::{AddressSpace, PageSize, Ppn, Vpn};
+use std::collections::VecDeque;
+
+/// Which walker microarchitecture to model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WalkerKind {
+    /// `count` independent serial walkers sharing one miss queue.
+    Serial {
+        /// Number of walker lanes (the paper's baseline has 1).
+        count: usize,
+    },
+    /// The proposed coalescing walk scheduler (single lane, batched).
+    Coalesced,
+    /// A software-managed TLB refill (Section 6.1 cites Jacob & Mudge
+    /// [27]): every miss traps to an interrupt handler that performs
+    /// the walk in instructions. Strictly worse than hardware walking —
+    /// the reason the paper assumes hardware PTWs — and kept here as an
+    /// ablation point.
+    Software {
+        /// Cycles to enter and leave the handler per walk.
+        trap_cycles: u64,
+    },
+}
+
+/// Walker configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkerConfig {
+    /// Microarchitecture.
+    pub kind: WalkerKind,
+    /// Issue spacing between back-to-back PTE loads in one batch level
+    /// (cycles); models the comparator-tree scan rate.
+    pub issue_spacing: u64,
+    /// Optional page-walk cache: a small walker-private cache of
+    /// upper-level (PML4/PDP/PD) entries, the mechanism the concurrent
+    /// Power–Hill–Wood design leans on (Section 9). Entries give the
+    /// number of cached upper-level PTEs; hits skip the memory
+    /// reference entirely.
+    pub pwc_entries: usize,
+}
+
+impl WalkerConfig {
+    /// The paper's naive baseline: one serial walker.
+    pub fn serial() -> Self {
+        Self {
+            kind: WalkerKind::Serial { count: 1 },
+            issue_spacing: 1,
+            pwc_entries: 0,
+        }
+    }
+
+    /// `n` naive serial walkers (Figure 11).
+    pub fn serial_n(n: usize) -> Self {
+        Self {
+            kind: WalkerKind::Serial { count: n },
+            ..Self::serial()
+        }
+    }
+
+    /// The proposed coalescing walk scheduler.
+    pub fn coalesced() -> Self {
+        Self {
+            kind: WalkerKind::Coalesced,
+            ..Self::serial()
+        }
+    }
+
+    /// A software-managed TLB refill with the given trap overhead.
+    pub fn software(trap_cycles: u64) -> Self {
+        Self {
+            kind: WalkerKind::Software { trap_cycles },
+            ..Self::serial()
+        }
+    }
+
+    /// Adds a page-walk cache of `entries` upper-level PTEs.
+    pub fn with_pwc(mut self, entries: usize) -> Self {
+        self.pwc_entries = entries;
+        self
+    }
+}
+
+/// A queued walk request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkRequest {
+    /// Page to translate.
+    pub vpn: Vpn,
+    /// Warp that missed (diagnostics).
+    pub warp: u16,
+    /// Cycle the TLB miss was detected.
+    pub enqueued: Cycle,
+}
+
+/// A finished walk, ready to fill the TLB.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalkDone {
+    /// Page that was walked.
+    pub vpn: Vpn,
+    /// Warp that missed (becomes the TLB entry's owner).
+    pub warp: u16,
+    /// Translation, or `None` for a page fault (unmapped).
+    pub translation: Option<(Ppn, PageSize)>,
+    /// Cycle the walk's last PTE load returned.
+    pub complete: Cycle,
+    /// Cycle the miss was originally enqueued.
+    pub enqueued: Cycle,
+}
+
+/// Statistics shared by all walker kinds.
+#[derive(Debug, Clone, Default)]
+pub struct WalkerStats {
+    /// Completed walks.
+    pub walks: Counter,
+    /// PTE loads actually sent to the memory system.
+    pub refs_issued: Counter,
+    /// PTE loads a naive serial walker would have sent (4 per 4 KiB
+    /// walk); `refs_issued / refs_naive` is the Figure 10 "10–20% of
+    /// references eliminated" statistic.
+    pub refs_naive: Counter,
+    /// End-to-end walk latency (enqueue → last load back), i.e. the
+    /// per-TLB-miss penalty of Figure 4.
+    pub walk_latency: Summary,
+    /// Batch sizes drained by the coalesced walker.
+    pub batch_size: Summary,
+    /// Upper-level loads served by the page-walk cache.
+    pub pwc_hits: Counter,
+}
+
+impl WalkerStats {
+    /// Fraction of naive PTE loads eliminated by scheduling, in `[0, 1]`.
+    pub fn refs_eliminated(&self) -> f64 {
+        let naive = self.refs_naive.get();
+        if naive == 0 {
+            0.0
+        } else {
+            1.0 - self.refs_issued.get() as f64 / naive as f64
+        }
+    }
+}
+
+/// A page-table walker attached to one shader core's TLB.
+///
+/// Drive it by calling [`Walker::enqueue`] on TLB misses and
+/// [`Walker::advance`] every core cycle; finished walks appear in the
+/// output vector passed to `advance`.
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_core::walker::{Walker, WalkerConfig};
+/// use gmmu_mem::{MemConfig, MemorySystem};
+/// use gmmu_vm::{AddressSpace, PageSize, SpaceConfig};
+///
+/// let mut space = AddressSpace::new(SpaceConfig::default());
+/// let region = space.map_region("d", 1 << 16, PageSize::Base4K)?;
+/// let mut mem = MemorySystem::new(MemConfig::default());
+/// let mut walker = Walker::new(WalkerConfig::serial());
+///
+/// walker.enqueue(region.base.vpn(), 0, 100);
+/// let mut done = Vec::new();
+/// walker.advance(100, &mut mem, &space, &mut done);
+/// assert_eq!(done.len(), 1);
+/// assert!(done[0].complete > 100);
+/// # Ok::<(), gmmu_vm::VmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Walker {
+    config: WalkerConfig,
+    /// Per-lane busy-until reservation (serial); the coalesced walker
+    /// uses exactly one lane.
+    lanes: Vec<Cycle>,
+    pending: VecDeque<WalkRequest>,
+    /// Optional page-walk cache over upper-level PTE addresses.
+    pwc: Option<Cache>,
+    /// Statistics.
+    pub stats: WalkerStats,
+}
+
+impl Walker {
+    /// Creates an idle walker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a serial walker is configured with zero lanes.
+    pub fn new(config: WalkerConfig) -> Self {
+        let lanes = match config.kind {
+            WalkerKind::Serial { count } => {
+                assert!(count > 0, "serial walker needs at least one lane");
+                count
+            }
+            WalkerKind::Coalesced => 1,
+            WalkerKind::Software { .. } => 1,
+        };
+        let pwc = (config.pwc_entries > 0).then(|| {
+            let entries = config.pwc_entries.next_power_of_two();
+            Cache::new(CacheConfig {
+                sets: (entries / 4).max(1),
+                ways: entries.min(4),
+            })
+        });
+        Self {
+            config,
+            lanes: vec![0; lanes],
+            pending: VecDeque::new(),
+            pwc,
+            stats: WalkerStats::default(),
+        }
+    }
+
+    /// Serves one PTE load, consulting the page-walk cache for
+    /// upper-level entries; returns the completion cycle.
+    fn pte_load(
+        pwc: &mut Option<Cache>,
+        stats: &mut WalkerStats,
+        at: Cycle,
+        level: u32,
+        pte_paddr: u64,
+        mem: &mut MemorySystem,
+    ) -> Cycle {
+        if level > 1 {
+            if let Some(pwc) = pwc.as_mut() {
+                // The PWC caches individual upper-level PTEs.
+                if pwc.access(pte_paddr >> 3, 0, at).is_hit() {
+                    stats.pwc_hits.inc();
+                    return at + 1;
+                }
+            }
+        }
+        stats.refs_issued.inc();
+        mem.access(at, pte_paddr >> LINE_SHIFT, AccessKind::PageWalk)
+            .complete
+    }
+
+    /// Configuration.
+    pub fn config(&self) -> &WalkerConfig {
+        &self.config
+    }
+
+    /// Queues a walk for `vpn` missed by `warp` at cycle `now`.
+    pub fn enqueue(&mut self, vpn: Vpn, warp: u16, now: Cycle) {
+        self.pending.push_back(WalkRequest {
+            vpn,
+            warp,
+            enqueued: now,
+        });
+    }
+
+    /// Walks waiting to start (not counting in-flight ones).
+    pub fn queue_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Services the queue up to cycle `now`, pushing finished walks into
+    /// `done`. Completion cycles may lie in the future — the MMU applies
+    /// the TLB fills when the clock reaches them.
+    pub fn advance(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        done: &mut Vec<WalkDone>,
+    ) {
+        match self.config.kind {
+            WalkerKind::Serial { .. } => self.advance_serial(now, mem, space, done, 0),
+            WalkerKind::Coalesced => self.advance_coalesced(now, mem, space, done),
+            WalkerKind::Software { trap_cycles } => {
+                self.advance_serial(now, mem, space, done, trap_cycles)
+            }
+        }
+    }
+
+    fn advance_serial(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        done: &mut Vec<WalkDone>,
+        trap_cycles: u64,
+    ) {
+        loop {
+            if self.pending.is_empty() {
+                return;
+            }
+            // Earliest-free lane.
+            let (lane_idx, &lane_free) = self
+                .lanes
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, &c)| c)
+                .expect("walker has at least one lane");
+            if lane_free > now {
+                return;
+            }
+            let req = self.pending.pop_front().expect("checked non-empty");
+            let walk = space.walk(req.vpn);
+            // A software handler pays the trap on entry and exit.
+            let mut t = now + trap_cycles;
+            for level in &walk.levels {
+                t = Self::pte_load(
+                    &mut self.pwc,
+                    &mut self.stats,
+                    t,
+                    level.level,
+                    level.pte_paddr.raw(),
+                    mem,
+                );
+            }
+            t += trap_cycles;
+            self.stats.refs_naive.add(walk.levels.len() as u64);
+            self.stats.walks.inc();
+            self.stats.walk_latency.record(t - req.enqueued);
+            self.lanes[lane_idx] = t;
+            done.push(WalkDone {
+                vpn: req.vpn,
+                warp: req.warp,
+                translation: walk.result,
+                complete: t,
+                enqueued: req.enqueued,
+            });
+        }
+    }
+
+    fn advance_coalesced(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        done: &mut Vec<WalkDone>,
+    ) {
+        if self.pending.is_empty() || self.lanes[0] > now {
+            return;
+        }
+        // Drain everything queued so far into one batch: the hardware
+        // scans all allocated MSHRs with its comparator tree.
+        let batch: Vec<WalkRequest> = self.pending.drain(..).collect();
+        self.stats.batch_size.record(batch.len() as u64);
+        let walks: Vec<gmmu_vm::Walk> = batch.iter().map(|r| space.walk(r.vpn)).collect();
+        let max_levels = walks.iter().map(|w| w.levels.len()).max().unwrap_or(0);
+        let mut walk_complete: Vec<Cycle> = vec![now; walks.len()];
+        let mut t = now;
+        for li in 0..max_levels {
+            // Unique PTE loads at this level, preserving first-seen order
+            // and grouping same-line loads adjacently (sort by line then
+            // address; batches are small, so this is cheap).
+            let mut level_refs: Vec<(u64 /*paddr*/, Vec<usize /*walk idx*/>)> = Vec::new();
+            for (wi, w) in walks.iter().enumerate() {
+                let Some(level) = w.levels.get(li) else {
+                    continue;
+                };
+                let pa = level.pte_paddr.raw();
+                match level_refs.iter_mut().find(|(a, _)| *a == pa) {
+                    Some((_, users)) => users.push(wi), // duplicate: eliminated
+                    None => level_refs.push((pa, vec![wi])),
+                }
+            }
+            if level_refs.is_empty() {
+                break;
+            }
+            level_refs.sort_by_key(|(a, _)| (*a >> LINE_SHIFT, *a));
+            let naive_refs: usize = level_refs.iter().map(|(_, u)| u.len()).sum();
+            self.stats.refs_naive.add(naive_refs as u64);
+            // Issue the unique loads back-to-back; the level's loads are
+            // independent, so their latencies overlap. The next level
+            // depends on this one, so it starts when the slowest returns.
+            let level = walks
+                .iter()
+                .filter_map(|w| w.levels.get(li))
+                .map(|l| l.level)
+                .next()
+                .expect("non-empty level");
+            let mut level_done = t;
+            for (i, (pa, users)) in level_refs.iter().enumerate() {
+                let issue = t + i as u64 * self.config.issue_spacing;
+                let complete =
+                    Self::pte_load(&mut self.pwc, &mut self.stats, issue, level, *pa, mem);
+                level_done = level_done.max(complete);
+                for &wi in users {
+                    walk_complete[wi] = walk_complete[wi].max(complete);
+                }
+            }
+            t = level_done;
+        }
+        for (wi, req) in batch.iter().enumerate() {
+            let complete = walk_complete[wi];
+            self.stats.walks.inc();
+            self.stats.walk_latency.record(complete - req.enqueued);
+            done.push(WalkDone {
+                vpn: req.vpn,
+                warp: req.warp,
+                translation: walks[wi].result,
+                complete,
+                enqueued: req.enqueued,
+            });
+        }
+        self.lanes[0] = t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_mem::MemConfig;
+    use gmmu_vm::SpaceConfig;
+
+    fn setup() -> (AddressSpace, MemorySystem) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        space
+            .map_region("data", 8 << 20, PageSize::Base4K)
+            .expect("map");
+        (space, MemorySystem::new(MemConfig::default()))
+    }
+
+    /// The Figure 8 pages: (0xb9,0x0c,0xac,0x03), (…,0x04), (…,0xad,0x05)
+    /// relative to a region base; we synthesize equivalent locality by
+    /// picking pages 3, 4 and 512+5 of a region (same PML4/PDP, first two
+    /// share a PT cache line, third in a sibling PT).
+    fn figure8_pages(space: &AddressSpace) -> [Vpn; 3] {
+        let base = space.regions()[0].base.vpn().raw();
+        [
+            Vpn::new(base + 3),
+            Vpn::new(base + 4),
+            Vpn::new(base + 512 + 5),
+        ]
+    }
+
+    #[test]
+    fn serial_walker_walks_one_at_a_time() {
+        let (space, mut mem) = setup();
+        let mut w = Walker::new(WalkerConfig::serial());
+        let pages = figure8_pages(&space);
+        for p in pages {
+            w.enqueue(p, 0, 0);
+        }
+        let mut done = Vec::new();
+        w.advance(0, &mut mem, &space, &mut done);
+        // Only the first walk starts at cycle 0; the lane is now busy.
+        assert_eq!(done.len(), 1);
+        let first_done = done[0].complete;
+        w.advance(first_done, &mut mem, &space, &mut done);
+        assert_eq!(done.len(), 2);
+        assert!(done[1].complete > first_done);
+        assert_eq!(w.stats.refs_issued.get(), 8); // 4 + 4
+    }
+
+    #[test]
+    fn coalesced_walker_issues_figure8_reference_count() {
+        let (space, mut mem) = setup();
+        let mut w = Walker::new(WalkerConfig::coalesced());
+        for p in figure8_pages(&space) {
+            w.enqueue(p, 0, 0);
+        }
+        let mut done = Vec::new();
+        w.advance(0, &mut mem, &space, &mut done);
+        assert_eq!(done.len(), 3);
+        // Paper, Figure 8: 12 naive loads reduced to 7 (1 PML4, 1 PDP,
+        // 2 PD, 3 PT).
+        assert_eq!(w.stats.refs_naive.get(), 12);
+        assert_eq!(w.stats.refs_issued.get(), 7);
+        assert!((w.stats.refs_eliminated() - 5.0 / 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coalesced_batch_is_faster_than_serial_walks() {
+        let (space, mut mem_a) = setup();
+        let mut mem_b = MemorySystem::new(MemConfig::default());
+        let pages = figure8_pages(&space);
+
+        let mut serial = Walker::new(WalkerConfig::serial());
+        let mut done = Vec::new();
+        for p in pages {
+            serial.enqueue(p, 0, 0);
+        }
+        let mut t = 0;
+        while done.len() < 3 {
+            serial.advance(t, &mut mem_a, &space, &mut done);
+            t = done.last().map_or(t + 1, |d| d.complete);
+        }
+        let serial_finish = done.iter().map(|d| d.complete).max().unwrap();
+
+        let mut coal = Walker::new(WalkerConfig::coalesced());
+        let mut done_c = Vec::new();
+        for p in pages {
+            coal.enqueue(p, 0, 0);
+        }
+        coal.advance(0, &mut mem_b, &space, &mut done_c);
+        let coal_finish = done_c.iter().map(|d| d.complete).max().unwrap();
+        assert!(
+            coal_finish < serial_finish,
+            "coalesced {coal_finish} !< serial {serial_finish}"
+        );
+    }
+
+    #[test]
+    fn walk_results_match_translation() {
+        let (space, mut mem) = setup();
+        for cfg in [WalkerConfig::serial(), WalkerConfig::coalesced()] {
+            let mut w = Walker::new(cfg);
+            let pages = figure8_pages(&space);
+            for p in pages {
+                w.enqueue(p, 0, 0);
+            }
+            let mut done = Vec::new();
+            let mut t = 0;
+            for _ in 0..10 {
+                w.advance(t, &mut mem, &space, &mut done);
+                t += 10_000;
+            }
+            assert_eq!(done.len(), 3);
+            for d in &done {
+                let expect = space.translate(d.vpn.base()).expect("mapped").0.ppn();
+                assert_eq!(d.translation.expect("mapped").0, expect);
+            }
+        }
+    }
+
+    #[test]
+    fn unmapped_walk_reports_fault() {
+        let (space, mut mem) = setup();
+        let mut w = Walker::new(WalkerConfig::serial());
+        w.enqueue(Vpn::new(1), 0, 0);
+        let mut done = Vec::new();
+        w.advance(0, &mut mem, &space, &mut done);
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].translation, None);
+        // A truncated walk still issued at least one load.
+        assert!(w.stats.refs_issued.get() >= 1);
+    }
+
+    #[test]
+    fn multiple_serial_lanes_overlap() {
+        let (space, mut mem) = setup();
+        let mut w = Walker::new(WalkerConfig::serial_n(2));
+        let pages = figure8_pages(&space);
+        for p in pages {
+            w.enqueue(p, 0, 0);
+        }
+        let mut done = Vec::new();
+        w.advance(0, &mut mem, &space, &mut done);
+        // Two lanes start immediately.
+        assert_eq!(done.len(), 2);
+    }
+
+    #[test]
+    fn large_page_walks_are_shorter() {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let r = space.map_region("big", 4 << 20, PageSize::Large2M).unwrap();
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let mut w = Walker::new(WalkerConfig::serial());
+        w.enqueue(r.base.vpn(), 0, 0);
+        let mut done = Vec::new();
+        w.advance(0, &mut mem, &space, &mut done);
+        assert_eq!(w.stats.refs_issued.get(), 3);
+        assert_eq!(done[0].translation.unwrap().1, PageSize::Large2M);
+    }
+
+    #[test]
+    fn software_walker_pays_trap_overhead() {
+        let (space, mut mem) = setup();
+        let page = figure8_pages(&space)[0];
+        let run = |cfg, mem: &mut MemorySystem| {
+            let mut w = Walker::new(cfg);
+            w.enqueue(page, 0, 0);
+            let mut done = Vec::new();
+            w.advance(0, mem, &space, &mut done);
+            done[0].complete
+        };
+        let hw = run(WalkerConfig::serial(), &mut mem);
+        let mut mem2 = MemorySystem::new(MemConfig::default());
+        let sw = run(WalkerConfig::software(200), &mut mem2);
+        assert!(
+            sw >= hw + 2 * 200,
+            "software walk {sw} should pay two traps over hardware {hw}"
+        );
+    }
+
+    #[test]
+    fn page_walk_cache_skips_warm_upper_levels() {
+        let (space, mut mem) = setup();
+        let base = space.regions()[0].base.vpn().raw();
+        let mut w = Walker::new(WalkerConfig::serial().with_pwc(16));
+        let mut done = Vec::new();
+        // First walk warms PML4/PDP/PD entries.
+        w.enqueue(Vpn::new(base), 0, 0);
+        w.advance(0, &mut mem, &space, &mut done);
+        assert_eq!(w.stats.refs_issued.get(), 4);
+        // A neighbouring page shares all three upper levels: only the
+        // leaf PTE goes to memory.
+        w.enqueue(Vpn::new(base + 1), 0, 1_000_000);
+        w.advance(1_000_000, &mut mem, &space, &mut done);
+        assert_eq!(w.stats.refs_issued.get(), 5);
+        assert_eq!(w.stats.pwc_hits.get(), 3);
+        // The second walk is also much faster.
+        let first = done[0].complete - done[0].enqueued;
+        let second = done[1].complete - done[1].enqueued;
+        assert!(second < first / 2, "PWC walk {second} !< {first}/2");
+    }
+
+    #[test]
+    fn pwc_composes_with_the_coalescing_walker() {
+        let (space, mut mem) = setup();
+        let mut w = Walker::new(WalkerConfig::coalesced().with_pwc(16));
+        for p in figure8_pages(&space) {
+            w.enqueue(p, 0, 0);
+        }
+        let mut done = Vec::new();
+        w.advance(0, &mut mem, &space, &mut done);
+        assert_eq!(done.len(), 3);
+        // Dedup already removes repeats within the batch; the PWC only
+        // helps across batches.
+        assert_eq!(w.stats.refs_issued.get(), 7);
+        // A second batch of neighbours now hits the PWC for all three
+        // upper levels.
+        let base = space.regions()[0].base.vpn().raw();
+        w.enqueue(Vpn::new(base + 6), 0, 1_000_000);
+        w.advance(1_000_000, &mut mem, &space, &mut done);
+        assert!(w.stats.pwc_hits.get() >= 3);
+    }
+
+    #[test]
+    fn walk_latency_counts_queueing() {
+        let (space, mut mem) = setup();
+        let mut w = Walker::new(WalkerConfig::serial());
+        let pages = figure8_pages(&space);
+        for p in pages {
+            w.enqueue(p, 0, 0);
+        }
+        let mut done = Vec::new();
+        let mut t = 0;
+        while done.len() < 3 {
+            w.advance(t, &mut mem, &space, &mut done);
+            t += 1;
+        }
+        // The last walk's latency includes waiting behind two walks.
+        let last = &done[2];
+        assert!(last.complete - last.enqueued > done[0].complete - done[0].enqueued);
+    }
+}

@@ -1,0 +1,192 @@
+//! Miss-status holding registers.
+//!
+//! Both the L1 data caches and the per-core TLBs own MSHR files
+//! (Section 6.2: "we assume, like both GPU caches and past work on TLBs,
+//! that there is one TLB MSHR per warp thread (32 in total)"). An MSHR
+//! file tracks outstanding misses keyed by line (or page) and merges
+//! same-key misses so only one request goes downstream.
+
+use gmmu_sim::Cycle;
+use std::collections::HashMap;
+
+/// Outcome of trying to register a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// New entry allocated; the caller must issue the downstream request.
+    Allocated,
+    /// Merged with an in-flight miss on the same key; the returned cycle
+    /// is when that request completes.
+    Merged(Cycle),
+    /// No free entry; the requester must stall and retry.
+    Full,
+}
+
+/// A fixed-capacity MSHR file keyed by an opaque `u64` (cache line index
+/// or virtual page number).
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_mem::mshr::{MshrFile, MshrOutcome};
+/// let mut mshrs = MshrFile::new(2);
+/// assert_eq!(mshrs.lookup(0xabc), None);
+/// assert_eq!(mshrs.allocate(0xabc), MshrOutcome::Allocated);
+/// mshrs.set_completion(0xabc, 500);
+/// assert_eq!(mshrs.allocate(0xabc), MshrOutcome::Merged(500));
+/// mshrs.expire(600);
+/// assert_eq!(mshrs.lookup(0xabc), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    // key → completion cycle (NEVER until known).
+    entries: HashMap<u64, Cycle>,
+    /// Peak simultaneous occupancy (diagnostics).
+    peak: usize,
+}
+
+impl MshrFile {
+    /// Creates a file with `capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR file needs at least one entry");
+        Self {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            peak: 0,
+        }
+    }
+
+    /// Entries currently in flight.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is in flight.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Peak occupancy seen so far.
+    pub fn peak(&self) -> usize {
+        self.peak
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Completion cycle of an in-flight miss on `key`, if any.
+    pub fn lookup(&self, key: u64) -> Option<Cycle> {
+        self.entries.get(&key).copied()
+    }
+
+    /// Registers a miss on `key`.
+    pub fn allocate(&mut self, key: u64) -> MshrOutcome {
+        if let Some(&done) = self.entries.get(&key) {
+            return MshrOutcome::Merged(done);
+        }
+        if self.entries.len() >= self.capacity {
+            return MshrOutcome::Full;
+        }
+        self.entries.insert(key, gmmu_sim::NEVER);
+        self.peak = self.peak.max(self.entries.len());
+        MshrOutcome::Allocated
+    }
+
+    /// Records when the downstream request for `key` completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `key` was never allocated.
+    pub fn set_completion(&mut self, key: u64, done: Cycle) {
+        let entry = self.entries.get_mut(&key);
+        debug_assert!(entry.is_some(), "set_completion on unallocated MSHR");
+        if let Some(e) = entry {
+            *e = done;
+        }
+    }
+
+    /// Releases every entry whose completion is `<= now`.
+    pub fn expire(&mut self, now: Cycle) {
+        self.entries.retain(|_, done| *done > now);
+    }
+
+    /// Releases a specific entry (e.g. a squashed walk).
+    pub fn release(&mut self, key: u64) -> bool {
+        self.entries.remove(&key).is_some()
+    }
+
+    /// Earliest completion among in-flight entries (NEVER when empty or
+    /// all unknown) — used to decide when a blocked TLB frees up.
+    pub fn earliest_completion(&self) -> Cycle {
+        self.entries.values().copied().min().unwrap_or(gmmu_sim::NEVER)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_full_cycle() {
+        let mut m = MshrFile::new(2);
+        assert_eq!(m.allocate(1), MshrOutcome::Allocated);
+        m.set_completion(1, 100);
+        assert_eq!(m.allocate(1), MshrOutcome::Merged(100));
+        assert_eq!(m.allocate(2), MshrOutcome::Allocated);
+        assert_eq!(m.allocate(3), MshrOutcome::Full);
+        assert_eq!(m.peak(), 2);
+    }
+
+    #[test]
+    fn expire_releases_only_completed() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1);
+        m.set_completion(1, 100);
+        m.allocate(2);
+        m.set_completion(2, 200);
+        m.expire(150);
+        assert_eq!(m.lookup(1), None);
+        assert_eq!(m.lookup(2), Some(200));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn unknown_completion_never_expires() {
+        let mut m = MshrFile::new(4);
+        m.allocate(7);
+        m.expire(u64::MAX - 1);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn earliest_completion_tracks_minimum() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.earliest_completion(), gmmu_sim::NEVER);
+        m.allocate(1);
+        m.set_completion(1, 300);
+        m.allocate(2);
+        m.set_completion(2, 100);
+        assert_eq!(m.earliest_completion(), 100);
+    }
+
+    #[test]
+    fn release_frees_entry() {
+        let mut m = MshrFile::new(1);
+        m.allocate(9);
+        assert!(m.release(9));
+        assert!(!m.release(9));
+        assert_eq!(m.allocate(10), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one entry")]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(0);
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! The simulator must produce bit-identical results across runs, platforms
+//! and toolchains, so we implement two small, well-known generators in-tree
+//! rather than depending on an external crate whose stream may change:
+//!
+//! * [`SplitMix64`] — a counter-based mixer. Ideal for *stateless* hashing
+//!   of (thread id, site, iteration) tuples into addresses: the same tuple
+//!   always yields the same value regardless of evaluation order. This is
+//!   what lets kernels regenerate a thread's addresses after warps are
+//!   recompacted by TBC.
+//! * [`Xoshiro256`] — xoshiro256** 1.0, a fast sequential generator used
+//!   for building workload data sets (graphs, key traces).
+
+/// Stateless 64-bit mixing function (the SplitMix64 finalizer).
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_sim::rng::mix64;
+/// assert_eq!(mix64(1), mix64(1));
+/// assert_ne!(mix64(1), mix64(2));
+/// ```
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Mixes two words into one; used to hash tuples.
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_sim::rng::mix2;
+/// assert_ne!(mix2(1, 2), mix2(2, 1));
+/// ```
+#[inline]
+pub fn mix2(a: u64, b: u64) -> u64 {
+    mix64(a ^ mix64(b))
+}
+
+/// Mixes three words into one.
+#[inline]
+pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
+    mix64(a ^ mix2(b, c))
+}
+
+/// SplitMix64 sequential generator.
+///
+/// Mostly used to seed [`Xoshiro256`]; also handy when a tiny generator
+/// with a single word of state is enough.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// xoshiro256** 1.0 by Blackman & Vigna.
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_sim::rng::Xoshiro256;
+/// let mut a = Xoshiro256::seed_from(7);
+/// let mut b = Xoshiro256::seed_from(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// Seeds the full 256-bit state from one word via SplitMix64.
+    pub fn seed_from(seed: u64) -> Self {
+        let mut sm = SplitMix64::new(seed);
+        Self {
+            s: [sm.next_u64(), sm.next_u64(), sm.next_u64(), sm.next_u64()],
+        }
+    }
+
+    /// Returns the next 64-bit output.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1]
+            .wrapping_mul(5)
+            .rotate_left(7)
+            .wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform draw in `[range.start, range.end)` without modulo bias
+    /// (Lemire's multiply-shift method).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range(&mut self, range: core::ops::Range<u64>) -> u64 {
+        assert!(range.start < range.end, "gen_range: empty range");
+        let span = range.end - range.start;
+        let hi = ((self.next_u64() as u128 * span as u128) >> 64) as u64;
+        range.start + hi
+    }
+
+    /// Uniform draw in `[0, 1)`.
+    #[inline]
+    pub fn gen_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.gen_range(0..(i as u64 + 1)) as usize;
+            items.swap(i, j);
+        }
+    }
+}
+
+/// A Zipf-distributed sampler over ranks `0..n` with exponent `theta`.
+///
+/// Used to stimulate the `memcached` workload with a skewed key
+/// popularity distribution, mirroring the Wikipedia trace the paper uses.
+/// Sampling is done by inverting the CDF over a precomputed table.
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_sim::rng::{Xoshiro256, Zipf};
+/// let mut rng = Xoshiro256::seed_from(1);
+/// let zipf = Zipf::new(1000, 0.99);
+/// let hot = (0..1000).filter(|_| zipf.sample(&mut rng) < 10).count();
+/// assert!(hot > 100, "top-10 ranks should dominate, got {hot}");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds the sampler for `n` ranks with skew `theta` (0 = uniform).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, theta: f64) -> Self {
+        assert!(n > 0, "Zipf over zero ranks");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Self { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Returns `true` if the sampler has no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws a rank in `0..n`; rank 0 is the most popular.
+    pub fn sample(&self, rng: &mut Xoshiro256) -> usize {
+        let u = rng.gen_f64();
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+
+    /// Deterministic, stateless sample: the `i`-th draw of stream `seed`.
+    pub fn sample_at(&self, seed: u64, i: u64) -> usize {
+        let u = (mix2(seed, i) >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        match self
+            .cdf
+            .binary_search_by(|probe| probe.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_is_deterministic_and_spreads() {
+        assert_eq!(mix64(0xdead_beef), mix64(0xdead_beef));
+        // Consecutive inputs should differ in many bits.
+        let d = (mix64(1) ^ mix64(2)).count_ones();
+        assert!(d > 16, "poor diffusion: {d} bits");
+    }
+
+    #[test]
+    fn xoshiro_reference_stream_is_stable() {
+        let mut rng = Xoshiro256::seed_from(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        let mut rng2 = Xoshiro256::seed_from(0);
+        let second: Vec<u64> = (0..4).map(|_| rng2.next_u64()).collect();
+        assert_eq!(first, second);
+        assert_ne!(first[0], first[1]);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Xoshiro256::seed_from(3);
+        for _ in 0..10_000 {
+            let v = rng.gen_range(10..17);
+            assert!((10..17).contains(&v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn gen_range_rejects_empty() {
+        let mut rng = Xoshiro256::seed_from(3);
+        let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn gen_range_covers_all_values() {
+        let mut rng = Xoshiro256::seed_from(9);
+        let mut seen = [false; 8];
+        for _ in 0..1000 {
+            seen[rng.gen_range(0..8) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Xoshiro256::seed_from(11);
+        let mut v: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, (0..100).collect::<Vec<_>>(), "shuffle did nothing");
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_ranks() {
+        let mut rng = Xoshiro256::seed_from(5);
+        let z = Zipf::new(10_000, 0.99);
+        let n = 20_000;
+        let top100 = (0..n).filter(|_| z.sample(&mut rng) < 100).count();
+        // Under uniform it would be ~1%; Zipf(0.99) gives tens of percent.
+        assert!(top100 > n / 10, "not skewed: {top100}/{n}");
+    }
+
+    #[test]
+    fn zipf_sample_at_is_stateless() {
+        let z = Zipf::new(100, 0.8);
+        assert_eq!(z.sample_at(7, 3), z.sample_at(7, 3));
+        // Different stream positions should not all collapse to one rank.
+        let distinct: std::collections::HashSet<_> =
+            (0..50).map(|i| z.sample_at(7, i)).collect();
+        assert!(distinct.len() > 5);
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = Xoshiro256::seed_from(13);
+        for _ in 0..1000 {
+            let f = rng.gen_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! GPU configuration.
+//!
+//! Defaults follow the paper's methodology (Section 5.2): 30 SIMT cores,
+//! 32-thread warps, 48 warps (1024+ threads) per core, 32 KB L1 data
+//! caches with 128-byte lines and LRU, 8 memory channels with 128 KB of
+//! L2 each. Experiment presets scale the core count down so a full
+//! figure sweep runs in minutes; speedups are relative within one
+//! configuration, so the shapes are preserved (see DESIGN.md §2).
+
+use gmmu_core::ccws::{PolicyConfig, PolicyKind};
+use gmmu_core::cpm::CpmConfig;
+use gmmu_core::mmu::MmuModel;
+use gmmu_mem::{CacheConfig, MemConfig};
+use gmmu_vm::PageSize;
+
+/// Fixed pipeline latencies of a shader core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoreTimings {
+    /// Cycles before a warp may issue its next instruction after an ALU
+    /// op (result latency through the SIMD pipeline).
+    pub alu_latency: u64,
+    /// Cycles to resolve a branch (mask generation + stack update).
+    pub branch_latency: u64,
+    /// L1 hit load-to-use latency.
+    pub l1_hit_latency: u64,
+    /// Cycles a store occupies the memory pipeline (fire-and-forget).
+    pub store_issue: u64,
+    /// Write-buffer depth in cycles: a warp stalls when its stores run
+    /// further than this ahead of the memory system (models finite
+    /// store buffering; prevents unbounded write queues).
+    pub store_window: u64,
+}
+
+impl Default for CoreTimings {
+    fn default() -> Self {
+        Self {
+            alu_latency: 8,
+            branch_latency: 4,
+            l1_hit_latency: 16,
+            store_issue: 2,
+            store_window: 1024,
+        }
+    }
+}
+
+/// Thread block compaction configuration (Section 8).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbcConfig {
+    /// Steer compaction with the Common Page Matrix (TLB-aware TBC).
+    pub tlb_aware: bool,
+    /// CPM geometry, used when `tlb_aware` is set.
+    pub cpm: CpmConfig,
+}
+
+impl TbcConfig {
+    /// Baseline (TLB-agnostic) TBC.
+    pub fn baseline() -> Self {
+        Self {
+            tlb_aware: false,
+            cpm: CpmConfig::default(),
+        }
+    }
+
+    /// TLB-aware TBC with `bits`-bit CPM counters (Figure 22 sweeps
+    /// 1–3).
+    pub fn tlb_aware(bits: u8) -> Self {
+        Self {
+            tlb_aware: true,
+            cpm: CpmConfig {
+                counter_bits: bits,
+                ..CpmConfig::default()
+            },
+        }
+    }
+}
+
+/// Full GPU configuration.
+#[derive(Debug, Clone)]
+pub struct GpuConfig {
+    /// Shader cores (paper: 30; experiment presets use fewer).
+    pub n_cores: usize,
+    /// Warp contexts per core (paper: 48).
+    pub warps_per_core: usize,
+    /// Warps per thread block (paper-style 256-thread blocks → 8).
+    pub warps_per_block: usize,
+    /// Address-translation hardware per core.
+    pub mmu: MmuModel,
+    /// Warp scheduling locality policy.
+    pub policy: PolicyKind,
+    /// Policy tunables.
+    pub policy_config: PolicyConfig,
+    /// Thread block compaction (None = per-warp reconvergence stacks).
+    pub tbc: Option<TbcConfig>,
+    /// Shared memory system.
+    pub mem: MemConfig,
+    /// Per-core L1 data cache geometry.
+    pub l1: CacheConfig,
+    /// Per-core L1 MSHR entries.
+    pub l1_mshrs: usize,
+    /// Pipeline latencies.
+    pub timings: CoreTimings,
+    /// Translation granule: 4 KiB by default; set to 2 MiB to study
+    /// large pages (Section 9). With a 2 MiB granule every region the
+    /// kernel touches must be backed by 2 MiB mappings.
+    pub granule: PageSize,
+    /// Safety valve: abort a run after this many cycles.
+    pub max_cycles: u64,
+    /// Seed folded into workload construction (kept here so a whole
+    /// experiment is reproducible from its config).
+    pub seed: u64,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        Self {
+            n_cores: 30,
+            warps_per_core: 48,
+            warps_per_block: 8,
+            mmu: MmuModel::Ideal,
+            policy: PolicyKind::None,
+            policy_config: PolicyConfig::default(),
+            tbc: None,
+            mem: MemConfig::default(),
+            l1: CacheConfig::l1_data(),
+            l1_mshrs: 64,
+            timings: CoreTimings::default(),
+            granule: PageSize::Base4K,
+            max_cycles: 200_000_000,
+            seed: 0x5eed,
+        }
+    }
+}
+
+impl GpuConfig {
+    /// The paper's full-scale machine with the given MMU.
+    pub fn paper_scale(mmu: MmuModel) -> Self {
+        Self {
+            mmu,
+            ..Self::default()
+        }
+    }
+
+    /// A reduced machine for fast experiment sweeps: fewer cores with
+    /// the memory system scaled to keep the paper's ~4:1
+    /// core-to-channel ratio, so per-core bandwidth, contention, and
+    /// all MMU behaviour match the full configuration.
+    pub fn experiment_scale(mmu: MmuModel) -> Self {
+        Self {
+            n_cores: 8,
+            mem: MemConfig {
+                channels: 2,
+                ..MemConfig::default()
+            },
+            mmu,
+            ..Self::default()
+        }
+    }
+
+    /// Threads resident per core.
+    pub fn threads_per_core(&self) -> u32 {
+        (self.warps_per_core * 32) as u32
+    }
+
+    /// Warp size (fixed at 32, like the paper's hardware).
+    pub const WARP_SIZE: usize = 32;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_methodology() {
+        let c = GpuConfig::default();
+        assert_eq!(c.n_cores, 30);
+        assert_eq!(c.warps_per_core, 48);
+        assert_eq!(c.threads_per_core(), 1536);
+        assert_eq!(c.mem.channels, 8);
+        assert_eq!(c.l1.lines() * 128, 32 * 1024);
+    }
+
+    #[test]
+    fn experiment_scale_changes_only_core_count() {
+        let full = GpuConfig::paper_scale(MmuModel::naive());
+        let fast = GpuConfig::experiment_scale(MmuModel::naive());
+        assert_eq!(full.warps_per_core, fast.warps_per_core);
+        assert_eq!(full.l1, fast.l1);
+        assert!(fast.n_cores < full.n_cores);
+    }
+
+    #[test]
+    fn tbc_config_presets() {
+        assert!(!TbcConfig::baseline().tlb_aware);
+        let t = TbcConfig::tlb_aware(3);
+        assert!(t.tlb_aware);
+        assert_eq!(t.cpm.counter_bits, 3);
+    }
+}

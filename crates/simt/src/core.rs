@@ -1,0 +1,854 @@
+//! The shader core pipeline.
+//!
+//! One [`ShaderCore`] models a SIMT core of the paper's GPU (Figure 5):
+//! warps issue in-order, one warp instruction per cycle, selected by a
+//! loose round-robin scheduler optionally filtered by a CCWS-family
+//! locality policy. Memory instructions flow through the address
+//! generator/coalescer, present their unique pages to the per-core MMU
+//! *in parallel* with L1 access, and replay after TLB misses resolve.
+//! With thread block compaction enabled, scheduling units are dynamic
+//! warps managed by [`crate::tbc`].
+
+use crate::coalesce::{coalesce_granule, CoalesceBuf};
+use crate::config::{CoreTimings, GpuConfig, TbcConfig};
+use crate::program::{Kernel, MemKind, Op, ThreadId};
+use crate::stack::SimtStack;
+use crate::tbc::TbcState;
+use gmmu_core::ccws::LocalityPolicy;
+use gmmu_core::cpm::CommonPageMatrix;
+use gmmu_core::mmu::{Mmu, MmuEvent, TranslateBuf, TranslateOutcome};
+use gmmu_mem::mshr::{MshrFile, MshrOutcome};
+use gmmu_mem::{AccessKind, Cache, CacheAccess, MemorySystem};
+use gmmu_sim::stats::{Counter, Histogram, Summary};
+use gmmu_sim::Cycle;
+use gmmu_vm::{AddressSpace, PageSize, Ppn, VAddr, Vpn};
+
+/// Statistics gathered by one shader core.
+#[derive(Debug, Clone, Default)]
+pub struct CoreStats {
+    /// Warp instructions committed (TBC: dynamic-warp instructions).
+    pub instructions: Counter,
+    /// Memory instructions committed.
+    pub mem_instructions: Counter,
+    /// Cycles with live warps but no issue (stalls — Figure 10's idle
+    /// cycles).
+    pub idle_cycles: Counter,
+    /// Cycles with at least one live warp.
+    pub live_cycles: Counter,
+    /// Page divergence per memory instruction (Figure 3 right).
+    pub page_divergence: Histogram,
+    /// L1 miss service latency (Figure 4's comparison point).
+    pub l1_miss_latency: Summary,
+    /// Memory instructions re-issued after TLB-miss wakes or rejects.
+    pub replays: Counter,
+    /// Dynamic warps formed by compaction (TBC only).
+    pub dwarps_formed: Counter,
+    /// Thread blocks completed.
+    pub blocks_done: Counter,
+}
+
+/// A memory instruction in flight for one warp (generated once; replays
+/// reuse the stored addresses so TLB-miss retries are idempotent).
+#[derive(Debug, Clone)]
+pub(crate) struct Pending {
+    pub kind: MemKind,
+    /// `(address, home static warp)` per active lane; lanes whose pages
+    /// were serviced by cache overlap are removed.
+    pub accesses: Vec<(VAddr, u16)>,
+    /// Whether this instruction has taken a TLB miss (TA-CCWS weighting).
+    pub tlb_missed: bool,
+    /// Completion of overlap-issued L1 accesses.
+    pub overlap_done_at: Cycle,
+    /// Page divergence was recorded (first issue only).
+    pub diverge_recorded: bool,
+}
+
+/// Result of trying to issue a pending memory instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MemIssue {
+    /// The instruction completed; the warp may issue again at the given
+    /// cycle.
+    Done(Cycle),
+    /// TLB misses are in flight; sleep until that many wakes arrive.
+    WaitTlb(usize),
+    /// The MMU rejected the access; retry at the given cycle.
+    Retry(Cycle),
+}
+
+/// A baseline (non-TBC) warp context.
+#[derive(Debug, Clone)]
+pub(crate) struct Warp {
+    pub first_tid: ThreadId,
+    pub stack: Option<SimtStack>,
+    pub ready_at: Cycle,
+    pub pending: Option<Pending>,
+    pub waiting_pages: usize,
+}
+
+impl Warp {
+    fn empty() -> Self {
+        Self {
+            first_tid: 0,
+            stack: None,
+            ready_at: 0,
+            pending: None,
+            waiting_pages: 0,
+        }
+    }
+
+    pub(crate) fn is_done(&self) -> bool {
+        self.stack.as_ref().is_none_or(|s| s.is_done())
+    }
+
+    fn schedulable(&self, now: Cycle) -> bool {
+        !self.is_done() && self.waiting_pages == 0 && self.ready_at <= now
+    }
+}
+
+/// Execution mode: per-warp stacks or thread block compaction.
+#[derive(Debug)]
+pub(crate) enum ExecMode {
+    Baseline { warps: Vec<Warp> },
+    Tbc(TbcState),
+}
+
+/// The pieces of a core that the memory path needs; split out so the
+/// baseline and TBC executors can borrow them while iterating their own
+/// unit containers.
+#[derive(Debug)]
+pub(crate) struct MemPath {
+    pub granule: PageSize,
+    pub mmu: Mmu,
+    pub l1: Cache,
+    pub l1_mshrs: MshrFile,
+    pub policy: LocalityPolicy,
+    pub cpm: Option<CommonPageMatrix>,
+    pub stats: CoreStats,
+    pub timings: CoreTimings,
+    pub cbuf: CoalesceBuf,
+    pub tbuf: TranslateBuf,
+}
+
+impl MemPath {
+    /// Accesses the L1 (and below) for one physical line; returns the
+    /// cycle the data is usable.
+    fn access_line(
+        &mut self,
+        at: Cycle,
+        phys_line: u64,
+        warp: u16,
+        tlb_missed: bool,
+        mem: &mut MemorySystem,
+    ) -> Cycle {
+        // A line already being fetched merges into the outstanding miss.
+        if let Some(done) = self.l1_mshrs.lookup(phys_line) {
+            return done.max(at + self.timings.l1_hit_latency);
+        }
+        match self.l1.access(phys_line, warp as u32, at) {
+            CacheAccess::Hit => at + self.timings.l1_hit_latency,
+            CacheAccess::Miss { victim } => {
+                if let Some(v) = victim {
+                    self.policy.on_l1_evict(v.meta as u16, v.line);
+                }
+                self.policy.on_l1_miss(warp, phys_line, tlb_missed);
+                let done = mem.access(at, phys_line, AccessKind::Load).complete;
+                self.stats.l1_miss_latency.record(done - at);
+                match self.l1_mshrs.allocate(phys_line) {
+                    MshrOutcome::Allocated => self.l1_mshrs.set_completion(phys_line, done),
+                    // MSHR pressure beyond capacity still costs the
+                    // memory-system bandwidth charged above.
+                    MshrOutcome::Merged(_) | MshrOutcome::Full => {}
+                }
+                done
+            }
+        }
+    }
+
+    /// Delivers a completed walk's translation straight to a waiting
+    /// instruction: the accesses on `vpn` run against the memory
+    /// hierarchy now and are removed from the pending set. This is the
+    /// hardware fill-bypass path — the translation is consumed even if
+    /// the TLB entry is evicted before the warp is scheduled again.
+    pub(crate) fn service_page(
+        &mut self,
+        now: Cycle,
+        pending: &mut Pending,
+        vpn: gmmu_vm::Vpn,
+        ppn: Ppn,
+        mem: &mut MemorySystem,
+    ) -> Cycle {
+        let mut done = now;
+        let granule = self.granule;
+        let mut seen_lines: Vec<u64> = Vec::new();
+        for &(va, home) in pending
+            .accesses
+            .iter()
+            .filter(|(va, _)| granule_vpn(*va, granule) == vpn)
+        {
+            let vline = va.line(gmmu_mem::LINE_SHIFT);
+            if seen_lines.contains(&vline) {
+                continue;
+            }
+            seen_lines.push(vline);
+            let pl = phys_line(ppn, vline, granule);
+            match pending.kind {
+                MemKind::Load => {
+                    let c = self.access_line(now, pl, home, pending.tlb_missed, mem);
+                    done = done.max(c);
+                }
+                MemKind::Store => {
+                    let res = mem.access(now, pl, gmmu_mem::AccessKind::Store);
+                    let backpressure = res.complete.saturating_sub(self.timings.store_window);
+                    done = done.max(now + self.timings.store_issue).max(backpressure);
+                }
+            }
+        }
+        pending
+            .accesses
+            .retain(|(va, _)| granule_vpn(*va, granule) != vpn);
+        pending.overlap_done_at = pending.overlap_done_at.max(done);
+        done
+    }
+
+    /// Issues (or replays) a pending memory instruction for scheduling
+    /// unit `requester`. The unit's home pages carry their own static
+    /// warp ids (TBC).
+    pub(crate) fn issue_mem(
+        &mut self,
+        now: Cycle,
+        requester: u16,
+        pending: &mut Pending,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+    ) -> MemIssue {
+        debug_assert!(!pending.accesses.is_empty());
+        let mut cbuf = std::mem::take(&mut self.cbuf);
+        coalesce_granule(pending.accesses.iter().copied(), self.granule, &mut cbuf);
+        if !pending.diverge_recorded {
+            pending.diverge_recorded = true;
+            self.stats
+                .page_divergence
+                .record(cbuf.page_divergence() as u64);
+        }
+        let mut tbuf = std::mem::take(&mut self.tbuf);
+        let outcome = self
+            .mmu
+            .translate(now, requester, &cbuf.pages, space, &mut tbuf);
+        let result = match outcome {
+            TranslateOutcome::Reject { retry_at } => MemIssue::Retry(retry_at.max(now + 1)),
+            TranslateOutcome::AllHit { ready_at } => {
+                self.note_hits(&tbuf, &cbuf);
+                let done = self.run_accesses(ready_at, &cbuf, &tbuf, pending, mem, None);
+                MemIssue::Done(done.max(pending.overlap_done_at))
+            }
+            TranslateOutcome::Miss { ready_at, misses } => {
+                let replay = pending.tlb_missed;
+                pending.tlb_missed = true;
+                for &vpn in &tbuf.misses {
+                    let home = cbuf
+                        .pages
+                        .iter()
+                        .find(|p| p.vpn == vpn)
+                        .map_or(requester, |p| p.warp);
+                    self.policy.on_tlb_miss(home, vpn);
+                }
+                self.note_hits(&tbuf, &cbuf);
+                // Hit pages proceed to the cache either when the TLB
+                // supports cache overlap (Section 6.3), or on a replay —
+                // a replay's hits were delivered by the warp's own walks
+                // (MSHR fills), so they complete even if a page has
+                // since been evicted; this keeps wide-divergence warps
+                // making monotonic progress.
+                if (self.mmu.cache_overlap() || replay) && !tbuf.hits.is_empty() {
+                    let done =
+                        self.run_accesses(ready_at, &cbuf, &tbuf, pending, mem, Some(&tbuf.hits));
+                    pending.overlap_done_at = pending.overlap_done_at.max(done);
+                    let hit_pages: Vec<Vpn> = tbuf.hits.iter().map(|t| t.vpn).collect();
+                    let granule = self.granule;
+                    pending
+                        .accesses
+                        .retain(|(va, _)| !hit_pages.contains(&granule_vpn(*va, granule)));
+                }
+                MemIssue::WaitTlb(misses)
+            }
+        };
+        self.cbuf = cbuf;
+        self.tbuf = tbuf;
+        result
+    }
+
+    /// Forwards TLB-hit information to the policy and the CPM.
+    fn note_hits(&mut self, tbuf: &TranslateBuf, cbuf: &CoalesceBuf) {
+        for (t, info) in tbuf.hits.iter().zip(&tbuf.hit_info) {
+            let home = cbuf
+                .pages
+                .iter()
+                .find(|p| p.vpn == t.vpn)
+                .map_or(0, |p| p.warp);
+            self.policy.on_tlb_hit(home, info.lru_depth);
+            if let Some(cpm) = self.cpm.as_mut() {
+                if info.hist_len > 0 {
+                    cpm.record_hit(home, &info.history[..info.hist_len as usize]);
+                }
+            }
+        }
+    }
+
+    /// Runs the L1/store accesses for the lines whose pages are in
+    /// `only` (or all lines when `only` is `None`); returns the cycle
+    /// the last one completes.
+    fn run_accesses(
+        &mut self,
+        at: Cycle,
+        cbuf: &CoalesceBuf,
+        tbuf: &TranslateBuf,
+        pending: &Pending,
+        mem: &mut MemorySystem,
+        only: Option<&[gmmu_core::mmu::Translation]>,
+    ) -> Cycle {
+        let translations = only.unwrap_or(&tbuf.hits);
+        let mut done = at;
+        for line in &cbuf.lines {
+            let page = &cbuf.pages[line.page_idx as usize];
+            let Some(t) = translations.iter().find(|t| t.vpn == page.vpn) else {
+                continue; // page missed: handled on replay
+            };
+            let phys_line = phys_line(t.ppn, line.vline, self.granule);
+            match pending.kind {
+                MemKind::Load => {
+                    let c =
+                        self.access_line(at, phys_line, page.warp, pending.tlb_missed, mem);
+                    done = done.max(c);
+                }
+                MemKind::Store => {
+                    // Write-through, no-allocate; fire-and-forget until
+                    // the write buffer runs too far ahead.
+                    let res = mem.access(at, phys_line, AccessKind::Store);
+                    let backpressure = res.complete.saturating_sub(self.timings.store_window);
+                    done = done.max(at + self.timings.store_issue).max(backpressure);
+                }
+            }
+        }
+        done
+    }
+}
+
+/// Physical line index of virtual line `vline` inside the translation
+/// granule whose first frame is `ppn` (4 KiB pages hold 32 lines of
+/// 128 bytes; a 2 MiB granule is physically contiguous, so offsetting
+/// from its first frame is exact).
+#[inline]
+pub(crate) fn phys_line(ppn: Ppn, vline: u64, granule: PageSize) -> u64 {
+    let mask = (1u64 << (granule.shift() - gmmu_mem::LINE_SHIFT)) - 1;
+    (ppn.raw() << 5) + (vline & mask)
+}
+
+/// The granule-base 4 KiB page number containing `va` at `granule`.
+#[inline]
+pub(crate) fn granule_vpn(va: VAddr, granule: PageSize) -> Vpn {
+    let shift = granule.shift();
+    Vpn::new((va.raw() >> shift) << (shift - 12))
+}
+
+/// A block of threads waiting to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct BlockWork {
+    pub first_tid: ThreadId,
+    pub n_threads: u32,
+}
+
+/// One SIMT core.
+#[derive(Debug)]
+pub struct ShaderCore {
+    /// Core id (diagnostics).
+    pub id: usize,
+    warps_per_block: usize,
+    pub(crate) path: MemPath,
+    pub(crate) exec: ExecMode,
+    rr_ptr: usize,
+    pub(crate) block_queue: std::collections::VecDeque<BlockWork>,
+    /// Baseline mode: which block slots currently hold a live block.
+    slot_occupied: Vec<bool>,
+    /// Scratch for MMU event draining.
+    events: Vec<MmuEvent>,
+}
+
+impl ShaderCore {
+    /// Builds a core from the GPU configuration.
+    pub fn new(id: usize, cfg: &GpuConfig) -> Self {
+        let cpm = cfg.tbc.as_ref().and_then(|t: &TbcConfig| {
+            t.tlb_aware
+                .then(|| CommonPageMatrix::new(cfg.warps_per_core, t.cpm))
+        });
+        let exec = match &cfg.tbc {
+            None => ExecMode::Baseline {
+                warps: (0..cfg.warps_per_core).map(|_| Warp::empty()).collect(),
+            },
+            Some(t) => ExecMode::Tbc(TbcState::new(cfg, *t)),
+        };
+        Self {
+            id,
+            warps_per_block: cfg.warps_per_block,
+            path: MemPath {
+                granule: cfg.granule,
+                mmu: Mmu::new(cfg.mmu),
+                l1: Cache::new(cfg.l1),
+                l1_mshrs: MshrFile::new(cfg.l1_mshrs),
+                policy: LocalityPolicy::new(cfg.policy, cfg.warps_per_core, cfg.policy_config),
+                cpm,
+                stats: CoreStats::default(),
+                timings: cfg.timings,
+                cbuf: CoalesceBuf::new(),
+                tbuf: TranslateBuf::new(),
+            },
+            exec,
+            rr_ptr: 0,
+            block_queue: std::collections::VecDeque::new(),
+            slot_occupied: vec![false; cfg.warps_per_core / cfg.warps_per_block],
+            events: Vec::new(),
+        }
+    }
+
+    /// Queues a thread block for execution on this core.
+    pub fn push_block(&mut self, first_tid: ThreadId, n_threads: u32) {
+        self.block_queue.push_back(BlockWork {
+            first_tid,
+            n_threads,
+        });
+    }
+
+    /// Statistics.
+    pub fn stats(&self) -> &CoreStats {
+        &self.path.stats
+    }
+
+    /// The core's MMU (TLB/walker statistics).
+    pub fn mmu(&self) -> &Mmu {
+        &self.path.mmu
+    }
+
+    /// The core's L1 data cache.
+    pub fn l1(&self) -> &Cache {
+        &self.path.l1
+    }
+
+    /// The locality policy (CCWS-family diagnostics).
+    pub fn policy(&mut self) -> &mut LocalityPolicy {
+        &mut self.path.policy
+    }
+
+    /// Read-only access to the locality policy.
+    pub fn policy_ref(&self) -> &LocalityPolicy {
+        &self.path.policy
+    }
+
+    /// Whether the core still has work (live units or queued blocks).
+    pub fn has_work(&self) -> bool {
+        if !self.block_queue.is_empty() {
+            return true;
+        }
+        match &self.exec {
+            ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
+            ExecMode::Tbc(t) => t.has_work(),
+        }
+    }
+
+    /// Marks finished baseline block slots as free and counts them.
+    fn reap_blocks(&mut self) {
+        if let ExecMode::Baseline { warps } = &self.exec {
+            let wpb = self.warps_per_block;
+            for slot in 0..warps.len() / wpb {
+                if self.slot_occupied[slot]
+                    && warps[slot * wpb..(slot + 1) * wpb]
+                        .iter()
+                        .all(|w| w.is_done())
+                {
+                    self.slot_occupied[slot] = false;
+                    self.path.stats.blocks_done.inc();
+                }
+            }
+        }
+    }
+
+    /// Fills free block slots from the queue.
+    fn dispatch_blocks(&mut self, kernel: &dyn Kernel) {
+        self.reap_blocks();
+        let end_pc = kernel.program().end_pc();
+        match &mut self.exec {
+            ExecMode::Baseline { warps } => {
+                let wpb = self.warps_per_block;
+                for slot in 0..warps.len() / wpb {
+                    let group = slot * wpb..(slot + 1) * wpb;
+                    if warps[group.clone()].iter().all(|w| w.is_done()) {
+                        let Some(block) = self.block_queue.pop_front() else {
+                            continue;
+                        };
+                        self.slot_occupied[slot] = true;
+                        for (i, w) in warps[group].iter_mut().enumerate() {
+                            let first = block.first_tid + (i as u32) * 32;
+                            let in_block =
+                                block.n_threads.saturating_sub((i as u32) * 32).min(32);
+                            *w = Warp {
+                                first_tid: first,
+                                stack: (in_block > 0).then(|| {
+                                    let mask = if in_block == 32 {
+                                        u32::MAX
+                                    } else {
+                                        (1u32 << in_block) - 1
+                                    };
+                                    SimtStack::new(mask, end_pc)
+                                }),
+                                ready_at: 0,
+                                pending: None,
+                                waiting_pages: 0,
+                            };
+                        }
+                    }
+                }
+            }
+            ExecMode::Tbc(tbc) => {
+                tbc.dispatch_blocks(&mut self.block_queue, end_pc);
+            }
+        }
+    }
+
+    /// Advances the core by one cycle. Returns `true` if it issued an
+    /// instruction.
+    pub fn tick(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        kernel: &dyn Kernel,
+        iters: &mut [u32],
+    ) -> bool {
+        self.dispatch_blocks(kernel);
+        let path = &mut self.path;
+        path.l1_mshrs.expire(now);
+        path.mmu.advance(now, mem, space);
+        self.events.clear();
+        self.events.extend(path.mmu.events());
+        for ev in &self.events {
+            match *ev {
+                MmuEvent::Evicted { vpn, owner } => path.policy.on_tlb_evict(owner, vpn),
+                MmuEvent::Wake { warp, vpn, ppn } => match &mut self.exec {
+                    ExecMode::Baseline { warps } => {
+                        let w = &mut warps[warp as usize];
+                        debug_assert!(w.waiting_pages > 0);
+                        if let Some(pending) = w.pending.as_mut() {
+                            path.service_page(now, pending, vpn, ppn, mem);
+                        }
+                        w.waiting_pages = w.waiting_pages.saturating_sub(1);
+                        if w.waiting_pages == 0 {
+                            let all_serviced = w
+                                .pending
+                                .as_ref()
+                                .is_some_and(|p| p.accesses.is_empty());
+                            if all_serviced {
+                                // Instruction complete: commit it.
+                                let p = w.pending.take().expect("checked");
+                                w.ready_at = p.overlap_done_at.max(now + 1);
+                                let stack = w.stack.as_mut().expect("waiting warp is live");
+                                let (pc, _) = stack.current().expect("live");
+                                stack.advance(pc + 1);
+                            } else {
+                                // Re-present the remaining (TLB-hit)
+                                // pages.
+                                w.ready_at = now + 1;
+                            }
+                        }
+                    }
+                    ExecMode::Tbc(t) => t.wake(warp, vpn, ppn, path, now, mem),
+                },
+                MmuEvent::Fault { vpn } => {
+                    panic!("GPU page fault on {vpn}: workloads must pre-map their regions")
+                }
+            }
+        }
+        path.policy.tick(now);
+        if let Some(cpm) = path.cpm.as_mut() {
+            cpm.tick(now);
+        }
+
+        let issued = match &mut self.exec {
+            ExecMode::Baseline { warps } => {
+                baseline_issue(path, warps, &mut self.rr_ptr, now, mem, space, kernel, iters)
+            }
+            ExecMode::Tbc(t) => t.issue(path, now, mem, space, kernel, iters),
+        };
+        let live = match &self.exec {
+            ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
+            ExecMode::Tbc(t) => t.has_work(),
+        };
+        if live {
+            path.stats.live_cycles.inc();
+            if !issued {
+                path.stats.idle_cycles.inc();
+            }
+        }
+        self.reap_blocks();
+        issued
+    }
+}
+
+/// Picks and executes one instruction from the baseline warps.
+#[allow(clippy::too_many_arguments)]
+fn baseline_issue(
+    path: &mut MemPath,
+    warps: &mut [Warp],
+    rr_ptr: &mut usize,
+    now: Cycle,
+    mem: &mut MemorySystem,
+    space: &AddressSpace,
+    kernel: &dyn Kernel,
+    iters: &mut [u32],
+) -> bool {
+    let n = warps.len();
+    for off in 0..n {
+        let w = (*rr_ptr + off) % n;
+        if !warps[w].schedulable(now) {
+            continue;
+        }
+        // CCWS-style throttling gates *memory* instructions: throttled
+        // warps may still run ALU/branch work, and a warp with a pending
+        // memory instruction replays regardless (it holds MSHRs).
+        if warps[w].pending.is_none() && !path.policy.issue_allowed(w as u16) {
+            let (pc, _) = warps[w]
+                .stack
+                .as_ref()
+                .and_then(|s| s.current())
+                .expect("schedulable implies live");
+            if matches!(kernel.program().op(pc), Op::Mem { .. }) {
+                continue;
+            }
+        }
+        exec_one(path, warps, w, now, mem, space, kernel, iters);
+        *rr_ptr = (w + 1) % n;
+        return true;
+    }
+    false
+}
+
+/// Executes the next instruction of baseline warp `w`.
+#[allow(clippy::too_many_arguments)]
+fn exec_one(
+    path: &mut MemPath,
+    warps: &mut [Warp],
+    w: usize,
+    now: Cycle,
+    mem: &mut MemorySystem,
+    space: &AddressSpace,
+    kernel: &dyn Kernel,
+    iters: &mut [u32],
+) {
+    let num_sites = kernel.program().num_sites().max(1);
+    let warp = &mut warps[w];
+    let stack = warp.stack.as_mut().expect("schedulable implies live");
+    let (pc, mask) = stack.current().expect("schedulable implies live");
+    match kernel.program().op(pc) {
+        Op::Alu { cycles } => {
+            warp.ready_at = now + cycles as u64;
+            stack.advance(pc + 1);
+            path.stats.instructions.inc();
+        }
+        Op::Branch {
+            site,
+            taken_pc,
+            reconv_pc,
+        } => {
+            let mut taken = 0u32;
+            for lane in 0..32 {
+                if mask & (1 << lane) != 0 {
+                    let tid = warp.first_tid + lane;
+                    let slot = tid as usize * num_sites + site as usize;
+                    let iter = iters[slot];
+                    iters[slot] += 1;
+                    if kernel.branch_taken(tid, site, iter) {
+                        taken |= 1 << lane;
+                    }
+                }
+            }
+            stack.branch(taken, taken_pc, pc + 1, reconv_pc);
+            warp.ready_at = now + path.timings.branch_latency;
+            path.stats.instructions.inc();
+        }
+        Op::Mem { site, kind } => {
+            if warp.pending.is_none() {
+                let mut accesses = Vec::with_capacity(mask.count_ones() as usize);
+                for lane in 0..32 {
+                    if mask & (1 << lane) != 0 {
+                        let tid = warp.first_tid + lane;
+                        let slot = tid as usize * num_sites + site as usize;
+                        let iter = iters[slot];
+                        iters[slot] += 1;
+                        accesses.push((kernel.mem_addr(tid, site, iter), w as u16));
+                    }
+                }
+                warp.pending = Some(Pending {
+                    kind,
+                    accesses,
+                    tlb_missed: false,
+                    overlap_done_at: 0,
+                    diverge_recorded: false,
+                });
+                path.stats.instructions.inc();
+                path.stats.mem_instructions.inc();
+            } else {
+                path.stats.replays.inc();
+            }
+            let mut pending = warp.pending.take().expect("just set");
+            match path.issue_mem(now, w as u16, &mut pending, mem, space) {
+                MemIssue::Done(ready) => {
+                    warp.ready_at = ready;
+                    warp.stack
+                        .as_mut()
+                        .expect("live warp")
+                        .advance(pc + 1);
+                }
+                MemIssue::WaitTlb(misses) => {
+                    warp.waiting_pages = misses;
+                    warp.pending = Some(pending);
+                }
+                MemIssue::Retry(at) => {
+                    warp.ready_at = at;
+                    warp.pending = Some(pending);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::Program;
+    use gmmu_core::mmu::MmuModel;
+    use gmmu_mem::MemConfig;
+    use gmmu_vm::{PageSize, Region, SpaceConfig};
+
+    /// A trivial streaming kernel: each thread loads 8 bytes from its
+    /// own slot, twice, with one ALU op between.
+    struct StreamKernel {
+        program: Program,
+        region: Region,
+        threads: u32,
+    }
+
+    impl StreamKernel {
+        fn new(space: &mut AddressSpace, threads: u32) -> Self {
+            let region = space
+                .map_region("stream", threads as u64 * 16, PageSize::Base4K)
+                .unwrap();
+            Self {
+                program: Program::new(vec![
+                    Op::Mem {
+                        site: 0,
+                        kind: MemKind::Load,
+                    },
+                    Op::Alu { cycles: 4 },
+                    Op::Mem {
+                        site: 1,
+                        kind: MemKind::Store,
+                    },
+                ]),
+                region,
+                threads,
+            }
+        }
+    }
+
+    impl Kernel for StreamKernel {
+        fn name(&self) -> &str {
+            "stream-test"
+        }
+        fn program(&self) -> &Program {
+            &self.program
+        }
+        fn num_threads(&self) -> u32 {
+            self.threads
+        }
+        fn block_threads(&self) -> u32 {
+            64
+        }
+        fn mem_addr(&self, tid: ThreadId, site: u16, _iter: u32) -> VAddr {
+            self.region.at(tid as u64 * 16 + site as u64 * 8)
+        }
+        fn branch_taken(&self, _: ThreadId, _: u16, _: u32) -> bool {
+            false
+        }
+    }
+
+    fn run_core(mmu: MmuModel, threads: u32) -> (ShaderCore, Cycle) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let kernel = StreamKernel::new(&mut space, threads);
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let cfg = GpuConfig {
+            n_cores: 1,
+            warps_per_core: 8,
+            warps_per_block: 2,
+            mmu,
+            ..GpuConfig::default()
+        };
+        let mut core = ShaderCore::new(0, &cfg);
+        let mut iters = vec![0u32; threads as usize * kernel.program().num_sites()];
+        for b in 0..threads.div_ceil(64) {
+            core.push_block(b * 64, (threads - b * 64).min(64));
+        }
+        let mut now = 0;
+        while core.has_work() {
+            core.tick(now, &mut mem, &space, &kernel, &mut iters);
+            now += 1;
+            assert!(now < 1_000_000, "core never finished");
+        }
+        (core, now)
+    }
+
+    #[test]
+    fn ideal_core_executes_every_instruction() {
+        let threads = 256u32;
+        let (core, _) = run_core(MmuModel::Ideal, threads);
+        // 3 instructions per warp × 8 warps-worth of threads.
+        let warps = threads / 32;
+        assert_eq!(core.stats().instructions.get(), (warps * 3) as u64);
+        assert_eq!(core.stats().mem_instructions.get(), (warps * 2) as u64);
+        assert_eq!(core.stats().blocks_done.get(), 4);
+    }
+
+    #[test]
+    fn real_mmu_is_slower_than_ideal_but_equivalent() {
+        let (ideal, t_ideal) = run_core(MmuModel::Ideal, 256);
+        let (real, t_real) = run_core(MmuModel::naive(), 256);
+        assert_eq!(
+            ideal.stats().instructions.get(),
+            real.stats().instructions.get(),
+            "MMU model must not change the work done"
+        );
+        assert!(t_real > t_ideal, "TLB misses must cost time");
+        let tlb = real.mmu().tlb().unwrap();
+        assert!(tlb.misses() > 0);
+    }
+
+    #[test]
+    fn partial_blocks_execute_partially() {
+        let (core, _) = run_core(MmuModel::Ideal, 40); // 1 full warp + 8 threads
+        assert_eq!(core.stats().instructions.get(), 2 * 3);
+    }
+
+    #[test]
+    fn page_divergence_of_streaming_kernel_is_low() {
+        let (core, _) = run_core(MmuModel::Ideal, 256);
+        // 32 threads × 16 B = 512 B per warp access → 1 page (2 at a
+        // boundary).
+        assert!(core.stats().page_divergence.mean() <= 2.0);
+        assert!(core.stats().page_divergence.max() <= 2);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (a, ta) = run_core(MmuModel::naive(), 128);
+        let (b, tb) = run_core(MmuModel::naive(), 128);
+        assert_eq!(ta, tb);
+        assert_eq!(a.stats().instructions.get(), b.stats().instructions.get());
+        assert_eq!(a.mmu().tlb().unwrap().misses(), b.mmu().tlb().unwrap().misses());
+    }
+}

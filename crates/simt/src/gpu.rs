@@ -1,0 +1,475 @@
+//! The whole GPU: block dispatch, global cycle loop, aggregate results.
+//!
+//! All shader cores tick in lock-step against one shared
+//! [`MemorySystem`], which is what makes cross-core contention (L2
+//! slices, DRAM channels, page-walk traffic) causally consistent. A run
+//! executes one kernel to completion and returns [`RunStats`], the
+//! flattened statistics every figure harness reads. The paper's speedup
+//! metric is [`RunStats::speedup_vs`] against the ideal-MMU run of the
+//! same configuration.
+
+use crate::config::GpuConfig;
+use crate::core::ShaderCore;
+use crate::program::Kernel;
+use gmmu_mem::MemorySystem;
+use gmmu_sim::stats::{Histogram, Summary};
+use gmmu_sim::Cycle;
+use gmmu_vm::AddressSpace;
+
+/// Aggregated results of one kernel run.
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Total cycles to completion.
+    pub cycles: Cycle,
+    /// False when the safety cycle cap was hit.
+    pub completed: bool,
+    /// Warp instructions committed.
+    pub instructions: u64,
+    /// Memory instructions committed.
+    pub mem_instructions: u64,
+    /// Sum over cores of cycles with live warps but no issue.
+    pub idle_cycles: u64,
+    /// Sum over cores of cycles with live warps.
+    pub live_cycles: u64,
+    /// Per-memory-instruction page divergence (Figure 3 right).
+    pub page_divergence: Histogram,
+    /// L1 miss service latency (Figure 4 baseline bar).
+    pub l1_miss_latency: Summary,
+    /// TLB miss resolution latency (Figure 4 TLB bar).
+    pub tlb_miss_latency: Summary,
+    /// TLB lookups (per coalesced page).
+    pub tlb_accesses: u64,
+    /// TLB hits.
+    pub tlb_hits: u64,
+    /// L1 accesses / hits.
+    pub l1_accesses: u64,
+    /// L1 hits.
+    pub l1_hits: u64,
+    /// Page-walker PTE loads actually issued.
+    pub walk_refs_issued: u64,
+    /// PTE loads a naive serial walker would have issued.
+    pub walk_refs_naive: u64,
+    /// Completed page walks.
+    pub walks: u64,
+    /// L2 hit rate of page-walk references.
+    pub walk_l2_hit_rate: f64,
+    /// DRAM line transfers.
+    pub dram_requests: u64,
+    /// Memory instructions replayed (TLB wakes / rejects).
+    pub replays: u64,
+    /// Dynamic warps formed (TBC only).
+    pub dwarps_formed: u64,
+    /// Thread blocks completed.
+    pub blocks_done: u64,
+}
+
+impl RunStats {
+    /// Paper speedup metric: `baseline.cycles / self.cycles` (1.0 =
+    /// parity with the baseline, <1 = slowdown).
+    pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
+        baseline.cycles as f64 / self.cycles.max(1) as f64
+    }
+
+    /// TLB miss rate in `[0, 1]`.
+    pub fn tlb_miss_rate(&self) -> f64 {
+        if self.tlb_accesses == 0 {
+            0.0
+        } else {
+            (self.tlb_accesses - self.tlb_hits) as f64 / self.tlb_accesses as f64
+        }
+    }
+
+    /// L1 miss rate in `[0, 1]`.
+    pub fn l1_miss_rate(&self) -> f64 {
+        if self.l1_accesses == 0 {
+            0.0
+        } else {
+            (self.l1_accesses - self.l1_hits) as f64 / self.l1_accesses as f64
+        }
+    }
+
+    /// Memory instructions as a fraction of all instructions (Figure 3
+    /// left).
+    pub fn mem_insn_fraction(&self) -> f64 {
+        if self.instructions == 0 {
+            0.0
+        } else {
+            self.mem_instructions as f64 / self.instructions as f64
+        }
+    }
+
+    /// Fraction of page-walk references eliminated by walk scheduling.
+    pub fn walk_refs_eliminated(&self) -> f64 {
+        if self.walk_refs_naive == 0 {
+            0.0
+        } else {
+            1.0 - self.walk_refs_issued as f64 / self.walk_refs_naive as f64
+        }
+    }
+
+    /// Warp instructions per cycle across the whole GPU.
+    pub fn ipc(&self) -> f64 {
+        self.instructions as f64 / self.cycles.max(1) as f64
+    }
+
+    /// Fraction of live core-cycles that issued nothing.
+    pub fn idle_fraction(&self) -> f64 {
+        if self.live_cycles == 0 {
+            0.0
+        } else {
+            self.idle_cycles as f64 / self.live_cycles as f64
+        }
+    }
+}
+
+/// A configured GPU ready to run kernels.
+///
+/// # Examples
+///
+/// See `gmmu-workloads` and the repository examples; constructing a
+/// kernel requires a workload implementation.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    cores: Vec<ShaderCore>,
+    mem: MemorySystem,
+}
+
+impl Gpu {
+    /// Builds the GPU described by `config`.
+    pub fn new(config: GpuConfig) -> Self {
+        let cores = (0..config.n_cores)
+            .map(|id| ShaderCore::new(id, &config))
+            .collect();
+        let mem = MemorySystem::new(config.mem);
+        Self { config, cores, mem }
+    }
+
+    /// The configuration this GPU was built with.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Runs `kernel` to completion against `space` and returns the
+    /// aggregate statistics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a kernel touches an unmapped page (GPU page fault) or
+    /// the kernel has zero threads.
+    pub fn run(&mut self, kernel: &dyn Kernel, space: &AddressSpace) -> RunStats {
+        let threads = kernel.num_threads();
+        assert!(threads > 0, "kernel has no threads");
+        if self.config.granule == gmmu_vm::PageSize::Large2M {
+            assert!(
+                space
+                    .regions()
+                    .iter()
+                    .all(|r| r.page_size == gmmu_vm::PageSize::Large2M),
+                "a 2MB translation granule requires 2MB-backed regions"
+            );
+        }
+        let bt = kernel.block_threads();
+        assert!(bt > 0 && bt.is_multiple_of(32), "block size must be a warp multiple");
+        let n_blocks = threads.div_ceil(bt);
+        let n_cores = self.cores.len();
+        for b in 0..n_blocks {
+            let first = b * bt;
+            let count = (threads - first).min(bt);
+            self.cores[(b as usize) % n_cores].push_block(first, count);
+        }
+        let num_sites = kernel.program().num_sites().max(1);
+        let mut iters = vec![0u32; threads as usize * num_sites];
+
+        let mut now: Cycle = 0;
+        let mut completed = true;
+        loop {
+            let mut live = false;
+            for core in &mut self.cores {
+                core.tick(now, &mut self.mem, space, kernel, &mut iters);
+                live |= core.has_work();
+            }
+            if !live {
+                break;
+            }
+            now += 1;
+            if now >= self.config.max_cycles {
+                completed = false;
+                break;
+            }
+        }
+        self.collect(now, completed)
+    }
+
+    fn collect(&self, cycles: Cycle, completed: bool) -> RunStats {
+        let mut s = RunStats {
+            cycles,
+            completed,
+            instructions: 0,
+            mem_instructions: 0,
+            idle_cycles: 0,
+            live_cycles: 0,
+            page_divergence: Histogram::new(),
+            l1_miss_latency: Summary::new(),
+            tlb_miss_latency: Summary::new(),
+            tlb_accesses: 0,
+            tlb_hits: 0,
+            l1_accesses: 0,
+            l1_hits: 0,
+            walk_refs_issued: 0,
+            walk_refs_naive: 0,
+            walks: 0,
+            walk_l2_hit_rate: self.mem.walk_l2_hit_rate(),
+            dram_requests: self.mem.dram_requests(),
+            replays: 0,
+            dwarps_formed: 0,
+            blocks_done: 0,
+        };
+        for core in &self.cores {
+            let st = core.stats();
+            s.instructions += st.instructions.get();
+            s.mem_instructions += st.mem_instructions.get();
+            s.idle_cycles += st.idle_cycles.get();
+            s.live_cycles += st.live_cycles.get();
+            s.page_divergence.merge(&st.page_divergence);
+            s.l1_miss_latency.merge(&st.l1_miss_latency);
+            s.replays += st.replays.get();
+            s.dwarps_formed += st.dwarps_formed.get();
+            s.blocks_done += st.blocks_done.get();
+            s.l1_accesses += core.l1().accesses.get();
+            s.l1_hits += core.l1().hits.get();
+            let mmu = core.mmu();
+            s.tlb_miss_latency.merge(&mmu.miss_latency);
+            if let Some(tlb) = mmu.tlb() {
+                s.tlb_accesses += tlb.accesses.get();
+                s.tlb_hits += tlb.hits.get();
+            }
+            if let Some(w) = mmu.walker() {
+                s.walk_refs_issued += w.stats.refs_issued.get();
+                s.walk_refs_naive += w.stats.refs_naive.get();
+                s.walks += w.stats.walks.get();
+            }
+        }
+        s
+    }
+
+    /// Per-core access for diagnostics and tests.
+    pub fn cores(&self) -> &[ShaderCore] {
+        &self.cores
+    }
+
+    /// The shared memory system (L2/DRAM statistics).
+    pub fn memory(&self) -> &MemorySystem {
+        &self.mem
+    }
+}
+
+/// Convenience: build a GPU, run one kernel, return the stats.
+pub fn run_kernel(config: GpuConfig, kernel: &dyn Kernel, space: &AddressSpace) -> RunStats {
+    Gpu::new(config).run(kernel, space)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::TbcConfig;
+    use crate::program::{MemKind, Op, Program, ThreadId};
+    use gmmu_core::mmu::MmuModel;
+    use gmmu_sim::rng::mix3;
+    use gmmu_vm::{PageSize, Region, SpaceConfig, VAddr};
+
+    /// A divergent kernel: threads loop a data-dependent number of
+    /// times, each iteration loading from a scattered page, with an
+    /// if/else inside the loop.
+    struct DivergentKernel {
+        program: Program,
+        region: Region,
+        threads: u32,
+        pages: u64,
+    }
+
+    impl DivergentKernel {
+        /// Program layout:
+        /// 0: alu
+        /// 1: load (scattered)
+        /// 2: branch if-site → taken 4, reconv 5
+        /// 3: alu (else body)
+        /// 4: alu (join of if — then path starts here)   [simplified if]
+        /// 5: branch loop-site → taken 0 (continue), reconv 6
+        /// 6: store
+        fn new(space: &mut AddressSpace, threads: u32) -> Self {
+            let bytes = 4u64 << 20;
+            let region = space.map_region("data", bytes, PageSize::Base4K).unwrap();
+            Self {
+                program: Program::new(vec![
+                    Op::Alu { cycles: 4 },
+                    Op::Mem {
+                        site: 0,
+                        kind: MemKind::Load,
+                    },
+                    Op::Branch {
+                        site: 1,
+                        taken_pc: 4,
+                        reconv_pc: 5,
+                    },
+                    Op::Alu { cycles: 8 },
+                    Op::Alu { cycles: 4 },
+                    Op::Branch {
+                        site: 2,
+                        taken_pc: 0,
+                        reconv_pc: 6,
+                    },
+                    Op::Mem {
+                        site: 3,
+                        kind: MemKind::Store,
+                    },
+                ]),
+                region,
+                threads,
+                pages: bytes / 4096,
+            }
+        }
+
+        fn trips(&self, tid: ThreadId) -> u32 {
+            1 + (mix3(tid as u64, 99, 0) % 4) as u32
+        }
+    }
+
+    impl Kernel for DivergentKernel {
+        fn name(&self) -> &str {
+            "divergent-test"
+        }
+        fn program(&self) -> &Program {
+            &self.program
+        }
+        fn num_threads(&self) -> u32 {
+            self.threads
+        }
+        fn block_threads(&self) -> u32 {
+            128
+        }
+        fn mem_addr(&self, tid: ThreadId, site: u16, iter: u32) -> VAddr {
+            let page = mix3(tid as u64, site as u64, iter as u64) % self.pages;
+            let off = (tid as u64 * 8) % 4096;
+            self.region.at(page * 4096 + (off & !7))
+        }
+        fn branch_taken(&self, tid: ThreadId, site: u16, iter: u32) -> bool {
+            match site {
+                1 => mix3(tid as u64, 1, iter as u64) % 2 == 0,
+                2 => iter + 1 < self.trips(tid),
+                _ => false,
+            }
+        }
+    }
+
+    fn cfg(mmu: MmuModel) -> GpuConfig {
+        GpuConfig {
+            n_cores: 2,
+            warps_per_core: 8,
+            warps_per_block: 4,
+            mmu,
+            max_cycles: 5_000_000,
+            ..GpuConfig::default()
+        }
+    }
+
+    fn run(c: GpuConfig, threads: u32) -> RunStats {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let kernel = DivergentKernel::new(&mut space, threads);
+        run_kernel(c, &kernel, &space)
+    }
+
+    #[test]
+    fn divergent_kernel_completes_on_ideal_mmu() {
+        let s = run(cfg(MmuModel::Ideal), 512);
+        assert!(s.completed, "hit the cycle cap");
+        assert!(s.instructions > 0);
+        assert_eq!(s.blocks_done, 4);
+        assert_eq!(s.tlb_accesses, 0, "ideal MMU has no TLB");
+    }
+
+    #[test]
+    fn naive_mmu_slows_the_same_work_down() {
+        let ideal = run(cfg(MmuModel::Ideal), 512);
+        let naive = run(cfg(MmuModel::naive()), 512);
+        assert!(naive.completed);
+        // The MMU changes timing, never the executed work.
+        assert_eq!(ideal.mem_instructions, naive.mem_instructions);
+        assert_eq!(ideal.blocks_done, naive.blocks_done);
+        assert!(naive.cycles > ideal.cycles);
+        let speedup = naive.speedup_vs(&ideal);
+        assert!(speedup < 1.0, "TLBs cannot speed things up: {speedup}");
+        assert!(naive.tlb_miss_rate() > 0.0);
+        assert!(naive.walks > 0);
+    }
+
+    #[test]
+    fn augmented_mmu_beats_naive() {
+        let naive = run(cfg(MmuModel::naive()), 512);
+        let aug = run(cfg(MmuModel::augmented()), 512);
+        assert!(aug.cycles < naive.cycles, "augmented {} !< naive {}", aug.cycles, naive.cycles);
+        assert!(aug.walk_refs_eliminated() > 0.0);
+    }
+
+    #[test]
+    fn tbc_reduces_warp_instructions_on_divergent_code() {
+        let base = run(cfg(MmuModel::Ideal), 512);
+        let mut c = cfg(MmuModel::Ideal);
+        c.tbc = Some(TbcConfig::baseline());
+        let tbc = run(c, 512);
+        assert!(tbc.completed);
+        assert_eq!(tbc.blocks_done, base.blocks_done);
+        // Same thread-level work.
+        assert!(tbc.dwarps_formed > 0);
+        // Compaction must not lose or duplicate memory accesses:
+        // per-thread loads are fixed by trip counts, but warp-level
+        // instruction counts shrink when divergent halves compact.
+        assert!(
+            tbc.instructions < base.instructions,
+            "tbc {} !< base {}",
+            tbc.instructions,
+            base.instructions
+        );
+    }
+
+    #[test]
+    fn tlb_aware_tbc_completes_and_forms_more_warps() {
+        let mut c = cfg(MmuModel::augmented());
+        c.tbc = Some(TbcConfig::baseline());
+        let tbc = run(c.clone(), 512);
+        c.tbc = Some(TbcConfig::tlb_aware(3));
+        let aware = run(c, 512);
+        assert!(aware.completed);
+        assert_eq!(aware.blocks_done, tbc.blocks_done);
+        // The CPM constraint can only split groups, never merge more.
+        assert!(aware.dwarps_formed >= tbc.dwarps_formed);
+    }
+
+    #[test]
+    fn determinism_end_to_end() {
+        let a = run(cfg(MmuModel::augmented()), 256);
+        let b = run(cfg(MmuModel::augmented()), 256);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+        assert_eq!(a.tlb_accesses, b.tlb_accesses);
+        assert_eq!(a.dram_requests, b.dram_requests);
+    }
+
+    #[test]
+    fn partial_last_block_runs() {
+        let s = run(cfg(MmuModel::Ideal), 100); // not a multiple of 128
+        assert!(s.completed);
+        assert_eq!(s.blocks_done, 1);
+    }
+
+    #[test]
+    fn stats_are_internally_consistent() {
+        let s = run(cfg(MmuModel::naive()), 256);
+        assert!(s.tlb_hits <= s.tlb_accesses);
+        assert!(s.l1_hits <= s.l1_accesses);
+        assert!(s.walk_refs_issued <= s.walk_refs_naive);
+        assert!(s.mem_insn_fraction() > 0.0 && s.mem_insn_fraction() < 1.0);
+        assert!(s.page_divergence.count() == s.mem_instructions);
+        assert!(s.idle_cycles <= s.live_cycles);
+    }
+}

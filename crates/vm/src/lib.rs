@@ -1,0 +1,44 @@
+#![warn(missing_docs)]
+
+//! Virtual-memory substrate: the OS-side machinery a GPU MMU translates
+//! against.
+//!
+//! The paper assumes a fully unified CPU/GPU virtual address space backed
+//! by standard x86-64 page tables (Section 6.1: four memory references per
+//! walk — PML4, PDP, PD, PT — indexed by 9-bit virtual-address slices).
+//! This crate implements that substrate from scratch:
+//!
+//! * [`addr`] — strongly-typed virtual/physical addresses and page
+//!   geometry (4 KB base pages and 2 MB large pages).
+//! * [`frame`] — a physical frame allocator with optional address
+//!   scrambling, so physically-tagged caches see realistic frame spread.
+//! * [`page_table`] — a real 4-level x86-64 radix page table whose nodes
+//!   occupy simulated physical frames; a walk yields the exact physical
+//!   addresses of the four PTE loads, which is what the paper's
+//!   page-walk scheduler coalesces.
+//! * [`space`] — per-process address spaces: region mapping, translation,
+//!   unmapping with shootdown epochs.
+//!
+//! # Examples
+//!
+//! ```
+//! use gmmu_vm::space::{AddressSpace, SpaceConfig};
+//! use gmmu_vm::addr::PageSize;
+//!
+//! let mut space = AddressSpace::new(SpaceConfig::default());
+//! let region = space.map_region("heap", 1 << 20, PageSize::Base4K)?;
+//! let va = region.base.offset(4096 * 3 + 17);
+//! let (pa, size) = space.translate(va)?;
+//! assert_eq!(size, PageSize::Base4K);
+//! assert_eq!(pa.raw() & 0xfff, 17); // page offset preserved
+//! # Ok::<(), gmmu_vm::space::VmError>(())
+//! ```
+
+pub mod addr;
+pub mod frame;
+pub mod page_table;
+pub mod space;
+
+pub use addr::{PAddr, PageSize, Ppn, VAddr, Vpn};
+pub use page_table::{PageTable, Walk, WalkLevel};
+pub use space::{AddressSpace, Region, SpaceConfig, VmError};

@@ -1,0 +1,348 @@
+//! Per-process address spaces.
+//!
+//! An [`AddressSpace`] owns a page table and a frame allocator and hands
+//! out named virtual regions, eagerly populated (the paper's workloads
+//! never demand-fault during the timed kernel; hUMA-style GPU page faults
+//! are future work there and here). Unmapping bumps a shootdown epoch that
+//! TLB models observe to invalidate stale entries.
+
+use crate::addr::{PAddr, PageSize, VAddr, Vpn, FRAMES_PER_LARGE, PAGE_BYTES};
+use crate::frame::{FrameAlloc, FramePolicy};
+use crate::page_table::{MapError, PageTable, Walk};
+
+/// Configuration for a new [`AddressSpace`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpaceConfig {
+    /// Number of 4 KiB physical frames (power of two). The default, 2^21
+    /// (8 GiB), is far larger than any workload in the suite so frame
+    /// exhaustion never perturbs an experiment.
+    pub phys_frames: u64,
+    /// Frame allocation policy.
+    pub policy: FramePolicy,
+    /// First virtual address handed to regions.
+    pub vbase: u64,
+}
+
+impl Default for SpaceConfig {
+    fn default() -> Self {
+        Self {
+            phys_frames: 1 << 21,
+            policy: FramePolicy::Scrambled,
+            // 1 GiB: keeps typical suites inside a handful of PDP entries,
+            // like a real process heap.
+            vbase: 0x4000_0000,
+        }
+    }
+}
+
+/// A named, mapped virtual region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Region {
+    /// Region name (for diagnostics).
+    pub name: String,
+    /// First virtual address.
+    pub base: VAddr,
+    /// Mapped length in bytes (rounded up to the page size).
+    pub bytes: u64,
+    /// Page size used for the mapping.
+    pub page_size: PageSize,
+}
+
+impl Region {
+    /// Virtual address `offset` bytes into the region.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if `offset` is out of bounds.
+    #[inline]
+    pub fn at(&self, offset: u64) -> VAddr {
+        debug_assert!(offset < self.bytes, "region offset out of bounds");
+        self.base.offset(offset)
+    }
+
+    /// One-past-the-end virtual address.
+    pub fn end(&self) -> VAddr {
+        self.base.offset(self.bytes)
+    }
+
+    /// Number of 4 KiB pages the region spans.
+    pub fn num_pages(&self) -> u64 {
+        self.bytes / PAGE_BYTES
+    }
+}
+
+/// Errors produced by address-space operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VmError {
+    /// Physical memory exhausted.
+    OutOfMemory,
+    /// Translation requested for an unmapped address.
+    Unmapped(VAddr),
+    /// Mapping failed structurally (overlap, misalignment).
+    Map(MapError),
+}
+
+impl std::fmt::Display for VmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            VmError::OutOfMemory => write!(f, "out of physical frames"),
+            VmError::Unmapped(va) => write!(f, "unmapped virtual address {va}"),
+            VmError::Map(e) => write!(f, "mapping failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for VmError {}
+
+impl From<MapError> for VmError {
+    fn from(e: MapError) -> Self {
+        match e {
+            MapError::OutOfFrames => VmError::OutOfMemory,
+            other => VmError::Map(other),
+        }
+    }
+}
+
+/// A process address space: page table + physical frames + regions.
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_vm::{AddressSpace, SpaceConfig, PageSize};
+/// let mut space = AddressSpace::new(SpaceConfig::default());
+/// let r = space.map_region("nodes", 64 * 1024, PageSize::Base4K)?;
+/// assert_eq!(r.num_pages(), 16);
+/// assert!(space.translate(r.at(1000)).is_ok());
+/// # Ok::<(), gmmu_vm::VmError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct AddressSpace {
+    table: PageTable,
+    frames: FrameAlloc,
+    regions: Vec<Region>,
+    next_vbase: u64,
+    shootdown_epoch: u64,
+}
+
+impl AddressSpace {
+    /// Creates an empty address space.
+    pub fn new(config: SpaceConfig) -> Self {
+        let mut frames = FrameAlloc::new(config.phys_frames, config.policy);
+        let table = PageTable::new(&mut frames);
+        Self {
+            table,
+            frames,
+            regions: Vec::new(),
+            next_vbase: config.vbase,
+            shootdown_epoch: 0,
+        }
+    }
+
+    /// Maps a new region of at least `bytes` bytes with the given page
+    /// size, eagerly populating every page.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] when physical frames run out and
+    /// [`VmError::Map`] on internal overlap (which indicates a bug).
+    pub fn map_region(
+        &mut self,
+        name: &str,
+        bytes: u64,
+        page_size: PageSize,
+    ) -> Result<Region, VmError> {
+        let granule = page_size.bytes();
+        let rounded = bytes.div_ceil(granule) * granule;
+        // Regions are 2 MiB aligned with a guard gap, so large and base
+        // pages never share a PD entry by accident.
+        let align = crate::addr::LARGE_PAGE_BYTES;
+        let base = self.next_vbase.div_ceil(align) * align;
+        self.next_vbase = base + rounded + align;
+
+        match page_size {
+            PageSize::Base4K => {
+                let first_vpn = base >> crate::addr::PAGE_SHIFT;
+                for i in 0..rounded / PAGE_BYTES {
+                    let frame = self.frames.alloc().ok_or(VmError::OutOfMemory)?;
+                    self.table
+                        .map(Vpn::new(first_vpn + i), frame, PageSize::Base4K, &mut self.frames)?;
+                }
+            }
+            PageSize::Large2M => {
+                let first_vpn = base >> crate::addr::PAGE_SHIFT;
+                for i in 0..rounded / crate::addr::LARGE_PAGE_BYTES {
+                    let frame = self.frames.alloc_large().ok_or(VmError::OutOfMemory)?;
+                    self.table.map(
+                        Vpn::new(first_vpn + i * FRAMES_PER_LARGE),
+                        frame,
+                        PageSize::Large2M,
+                        &mut self.frames,
+                    )?;
+                }
+            }
+        }
+        let region = Region {
+            name: name.to_owned(),
+            base: VAddr::new(base),
+            bytes: rounded,
+            page_size,
+        };
+        self.regions.push(region.clone());
+        Ok(region)
+    }
+
+    /// Translates a virtual address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::Unmapped`] for addresses outside any region.
+    pub fn translate(&self, va: VAddr) -> Result<(PAddr, PageSize), VmError> {
+        let (ppn, size) = self
+            .table
+            .translate(va.vpn())
+            .ok_or(VmError::Unmapped(va))?;
+        Ok((ppn.base().offset(va.page_offset()), size))
+    }
+
+    /// Performs a timed page-table walk for the MMU (records PTE load
+    /// addresses).
+    pub fn walk(&self, vpn: Vpn) -> Walk {
+        self.table.walk(vpn)
+    }
+
+    /// The regions mapped so far, in mapping order.
+    pub fn regions(&self) -> &[Region] {
+        &self.regions
+    }
+
+    /// Total mapped bytes across regions.
+    pub fn mapped_bytes(&self) -> u64 {
+        self.regions.iter().map(|r| r.bytes).sum()
+    }
+
+    /// Number of page-table node frames (a proxy for page-table memory).
+    pub fn page_table_nodes(&self) -> usize {
+        self.table.node_count()
+    }
+
+    /// Unmaps a whole region by name; returns `true` if it existed.
+    /// Bumps the shootdown epoch so TLBs flush (Section 6.2: GPU TLBs
+    /// are flushed when the owning CPU changes the page table).
+    pub fn unmap_region(&mut self, name: &str) -> bool {
+        let Some(pos) = self.regions.iter().position(|r| r.name == name) else {
+            return false;
+        };
+        let region = self.regions.remove(pos);
+        let step = region.page_size.bytes() / PAGE_BYTES;
+        let first = region.base.vpn().raw();
+        let mut vpn = first;
+        while vpn < first + region.num_pages() {
+            self.table.unmap(Vpn::new(vpn));
+            vpn += step;
+        }
+        self.shootdown_epoch += 1;
+        true
+    }
+
+    /// Monotonic counter incremented on every shootdown-worthy change.
+    pub fn shootdown_epoch(&self) -> u64 {
+        self.shootdown_epoch
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn space() -> AddressSpace {
+        AddressSpace::new(SpaceConfig::default())
+    }
+
+    #[test]
+    fn regions_do_not_overlap() {
+        let mut s = space();
+        let a = s.map_region("a", 10_000, PageSize::Base4K).unwrap();
+        let b = s.map_region("b", 10_000, PageSize::Base4K).unwrap();
+        assert!(a.end().raw() <= b.base.raw());
+    }
+
+    #[test]
+    fn translation_preserves_offsets() {
+        let mut s = space();
+        let r = s.map_region("r", 1 << 20, PageSize::Base4K).unwrap();
+        for off in [0u64, 1, 4095, 4096, 123_456] {
+            let (pa, _) = s.translate(r.at(off)).unwrap();
+            assert_eq!(pa.raw() & 0xfff, (r.base.raw() + off) & 0xfff);
+        }
+    }
+
+    #[test]
+    fn distinct_pages_map_to_distinct_frames() {
+        let mut s = space();
+        let r = s.map_region("r", 64 * PAGE_BYTES, PageSize::Base4K).unwrap();
+        let mut frames = std::collections::HashSet::new();
+        for p in 0..r.num_pages() {
+            let (pa, _) = s.translate(r.at(p * PAGE_BYTES)).unwrap();
+            assert!(frames.insert(pa.ppn().raw()));
+        }
+    }
+
+    #[test]
+    fn unmapped_address_errors() {
+        let s = space();
+        let err = s.translate(VAddr::new(0x999_0000)).unwrap_err();
+        assert!(matches!(err, VmError::Unmapped(_)));
+    }
+
+    #[test]
+    fn large_page_region_translates_everywhere() {
+        let mut s = space();
+        let r = s.map_region("big", 6 << 20, PageSize::Large2M).unwrap();
+        assert_eq!(r.bytes, 6 << 20);
+        let (_, size) = s.translate(r.at(3 << 20)).unwrap();
+        assert_eq!(size, PageSize::Large2M);
+        // Walk is one level shorter.
+        assert_eq!(s.walk(r.at(0).vpn()).num_refs(), 3);
+    }
+
+    #[test]
+    fn large_pages_are_physically_contiguous_within() {
+        let mut s = space();
+        let r = s.map_region("big", 2 << 20, PageSize::Large2M).unwrap();
+        let (pa0, _) = s.translate(r.at(0)).unwrap();
+        let (pa1, _) = s.translate(r.at(PAGE_BYTES * 13 + 5)).unwrap();
+        assert_eq!(pa1.raw() - pa0.raw(), PAGE_BYTES * 13 + 5);
+    }
+
+    #[test]
+    fn unmap_region_bumps_epoch_and_removes_translations() {
+        let mut s = space();
+        let r = s.map_region("gone", 8 * PAGE_BYTES, PageSize::Base4K).unwrap();
+        assert_eq!(s.shootdown_epoch(), 0);
+        assert!(s.unmap_region("gone"));
+        assert_eq!(s.shootdown_epoch(), 1);
+        assert!(s.translate(r.at(0)).is_err());
+        assert!(!s.unmap_region("gone"));
+    }
+
+    #[test]
+    fn rounding_covers_partial_pages() {
+        let mut s = space();
+        let r = s.map_region("odd", PAGE_BYTES + 1, PageSize::Base4K).unwrap();
+        assert_eq!(r.num_pages(), 2);
+        assert!(s.translate(r.at(PAGE_BYTES)).is_ok());
+    }
+
+    #[test]
+    fn out_of_memory_is_reported() {
+        let mut s = AddressSpace::new(SpaceConfig {
+            phys_frames: 1 << 9,
+            policy: FramePolicy::Sequential,
+            vbase: 0x4000_0000,
+        });
+        let err = s
+            .map_region("huge", 1 << 24, PageSize::Base4K)
+            .unwrap_err();
+        assert_eq!(err, VmError::OutOfMemory);
+    }
+}

@@ -1,0 +1,263 @@
+//! `bfs` — Rodinia breadth-first search (graph traversal).
+//!
+//! Frontier threads walk their node's adjacency list in compressed
+//! sparse row form: a coalesced `row_offsets` load, a streaming edge
+//! load per neighbour, then a *scattered* `visited` lookup whose target
+//! is wherever the neighbour happens to live — the access that gives
+//! bfs its high page divergence (Figure 3 reports an average above 4).
+//! The visited check diverges per thread, and per-node degrees differ,
+//! so the edge loop also diverges — which is why bfs appears in both
+//! the CCWS and the TBC experiments.
+//!
+//! The graph is synthetic but structured like a real one: mostly local
+//! neighbours (community structure → intra-warp page reuse that CCWS
+//! can protect) with a uniform-random tail (the divergence source).
+//! Warps own contiguous node chunks, as Rodinia's frontier layout
+//! produces.
+
+use crate::util::split_iter;
+use crate::Scale;
+use gmmu_sim::rng::{mix2, mix3};
+use gmmu_simt::program::{Kernel, MemKind, Op, Program, ThreadId};
+use gmmu_vm::{AddressSpace, PageSize, Region, VAddr};
+
+/// Padded CSR row width (max degree).
+const MAX_DEG: u64 = 16;
+/// Nodes processed per thread.
+const NODES_PER_THREAD: u32 = 2;
+/// Fraction (out of 256) of neighbours drawn from the local community.
+const LOCAL_NEIGHBOR_NUM: u64 = 250;
+
+/// The bfs kernel and its graph.
+#[derive(Debug)]
+pub struct BfsKernel {
+    program: Program,
+    threads: u32,
+    seed: u64,
+    nodes: u64,
+    row_offsets: Region,
+    edges: Region,
+    visited: Region,
+    frontier_out: Region,
+}
+
+impl BfsKernel {
+    /// Maps the graph into `space` and builds the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space runs out of frames.
+    pub fn build(space: &mut AddressSpace, scale: Scale, seed: u64, pages: PageSize) -> Self {
+        let threads = scale.threads();
+        let nodes = 262_144 * scale.data_factor();
+        let row_offsets = space
+            .map_region("bfs.row_offsets", nodes * 8, pages)
+            .expect("map row_offsets");
+        let edges = space
+            .map_region("bfs.edges", nodes * MAX_DEG * 4, pages)
+            .expect("map edges");
+        let visited = space
+            .map_region("bfs.visited", nodes * 4, pages)
+            .expect("map visited");
+        let frontier_out = space
+            .map_region(
+                "bfs.frontier_out",
+                threads as u64 * NODES_PER_THREAD as u64 * 4,
+                pages,
+            )
+            .expect("map frontier_out");
+        let program = Program::new(vec![
+            // Per-node prologue.
+            Op::Mem { site: 0, kind: MemKind::Load },  // 0: row_offsets[node]
+            Op::Alu { cycles: 6 },                     // 1
+            Op::Alu { cycles: 6 },                     // 2
+            // Edge loop body (pc 3..=11).
+            Op::Mem { site: 1, kind: MemKind::Load },  // 3: edges[node][j]
+            Op::Alu { cycles: 4 },                     // 4
+            Op::Alu { cycles: 4 },                     // 5
+            Op::Mem { site: 2, kind: MemKind::Load },  // 6: visited[neighbor]
+            Op::Alu { cycles: 4 },                     // 7
+            Op::Alu { cycles: 4 },                     // 8
+            Op::Branch { site: 3, taken_pc: 11, reconv_pc: 11 }, // 9: skip if visited
+            Op::Alu { cycles: 8 },                     // 10: frontier update work
+            Op::Alu { cycles: 4 },                     // 11
+            Op::Alu { cycles: 4 },                     // 12
+            Op::Branch { site: 4, taken_pc: 3, reconv_pc: 14 }, // 13: next edge
+            // Per-node epilogue.
+            Op::Mem { site: 5, kind: MemKind::Store }, // 14: frontier_out
+            Op::Branch { site: 6, taken_pc: 0, reconv_pc: 16 }, // 15: next node
+        ]);
+        Self {
+            program,
+            threads,
+            seed,
+            nodes,
+            row_offsets,
+            edges,
+            visited,
+            frontier_out,
+        }
+    }
+
+    /// Node processed by thread `tid` on pass `p`: warps own contiguous
+    /// chunks of the frontier.
+    fn node(&self, tid: ThreadId, p: u32) -> u64 {
+        let warp = (tid / 32) as u64;
+        let lane = (tid % 32) as u64;
+        (warp * NODES_PER_THREAD as u64 * 32 + p as u64 * 32 + lane) % self.nodes
+    }
+
+    /// Synthetic degree in 2..=16, skewed low like a power-law graph.
+    fn degree(&self, node: u64) -> u32 {
+        let r = mix2(node, self.seed) % 32;
+        (2 + r * r / 40).min(MAX_DEG) as u32
+    }
+
+    /// The j-th neighbour of `node`: mostly local (community), with a
+    /// uniform-random tail.
+    fn neighbor(&self, node: u64, j: u32) -> u64 {
+        let h = mix3(node, j as u64, self.seed ^ 0xbf5);
+        if h % 256 < LOCAL_NEIGHBOR_NUM {
+            (node + 1 + (h >> 8) % 8192) % self.nodes
+        } else {
+            (h >> 8) % self.nodes
+        }
+    }
+
+    /// Locates (pass, edge index) from the flat edge-site iteration.
+    fn edge_coords(&self, tid: ThreadId, iter: u32) -> (u32, u32) {
+        split_iter(iter, NODES_PER_THREAD, |p| self.degree(self.node(tid, p)))
+    }
+}
+
+impl Kernel for BfsKernel {
+    fn name(&self) -> &str {
+        "bfs"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn num_threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn block_threads(&self) -> u32 {
+        256
+    }
+
+    fn mem_addr(&self, tid: ThreadId, site: u16, iter: u32) -> VAddr {
+        match site {
+            0 => self.row_offsets.at(self.node(tid, iter) * 8),
+            1 => {
+                let (p, j) = self.edge_coords(tid, iter);
+                let node = self.node(tid, p);
+                self.edges.at((node * MAX_DEG + j as u64) * 4)
+            }
+            2 => {
+                let (p, j) = self.edge_coords(tid, iter);
+                let node = self.node(tid, p);
+                self.visited.at(self.neighbor(node, j) * 4)
+            }
+            5 => self
+                .frontier_out
+                .at((tid as u64 * NODES_PER_THREAD as u64 + iter as u64) * 4),
+            _ => unreachable!("bfs has no memory site {site}"),
+        }
+    }
+
+    fn branch_taken(&self, tid: ThreadId, site: u16, iter: u32) -> bool {
+        match site {
+            // Visited check: skip the update for already-seen
+            // neighbours (~55%).
+            3 => {
+                let (p, j) = self.edge_coords(tid, iter);
+                let node = self.node(tid, p);
+                mix2(self.neighbor(node, j), self.seed ^ 0x715) % 100 < 55
+            }
+            // Edge loop: continue while edges remain.
+            4 => {
+                let (p, j) = self.edge_coords(tid, iter);
+                j + 1 < self.degree(self.node(tid, p))
+            }
+            // Node loop.
+            6 => iter + 1 < NODES_PER_THREAD,
+            _ => unreachable!("bfs has no branch site {site}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_vm::SpaceConfig;
+
+    fn kernel() -> (AddressSpace, BfsKernel) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let k = BfsKernel::build(&mut space, Scale::Tiny, 1, PageSize::Base4K);
+        (space, k)
+    }
+
+    #[test]
+    fn addresses_are_always_mapped() {
+        let (space, k) = kernel();
+        for tid in (0..k.num_threads()).step_by(37) {
+            for p in 0..NODES_PER_THREAD {
+                let node = k.node(tid, p);
+                for j in 0..k.degree(node) {
+                    let flat = (0..p).map(|q| k.degree(k.node(tid, q))).sum::<u32>() + j;
+                    for site in [1u16, 2] {
+                        let va = k.mem_addr(tid, site, flat);
+                        assert!(space.translate(va).is_ok(), "unmapped {va}");
+                    }
+                }
+                assert!(space.translate(k.mem_addr(tid, 0, p)).is_ok());
+                assert!(space.translate(k.mem_addr(tid, 5, p)).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn edge_loop_trip_counts_match_degrees() {
+        let (_, k) = kernel();
+        let tid = 123;
+        let d0 = k.degree(k.node(tid, 0));
+        // The last edge of pass 0 does not continue; the first edge of
+        // pass 1 exists if there is a pass 1.
+        assert!(!k.branch_taken(tid, 4, d0 - 1) || d0 != d0);
+        assert!(k.branch_taken(tid, 4, 0) == (d0 > 1));
+    }
+
+    #[test]
+    fn neighbors_are_mostly_local() {
+        let (_, k) = kernel();
+        let node = 1000;
+        let local = (0..200)
+            .filter(|&j| {
+                let n = k.neighbor(node, j);
+                n > node && n <= node + 8193
+            })
+            .count();
+        assert!(local > 160, "only {local}/200 neighbours local");
+    }
+
+    #[test]
+    fn degrees_are_in_range_and_varied() {
+        let (_, k) = kernel();
+        let degs: Vec<u32> = (0..100).map(|n| k.degree(n)).collect();
+        assert!(degs.iter().all(|&d| (2..=MAX_DEG as u32).contains(&d)));
+        let distinct: std::collections::HashSet<_> = degs.iter().collect();
+        assert!(distinct.len() > 3, "degrees too uniform");
+    }
+
+    #[test]
+    fn warp_nodes_are_contiguous() {
+        let (_, k) = kernel();
+        // Lanes of one warp get consecutive nodes (coalesced offsets).
+        let base = k.node(64, 0);
+        for lane in 0..32 {
+            assert_eq!(k.node(64 + lane, 0), base + lane as u64);
+        }
+    }
+}

@@ -1,0 +1,174 @@
+//! `kmeans` — Rodinia clustering.
+//!
+//! Each thread assigns points to the nearest of K centroids: a
+//! perfectly coalesced streaming load of the point's feature line, K
+//! broadcast centroid loads (a hot few-KB table), and a streaming
+//! result store. Page divergence is ≈1 (Figure 3), but the *streaming*
+//! structure means every new point page is a compulsory TLB miss, and
+//! round-robin across 48 warps destroys any reuse — the paper's
+//! motivating observation. Control flow is uniform, so kmeans is inert
+//! under TBC but still participates in the CCWS studies.
+
+use crate::Scale;
+use gmmu_simt::program::{Kernel, MemKind, Op, Program, ThreadId};
+use gmmu_vm::{AddressSpace, PageSize, Region, VAddr};
+
+/// Centroids compared per point.
+const K: u32 = 8;
+/// Points per thread.
+const POINTS_PER_THREAD: u32 = 4;
+/// Bytes per point (one 128-byte feature line).
+const POINT_BYTES: u64 = 128;
+
+/// The kmeans kernel and its data set.
+#[derive(Debug)]
+pub struct KmeansKernel {
+    program: Program,
+    threads: u32,
+    points: Region,
+    centroids: Region,
+    assign_out: Region,
+}
+
+impl KmeansKernel {
+    /// Maps points/centroids into `space` and builds the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space runs out of frames.
+    pub fn build(space: &mut AddressSpace, scale: Scale, _seed: u64, pages: PageSize) -> Self {
+        let threads = scale.threads();
+        let n_points = threads as u64 * POINTS_PER_THREAD as u64;
+        let points = space
+            .map_region("kmeans.points", n_points * POINT_BYTES, pages)
+            .expect("map points");
+        let centroids = space
+            .map_region("kmeans.centroids", K as u64 * POINT_BYTES, pages)
+            .expect("map centroids");
+        // Membership array: one 4-byte cluster id per point, so a warp's
+        // stores share a page across 32 point iterations.
+        let assign_out = space
+            .map_region("kmeans.assign", n_points * 4, pages)
+            .expect("map assign");
+        let program = Program::new(vec![
+            Op::Mem { site: 0, kind: MemKind::Load },  // 0: point line
+            Op::Alu { cycles: 6 },                     // 1
+            // Centroid loop (pc 2..=6).
+            Op::Mem { site: 1, kind: MemKind::Load },  // 2: centroid c
+            Op::Alu { cycles: 8 },                     // 3: distance accumulate
+            Op::Alu { cycles: 8 },                     // 4
+            Op::Alu { cycles: 4 },                     // 5: min update
+            Op::Branch { site: 2, taken_pc: 2, reconv_pc: 7 }, // 6: next centroid
+            Op::Alu { cycles: 6 },                     // 7
+            Op::Mem { site: 3, kind: MemKind::Store }, // 8: assignment
+            Op::Branch { site: 4, taken_pc: 0, reconv_pc: 10 }, // 9: next point
+        ]);
+        Self {
+            program,
+            threads,
+            points,
+            centroids,
+            assign_out,
+        }
+    }
+
+    /// Point processed by `tid` on pass `p`: pass-major layout, so each
+    /// pass streams a fresh contiguous slab (one 4 KiB page per warp).
+    fn point(&self, tid: ThreadId, p: u32) -> u64 {
+        p as u64 * self.threads as u64 + tid as u64
+    }
+}
+
+impl Kernel for KmeansKernel {
+    fn name(&self) -> &str {
+        "kmeans"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn num_threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn block_threads(&self) -> u32 {
+        256
+    }
+
+    fn mem_addr(&self, tid: ThreadId, site: u16, iter: u32) -> VAddr {
+        match site {
+            0 => self.points.at(self.point(tid, iter) * POINT_BYTES),
+            1 => self.centroids.at((iter % K) as u64 * POINT_BYTES),
+            3 => self.assign_out.at(self.point(tid, iter) * 4),
+            _ => unreachable!("kmeans has no memory site {site}"),
+        }
+    }
+
+    fn branch_taken(&self, _tid: ThreadId, site: u16, iter: u32) -> bool {
+        match site {
+            2 => (iter % K) + 1 < K,
+            4 => iter + 1 < POINTS_PER_THREAD,
+            _ => unreachable!("kmeans has no branch site {site}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_vm::SpaceConfig;
+
+    fn kernel() -> (AddressSpace, KmeansKernel) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let k = KmeansKernel::build(&mut space, Scale::Tiny, 1, PageSize::Base4K);
+        (space, k)
+    }
+
+    #[test]
+    fn warp_point_loads_fill_exactly_one_page() {
+        let (_, k) = kernel();
+        // Threads 0..31, pass 0: 32 × 128 B = 4096 B, page aligned.
+        let first = k.mem_addr(0, 0, 0);
+        let last = k.mem_addr(31, 0, 0);
+        assert_eq!(last.raw() - first.raw(), 31 * 128);
+        assert_eq!(first.vpn(), last.vpn());
+    }
+
+    #[test]
+    fn passes_stream_disjoint_slabs() {
+        let (_, k) = kernel();
+        let a = k.mem_addr(0, 0, 0);
+        let b = k.mem_addr(0, 0, 1);
+        assert_eq!(b.raw() - a.raw(), k.threads as u64 * 128);
+    }
+
+    #[test]
+    fn centroid_loop_is_uniform_and_bounded() {
+        let (_, k) = kernel();
+        for iter in 0..K * 2 {
+            let t = k.branch_taken(0, 2, iter);
+            assert_eq!(t, (iter % K) + 1 < K);
+            assert_eq!(t, k.branch_taken(77, 2, iter), "uniform across threads");
+        }
+    }
+
+    #[test]
+    fn centroids_fit_in_one_page() {
+        let (_, k) = kernel();
+        let pages: std::collections::HashSet<_> =
+            (0..K).map(|c| k.mem_addr(0, 1, c).vpn()).collect();
+        assert_eq!(pages.len(), 1);
+    }
+
+    #[test]
+    fn all_addresses_mapped() {
+        let (space, k) = kernel();
+        for tid in (0..k.num_threads()).step_by(61) {
+            for p in 0..POINTS_PER_THREAD {
+                assert!(space.translate(k.mem_addr(tid, 0, p)).is_ok());
+                assert!(space.translate(k.mem_addr(tid, 3, p)).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,281 @@
+#![warn(missing_docs)]
+
+//! The paper's six evaluation workloads, rebuilt as deterministic SIMT
+//! kernels (Section 5.1).
+//!
+//! The paper runs five Rodinia benchmarks — `bfs` (graph traversal),
+//! `kmeans` (clustering), `streamcluster` (data mining), `mummergpu`
+//! (DNA sequence alignment), `pathfinder` (grid dynamic programming) —
+//! plus `memcached` stimulated with Wikipedia traces. CUDA binaries
+//! cannot run here, so each workload is re-derived from its algorithm's
+//! memory-access structure: the same data structures are laid out in the
+//! simulated address space and each kernel touches them the way the
+//! original does (see DESIGN.md §2 for the substitution argument).
+//! What matters to the paper's experiments is preserved:
+//!
+//! * memory instructions stay under ~25% of all instructions;
+//! * every kernel misses a 128-entry TLB steadily (9–26% of lookups
+//!   here; the paper reports 22–70% — see EXPERIMENTS.md for why a
+//!   lower band is required for the naive design to degrade by the
+//!   published 20–50% rather than collapse);
+//! * average page divergence is low for the streaming kernels, > 4 for
+//!   `bfs` and ≈ 8 for `mummergpu`, with high maxima (Figure 3);
+//! * `bfs`, `mummergpu` and `memcached` diverge heavily at branches
+//!   (the TBC experiments), and all six have intra-warp locality that
+//!   round-robin scheduling destroys (the CCWS experiments).
+//!
+//! Every kernel is a pure function of `(thread, site, iteration)` plus
+//! an immutable pre-built data set, so runs are deterministic and
+//! replay/compaction safe.
+
+pub mod bfs;
+pub mod kmeans;
+pub mod memcached;
+pub mod mummergpu;
+pub mod pathfinder;
+pub mod streamcluster;
+mod util;
+
+use gmmu_simt::Kernel;
+use gmmu_vm::{AddressSpace, PageSize, SpaceConfig};
+
+/// Workload size presets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// Unit-test scale: hundreds of threads, megabytes of data.
+    Tiny,
+    /// Experiment scale: fills an 8-core GPU; figure sweeps finish in
+    /// minutes while footprints still dwarf TLB reach by >100×.
+    Small,
+    /// Paper scale: fills the 30-core configuration.
+    Full,
+}
+
+impl Scale {
+    /// Total threads launched.
+    pub fn threads(self) -> u32 {
+        match self {
+            Scale::Tiny => 1024,
+            Scale::Small => 16 * 1024,
+            Scale::Full => 48 * 1024,
+        }
+    }
+
+    /// Data-size multiplier (working sets scale with the machine so
+    /// footprints always dwarf TLB reach).
+    pub fn data_factor(self) -> u64 {
+        match self {
+            Scale::Tiny => 4,
+            Scale::Small => 16,
+            Scale::Full => 48,
+        }
+    }
+}
+
+/// The six benchmarks of the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Bench {
+    /// Rodinia graph traversal.
+    Bfs,
+    /// Rodinia clustering.
+    Kmeans,
+    /// Rodinia data mining.
+    Streamcluster,
+    /// Rodinia DNA sequence alignment.
+    Mummergpu,
+    /// Rodinia grid dynamic programming.
+    Pathfinder,
+    /// Key-value store with a Zipf (Wikipedia-like) request trace.
+    Memcached,
+}
+
+impl Bench {
+    /// All six, in the paper's figure order.
+    pub fn all() -> [Bench; 6] {
+        [
+            Bench::Bfs,
+            Bench::Kmeans,
+            Bench::Streamcluster,
+            Bench::Mummergpu,
+            Bench::Pathfinder,
+            Bench::Memcached,
+        ]
+    }
+
+    /// Benchmark name as the paper prints it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Bench::Bfs => "bfs",
+            Bench::Kmeans => "kmeans",
+            Bench::Streamcluster => "streamcluster",
+            Bench::Mummergpu => "mummergpu",
+            Bench::Pathfinder => "pathfinder",
+            Bench::Memcached => "memcached",
+        }
+    }
+}
+
+impl std::fmt::Display for Bench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A built workload: the kernel plus the address space its data lives
+/// in.
+pub struct Workload {
+    /// The unified CPU/GPU address space with all regions pre-mapped.
+    pub space: AddressSpace,
+    /// The kernel to launch.
+    pub kernel: Box<dyn Kernel + Send + Sync>,
+}
+
+impl std::fmt::Debug for Workload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Workload")
+            .field("kernel", &self.kernel.name())
+            .field("mapped_bytes", &self.space.mapped_bytes())
+            .finish()
+    }
+}
+
+/// Builds a benchmark at the given scale with 4 KiB pages.
+///
+/// # Examples
+///
+/// ```
+/// use gmmu_workloads::{build, Bench, Scale};
+/// let w = build(Bench::Bfs, Scale::Tiny, 42);
+/// assert_eq!(w.kernel.name(), "bfs");
+/// assert!(w.space.mapped_bytes() > 1 << 20);
+/// ```
+pub fn build(bench: Bench, scale: Scale, seed: u64) -> Workload {
+    build_paged(bench, scale, seed, PageSize::Base4K)
+}
+
+/// Builds a benchmark with an explicit page size (Section 9 studies
+/// 2 MiB pages).
+pub fn build_paged(bench: Bench, scale: Scale, seed: u64, pages: PageSize) -> Workload {
+    let mut space = AddressSpace::new(SpaceConfig::default());
+    let kernel: Box<dyn Kernel + Send + Sync> = match bench {
+        Bench::Bfs => Box::new(bfs::BfsKernel::build(&mut space, scale, seed, pages)),
+        Bench::Kmeans => Box::new(kmeans::KmeansKernel::build(&mut space, scale, seed, pages)),
+        Bench::Streamcluster => Box::new(streamcluster::StreamclusterKernel::build(
+            &mut space, scale, seed, pages,
+        )),
+        Bench::Mummergpu => Box::new(mummergpu::MummerKernel::build(
+            &mut space, scale, seed, pages,
+        )),
+        Bench::Pathfinder => Box::new(pathfinder::PathfinderKernel::build(
+            &mut space, scale, seed, pages,
+        )),
+        Bench::Memcached => Box::new(memcached::MemcachedKernel::build(
+            &mut space, scale, seed, pages,
+        )),
+    };
+    Workload { space, kernel }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_core::mmu::MmuModel;
+    use gmmu_simt::{gpu::run_kernel, GpuConfig, RunStats};
+
+    fn tiny_cfg(mmu: MmuModel) -> GpuConfig {
+        GpuConfig {
+            n_cores: 2,
+            warps_per_core: 8,
+            warps_per_block: 4,
+            mmu,
+            max_cycles: 30_000_000,
+            ..GpuConfig::default()
+        }
+    }
+
+    fn run(bench: Bench, mmu: MmuModel) -> RunStats {
+        let w = build(bench, Scale::Tiny, 7);
+        run_kernel(tiny_cfg(mmu), w.kernel.as_ref(), &w.space)
+    }
+
+    #[test]
+    fn all_benches_complete_on_ideal_mmu() {
+        for bench in Bench::all() {
+            let s = run(bench, MmuModel::Ideal);
+            assert!(s.completed, "{bench} hit the cycle cap");
+            assert!(s.instructions > 1000, "{bench} did hardly anything");
+            assert!(
+                s.mem_insn_fraction() < 0.30,
+                "{bench} mem fraction {:.2} too high",
+                s.mem_insn_fraction()
+            );
+        }
+    }
+
+    #[test]
+    fn all_benches_complete_with_naive_mmu_and_slow_down() {
+        for bench in Bench::all() {
+            let ideal = run(bench, MmuModel::Ideal);
+            let naive = run(bench, MmuModel::naive());
+            assert!(naive.completed, "{bench} hit the cycle cap");
+            assert_eq!(
+                ideal.mem_instructions, naive.mem_instructions,
+                "{bench}: MMU changed the work"
+            );
+            assert!(
+                naive.cycles > ideal.cycles,
+                "{bench}: naive TLBs must cost cycles"
+            );
+            assert!(
+                naive.tlb_miss_rate() > 0.03,
+                "{bench} TLB miss rate {:.3} implausibly low",
+                naive.tlb_miss_rate()
+            );
+        }
+    }
+
+    #[test]
+    fn page_divergence_ordering_matches_figure3() {
+        let bfs = run(Bench::Bfs, MmuModel::naive());
+        let mummer = run(Bench::Mummergpu, MmuModel::naive());
+        let kmeans = run(Bench::Kmeans, MmuModel::naive());
+        let pathfinder = run(Bench::Pathfinder, MmuModel::naive());
+        assert!(
+            mummer.page_divergence.mean() > 6.0,
+            "mummergpu divergence {:.2} too low",
+            mummer.page_divergence.mean()
+        );
+        assert!(
+            bfs.page_divergence.mean() > 3.0,
+            "bfs divergence {:.2} too low",
+            bfs.page_divergence.mean()
+        );
+        assert!(
+            kmeans.page_divergence.mean() < bfs.page_divergence.mean(),
+            "kmeans should coalesce better than bfs"
+        );
+        assert!(pathfinder.page_divergence.mean() < 3.0);
+        // Maxima are consistently high for the divergent pair.
+        assert!(mummer.page_divergence.max() >= 16);
+        assert!(bfs.page_divergence.max() >= 8);
+    }
+
+    #[test]
+    fn determinism_per_benchmark() {
+        for bench in [Bench::Bfs, Bench::Memcached] {
+            let a = run(bench, MmuModel::naive());
+            let b = run(bench, MmuModel::naive());
+            assert_eq!(a.cycles, b.cycles, "{bench} not deterministic");
+            assert_eq!(a.tlb_accesses, b.tlb_accesses);
+        }
+    }
+
+    #[test]
+    fn large_pages_build_and_run() {
+        let w = build_paged(Bench::Kmeans, Scale::Tiny, 7, gmmu_vm::PageSize::Large2M);
+        let s = run_kernel(tiny_cfg(MmuModel::naive()), w.kernel.as_ref(), &w.space);
+        assert!(s.completed);
+        // 2 MB pages collapse kmeans' page divergence to ~1.
+        assert!(s.page_divergence.mean() < 1.5);
+    }
+}

@@ -1,0 +1,282 @@
+//! `mummergpu` — DNA sequence alignment by suffix-trie traversal.
+//!
+//! Each thread matches a query against a reference suffix trie: a chain
+//! of data-dependent node loads from the root downward. The trie's top
+//! levels are tiny and shared by every thread (hot pages), but level
+//! width grows geometrically, so deep loads scatter across a multi-MB
+//! node pool — this is the paper's page-divergence worst case (average
+//! above 8, maxima at the full warp width of 32; Figure 3). Match
+//! lengths differ per query, so the walk loop is heavily divergent —
+//! mummergpu is the headline workload for both the port-count study
+//! (Figure 6) and the TBC experiments.
+//!
+//! Threads of one home warp process queries drawn from the same genome
+//! neighbourhood, so their deep-trie paths cluster; dynamic warps that
+//! mix home warps lose that affinity, exactly the effect the Common
+//! Page Matrix recovers (Section 8.2).
+
+use crate::util::split_iter;
+use crate::Scale;
+use gmmu_sim::rng::{mix2, mix3};
+use gmmu_simt::program::{Kernel, MemKind, Op, Program, ThreadId};
+use gmmu_vm::{AddressSpace, PageSize, Region, VAddr};
+
+/// Queries matched per thread.
+const QUERIES_PER_THREAD: u32 = 2;
+/// Bytes per trie node.
+const NODE_BYTES: u64 = 64;
+/// Deepest level of the trie.
+const MAX_DEPTH: u32 = 28;
+/// Popular top-of-trie nodes (4 pages); nodes are allocated on demand,
+/// so hot branches cluster at the start of the pool.
+const HOT_NODES: u64 = 512;
+/// Nodes in a thread block's genome-neighbourhood window (2 pages).
+const BLOCK_WINDOW: u64 = 128;
+/// Nodes in a warp's own sub-window (2 pages); adjacent warps' windows
+/// half-overlap, giving the Common Page Matrix a gradient to learn.
+const WARP_WINDOW: u64 = 256;
+/// Node distance between adjacent warps' window bases.
+const WARP_STRIDE: u64 = 128;
+/// Draw classes out of 256: hot | block | warp | uniform tail.
+const HOT_NUM: u64 = 100;
+const BLOCK_NUM: u64 = 60;
+const WARP_NUM: u64 = 90;
+
+/// The mummergpu kernel and its trie.
+#[derive(Debug)]
+pub struct MummerKernel {
+    program: Program,
+    threads: u32,
+    seed: u64,
+    /// Total trie nodes.
+    n_nodes: u64,
+    trie: Region,
+    result_out: Region,
+}
+
+impl MummerKernel {
+    /// Maps the trie into `space` and builds the kernel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space runs out of frames.
+    pub fn build(space: &mut AddressSpace, scale: Scale, seed: u64, pages: PageSize) -> Self {
+        let threads = scale.threads();
+        let n_nodes = 64 * 16_384 * scale.data_factor();
+        let trie = space
+            .map_region("mummer.trie", n_nodes * NODE_BYTES, pages)
+            .expect("map trie");
+        let result_out = space
+            .map_region(
+                "mummer.results",
+                threads as u64 * QUERIES_PER_THREAD as u64 * 8,
+                pages,
+            )
+            .expect("map results");
+        let program = Program::new(vec![
+            Op::Alu { cycles: 6 },                     // 0: load query chars
+            // Walk loop (pc 1..=7).
+            Op::Mem { site: 0, kind: MemKind::Load },  // 1: trie node
+            Op::Alu { cycles: 6 },                     // 2: char compare
+            Op::Alu { cycles: 6 },                     // 3
+            Op::Alu { cycles: 4 },                     // 4
+            Op::Alu { cycles: 4 },                     // 5
+            Op::Alu { cycles: 4 },                     // 6
+            Op::Branch { site: 1, taken_pc: 1, reconv_pc: 8 }, // 7: descend?
+            Op::Mem { site: 2, kind: MemKind::Store }, // 8: match result
+            Op::Branch { site: 3, taken_pc: 0, reconv_pc: 10 }, // 9: next query
+        ]);
+        Self {
+            program,
+            threads,
+            seed,
+            n_nodes,
+            trie,
+            result_out,
+        }
+    }
+
+    /// Match length of `(tid, q)` — the walk's trip count, 4..=27.
+    fn match_len(&self, tid: ThreadId, q: u32) -> u32 {
+        4 + (mix3(tid as u64, q as u64, self.seed ^ 0x3a7) % (MAX_DEPTH as u64 - 5)) as u32
+    }
+
+    /// First node of `tid`'s block window (queries are batched from one
+    /// genome region, so a block's walks revisit its neighbourhood).
+    fn block_base(&self, tid: ThreadId) -> u64 {
+        let block = (tid / 256) as u64;
+        let span = self.n_nodes / 2 - HOT_NODES - BLOCK_WINDOW;
+        HOT_NODES + mix2(block, self.seed ^ 0x42) % span
+    }
+
+    /// First node of `tid`'s home-warp window; adjacent warps'
+    /// windows half-overlap.
+    fn warp_base(&self, tid: ThreadId) -> u64 {
+        let warp = (tid / 32) as u64;
+        let half = self.n_nodes / 2;
+        half + (warp * WARP_STRIDE) % (half - WARP_WINDOW)
+    }
+
+    /// Trie node visited at depth `d` of query `(tid, q)`.
+    ///
+    /// Four populations, mirroring a demand-allocated suffix trie:
+    /// popular top branches (hot, shared machine-wide), a block-level
+    /// genome neighbourhood, a home-warp sub-window (the affinity the
+    /// Common Page Matrix learns), and a uniform tail (the cold page
+    /// walks).
+    fn node(&self, tid: ThreadId, q: u32, d: u32) -> u64 {
+        if d < 3 {
+            // The root and its first levels: one shared hot path.
+            return mix2(d as u64, self.seed) % 64;
+        }
+        let h = mix3(tid as u64, q as u64, d as u64 ^ self.seed);
+        let class = h % 256;
+        let r = h >> 8;
+        if class < HOT_NUM {
+            r % HOT_NODES
+        } else if class < HOT_NUM + BLOCK_NUM {
+            self.block_base(tid) + r % BLOCK_WINDOW
+        } else if class < HOT_NUM + BLOCK_NUM + WARP_NUM {
+            self.warp_base(tid) + r % WARP_WINDOW
+        } else {
+            r % self.n_nodes
+        }
+    }
+
+    fn walk_coords(&self, tid: ThreadId, iter: u32) -> (u32, u32) {
+        split_iter(iter, QUERIES_PER_THREAD, |q| self.match_len(tid, q))
+    }
+}
+
+impl Kernel for MummerKernel {
+    fn name(&self) -> &str {
+        "mummergpu"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn num_threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn block_threads(&self) -> u32 {
+        256
+    }
+
+    fn mem_addr(&self, tid: ThreadId, site: u16, iter: u32) -> VAddr {
+        match site {
+            0 => {
+                let (q, d) = self.walk_coords(tid, iter);
+                self.trie.at(self.node(tid, q, d) * NODE_BYTES)
+            }
+            2 => self
+                .result_out
+                .at((tid as u64 * QUERIES_PER_THREAD as u64 + iter as u64) * 8),
+            _ => unreachable!("mummergpu has no memory site {site}"),
+        }
+    }
+
+    fn branch_taken(&self, tid: ThreadId, site: u16, iter: u32) -> bool {
+        match site {
+            1 => {
+                let (q, d) = self.walk_coords(tid, iter);
+                d + 1 < self.match_len(tid, q)
+            }
+            3 => iter + 1 < QUERIES_PER_THREAD,
+            _ => unreachable!("mummergpu has no branch site {site}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_vm::SpaceConfig;
+
+    fn kernel() -> (AddressSpace, MummerKernel) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let k = MummerKernel::build(&mut space, Scale::Tiny, 5, PageSize::Base4K);
+        (space, k)
+    }
+
+    #[test]
+    fn root_is_shared_by_every_thread() {
+        let (_, k) = kernel();
+        let a = k.node(0, 0, 0);
+        let b = k.node(999, 1, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn deep_draws_stay_in_bounds_and_scatter() {
+        let (_, k) = kernel();
+        let mut distinct = std::collections::HashSet::new();
+        for tid in 0..512 {
+            for d in 3..16 {
+                let n = k.node(tid, 0, d);
+                assert!(n < k.n_nodes);
+                distinct.insert(n);
+            }
+        }
+        assert!(distinct.len() > 100, "walks too concentrated");
+    }
+
+    #[test]
+    fn deep_draws_favour_the_hot_pool() {
+        let (_, k) = kernel();
+        let hot = (0..512u32)
+            .filter(|&t| k.node(t, 0, 12) < HOT_NODES)
+            .count();
+        assert!(hot > 130, "hot pool underused: {hot}/512");
+        assert!(hot < 350, "windows/tail missing: {hot}/512");
+    }
+
+    #[test]
+    fn adjacent_warps_share_half_their_windows() {
+        let (_, k) = kernel();
+        let a = k.warp_base(0);
+        let b = k.warp_base(32);
+        assert_eq!(b - a, WARP_STRIDE);
+        assert!(WARP_STRIDE < WARP_WINDOW, "windows must overlap");
+        // Distant warps' windows are disjoint.
+        let far = k.warp_base(32 * 40);
+        assert!(far.abs_diff(a) >= WARP_WINDOW);
+    }
+
+    #[test]
+    fn match_lengths_diverge() {
+        let (_, k) = kernel();
+        let lens: std::collections::HashSet<u32> =
+            (0..64).map(|t| k.match_len(t, 0)).collect();
+        assert!(lens.len() > 8, "match lengths too uniform");
+        assert!(lens.iter().all(|&l| (4..MAX_DEPTH).contains(&l)));
+    }
+
+    #[test]
+    fn walk_loop_trips_match_lengths() {
+        let (_, k) = kernel();
+        let tid = 7;
+        let len0 = k.match_len(tid, 0);
+        // Last step of query 0 exits the loop.
+        assert!(!k.branch_taken(tid, 1, len0 - 1));
+        // First step of query 1 continues iff its length > 1 (always).
+        assert!(k.branch_taken(tid, 1, len0));
+    }
+
+    #[test]
+    fn all_addresses_mapped() {
+        let (space, k) = kernel();
+        for tid in (0..k.num_threads()).step_by(71) {
+            let mut flat = 0;
+            for q in 0..QUERIES_PER_THREAD {
+                for _ in 0..k.match_len(tid, q) {
+                    assert!(space.translate(k.mem_addr(tid, 0, flat)).is_ok());
+                    flat += 1;
+                }
+                assert!(space.translate(k.mem_addr(tid, 2, q)).is_ok());
+            }
+        }
+    }
+}

@@ -1,0 +1,180 @@
+//! `pathfinder` — Rodinia grid dynamic programming.
+//!
+//! Row-by-row DP over a cost grid: each thread owns a column segment,
+//! loading the wall row, the previous row's neighbouring results, and
+//! storing the new row. The grid is far wider than the machine, so
+//! blocks tile it with page-sized per-warp segments: every row advance
+//! lands each warp on a fresh wall page (steady compulsory TLB misses)
+//! while the ping-pong row buffers are reused — the low-divergence,
+//! streaming end of the paper's workload spectrum. Control flow is
+//! uniform (no branch divergence).
+
+use crate::Scale;
+use gmmu_simt::program::{Kernel, MemKind, Op, Program, ThreadId};
+use gmmu_vm::{AddressSpace, PageSize, Region, VAddr};
+
+/// DP rows computed.
+const ROWS: u32 = 24;
+/// Grid columns owned by each thread (a 32-thread warp's row slice is
+/// then 2 KiB, so two DP rows share one wall page).
+const COLS_PER_THREAD: u64 = 16;
+
+/// The pathfinder kernel and its grid.
+#[derive(Debug)]
+pub struct PathfinderKernel {
+    program: Program,
+    threads: u32,
+    wall: Region,
+    rows: Region,
+}
+
+impl PathfinderKernel {
+    /// Maps the wall grid and row buffers into `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space runs out of frames.
+    pub fn build(space: &mut AddressSpace, scale: Scale, _seed: u64, pages: PageSize) -> Self {
+        let threads = scale.threads();
+        let width = threads as u64 * COLS_PER_THREAD;
+        let wall = space
+            .map_region("pf.wall", ROWS as u64 * width * 4, pages)
+            .expect("map wall");
+        // Ping-pong result rows, packed by thread.
+        let rows = space
+            .map_region("pf.rows", 2 * threads as u64 * 4, pages)
+            .expect("map rows");
+        let program = Program::new(vec![
+            // Row loop (pc 0..=12).
+            Op::Mem { site: 0, kind: MemKind::Load },  // 0: wall[r][cols]
+            Op::Alu { cycles: 4 },                     // 1
+            Op::Mem { site: 1, kind: MemKind::Load },  // 2: prev[cols±1]
+            Op::Alu { cycles: 8 },                     // 3: min of three
+            Op::Alu { cycles: 8 },                     // 4
+            Op::Alu { cycles: 4 },                     // 5
+            Op::Alu { cycles: 4 },                     // 6
+            Op::Mem { site: 2, kind: MemKind::Store }, // 7: cur[cols]
+            Op::Alu { cycles: 4 },                     // 8
+            Op::Alu { cycles: 4 },                     // 9
+            Op::Alu { cycles: 4 },                     // 10
+            Op::Alu { cycles: 4 },                     // 11
+            Op::Branch { site: 3, taken_pc: 0, reconv_pc: 13 }, // 12: next row
+        ]);
+        Self {
+            program,
+            threads,
+            wall,
+            rows,
+        }
+    }
+}
+
+impl Kernel for PathfinderKernel {
+    fn name(&self) -> &str {
+        "pathfinder"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn num_threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn block_threads(&self) -> u32 {
+        256
+    }
+
+    fn mem_addr(&self, tid: ThreadId, site: u16, iter: u32) -> VAddr {
+        let r = iter as u64 % ROWS as u64;
+        match site {
+            // The wall is stored warp-tiled (each warp's ROWS×slice
+            // block is contiguous), the standard GPU blocking for this
+            // kernel; a warp's slice advances 2 KiB per row.
+            0 => {
+                let warp = (tid / 32) as u64;
+                let lane = (tid % 32) as u64;
+                let tile = warp * ROWS as u64 * 32 * COLS_PER_THREAD;
+                self.wall
+                    .at((tile + r * 32 * COLS_PER_THREAD + lane * COLS_PER_THREAD) * 4)
+            }
+            // DP results are packed by thread (each thread keeps its
+            // segment's running minima), so the ping-pong buffers stay
+            // resident while the wall streams.
+            1 => self.rows.at(((r % 2) * self.threads as u64 + tid as u64) * 4),
+            2 => self
+                .rows
+                .at((((r + 1) % 2) * self.threads as u64 + tid as u64) * 4),
+            _ => unreachable!("pathfinder has no memory site {site}"),
+        }
+    }
+
+    fn branch_taken(&self, _tid: ThreadId, site: u16, iter: u32) -> bool {
+        match site {
+            3 => iter + 1 < ROWS,
+            _ => unreachable!("pathfinder has no branch site {site}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_vm::SpaceConfig;
+
+    fn kernel() -> (AddressSpace, PathfinderKernel) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let k = PathfinderKernel::build(&mut space, Scale::Tiny, 0, PageSize::Base4K);
+        (space, k)
+    }
+
+    #[test]
+    fn two_wall_rows_share_one_page_per_warp() {
+        let (_, k) = kernel();
+        // Lanes of warp 0, row 0: 32 loads inside one page.
+        let pages: std::collections::HashSet<_> =
+            (0..32).map(|l| k.mem_addr(l, 0, 0).vpn()).collect();
+        assert_eq!(pages.len(), 1);
+        // Rows 0 and 1 share the page; row 2 starts a fresh one.
+        assert_eq!(k.mem_addr(0, 0, 0).vpn(), k.mem_addr(0, 0, 1).vpn());
+        assert_ne!(k.mem_addr(0, 0, 0).vpn(), k.mem_addr(0, 0, 2).vpn());
+    }
+
+    #[test]
+    fn row_buffers_ping_pong() {
+        let (_, k) = kernel();
+        // The row written at r is the row read at r+1.
+        assert_eq!(k.mem_addr(5, 2, 0), k.mem_addr(5, 1, 1));
+        assert_eq!(k.mem_addr(5, 2, 1), k.mem_addr(5, 1, 2));
+    }
+
+    #[test]
+    fn warp_wall_tiles_are_disjoint() {
+        let (_, k) = kernel();
+        let w0_last = k.mem_addr(31, 0, ROWS - 1).raw() + COLS_PER_THREAD * 4;
+        let w1_first = k.mem_addr(32, 0, 0).raw();
+        assert!(w0_last <= w1_first);
+    }
+
+    #[test]
+    fn uniform_row_loop() {
+        let (_, k) = kernel();
+        for iter in 0..ROWS {
+            assert_eq!(k.branch_taken(0, 3, iter), iter + 1 < ROWS);
+            assert_eq!(k.branch_taken(0, 3, iter), k.branch_taken(999, 3, iter));
+        }
+    }
+
+    #[test]
+    fn all_addresses_mapped() {
+        let (space, k) = kernel();
+        for tid in (0..k.num_threads()).step_by(83) {
+            for r in 0..ROWS {
+                for site in 0..3u16 {
+                    assert!(space.translate(k.mem_addr(tid, site, r)).is_ok());
+                }
+            }
+        }
+    }
+}

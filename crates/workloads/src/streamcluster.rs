@@ -1,0 +1,207 @@
+//! `streamcluster` — Rodinia online clustering (data mining).
+//!
+//! Threads stream points and compare each against a series of candidate
+//! centres drawn from a shared centre pool. The pool (hundreds of KB)
+//! exceeds the L1 but not the L2, so it thrashes the cache under
+//! 48-warp round robin — the textbook CCWS opportunity — while the
+//! point stream produces steady compulsory TLB misses. Accesses are
+//! fully coalesced (page divergence ≈ 1) and control flow is uniform.
+
+use crate::Scale;
+use gmmu_sim::rng::mix3;
+use gmmu_simt::program::{Kernel, MemKind, Op, Program, ThreadId};
+use gmmu_vm::{AddressSpace, PageSize, Region, VAddr};
+
+/// Candidate centres compared per point.
+const COMPARES: u32 = 12;
+/// Points per thread.
+const POINTS_PER_THREAD: u32 = 4;
+/// Bytes per centre record.
+const RECORD_BYTES: u64 = 128;
+/// Bytes per streamed point record (weight + assignment metadata; the
+/// coordinate block stays in registers across the comparison loop).
+const POINT_BYTES: u64 = 8;
+/// Centre-pool records per unit of [`Scale::data_factor`].
+const CENTERS_PER_FACTOR: u64 = 2048;
+/// Candidate centres a warp's requests revisit (its working set).
+const WARP_CENTER_SET: u64 = 24;
+
+/// The streamcluster kernel and its data set.
+#[derive(Debug)]
+pub struct StreamclusterKernel {
+    program: Program,
+    threads: u32,
+    seed: u64,
+    n_centers: u64,
+    points: Region,
+    centers: Region,
+    cost_out: Region,
+}
+
+impl StreamclusterKernel {
+    /// Maps the point stream and centre pool into `space`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address space runs out of frames.
+    pub fn build(space: &mut AddressSpace, scale: Scale, seed: u64, pages: PageSize) -> Self {
+        let threads = scale.threads();
+        let n_points = threads as u64 * POINTS_PER_THREAD as u64;
+        let n_centers = CENTERS_PER_FACTOR * scale.data_factor();
+        let points = space
+            .map_region("sc.points", n_points * POINT_BYTES, pages)
+            .expect("map points");
+        let centers = space
+            .map_region("sc.centers", n_centers * RECORD_BYTES, pages)
+            .expect("map centers");
+        let cost_out = space
+            .map_region("sc.cost", n_points * 8, pages)
+            .expect("map cost");
+        let program = Program::new(vec![
+            Op::Mem { site: 0, kind: MemKind::Load },  // 0: point
+            Op::Alu { cycles: 8 },                     // 1
+            // Centre-comparison loop (pc 2..=7).
+            Op::Mem { site: 1, kind: MemKind::Load },  // 2: candidate centre
+            Op::Alu { cycles: 12 },                    // 3: distance
+            Op::Alu { cycles: 12 },                    // 4
+            Op::Alu { cycles: 8 },                     // 5: gain accumulate
+            Op::Alu { cycles: 4 },                     // 6
+            Op::Branch { site: 2, taken_pc: 2, reconv_pc: 8 }, // 7
+            Op::Mem { site: 3, kind: MemKind::Store }, // 8: cost/assign
+            Op::Branch { site: 4, taken_pc: 0, reconv_pc: 10 }, // 9
+        ]);
+        Self {
+            program,
+            threads,
+            seed,
+            n_centers,
+            points,
+            centers,
+            cost_out,
+        }
+    }
+
+    fn point(&self, tid: ThreadId, p: u32) -> u64 {
+        p as u64 * self.threads as u64 + tid as u64
+    }
+
+    /// Candidate centre for comparison `i` of pass `p` — warp-uniform
+    /// (every thread compares against the same candidate). Each warp's
+    /// candidates revisit a small *contiguous* run of the pool (open
+    /// centres are allocated together), so a warp's TLB footprint is a
+    /// page or two while its L1 footprint (24 lines vs a 256-line L1
+    /// shared by 48 warps) thrashes — the locality CCWS recovers.
+    fn center(&self, warp: u64, p: u32, i: u32) -> u64 {
+        let j = mix3(self.seed, p as u64, i as u64) % WARP_CENTER_SET;
+        let base = mix3(self.seed ^ 0x5c, warp, 0) % (self.n_centers - WARP_CENTER_SET);
+        base + j
+    }
+}
+
+impl Kernel for StreamclusterKernel {
+    fn name(&self) -> &str {
+        "streamcluster"
+    }
+
+    fn program(&self) -> &Program {
+        &self.program
+    }
+
+    fn num_threads(&self) -> u32 {
+        self.threads
+    }
+
+    fn block_threads(&self) -> u32 {
+        256
+    }
+
+    fn mem_addr(&self, tid: ThreadId, site: u16, iter: u32) -> VAddr {
+        match site {
+            0 => self.points.at(self.point(tid, iter) * POINT_BYTES),
+            1 => {
+                let p = iter / COMPARES;
+                let i = iter % COMPARES;
+                let warp = (tid / 32) as u64;
+                self.centers.at(self.center(warp, p, i) * RECORD_BYTES)
+            }
+            3 => self.cost_out.at(self.point(tid, iter) * 8),
+            _ => unreachable!("streamcluster has no memory site {site}"),
+        }
+    }
+
+    fn branch_taken(&self, _tid: ThreadId, site: u16, iter: u32) -> bool {
+        match site {
+            2 => (iter % COMPARES) + 1 < COMPARES,
+            4 => iter + 1 < POINTS_PER_THREAD,
+            _ => unreachable!("streamcluster has no branch site {site}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gmmu_vm::SpaceConfig;
+
+    fn kernel() -> (AddressSpace, StreamclusterKernel) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let k = StreamclusterKernel::build(&mut space, Scale::Tiny, 3, PageSize::Base4K);
+        (space, k)
+    }
+
+    #[test]
+    fn centre_loads_are_warp_uniform() {
+        let (_, k) = kernel();
+        for iter in 0..COMPARES {
+            let a = k.mem_addr(0, 1, iter);
+            let b = k.mem_addr(31, 1, iter);
+            assert_eq!(a, b, "all lanes broadcast the same centre");
+        }
+    }
+
+    #[test]
+    fn warps_have_small_candidate_working_sets() {
+        let (_, k) = kernel();
+        let kref = &k;
+        let one_warp: std::collections::HashSet<u64> = (0..POINTS_PER_THREAD)
+            .flat_map(|p| (0..COMPARES).map(move |i| kref.center(3, p, i)))
+            .collect();
+        assert!(one_warp.len() <= WARP_CENTER_SET as usize);
+        // Contiguous run → at most two pages of centres.
+        let span = one_warp.iter().max().unwrap() - one_warp.iter().min().unwrap();
+        assert!(span < WARP_CENTER_SET);
+        // Different warps draw different sets covering the pool.
+        let many: std::collections::HashSet<u64> = (0..64u64)
+            .flat_map(|w| (0..COMPARES).map(move |i| kref.center(w, 0, i)))
+            .collect();
+        assert!(many.len() > 100, "pool coverage too small: {}", many.len());
+        assert!(many.iter().all(|&c| c < k.n_centers));
+    }
+
+    #[test]
+    fn pool_exceeds_l1_but_fits_l2() {
+        let (_, k) = kernel();
+        let bytes = k.n_centers * RECORD_BYTES;
+        assert!(bytes > 32 * 1024, "pool must thrash the L1");
+        assert!(
+            bytes >= 1024 * 1024,
+            "pool must not fit even a 512-entry TLB"
+        );
+    }
+
+    #[test]
+    fn all_addresses_mapped() {
+        let (space, k) = kernel();
+        for tid in (0..k.num_threads()).step_by(97) {
+            for p in 0..POINTS_PER_THREAD {
+                assert!(space.translate(k.mem_addr(tid, 0, p)).is_ok());
+                assert!(space.translate(k.mem_addr(tid, 3, p)).is_ok());
+                for i in 0..COMPARES {
+                    assert!(space
+                        .translate(k.mem_addr(tid, 1, p * COMPARES + i))
+                        .is_ok());
+                }
+            }
+        }
+    }
+}

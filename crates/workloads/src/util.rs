@@ -1,0 +1,51 @@
+//! Shared helpers for workload kernels.
+
+/// Splits a flat per-site iteration counter into (outer, inner)
+/// coordinates when an inner-loop site executes a variable number of
+/// times per outer iteration.
+///
+/// `count(o)` gives the inner trip count of outer iteration `o`; outer
+/// iterations run `0..outers`. Iterations beyond the total clamp to the
+/// last valid pair (defensive: the simulator never generates them for a
+/// correct program).
+pub fn split_iter(iter: u32, outers: u32, count: impl Fn(u32) -> u32) -> (u32, u32) {
+    debug_assert!(outers > 0);
+    let mut rem = iter;
+    for o in 0..outers {
+        let c = count(o).max(1);
+        if rem < c {
+            return (o, rem);
+        }
+        rem -= c;
+    }
+    let last = outers - 1;
+    (last, count(last).max(1) - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splits_variable_counts() {
+        // counts: [2, 1, 3]
+        let count = |o: u32| [2u32, 1, 3][o as usize];
+        let pairs: Vec<(u32, u32)> = (0..6).map(|i| split_iter(i, 3, count)).collect();
+        assert_eq!(
+            pairs,
+            vec![(0, 0), (0, 1), (1, 0), (2, 0), (2, 1), (2, 2)]
+        );
+    }
+
+    #[test]
+    fn zero_counts_behave_as_one() {
+        let (o, i) = split_iter(0, 2, |_| 0);
+        assert_eq!((o, i), (0, 0));
+    }
+
+    #[test]
+    fn overflow_clamps_to_last() {
+        let (o, i) = split_iter(100, 2, |_| 2);
+        assert_eq!((o, i), (1, 1));
+    }
+}

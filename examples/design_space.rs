@@ -1,0 +1,73 @@
+//! Design-space exploration with the public API: sweep TLB geometry
+//! and walker organization for one workload and print the frontier.
+//!
+//! This is the kind of study a downstream architect would run when
+//! sizing an MMU for their own accelerator.
+//!
+//! ```text
+//! cargo run --release --example design_space [-- bench]
+//! ```
+
+use gmmu::prelude::*;
+use gmmu_simt::gpu::run_kernel;
+
+fn main() {
+    let bench = match std::env::args().nth(1).as_deref() {
+        Some("mummergpu") => Bench::Mummergpu,
+        Some("memcached") => Bench::Memcached,
+        Some("kmeans") => Bench::Kmeans,
+        _ => Bench::Streamcluster,
+    };
+    let workload = build(bench, Scale::Tiny, 11);
+    let base_cfg = || {
+        let mut cfg = GpuConfig::experiment_scale(MmuModel::Ideal);
+        cfg.n_cores = 2;
+        cfg.mem.channels = 1;
+        cfg
+    };
+    let ideal = run_kernel(base_cfg(), workload.kernel.as_ref(), &workload.space);
+
+    let mut table = Table::new(
+        &format!("{bench}: TLB geometry × walker (speedup vs no TLB)"),
+        &["entries", "ports", "mode", "walker", "speedup", "miss %"],
+    );
+    for entries in [64usize, 128, 256] {
+        for ports in [3usize, 4] {
+            for (mode_name, mode) in [
+                ("blocking", TlbMode::Blocking),
+                ("hum+overlap", TlbMode::HitUnderMissOverlap),
+            ] {
+                for (walker_name, walker) in [
+                    ("serial", WalkerConfig::serial()),
+                    ("coalesced", WalkerConfig::coalesced()),
+                ] {
+                    let mut cfg = base_cfg();
+                    cfg.mmu = MmuModel::Real {
+                        tlb: TlbConfig {
+                            entries,
+                            ports,
+                            mode,
+                            ..TlbConfig::naive()
+                        },
+                        walker,
+                    };
+                    let s = run_kernel(cfg, workload.kernel.as_ref(), &workload.space);
+                    table.row(vec![
+                        (entries as u64).into(),
+                        (ports as u64).into(),
+                        mode_name.into(),
+                        walker_name.into(),
+                        s.speedup_vs(&ideal).into(),
+                        (100.0 * s.tlb_miss_rate()).into(),
+                    ]);
+                }
+            }
+        }
+    }
+    println!("{table}");
+    println!("(CSV below for plotting)\n");
+    // The same table as machine-readable output.
+    for t in [table] {
+        print!("{}", t.to_csv());
+    }
+}

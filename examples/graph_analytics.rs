@@ -1,0 +1,76 @@
+//! Graph analytics with branch divergence: thread block compaction
+//! meets address translation (the paper's Section 8 story, on bfs).
+//!
+//! Dynamic warp formation recovers SIMD lanes lost to divergent
+//! branches — but blindly mixing threads from different warps scatters
+//! each new warp's memory accesses across more pages, raising TLB
+//! pressure. The Common Page Matrix steers compaction toward threads
+//! whose home warps share PTEs.
+//!
+//! ```text
+//! cargo run --release --example graph_analytics
+//! ```
+
+use gmmu::prelude::*;
+use gmmu_simt::gpu::run_kernel;
+
+fn main() {
+    let workload = build(Bench::Bfs, Scale::Tiny, 7);
+    println!(
+        "frontier expansion over a {} MB CSR graph\n",
+        workload.space.mapped_bytes() >> 20
+    );
+
+    let base_cfg = || {
+        let mut cfg = GpuConfig::experiment_scale(MmuModel::Ideal);
+        cfg.n_cores = 2;
+        cfg.mem.channels = 1;
+        cfg
+    };
+    let ideal = run_kernel(base_cfg(), workload.kernel.as_ref(), &workload.space);
+
+    let mut table = Table::new(
+        "bfs: compaction × translation",
+        &[
+            "configuration",
+            "speedup",
+            "warp insns",
+            "page div",
+            "dwarps formed",
+        ],
+    );
+    let cases: [(&str, MmuModel, Option<TbcConfig>); 5] = [
+        ("baseline (no TLB)", MmuModel::Ideal, None),
+        ("TBC (no TLB)", MmuModel::Ideal, Some(TbcConfig::baseline())),
+        ("augmented MMU, no TBC", MmuModel::augmented(), None),
+        (
+            "augmented MMU + TBC",
+            MmuModel::augmented(),
+            Some(TbcConfig::baseline()),
+        ),
+        (
+            "augmented MMU + TLB-aware TBC",
+            MmuModel::augmented(),
+            Some(TbcConfig::tlb_aware(3)),
+        ),
+    ];
+    for (name, mmu, tbc) in cases {
+        let mut cfg = base_cfg();
+        cfg.mmu = mmu;
+        cfg.tbc = tbc;
+        let s = run_kernel(cfg, workload.kernel.as_ref(), &workload.space);
+        table.row(vec![
+            name.into(),
+            s.speedup_vs(&ideal).into(),
+            s.instructions.into(),
+            s.page_divergence.mean().into(),
+            s.dwarps_formed.into(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "reading: TBC cuts warp instructions (compacted lanes), but raises page\n\
+         divergence; the CPM-steered variant pulls divergence back toward the\n\
+         uncompacted level while keeping most of the lane savings."
+    );
+}

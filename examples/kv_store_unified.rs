@@ -1,0 +1,62 @@
+//! A GPU-accelerated key-value store with a unified address space —
+//! the paper's memcached motivation (Section 5.1).
+//!
+//! In a unified CPU/GPU address space the GPU walks the *same* hash
+//! table the CPU mutates: no copies, no pinning, pointers valid on
+//! both sides. The price is GPU address translation. This example asks
+//! the practical question a deployment would: how much lookup
+//! throughput does each MMU design keep, and does a TLB-conscious
+//! scheduler pay for itself?
+//!
+//! ```text
+//! cargo run --release --example kv_store_unified
+//! ```
+
+use gmmu::prelude::*;
+use gmmu_simt::gpu::run_kernel;
+
+fn main() {
+    // Experiment scale: large enough that the TLB-conscious scheduler
+    // has warps worth throttling (at toy scales it never engages).
+    let workload = build(Bench::Memcached, Scale::Small, 2026);
+    println!(
+        "key-value store: {} MB of buckets+items, Zipf(0.99) request mix\n",
+        workload.space.mapped_bytes() >> 20
+    );
+
+    let base_cfg = || GpuConfig::experiment_scale(MmuModel::Ideal);
+
+    let mut table = Table::new(
+        "GET throughput under each translation design",
+        &["design", "cycles", "relative req/s", "TLB miss %"],
+    );
+    let ideal = run_kernel(base_cfg(), workload.kernel.as_ref(), &workload.space);
+    let configs: [(&str, MmuModel, PolicyKind); 4] = [
+        ("no translation (upper bound)", MmuModel::Ideal, PolicyKind::None),
+        ("naive CPU-style MMU", MmuModel::naive(), PolicyKind::None),
+        ("augmented MMU", MmuModel::augmented(), PolicyKind::None),
+        (
+            "augmented + TCWS scheduler",
+            MmuModel::augmented(),
+            PolicyKind::tcws_best(),
+        ),
+    ];
+    for (name, mmu, policy) in configs {
+        let mut cfg = base_cfg();
+        cfg.mmu = mmu;
+        cfg.policy = policy;
+        let s = run_kernel(cfg, workload.kernel.as_ref(), &workload.space);
+        table.row(vec![
+            name.into(),
+            s.cycles.into(),
+            (s.speedup_vs(&ideal)).into(),
+            (100.0 * s.tlb_miss_rate()).into(),
+        ]);
+    }
+    println!("{table}");
+    println!(
+        "reading: the augmented MMU keeps GET throughput within a few percent of the\n\
+         no-translation bound — the unified address space is essentially free, which is\n\
+         the paper's argument for building GPU MMUs rather than avoiding them."
+    );
+}

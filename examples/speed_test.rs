@@ -1,0 +1,28 @@
+//! Calibration probe: ideal vs naive vs augmented per benchmark.
+use gmmu_core::mmu::MmuModel;
+use gmmu_simt::{gpu::run_kernel, GpuConfig};
+use gmmu_workloads::{build, Bench, Scale};
+
+fn main() {
+    let scale = match std::env::args().nth(1).as_deref() {
+        Some("tiny") => Scale::Tiny,
+        _ => Scale::Small,
+    };
+    for bench in Bench::all() {
+        let w = build(bench, scale, 7);
+        let cfg = |mmu| GpuConfig { ..gmmu_simt::GpuConfig::experiment_scale(mmu) };
+        let t0 = std::time::Instant::now();
+        let ideal = run_kernel(cfg(MmuModel::Ideal), w.kernel.as_ref(), &w.space);
+        let t_ideal = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let naive = run_kernel(cfg(MmuModel::naive()), w.kernel.as_ref(), &w.space);
+        let t_naive = t1.elapsed();
+        let aug = run_kernel(cfg(MmuModel::augmented()), w.kernel.as_ref(), &w.space);
+        println!("{bench:>14}: ideal_ipc={:.2} naive={:.3} aug={:.3} | miss={:.2} pdiv={:.1}/{} walklat={:.0} l1lat={:.0} l1miss={:.2} idle={:.2} | t={:.1?}/{:.1?}",
+            ideal.ipc(),
+            naive.speedup_vs(&ideal), aug.speedup_vs(&ideal),
+            naive.tlb_miss_rate(), naive.page_divergence.mean(), naive.page_divergence.max(),
+            naive.tlb_miss_latency.mean(), naive.l1_miss_latency.mean(), ideal.l1_miss_rate(),
+            naive.idle_fraction(), t_ideal, t_naive);
+    }
+}

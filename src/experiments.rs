@@ -1,0 +1,255 @@
+//! Experiment plumbing shared by every figure harness.
+//!
+//! The paper reports each design point as a *speedup over the same GPU
+//! without TLBs* (perfect, free translation). A [`Runner`] owns the
+//! built workloads and the per-benchmark no-TLB baseline runs, so a
+//! figure sweep pays for workload construction and the baseline once.
+
+use crate::prelude::*;
+use gmmu_simt::gpu::run_kernel;
+use std::collections::HashMap;
+
+/// Scope of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExperimentOpts {
+    /// Workload scale.
+    pub scale: Scale,
+    /// Shader cores (the memory system keeps the paper's ~4:1
+    /// core-to-channel ratio).
+    pub n_cores: usize,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ExperimentOpts {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Small,
+            n_cores: 8,
+            seed: 7,
+        }
+    }
+}
+
+impl ExperimentOpts {
+    /// CI/smoke scope: tiny workloads on a 2-core machine.
+    pub fn quick() -> Self {
+        Self {
+            scale: Scale::Tiny,
+            n_cores: 2,
+            seed: 7,
+        }
+    }
+
+    /// The paper's full 30-core machine (slow; for final numbers).
+    pub fn full() -> Self {
+        Self {
+            scale: Scale::Full,
+            n_cores: 30,
+            seed: 7,
+        }
+    }
+
+    /// Parses harness arguments: `--quick`, `--full` (default: the
+    /// standard experiment scope).
+    pub fn from_args() -> Self {
+        let mut opts = Self::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => opts = Self::quick(),
+                "--full" => opts = Self::full(),
+                "--csv" => {} // presentation flag, handled by the binary
+                other => eprintln!("ignoring unknown argument {other}"),
+            }
+        }
+        opts
+    }
+
+    /// The GPU configuration for this scope with the given MMU, before
+    /// figure-specific adjustments.
+    pub fn gpu(&self, mmu: MmuModel) -> GpuConfig {
+        let mut cfg = GpuConfig::experiment_scale(mmu);
+        cfg.n_cores = self.n_cores;
+        // Keep the paper's 30-core : 8-channel balance at any size.
+        cfg.mem.channels = ((self.n_cores * 8 + 15) / 30).max(1);
+        cfg.seed = self.seed;
+        cfg
+    }
+}
+
+/// Runs design points against cached workloads and baselines.
+pub struct Runner {
+    opts: ExperimentOpts,
+    workloads: HashMap<Bench, Workload>,
+    large_page_workloads: HashMap<Bench, Workload>,
+    baselines: HashMap<Bench, RunStats>,
+    /// Simulations executed (diagnostics).
+    pub runs: usize,
+}
+
+impl Runner {
+    /// Creates an empty runner.
+    pub fn new(opts: ExperimentOpts) -> Self {
+        Self {
+            opts,
+            workloads: HashMap::new(),
+            large_page_workloads: HashMap::new(),
+            baselines: HashMap::new(),
+            runs: 0,
+        }
+    }
+
+    /// The scope this runner executes at.
+    pub fn opts(&self) -> ExperimentOpts {
+        self.opts
+    }
+
+    fn ensure_workload(&mut self, bench: Bench) {
+        let opts = self.opts;
+        self.workloads
+            .entry(bench)
+            .or_insert_with(|| build(bench, opts.scale, opts.seed));
+    }
+
+    /// Runs one design point: the base configuration is the scope's GPU
+    /// with an ideal MMU; `configure` applies the figure's changes.
+    pub fn run(&mut self, bench: Bench, configure: impl FnOnce(&mut GpuConfig)) -> RunStats {
+        self.ensure_workload(bench);
+        let mut cfg = self.opts.gpu(MmuModel::Ideal);
+        configure(&mut cfg);
+        let w = &self.workloads[&bench];
+        self.runs += 1;
+        run_kernel(cfg, w.kernel.as_ref(), &w.space)
+    }
+
+    /// Same as [`Runner::run`] but on the 2 MB-page build of the
+    /// workload (Section 9); sets the 2 MB translation granule.
+    pub fn run_large_pages(
+        &mut self,
+        bench: Bench,
+        configure: impl FnOnce(&mut GpuConfig),
+    ) -> RunStats {
+        let opts = self.opts;
+        self.large_page_workloads
+            .entry(bench)
+            .or_insert_with(|| build_paged(bench, opts.scale, opts.seed, PageSize::Large2M));
+        let mut cfg = self.opts.gpu(MmuModel::Ideal);
+        cfg.granule = PageSize::Large2M;
+        configure(&mut cfg);
+        let w = &self.large_page_workloads[&bench];
+        self.runs += 1;
+        run_kernel(cfg, w.kernel.as_ref(), &w.space)
+    }
+
+    /// The plain no-TLB baseline every figure normalizes against
+    /// (round-robin scheduling, no CCWS/TBC, ideal MMU).
+    pub fn baseline(&mut self, bench: Bench) -> RunStats {
+        if !self.baselines.contains_key(&bench) {
+            let stats = self.run(bench, |_| {});
+            self.baselines.insert(bench, stats);
+        }
+        self.baselines[&bench].clone()
+    }
+
+    /// Speedup of a design point over the no-TLB baseline (the paper's
+    /// y-axis).
+    pub fn speedup(&mut self, bench: Bench, configure: impl FnOnce(&mut GpuConfig)) -> f64 {
+        let base = self.baseline(bench);
+        self.run(bench, configure).speedup_vs(&base)
+    }
+}
+
+/// TLB geometry helper used by the design-space figures.
+pub fn tlb(entries: usize, ports: usize, mode: TlbMode) -> TlbConfig {
+    TlbConfig {
+        entries,
+        ports,
+        mode,
+        ..TlbConfig::naive()
+    }
+}
+
+/// `MmuModel` helper.
+pub fn mmu(tlb: TlbConfig, walker: WalkerConfig) -> MmuModel {
+    MmuModel::Real { tlb, walker }
+}
+
+/// The paper's named design points.
+pub mod designs {
+    use super::*;
+
+    /// Figure 2's strawman: 128-entry, 3-port, blocking, serial walker.
+    pub fn naive3() -> MmuModel {
+        mmu(tlb(128, 3, TlbMode::Blocking), WalkerConfig::serial())
+    }
+
+    /// 4-ported naive TLB (the Section 6.3 port fix alone).
+    pub fn naive4() -> MmuModel {
+        mmu(tlb(128, 4, TlbMode::Blocking), WalkerConfig::serial())
+    }
+
+    /// + hits under misses.
+    pub fn hum() -> MmuModel {
+        mmu(tlb(128, 4, TlbMode::HitUnderMiss), WalkerConfig::serial())
+    }
+
+    /// + overlapped cache access for TLB-hit threads.
+    pub fn overlap() -> MmuModel {
+        mmu(
+            tlb(128, 4, TlbMode::HitUnderMissOverlap),
+            WalkerConfig::serial(),
+        )
+    }
+
+    /// + page-table-walk scheduling: the fully augmented design.
+    pub fn augmented() -> MmuModel {
+        MmuModel::augmented()
+    }
+
+    /// The impractical ideal: 512 entries, 32 ports, no latency.
+    pub fn ideal_tlb() -> MmuModel {
+        MmuModel::ideal_large_tlb()
+    }
+
+    /// Naive blocking TLB with `n` serial walkers (Figure 11).
+    pub fn naive_multi_ptw(n: usize) -> MmuModel {
+        mmu(tlb(128, 4, TlbMode::Blocking), WalkerConfig::serial_n(n))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_runner_reproduces_the_headline_ordering() {
+        let mut r = Runner::new(ExperimentOpts::quick());
+        let naive = r.speedup(Bench::Memcached, |c| c.mmu = designs::naive3());
+        let aug = r.speedup(Bench::Memcached, |c| c.mmu = designs::augmented());
+        assert!(naive < 1.0, "naive TLBs must degrade: {naive}");
+        assert!(aug > naive, "augmentation must recover: {aug} vs {naive}");
+        assert!(aug > 0.8, "augmented should be near-ideal: {aug}");
+        // Baseline and workload are cached: 3 runs total.
+        assert_eq!(r.runs, 3);
+    }
+
+    #[test]
+    fn baseline_is_cached_and_stable() {
+        let mut r = Runner::new(ExperimentOpts::quick());
+        let a = r.baseline(Bench::Kmeans);
+        let b = r.baseline(Bench::Kmeans);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(r.runs, 1);
+    }
+
+    #[test]
+    fn opts_scale_machine_consistently() {
+        let q = ExperimentOpts::quick().gpu(MmuModel::Ideal);
+        assert_eq!(q.mem.channels, 1);
+        let f = ExperimentOpts::full().gpu(MmuModel::Ideal);
+        assert_eq!(f.n_cores, 30);
+        assert_eq!(f.mem.channels, 8, "the paper's full machine");
+        let d = ExperimentOpts::default().gpu(MmuModel::Ideal);
+        assert_eq!(d.mem.channels, 2);
+    }
+}

@@ -1,0 +1,90 @@
+//! Reproducibility: identical configurations must produce identical
+//! results, and the knobs that should matter must matter.
+
+use gmmu::experiments::{designs, ExperimentOpts, Runner};
+use gmmu::prelude::*;
+use gmmu_simt::gpu::run_kernel;
+
+#[test]
+fn identical_configs_are_bit_identical() {
+    for b in [Bench::Bfs, Bench::Memcached, Bench::Streamcluster] {
+        let mut r1 = Runner::new(ExperimentOpts::quick());
+        let mut r2 = Runner::new(ExperimentOpts::quick());
+        let a = r1.run(b, |c| c.mmu = designs::augmented());
+        let c = r2.run(b, |c| c.mmu = designs::augmented());
+        assert_eq!(a.cycles, c.cycles, "{b} cycles differ");
+        assert_eq!(a.instructions, c.instructions);
+        assert_eq!(a.tlb_accesses, c.tlb_accesses);
+        assert_eq!(a.tlb_hits, c.tlb_hits);
+        assert_eq!(a.l1_accesses, c.l1_accesses);
+        assert_eq!(a.dram_requests, c.dram_requests);
+        assert_eq!(a.walks, c.walks);
+    }
+}
+
+#[test]
+fn seeds_change_workloads() {
+    let w1 = build(Bench::Memcached, Scale::Tiny, 1);
+    let w2 = build(Bench::Memcached, Scale::Tiny, 2);
+    let cfg = || {
+        let mut c = GpuConfig::experiment_scale(MmuModel::naive());
+        c.n_cores = 2;
+        c.mem.channels = 1;
+        c
+    };
+    let a = run_kernel(cfg(), w1.kernel.as_ref(), &w1.space);
+    let b = run_kernel(cfg(), w2.kernel.as_ref(), &w2.space);
+    assert_ne!(a.cycles, b.cycles, "seed had no effect");
+}
+
+#[test]
+fn policies_are_deterministic_too() {
+    for policy in [
+        PolicyKind::Ccws,
+        PolicyKind::TaCcws { tlb_weight: 4 },
+        PolicyKind::tcws_best(),
+    ] {
+        let mut r1 = Runner::new(ExperimentOpts::quick());
+        let mut r2 = Runner::new(ExperimentOpts::quick());
+        let mk = |c: &mut GpuConfig| {
+            c.policy = policy;
+            c.mmu = designs::augmented();
+        };
+        let a = r1.run(Bench::Streamcluster, mk);
+        let b = r2.run(Bench::Streamcluster, mk);
+        assert_eq!(a.cycles, b.cycles, "{policy:?} nondeterministic");
+    }
+}
+
+#[test]
+fn tbc_is_deterministic() {
+    let mut r1 = Runner::new(ExperimentOpts::quick());
+    let mut r2 = Runner::new(ExperimentOpts::quick());
+    let mk = |c: &mut GpuConfig| {
+        c.tbc = Some(TbcConfig::tlb_aware(3));
+        c.mmu = designs::augmented();
+    };
+    let a = r1.run(Bench::Mummergpu, mk);
+    let b = r2.run(Bench::Mummergpu, mk);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.dwarps_formed, b.dwarps_formed);
+}
+
+#[test]
+fn core_count_scales_throughput() {
+    let w = build(Bench::Kmeans, Scale::Tiny, 7);
+    let run_with = |cores: usize, channels: usize| {
+        let mut c = GpuConfig::experiment_scale(MmuModel::Ideal);
+        c.n_cores = cores;
+        c.mem.channels = channels;
+        run_kernel(c, w.kernel.as_ref(), &w.space)
+    };
+    let two = run_with(2, 1);
+    let eight = run_with(8, 4);
+    assert!(
+        eight.cycles < two.cycles,
+        "more cores+channels should finish sooner ({} vs {})",
+        eight.cycles,
+        two.cycles
+    );
+}

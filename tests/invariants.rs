@@ -1,0 +1,182 @@
+//! Conservation and consistency invariants across the full stack.
+
+use gmmu::experiments::{designs, ExperimentOpts, Runner};
+use gmmu::prelude::*;
+
+fn quick() -> Runner {
+    Runner::new(ExperimentOpts::quick())
+}
+
+#[test]
+fn stat_conservation_under_every_mmu() {
+    let mut r = quick();
+    for b in [Bench::Bfs, Bench::Memcached, Bench::Pathfinder] {
+        for model in [designs::naive3(), designs::hum(), designs::augmented()] {
+            let s = r.run(b, |c| c.mmu = model);
+            // Hits never exceed accesses anywhere.
+            assert!(s.tlb_hits <= s.tlb_accesses, "{b}");
+            assert!(s.l1_hits <= s.l1_accesses, "{b}");
+            // Every committed memory instruction presented at least one
+            // page to the TLB (replays can add more).
+            assert!(s.tlb_accesses >= s.mem_instructions, "{b}");
+            // A walk only exists for a miss, and MSHR merging can only
+            // reduce walks below misses.
+            assert!(s.walks <= s.tlb_accesses - s.tlb_hits, "{b}");
+            // The walker never issues more references than four per walk
+            // and never *reports* eliminating references it issued.
+            assert!(s.walk_refs_issued <= s.walk_refs_naive, "{b}");
+            assert!(s.walk_refs_naive <= 4 * s.walks, "{b}");
+            // Page-divergence samples come one per memory instruction.
+            assert_eq!(s.page_divergence.count(), s.mem_instructions, "{b}");
+            // Busyness bookkeeping.
+            assert!(s.idle_cycles <= s.live_cycles, "{b}");
+            assert!(s.instructions > 0 && s.cycles > 0, "{b}");
+        }
+    }
+}
+
+#[test]
+fn ideal_mmu_has_no_translation_activity() {
+    let mut r = quick();
+    let s = r.baseline(Bench::Kmeans);
+    assert_eq!(s.tlb_accesses, 0);
+    assert_eq!(s.walks, 0);
+    assert_eq!(s.walk_refs_issued, 0);
+    assert_eq!(s.tlb_miss_latency.count(), 0);
+}
+
+#[test]
+fn speedup_is_self_consistent() {
+    let mut r = quick();
+    let a = r.baseline(Bench::Kmeans);
+    assert!((a.speedup_vs(&a) - 1.0).abs() < 1e-12);
+    let b = r.run(Bench::Kmeans, |c| c.mmu = designs::naive3());
+    let fwd = b.speedup_vs(&a);
+    let rev = a.speedup_vs(&b);
+    assert!((fwd * rev - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn policies_never_change_committed_work() {
+    let mut r = quick();
+    for b in [Bench::Streamcluster, Bench::Bfs] {
+        let base = r.baseline(b);
+        for policy in [
+            PolicyKind::Ccws,
+            PolicyKind::TaCcws { tlb_weight: 4 },
+            PolicyKind::tcws_best(),
+        ] {
+            let s = r.run(b, |c| {
+                c.policy = policy;
+                c.mmu = designs::augmented();
+            });
+            assert!(s.completed, "{b} under {policy:?}");
+            assert_eq!(s.mem_instructions, base.mem_instructions, "{b} {policy:?}");
+            assert_eq!(s.blocks_done, base.blocks_done, "{b} {policy:?}");
+        }
+    }
+}
+
+#[test]
+fn tbc_conserves_per_thread_memory_work() {
+    // Compaction changes warp grouping, never the set of thread-level
+    // accesses: line traffic entering the memory system stays bounded
+    // and blocks all complete.
+    let mut r = quick();
+    for b in [Bench::Bfs, Bench::Mummergpu] {
+        let base = r.baseline(b);
+        let tbc = r.run(b, |c| c.tbc = Some(TbcConfig::baseline()));
+        assert_eq!(tbc.blocks_done, base.blocks_done, "{b}");
+        // Warp-level instruction count may shrink (that is the point)
+        // but never below the fully-compacted bound or above baseline.
+        assert!(tbc.instructions <= base.instructions, "{b}");
+        assert!(tbc.instructions >= base.instructions / 32, "{b}");
+    }
+}
+
+#[test]
+fn walker_kinds_agree_on_translated_work() {
+    let mut r = quick();
+    let base = r.baseline(Bench::Memcached);
+    for walker in [
+        WalkerConfig::serial(),
+        WalkerConfig::serial_n(4),
+        WalkerConfig::coalesced(),
+        WalkerConfig::software(200),
+        WalkerConfig::serial().with_pwc(16),
+        WalkerConfig::coalesced().with_pwc(16),
+    ] {
+        let s = r.run(Bench::Memcached, |c| {
+            c.mmu = MmuModel::Real {
+                tlb: TlbConfig::augmented(),
+                walker,
+            };
+        });
+        assert!(s.completed, "{walker:?}");
+        assert_eq!(s.mem_instructions, base.mem_instructions, "{walker:?}");
+    }
+}
+
+#[test]
+fn pwc_reduces_walker_references() {
+    let mut r = quick();
+    let plain = r.run(Bench::Bfs, |c| {
+        c.mmu = MmuModel::Real {
+            tlb: TlbConfig::augmented(),
+            walker: WalkerConfig::serial(),
+        };
+    });
+    let pwc = r.run(Bench::Bfs, |c| {
+        c.mmu = MmuModel::Real {
+            tlb: TlbConfig::augmented(),
+            walker: WalkerConfig::serial().with_pwc(16),
+        };
+    });
+    assert!(
+        pwc.walk_refs_issued < plain.walk_refs_issued,
+        "PWC {} !< plain {}",
+        pwc.walk_refs_issued,
+        plain.walk_refs_issued
+    );
+    assert!(pwc.cycles <= plain.cycles);
+}
+
+#[test]
+fn software_walker_is_strictly_slower() {
+    let mut r = quick();
+    let hw = r.run(Bench::Memcached, |c| c.mmu = designs::naive4());
+    let sw = r.run(Bench::Memcached, |c| {
+        c.mmu = MmuModel::Real {
+            tlb: TlbConfig::naive(),
+            walker: WalkerConfig::software(200),
+        };
+    });
+    assert!(sw.cycles > hw.cycles, "traps must cost time");
+}
+
+#[test]
+fn tighter_mshrs_never_speed_things_up() {
+    let mut r = quick();
+    let wide = r.run(Bench::Mummergpu, |c| {
+        c.mmu = MmuModel::Real {
+            tlb: TlbConfig::augmented(),
+            walker: WalkerConfig::coalesced(),
+        };
+    });
+    let narrow = r.run(Bench::Mummergpu, |c| {
+        c.mmu = MmuModel::Real {
+            tlb: TlbConfig {
+                mshrs: 4,
+                ..TlbConfig::augmented()
+            },
+            walker: WalkerConfig::coalesced(),
+        };
+    });
+    assert!(narrow.completed);
+    assert!(
+        narrow.cycles >= wide.cycles,
+        "narrow {} vs wide {}",
+        narrow.cycles,
+        wide.cycles
+    );
+}

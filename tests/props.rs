@@ -1,0 +1,224 @@
+//! Property-based tests (proptest) over the core data structures and
+//! cross-crate invariants.
+
+use gmmu_core::walker::{Walker, WalkerConfig};
+use gmmu_mem::{Cache, CacheConfig, MemConfig, MemorySystem};
+use gmmu_simt::coalesce::{coalesce, CoalesceBuf};
+use gmmu_simt::stack::SimtStack;
+use gmmu_vm::{AddressSpace, PageSize, SpaceConfig, VAddr, Vpn};
+use proptest::prelude::*;
+use std::collections::{HashMap, HashSet};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Address-space translation round-trips for arbitrary offsets into
+    /// arbitrary regions, and never invents mappings outside them.
+    #[test]
+    fn translation_roundtrip(
+        sizes in prop::collection::vec(1u64..200_000, 1..5),
+        probes in prop::collection::vec((0usize..5, 0u64..400_000), 1..50),
+    ) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let regions: Vec<_> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| space.map_region(&format!("r{i}"), s, PageSize::Base4K).unwrap())
+            .collect();
+        for (ri, off) in probes {
+            let region = &regions[ri % regions.len()];
+            let inside = off % region.bytes;
+            let va = region.base.offset(inside);
+            let (pa, _) = space.translate(va).expect("mapped offset must translate");
+            prop_assert_eq!(pa.raw() & 0xfff, va.raw() & 0xfff, "page offset preserved");
+            // Distinct pages must give distinct frames.
+        }
+        // Unmapped gaps stay unmapped (the guard gap after the last region).
+        let last = regions.last().unwrap();
+        prop_assert!(space.translate(last.end().offset(1 << 21)).is_err());
+    }
+
+    /// Distinct mapped pages never alias the same physical frame.
+    #[test]
+    fn no_frame_aliasing(pages in 1u64..600) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let r = space.map_region("r", pages * 4096, PageSize::Base4K).unwrap();
+        let mut seen = HashSet::new();
+        for p in 0..r.num_pages() {
+            let (pa, _) = space.translate(r.at(p * 4096)).unwrap();
+            prop_assert!(seen.insert(pa.ppn().raw()), "frame aliased");
+        }
+    }
+
+    /// The coalescer covers every active access with exactly the right
+    /// page, never duplicates a line, and bounds divergence by the lane
+    /// count.
+    #[test]
+    fn coalescer_covers_all_lanes(addrs in prop::collection::vec(0u64..1u64 << 30, 1..32)) {
+        let mut buf = CoalesceBuf::new();
+        coalesce(addrs.iter().map(|&a| (VAddr::new(a), 0u16)), &mut buf);
+        prop_assert!(buf.pages.len() <= addrs.len());
+        prop_assert!(buf.lines.len() <= addrs.len());
+        // No duplicate lines or pages.
+        let lines: HashSet<u64> = buf.lines.iter().map(|l| l.vline).collect();
+        prop_assert_eq!(lines.len(), buf.lines.len());
+        let pages: HashSet<u64> = buf.pages.iter().map(|p| p.vpn.raw()).collect();
+        prop_assert_eq!(pages.len(), buf.pages.len());
+        // Every address's line and page are present and agree.
+        for &a in &addrs {
+            let va = VAddr::new(a);
+            let line = buf
+                .lines
+                .iter()
+                .find(|l| l.vline == va.line(7))
+                .expect("line covered");
+            prop_assert_eq!(
+                buf.pages[line.page_idx as usize].vpn,
+                va.vpn(),
+                "line mapped to wrong page"
+            );
+        }
+    }
+
+    /// SIMT stack: for a divergent loop, every lane executes the body
+    /// exactly its own trip count and the tail executes once with the
+    /// full mask — regardless of the trip distribution.
+    #[test]
+    fn simt_stack_loops_execute_exact_trip_counts(
+        trips in prop::collection::vec(1u32..9, 1..32),
+    ) {
+        let n = trips.len();
+        let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
+        let mut stack = SimtStack::new(full, 3);
+        let mut body = vec![0u32; n];
+        let mut tail_mask = 0u32;
+        let mut steps = 0;
+        while !stack.is_done() {
+            steps += 1;
+            prop_assert!(steps < 10_000, "stack failed to converge");
+            let (pc, mask) = stack.current().unwrap();
+            match pc {
+                0 => {
+                    for (lane, b) in body.iter_mut().enumerate() {
+                        if mask & (1 << lane) != 0 {
+                            *b += 1;
+                        }
+                    }
+                    stack.advance(1);
+                }
+                1 => {
+                    let mut taken = 0;
+                    for lane in 0..n {
+                        if mask & (1 << lane) != 0 && body[lane] < trips[lane] {
+                            taken |= 1 << lane;
+                        }
+                    }
+                    stack.branch(taken, 0, 2, 2);
+                }
+                2 => {
+                    tail_mask |= mask;
+                    stack.advance(3);
+                }
+                other => prop_assert!(false, "unexpected pc {}", other),
+            }
+            prop_assert!(stack.depth() <= 2, "loop grew the stack");
+        }
+        prop_assert_eq!(body, trips);
+        prop_assert_eq!(tail_mask, full);
+    }
+
+    /// SIMT stack: an if/else partitions the lanes exactly.
+    #[test]
+    fn simt_stack_if_else_partitions(mask_bits in 0u32..u32::MAX, lanes in 2u32..33) {
+        let full = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        let taken = mask_bits & full;
+        // 0: branch(t→2, r=3); 1: else; 2: then; 3: join
+        let mut stack = SimtStack::new(full, 4);
+        stack.branch(taken, 2, 1, 3);
+        let mut then_mask = 0;
+        let mut else_mask = 0;
+        let mut join_mask = 0;
+        while !stack.is_done() {
+            let (pc, m) = stack.current().unwrap();
+            match pc {
+                1 => { else_mask |= m; stack.advance(3); }
+                2 => { then_mask |= m; stack.advance(3); }
+                3 => { join_mask |= m; stack.advance(4); }
+                _ => unreachable!(),
+            }
+        }
+        prop_assert_eq!(then_mask, taken);
+        prop_assert_eq!(else_mask, full & !taken);
+        prop_assert_eq!(join_mask, full);
+        prop_assert_eq!(then_mask & else_mask, 0);
+    }
+
+    /// Serial and coalesced walkers are functionally equivalent: same
+    /// translations, and the coalesced walker never issues more PTE
+    /// loads than the serial one.
+    #[test]
+    fn walker_equivalence(page_offsets in prop::collection::vec(0u64..2048, 1..16)) {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let region = space.map_region("w", 2048 * 4096, PageSize::Base4K).unwrap();
+        let base = region.base.vpn().raw();
+        let vpns: Vec<Vpn> = page_offsets.iter().map(|&o| Vpn::new(base + o)).collect();
+
+        let mut results: Vec<HashMap<u64, u64>> = Vec::new();
+        let mut issued = Vec::new();
+        for cfg in [WalkerConfig::serial(), WalkerConfig::coalesced()] {
+            let mut mem = MemorySystem::new(MemConfig::default());
+            let mut walker = Walker::new(cfg);
+            for &v in &vpns {
+                walker.enqueue(v, 0, 0);
+            }
+            let mut done = Vec::new();
+            let mut now = 0;
+            while done.len() < vpns.len() {
+                walker.advance(now, &mut mem, &space, &mut done);
+                now += 100;
+                prop_assert!(now < 10_000_000, "walker stalled");
+            }
+            results.push(
+                done.iter()
+                    .map(|d| (d.vpn.raw(), d.translation.unwrap().0.raw()))
+                    .collect(),
+            );
+            issued.push(walker.stats.refs_issued.get());
+        }
+        prop_assert_eq!(&results[0], &results[1], "walkers disagree on translations");
+        prop_assert!(issued[1] <= issued[0], "coalescing increased references");
+        // And both agree with the functional translation.
+        for (&vpn, &ppn) in &results[0] {
+            let expect = space.translate(Vpn::new(vpn).base()).unwrap().0.ppn().raw();
+            prop_assert_eq!(ppn, expect);
+        }
+    }
+
+    /// A cache never "remembers" an invalidated line, and probing after
+    /// an access always hits.
+    #[test]
+    fn cache_probe_consistency(ops in prop::collection::vec((0u64..256, any::<bool>()), 1..200)) {
+        let mut cache = Cache::new(CacheConfig { sets: 8, ways: 2 });
+        let mut stamp = 0;
+        for (line, invalidate) in ops {
+            if invalidate {
+                cache.invalidate(line);
+                prop_assert!(!cache.probe(line));
+            } else {
+                stamp += 1;
+                cache.access(line, 0, stamp);
+                prop_assert!(cache.probe(line), "just-accessed line missing");
+            }
+            prop_assert!(cache.occupancy() <= 16);
+        }
+    }
+
+    /// Zipf sampling is always in range and deterministic per index.
+    #[test]
+    fn zipf_bounds(n in 1usize..5000, idx in 0u64..10_000) {
+        let z = gmmu_sim::rng::Zipf::new(n, 0.99);
+        let a = z.sample_at(42, idx);
+        prop_assert!(a < n);
+        prop_assert_eq!(a, z.sample_at(42, idx));
+    }
+}
