@@ -1,8 +1,18 @@
-//! Criterion benchmarks of the simulator's own building blocks: how
-//! fast the substrate simulates, independent of any paper figure.
+//! Benchmarks of the simulator's own building blocks: how fast the
+//! substrate simulates, independent of any paper figure.
+//!
+//! Self-contained `harness = false` benchmark (no external benchmarking
+//! crates): each micro-benchmark is timed in calibrated batches and the
+//! best batch is reported, which is the usual way to suppress scheduler
+//! noise on a shared machine. Run with `cargo bench`.
+//!
+//! The `engine/` group is the one the execution-engine work cares
+//! about: it measures simulated-cycles-per-wall-second on a
+//! stall-heavy workload (naive MMU, single memory channel — warps
+//! spend most cycles waiting on serialized page walks) under both the
+//! idle-cycle-skipping engine and the legacy tick-every-cycle loop,
+//! and checks they agree on the simulated cycle count.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::time::Duration;
 use gmmu::prelude::*;
 use gmmu_core::mmu::{Mmu, PageReq, TranslateBuf};
 use gmmu_mem::{AccessKind, MemConfig, MemorySystem};
@@ -10,10 +20,38 @@ use gmmu_simt::coalesce::{coalesce, CoalesceBuf};
 use gmmu_simt::gpu::run_kernel;
 use gmmu_vm::{AddressSpace, SpaceConfig, VAddr};
 use std::hint::black_box;
+use std::time::{Duration, Instant};
 
-fn bench_components(c: &mut Criterion) {
-    // Keep wall time modest: the interesting output is relative cost.
+/// Times `f` in self-calibrating batches for roughly `budget` and
+/// prints the best per-iteration time observed.
+fn bench_ns(name: &str, budget: Duration, mut f: impl FnMut()) {
+    // Calibrate a batch size that runs for at least ~2 ms.
+    let mut iters: u64 = 1;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        if t.elapsed() >= Duration::from_millis(2) || iters >= 1 << 30 {
+            break;
+        }
+        iters *= 2;
+    }
+    let deadline = Instant::now() + budget;
+    let mut best = f64::INFINITY;
+    let mut batches = 0u32;
+    while Instant::now() < deadline || batches < 3 {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64 * 1e9);
+        batches += 1;
+    }
+    println!("{name:<32} {best:>12.1} ns/iter  ({iters} iters x {batches} batches)");
+}
 
+fn bench_components() {
     // TLB lookup/fill throughput through the MMU front door.
     let mut space = AddressSpace::new(SpaceConfig::default());
     let region = space
@@ -39,61 +77,95 @@ fn bench_components(c: &mut Criterion) {
         mmu.advance(now, &mut mem, &space);
         now += 2_000;
     }
-    c.bench_function("mmu_translate_hit", |b| {
+    {
         let mut i = 0u64;
-        b.iter(|| {
+        bench_ns("mmu_translate_hit", Duration::from_secs(1), || {
             let vpn = region.at((i % 64) * 4096).vpn();
             i += 1;
             now += 1;
-            black_box(mmu.translate(now, 0, &[PageReq::new(vpn, 0)], &space, &mut buf))
-        })
-    });
+            black_box(mmu.translate(now, 0, &[PageReq::new(vpn, 0)], &space, &mut buf));
+        });
+    }
 
-    c.bench_function("coalesce_32_threads", |b| {
+    {
         let mut out = CoalesceBuf::new();
-        b.iter(|| {
+        bench_ns("coalesce_32_threads", Duration::from_secs(1), || {
             coalesce(
                 (0..32u64).map(|l| (VAddr::new(0x4000_0000 + l * 512), 0u16)),
                 &mut out,
             );
-            black_box(out.page_divergence())
-        })
-    });
-
-    c.bench_function("shared_memory_access", |b| {
-        let mut line = 0u64;
-        b.iter(|| {
-            line += 7;
-            now += 1;
-            black_box(mem.access(now, line % 100_000, AccessKind::Load))
-        })
-    });
-}
-
-fn bench_full_runs(c: &mut Criterion) {
-    let mut group = c.benchmark_group("end_to_end");
-    group.sample_size(10);
-    group.measurement_time(Duration::from_secs(5));
-    group.warm_up_time(Duration::from_secs(1));
-    for bench in [Bench::Kmeans, Bench::Memcached] {
-        let w = build(bench, Scale::Tiny, 7);
-        group.bench_function(format!("{bench}_tiny_augmented"), |b| {
-            b.iter(|| {
-                let mut cfg = GpuConfig::experiment_scale(MmuModel::augmented());
-                cfg.n_cores = 2;
-                cfg.mem.channels = 1;
-                black_box(run_kernel(cfg, w.kernel.as_ref(), &w.space).cycles)
-            })
+            black_box(out.page_divergence());
         });
     }
-    group.finish();
+
+    {
+        let mut line = 0u64;
+        bench_ns("shared_memory_access", Duration::from_secs(1), || {
+            line += 7;
+            now += 1;
+            black_box(mem.access(now, line % 100_000, AccessKind::Load));
+        });
+    }
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default()
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1));
-    targets = bench_components, bench_full_runs
-);
-criterion_main!(benches);
+fn bench_full_runs() {
+    for bench in [Bench::Kmeans, Bench::Memcached] {
+        let w = build(bench, Scale::Tiny, 7);
+        let mut best = f64::INFINITY;
+        let mut cycles = 0u64;
+        for _ in 0..3 {
+            let mut cfg = GpuConfig::experiment_scale(MmuModel::augmented());
+            cfg.n_cores = 2;
+            cfg.mem.channels = 1;
+            let t = Instant::now();
+            cycles = black_box(run_kernel(cfg, w.kernel.as_ref(), &w.space).cycles);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "end_to_end/{bench}_tiny_augmented  {:>8.1} ms/run  ({cycles} cycles)",
+            best * 1e3
+        );
+    }
+}
+
+/// Simulated-cycles-per-second of the global loop itself, on a
+/// stall-heavy workload where idle-cycle skipping has the most to
+/// skip. Reports both engines and the resulting speedup.
+fn bench_engine_throughput() {
+    let w = build(Bench::Memcached, Scale::Tiny, 7);
+    let mut cfg = GpuConfig::experiment_scale(MmuModel::naive());
+    cfg.n_cores = 2;
+    cfg.mem.channels = 1;
+    let mut results = Vec::new();
+    for (label, legacy) in [("event_skip", false), ("tick_every_cycle", true)] {
+        let mut best = f64::INFINITY;
+        let mut cycles = 0u64;
+        for _ in 0..3 {
+            let mut c = cfg.clone();
+            c.tick_every_cycle = legacy;
+            let t = Instant::now();
+            cycles = black_box(run_kernel(c, w.kernel.as_ref(), &w.space).cycles);
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        println!(
+            "engine/{label:<18} {:>8.2} Mcycles/s  ({cycles} cycles in {:.3} s)",
+            cycles as f64 / best / 1e6,
+            best
+        );
+        results.push((cycles, best));
+    }
+    assert_eq!(
+        results[0].0, results[1].0,
+        "engines disagree on simulated cycles"
+    );
+    println!(
+        "engine/speedup             {:>8.2}x (event_skip over tick_every_cycle)",
+        results[1].1 / results[0].1
+    );
+}
+
+fn main() {
+    bench_components();
+    bench_full_runs();
+    bench_engine_throughput();
+}

@@ -6,7 +6,7 @@ fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
     let mut runner = gmmu::Runner::new(opts);
     let started = std::time::Instant::now();
-    for table in gmmu::figures::fig17(&mut runner) {
+    for table in runner.sweep(gmmu::figures::fig17) {
         println!("{table}");
         if csv {
             print!("{}", table.to_csv());

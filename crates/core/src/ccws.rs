@@ -230,6 +230,17 @@ impl LocalityPolicy {
         }
     }
 
+    /// The cycle of the next score-decay epoch, or `None` for the
+    /// [`PolicyKind::None`] policy (which never changes state over
+    /// time). Decay can release throttled warps, so the event-skipping
+    /// engine must not jump past it while throttling could matter.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        match self.kind {
+            PolicyKind::None => None,
+            _ => Some(self.lls.next_decay_at()),
+        }
+    }
+
     /// Whether the scheduler may issue from `warp` this cycle.
     pub fn issue_allowed(&mut self, warp: u16) -> bool {
         match self.kind {

@@ -128,14 +128,22 @@ impl CommonPageMatrix {
         })
     }
 
-    /// Flushes the table when the flush interval has elapsed; call once
-    /// per core cycle (updates and flushes are off the critical path of
-    /// dynamic warp formation).
+    /// Flushes the table when the flush interval has elapsed. Flush
+    /// epochs are anchored at exact multiples of the interval, so the
+    /// method may be called at any subset of cycles (the event-skipping
+    /// engine calls it only on event cycles): every elapsed epoch is
+    /// caught up, leaving the counters and the flush count exactly as a
+    /// once-per-cycle caller would.
     pub fn tick(&mut self, now: Cycle) {
-        if now >= self.last_flush + self.config.flush_interval {
-            self.counters.fill(0);
-            self.last_flush = now;
+        let interval = self.config.flush_interval.max(1);
+        let mut flushed = false;
+        while now.checked_sub(self.last_flush).is_some_and(|d| d >= interval) {
+            self.last_flush += interval;
             self.flushes.inc();
+            flushed = true;
+        }
+        if flushed {
+            self.counters.fill(0);
         }
     }
 }

@@ -102,12 +102,27 @@ impl Lls {
         self.dirty = true;
     }
 
-    /// Applies time-based decay; call once per core cycle.
+    /// Applies time-based decay. Decay epochs are anchored at exact
+    /// multiples of the decay interval, so the method may be called at
+    /// any subset of cycles (the event-skipping engine calls it only on
+    /// event cycles): every elapsed epoch is caught up, which yields the
+    /// same scores as calling it once per cycle.
     pub fn tick(&mut self, now: Cycle) {
-        if now < self.last_decay + self.config.decay_interval {
-            return;
+        let interval = self.config.decay_interval.max(1);
+        while now.checked_sub(self.last_decay).is_some_and(|d| d >= interval) {
+            self.last_decay += interval;
+            self.decay_once();
         }
-        self.last_decay = now;
+    }
+
+    /// The cycle at which the next decay epoch fires (scores may change
+    /// and throttled warps may be released then).
+    pub fn next_decay_at(&self) -> Cycle {
+        self.last_decay
+            .saturating_add(self.config.decay_interval.max(1))
+    }
+
+    fn decay_once(&mut self) {
         // Rotate zero-score throttling victims once per decay epoch:
         // stable enough for protected warps to reap reuse, fresh enough
         // that nobody starves.

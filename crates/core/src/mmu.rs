@@ -364,6 +364,25 @@ impl Mmu {
         self.events.drain(..)
     }
 
+    /// The earliest future cycle at which [`Mmu::advance`] will do
+    /// something: apply a finished walk's fill, or start a queued walk
+    /// on a freed walker lane. Returns `None` when the MMU is quiescent
+    /// (ideal model, or no walks in flight). Used by the event-skipping
+    /// engine to bound how far the clock may jump.
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        let mut next: Option<Cycle> = None;
+        let mut fold = |c: Cycle| next = Some(next.map_or(c, |n: Cycle| n.min(c)));
+        for fill in &self.pending_fills {
+            fold(fill.complete);
+        }
+        if let Some(walker) = self.walker.as_ref() {
+            if let Some(c) = walker.next_event_at() {
+                fold(c);
+            }
+        }
+        next
+    }
+
     /// Presents a warp's coalesced pages for translation at cycle `now`.
     ///
     /// `pages` must be the deduplicated virtual pages of one memory

@@ -271,6 +271,20 @@ impl Walker {
         self.pending.len()
     }
 
+    /// The earliest cycle at which [`Walker::advance`] can make progress,
+    /// or `None` when nothing is queued. After an `advance(now)` the
+    /// queue is non-empty only if every lane is busy past `now`, so the
+    /// earliest-free lane is exactly when the next queued walk starts.
+    /// (A request enqueued *after* this cycle's `advance` can start at
+    /// the very next cycle; callers clamp accordingly.)
+    pub fn next_event_at(&self) -> Option<Cycle> {
+        if self.pending.is_empty() {
+            None
+        } else {
+            self.lanes.iter().copied().min()
+        }
+    }
+
     /// Services the queue up to cycle `now`, pushing finished walks into
     /// `done`. Completion cycles may lie in the future — the MMU applies
     /// the TLB fills when the clock reaches them.

@@ -103,6 +103,12 @@ pub struct GpuConfig {
     /// large pages (Section 9). With a 2 MiB granule every region the
     /// kernel touches must be backed by 2 MiB mappings.
     pub granule: PageSize,
+    /// Force the legacy tick-every-cycle global loop instead of the
+    /// idle-cycle-skipping engine. Both produce bit-identical
+    /// [`crate::gpu::RunStats`]; this exists as an escape hatch and for
+    /// the equivalence tests. The `GMMU_TICK_EVERY_CYCLE` environment
+    /// variable forces it on regardless of this field.
+    pub tick_every_cycle: bool,
     /// Safety valve: abort a run after this many cycles.
     pub max_cycles: u64,
     /// Seed folded into workload construction (kept here so a whole
@@ -125,6 +131,7 @@ impl Default for GpuConfig {
             l1_mshrs: 64,
             timings: CoreTimings::default(),
             granule: PageSize::Base4K,
+            tick_every_cycle: false,
             max_cycles: 200_000_000,
             seed: 0x5eed,
         }

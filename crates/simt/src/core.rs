@@ -512,6 +512,84 @@ impl ShaderCore {
         }
     }
 
+    /// The earliest cycle after `now` (the cycle just ticked) at which
+    /// this core could make progress, or `None` when it has no work.
+    ///
+    /// Sources, mirroring exactly what [`ShaderCore::tick`] reacts to:
+    /// walk completions and freed walker lanes (the MMU), sleeping
+    /// warps' `ready_at` timers, the policy's next score-decay epoch
+    /// (which can release throttled warps), and block dispatch into a
+    /// free slot. Warps waiting on pages carry no timer of their own —
+    /// the MMU fill that wakes them is already a candidate.
+    pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if !self.has_work() {
+            return None;
+        }
+        let mut next = Cycle::MAX;
+        if let Some(c) = self.path.mmu.next_event_at() {
+            next = next.min(c.max(now + 1));
+        }
+        match &self.exec {
+            ExecMode::Baseline { warps } => {
+                let mut throttled = false;
+                for w in warps {
+                    if w.is_done() || w.waiting_pages > 0 {
+                        continue;
+                    }
+                    if w.ready_at > now {
+                        next = next.min(w.ready_at);
+                    } else {
+                        // Schedulable yet nothing issued: the locality
+                        // policy gated it; the next decay epoch may
+                        // release it.
+                        throttled = true;
+                    }
+                }
+                if throttled {
+                    let decay = self.path.policy.next_event_at().unwrap_or(now + 1);
+                    next = next.min(decay.max(now + 1));
+                }
+                if !self.block_queue.is_empty() {
+                    let wpb = self.warps_per_block;
+                    let free = (0..warps.len() / wpb).any(|slot| {
+                        warps[slot * wpb..(slot + 1) * wpb]
+                            .iter()
+                            .all(|w| w.is_done())
+                    });
+                    if free {
+                        next = next.min(now + 1);
+                    }
+                }
+            }
+            ExecMode::Tbc(t) => {
+                if let Some(c) = t.next_event_at(now) {
+                    next = next.min(c);
+                }
+                if !self.block_queue.is_empty() && t.has_free_slot() {
+                    next = next.min(now + 1);
+                }
+            }
+        }
+        // A live core with no discernible timer must not be skipped
+        // past (defensive: guarantees forward progress).
+        Some(if next == Cycle::MAX { now + 1 } else { next })
+    }
+
+    /// Accounts `skipped` elided cycles exactly as per-cycle ticking
+    /// would have: every skipped cycle is, by construction of the skip
+    /// bound, a live-but-idle cycle (liveness cannot change without an
+    /// event, and events bound the skip).
+    pub fn note_idle_skip(&mut self, skipped: u64) {
+        let live = match &self.exec {
+            ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
+            ExecMode::Tbc(t) => t.has_work(),
+        };
+        if live {
+            self.path.stats.live_cycles.add(skipped);
+            self.path.stats.idle_cycles.add(skipped);
+        }
+    }
+
     /// Advances the core by one cycle. Returns `true` if it issued an
     /// instruction.
     pub fn tick(

@@ -64,6 +64,34 @@ pub struct RunStats {
 }
 
 impl RunStats {
+    /// An all-zero result, used as a placeholder by the experiment
+    /// runner's recording pass before any simulation has run.
+    pub fn zeroed() -> Self {
+        Self {
+            cycles: 0,
+            completed: true,
+            instructions: 0,
+            mem_instructions: 0,
+            idle_cycles: 0,
+            live_cycles: 0,
+            page_divergence: Histogram::new(),
+            l1_miss_latency: Summary::new(),
+            tlb_miss_latency: Summary::new(),
+            tlb_accesses: 0,
+            tlb_hits: 0,
+            l1_accesses: 0,
+            l1_hits: 0,
+            walk_refs_issued: 0,
+            walk_refs_naive: 0,
+            walks: 0,
+            walk_l2_hit_rate: 0.0,
+            dram_requests: 0,
+            replays: 0,
+            dwarps_formed: 0,
+            blocks_done: 0,
+        }
+    }
+
     /// Paper speedup metric: `baseline.cycles / self.cycles` (1.0 =
     /// parity with the baseline, <1 = slowdown).
     pub fn speedup_vs(&self, baseline: &RunStats) -> f64 {
@@ -181,12 +209,21 @@ impl Gpu {
         let num_sites = kernel.program().num_sites().max(1);
         let mut iters = vec![0u32; threads as usize * num_sites];
 
+        // The idle-cycle-skipping engine is observably equivalent to
+        // ticking every cycle: whenever no core issues, core state can
+        // only change at a future completion / wake / epoch boundary,
+        // so the loop jumps `now` straight to the earliest such event
+        // and credits the skipped cycles to the same idle/live
+        // counters the per-cycle loop would have bumped.
+        let legacy = self.config.tick_every_cycle
+            || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some();
         let mut now: Cycle = 0;
         let mut completed = true;
         loop {
             let mut live = false;
+            let mut issued = false;
             for core in &mut self.cores {
-                core.tick(now, &mut self.mem, space, kernel, &mut iters);
+                issued |= core.tick(now, &mut self.mem, space, kernel, &mut iters);
                 live |= core.has_work();
             }
             if !live {
@@ -197,34 +234,40 @@ impl Gpu {
                 completed = false;
                 break;
             }
+            if legacy || issued {
+                continue;
+            }
+            let mut target = Cycle::MAX;
+            for core in &self.cores {
+                if let Some(c) = core.next_event_at(now - 1) {
+                    target = target.min(c);
+                }
+            }
+            if target == Cycle::MAX || target <= now {
+                continue;
+            }
+            let capped = target.min(self.config.max_cycles);
+            let skipped = capped - now;
+            if skipped > 0 {
+                for core in &mut self.cores {
+                    core.note_idle_skip(skipped);
+                }
+                now = capped;
+            }
+            if now >= self.config.max_cycles {
+                completed = false;
+                break;
+            }
         }
         self.collect(now, completed)
     }
 
     fn collect(&self, cycles: Cycle, completed: bool) -> RunStats {
-        let mut s = RunStats {
-            cycles,
-            completed,
-            instructions: 0,
-            mem_instructions: 0,
-            idle_cycles: 0,
-            live_cycles: 0,
-            page_divergence: Histogram::new(),
-            l1_miss_latency: Summary::new(),
-            tlb_miss_latency: Summary::new(),
-            tlb_accesses: 0,
-            tlb_hits: 0,
-            l1_accesses: 0,
-            l1_hits: 0,
-            walk_refs_issued: 0,
-            walk_refs_naive: 0,
-            walks: 0,
-            walk_l2_hit_rate: self.mem.walk_l2_hit_rate(),
-            dram_requests: self.mem.dram_requests(),
-            replays: 0,
-            dwarps_formed: 0,
-            blocks_done: 0,
-        };
+        let mut s = RunStats::zeroed();
+        s.cycles = cycles;
+        s.completed = completed;
+        s.walk_l2_hit_rate = self.mem.walk_l2_hit_rate();
+        s.dram_requests = self.mem.dram_requests();
         for core in &self.cores {
             let st = core.stats();
             s.instructions += st.instructions.get();

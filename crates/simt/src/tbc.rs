@@ -122,6 +122,38 @@ impl TbcState {
         self.blocks.iter().any(|b| b.active)
     }
 
+    /// Whether an inactive block slot could accept a queued block.
+    pub(crate) fn has_free_slot(&self) -> bool {
+        self.blocks.iter().any(|b| !b.active)
+    }
+
+    /// The earliest cycle after `now` at which a currently-idle dynamic
+    /// warp could issue. Only top-of-stack units can be scheduled;
+    /// units at a branch or done at their reconvergence point wait on
+    /// siblings (whose own timers, or the MMU's, bound the skip), and
+    /// page-waiting units are woken by MMU fills.
+    pub(crate) fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::MAX;
+        for block in &self.blocks {
+            if !block.active {
+                continue;
+            }
+            if let Some(top) = block.levels.last() {
+                for &u in &top.units {
+                    let unit = &self.units[u as usize];
+                    if unit.alive
+                        && !unit.at_branch
+                        && !unit.done_at_rpc
+                        && unit.waiting_pages == 0
+                    {
+                        next = next.min(unit.ready_at.max(now + 1));
+                    }
+                }
+            }
+        }
+        (next != Cycle::MAX).then_some(next)
+    }
+
     /// Maximum dynamic-warp contexts ever live (diagnostics).
     #[allow(dead_code)]
     pub(crate) fn peak_units(&self) -> usize {

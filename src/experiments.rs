@@ -2,12 +2,51 @@
 //!
 //! The paper reports each design point as a *speedup over the same GPU
 //! without TLBs* (perfect, free translation). A [`Runner`] owns the
-//! built workloads and the per-benchmark no-TLB baseline runs, so a
-//! figure sweep pays for workload construction and the baseline once.
+//! built workloads and memoizes every design point it has simulated, so
+//! a figure sweep pays for workload construction and each distinct
+//! configuration once.
+//!
+//! Design points are independent simulations, so a sweep can execute
+//! them on a pool of worker threads. [`Runner::sweep`] does this
+//! without changing any figure code: it runs the figure function once
+//! in a *recording* pass that captures every design point it asks for
+//! (returning placeholder stats), executes the distinct points on
+//! [`Runner::run_points_parallel`], then replays the figure function
+//! against the now-warm memo cache. Workloads and results are shared
+//! immutably across workers; every simulation still starts from its
+//! own freshly-built [`Gpu`], so results are bit-identical to a serial
+//! sweep in any thread count.
 
 use crate::prelude::*;
 use gmmu_simt::gpu::run_kernel;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
+  --quick    tiny workloads on a 2-core machine (CI/smoke scope)
+  --full     the paper's full 30-core machine (slow; final numbers)
+  --csv      also print each table as CSV
+  --jobs N   worker threads for design-point sweeps
+             (default: GMMU_JOBS or the machine's available parallelism)";
+
+/// Default sweep parallelism: the `GMMU_JOBS` environment variable when
+/// set, otherwise the machine's available parallelism.
+fn default_jobs() -> usize {
+    if let Some(v) = std::env::var_os("GMMU_JOBS") {
+        if let Some(n) = v.to_str().and_then(|s| s.parse::<usize>().ok()) {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn bad_usage(msg: &str) -> ! {
+    eprintln!("error: {msg}\n{USAGE}");
+    std::process::exit(2)
+}
 
 /// Scope of an experiment run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +58,8 @@ pub struct ExperimentOpts {
     pub n_cores: usize,
     /// Workload seed.
     pub seed: u64,
+    /// Worker threads used by [`Runner::run_points_parallel`].
+    pub jobs: usize,
 }
 
 impl Default for ExperimentOpts {
@@ -27,6 +68,7 @@ impl Default for ExperimentOpts {
             scale: Scale::Small,
             n_cores: 8,
             seed: 7,
+            jobs: default_jobs(),
         }
     }
 }
@@ -37,7 +79,7 @@ impl ExperimentOpts {
         Self {
             scale: Scale::Tiny,
             n_cores: 2,
-            seed: 7,
+            ..Self::default()
         }
     }
 
@@ -46,20 +88,44 @@ impl ExperimentOpts {
         Self {
             scale: Scale::Full,
             n_cores: 30,
-            seed: 7,
+            ..Self::default()
         }
     }
 
     /// Parses harness arguments: `--quick`, `--full` (default: the
-    /// standard experiment scope).
+    /// standard experiment scope), `--csv`, and `--jobs N`.
+    ///
+    /// Unknown arguments print the usage text and exit with status 2.
     pub fn from_args() -> Self {
         let mut opts = Self::default();
-        for arg in std::env::args().skip(1) {
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
             match arg.as_str() {
-                "--quick" => opts = Self::quick(),
-                "--full" => opts = Self::full(),
+                "--quick" => {
+                    opts = Self {
+                        jobs: opts.jobs,
+                        ..Self::quick()
+                    }
+                }
+                "--full" => {
+                    opts = Self {
+                        jobs: opts.jobs,
+                        ..Self::full()
+                    }
+                }
                 "--csv" => {} // presentation flag, handled by the binary
-                other => eprintln!("ignoring unknown argument {other}"),
+                "--jobs" => match args.next() {
+                    Some(v) => opts.jobs = parse_jobs(&v),
+                    None => bad_usage("--jobs needs a value"),
+                },
+                "--help" | "-h" => {
+                    eprintln!("{USAGE}");
+                    std::process::exit(0)
+                }
+                other => match other.strip_prefix("--jobs=") {
+                    Some(v) => opts.jobs = parse_jobs(v),
+                    None => bad_usage(&format!("unknown argument `{other}`")),
+                },
             }
         }
         opts
@@ -77,13 +143,55 @@ impl ExperimentOpts {
     }
 }
 
-/// Runs design points against cached workloads and baselines.
+fn parse_jobs(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => bad_usage(&format!("--jobs needs a positive integer, got `{v}`")),
+    }
+}
+
+/// One design point a sweep will simulate: which workload build and the
+/// full GPU configuration to run it under.
+#[derive(Debug, Clone)]
+pub struct PointSpec {
+    /// Workload to run.
+    pub bench: Bench,
+    /// Use the 2 MB-page build of the workload (Section 9).
+    pub large_pages: bool,
+    /// Complete GPU configuration (figure adjustments already applied).
+    pub cfg: GpuConfig,
+}
+
+impl PointSpec {
+    /// Memo-cache key. `GpuConfig`'s `Debug` output covers every field
+    /// (all plain integers/enums), so two points with equal keys are
+    /// the same simulation.
+    pub fn key(&self) -> String {
+        format!("{}:{:?}:{:?}", self.large_pages, self.bench, self.cfg)
+    }
+}
+
+/// How [`Runner::run`] services a design point (see [`Runner::sweep`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Simulate on the calling thread (memoized).
+    Direct,
+    /// Record the point and return placeholder stats.
+    Record,
+    /// Serve from the memo cache (falling back to direct execution for
+    /// any point the recording pass did not see).
+    Replay,
+}
+
+/// Runs design points against cached workloads and memoized results.
 pub struct Runner {
     opts: ExperimentOpts,
     workloads: HashMap<Bench, Workload>,
     large_page_workloads: HashMap<Bench, Workload>,
-    baselines: HashMap<Bench, RunStats>,
-    /// Simulations executed (diagnostics).
+    cache: HashMap<String, RunStats>,
+    recorded: Vec<PointSpec>,
+    mode: Mode,
+    /// Simulations executed (diagnostics; cache hits don't count).
     pub runs: usize,
 }
 
@@ -94,7 +202,9 @@ impl Runner {
             opts,
             workloads: HashMap::new(),
             large_page_workloads: HashMap::new(),
-            baselines: HashMap::new(),
+            cache: HashMap::new(),
+            recorded: Vec::new(),
+            mode: Mode::Direct,
             runs: 0,
         }
     }
@@ -104,22 +214,50 @@ impl Runner {
         self.opts
     }
 
-    fn ensure_workload(&mut self, bench: Bench) {
+    fn ensure_workload(&mut self, bench: Bench, large_pages: bool) {
         let opts = self.opts;
-        self.workloads
-            .entry(bench)
-            .or_insert_with(|| build(bench, opts.scale, opts.seed));
+        if large_pages {
+            self.large_page_workloads
+                .entry(bench)
+                .or_insert_with(|| build_paged(bench, opts.scale, opts.seed, PageSize::Large2M));
+        } else {
+            self.workloads
+                .entry(bench)
+                .or_insert_with(|| build(bench, opts.scale, opts.seed));
+        }
+    }
+
+    fn point(&mut self, spec: PointSpec) -> RunStats {
+        if self.mode == Mode::Record {
+            self.recorded.push(spec);
+            return RunStats::zeroed();
+        }
+        let key = spec.key();
+        if let Some(hit) = self.cache.get(&key) {
+            return hit.clone();
+        }
+        self.ensure_workload(spec.bench, spec.large_pages);
+        let w = if spec.large_pages {
+            &self.large_page_workloads[&spec.bench]
+        } else {
+            &self.workloads[&spec.bench]
+        };
+        self.runs += 1;
+        let stats = run_kernel(spec.cfg, w.kernel.as_ref(), &w.space);
+        self.cache.insert(key, stats.clone());
+        stats
     }
 
     /// Runs one design point: the base configuration is the scope's GPU
     /// with an ideal MMU; `configure` applies the figure's changes.
     pub fn run(&mut self, bench: Bench, configure: impl FnOnce(&mut GpuConfig)) -> RunStats {
-        self.ensure_workload(bench);
         let mut cfg = self.opts.gpu(MmuModel::Ideal);
         configure(&mut cfg);
-        let w = &self.workloads[&bench];
-        self.runs += 1;
-        run_kernel(cfg, w.kernel.as_ref(), &w.space)
+        self.point(PointSpec {
+            bench,
+            large_pages: false,
+            cfg,
+        })
     }
 
     /// Same as [`Runner::run`] but on the 2 MB-page build of the
@@ -129,26 +267,20 @@ impl Runner {
         bench: Bench,
         configure: impl FnOnce(&mut GpuConfig),
     ) -> RunStats {
-        let opts = self.opts;
-        self.large_page_workloads
-            .entry(bench)
-            .or_insert_with(|| build_paged(bench, opts.scale, opts.seed, PageSize::Large2M));
         let mut cfg = self.opts.gpu(MmuModel::Ideal);
         cfg.granule = PageSize::Large2M;
         configure(&mut cfg);
-        let w = &self.large_page_workloads[&bench];
-        self.runs += 1;
-        run_kernel(cfg, w.kernel.as_ref(), &w.space)
+        self.point(PointSpec {
+            bench,
+            large_pages: true,
+            cfg,
+        })
     }
 
     /// The plain no-TLB baseline every figure normalizes against
     /// (round-robin scheduling, no CCWS/TBC, ideal MMU).
     pub fn baseline(&mut self, bench: Bench) -> RunStats {
-        if !self.baselines.contains_key(&bench) {
-            let stats = self.run(bench, |_| {});
-            self.baselines.insert(bench, stats);
-        }
-        self.baselines[&bench].clone()
+        self.run(bench, |_| {})
     }
 
     /// Speedup of a design point over the no-TLB baseline (the paper's
@@ -156,6 +288,89 @@ impl Runner {
     pub fn speedup(&mut self, bench: Bench, configure: impl FnOnce(&mut GpuConfig)) -> f64 {
         let base = self.baseline(bench);
         self.run(bench, configure).speedup_vs(&base)
+    }
+
+    /// Runs a figure function with its design points executed in
+    /// parallel.
+    ///
+    /// `f` is called twice: a recording pass that captures every design
+    /// point (simulating nothing and returning zeroed placeholder
+    /// stats), then — after [`Runner::run_points_parallel`] has filled
+    /// the memo cache — a replay pass whose output is returned. Since
+    /// figure functions are pure table builders over the stats, the
+    /// replay output is identical to running `f` serially, and any
+    /// point the recording pass somehow missed is simply simulated
+    /// on-demand during replay.
+    pub fn sweep<T>(&mut self, f: impl Fn(&mut Runner) -> T) -> T {
+        let (_, specs) = self.record(&f);
+        self.run_points_parallel(specs);
+        self.mode = Mode::Replay;
+        let out = f(self);
+        self.mode = Mode::Direct;
+        out
+    }
+
+    /// Runs `f` in recording mode: every design point it asks for is
+    /// captured and returned instead of simulated (`f` sees zeroed
+    /// placeholder stats). Lets a caller batch the points of several
+    /// figure functions into one [`Runner::run_points_parallel`] call.
+    pub fn record<T>(&mut self, f: impl FnOnce(&mut Runner) -> T) -> (T, Vec<PointSpec>) {
+        self.mode = Mode::Record;
+        self.recorded.clear();
+        let out = f(self);
+        self.mode = Mode::Direct;
+        (out, std::mem::take(&mut self.recorded))
+    }
+
+    /// Simulates every not-yet-cached design point in `specs` on a pool
+    /// of `opts.jobs` worker threads and memoizes the results.
+    ///
+    /// Workloads are built once (serially, so construction order and
+    /// RNG streams match the serial path) and shared immutably across
+    /// the workers; each worker picks the next point off a shared
+    /// atomic index. Scheduling order cannot affect results: a design
+    /// point's simulation reads only its own `GpuConfig` and the
+    /// immutable workload.
+    pub fn run_points_parallel(&mut self, specs: Vec<PointSpec>) {
+        let mut seen = HashSet::new();
+        let mut todo: Vec<(String, PointSpec)> = Vec::new();
+        for spec in specs {
+            let key = spec.key();
+            if !self.cache.contains_key(&key) && seen.insert(key.clone()) {
+                todo.push((key, spec));
+            }
+        }
+        if todo.is_empty() {
+            return;
+        }
+        for (_, spec) in &todo {
+            self.ensure_workload(spec.bench, spec.large_pages);
+        }
+        let workloads = &self.workloads;
+        let large_page_workloads = &self.large_page_workloads;
+        let jobs = self.opts.jobs.clamp(1, todo.len());
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<(usize, RunStats)>> = Mutex::new(Vec::with_capacity(todo.len()));
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, spec)) = todo.get(i) else { break };
+                    let w = if spec.large_pages {
+                        &large_page_workloads[&spec.bench]
+                    } else {
+                        &workloads[&spec.bench]
+                    };
+                    let stats = run_kernel(spec.cfg.clone(), w.kernel.as_ref(), &w.space);
+                    done.lock().unwrap().push((i, stats));
+                });
+            }
+        });
+        let done = done.into_inner().unwrap();
+        self.runs += done.len();
+        for (i, stats) in done {
+            self.cache.insert(todo[i].0.clone(), stats);
+        }
     }
 }
 
@@ -251,5 +466,44 @@ mod tests {
         assert_eq!(f.mem.channels, 8, "the paper's full machine");
         let d = ExperimentOpts::default().gpu(MmuModel::Ideal);
         assert_eq!(d.mem.channels, 2);
+    }
+
+    /// A parallel sweep must be invisible: same tables, and the same
+    /// stats for any point asked for afterwards.
+    #[test]
+    fn sweep_matches_serial_execution() {
+        let points = |r: &mut Runner| {
+            let mut out = Vec::new();
+            for bench in [Bench::Bfs, Bench::Memcached] {
+                out.push(r.speedup(bench, |c| c.mmu = designs::naive3()));
+                out.push(r.speedup(bench, |c| c.mmu = designs::augmented()));
+            }
+            out
+        };
+        let mut serial = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        let a = points(&mut serial);
+        let mut parallel = Runner::new(ExperimentOpts {
+            jobs: 4,
+            ..ExperimentOpts::quick()
+        });
+        let b = parallel.sweep(points);
+        assert_eq!(a, b);
+        // 2 benches x (baseline + 2 designs), each simulated once.
+        assert_eq!(serial.runs, 6);
+        assert_eq!(parallel.runs, 6);
+    }
+
+    #[test]
+    fn sweep_memoizes_across_calls() {
+        let mut r = Runner::new(ExperimentOpts::quick());
+        let f = |r: &mut Runner| r.speedup(Bench::Kmeans, |c| c.mmu = designs::augmented());
+        let a = r.sweep(f);
+        let executed = r.runs;
+        let b = r.sweep(f);
+        assert_eq!(a, b);
+        assert_eq!(r.runs, executed, "second sweep must be all cache hits");
     }
 }

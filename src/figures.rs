@@ -9,6 +9,14 @@
 //! All speedups are normalized to the same machine with an ideal
 //! (no-TLB) MMU and plain round-robin scheduling, exactly as the paper
 //! normalizes its bars.
+//!
+//! Figure functions must stay *pure table builders*: ask the runner for
+//! design points, turn the stats into rows, no other side effects, and
+//! no choosing design points based on earlier results. The harnesses
+//! execute them through [`Runner::sweep`], which calls a figure
+//! function twice — once to record its design points (against
+//! placeholder stats) so they can run on a worker pool, and once to
+//! build the real tables from the memoized results.
 
 use crate::experiments::{designs, mmu, tlb, Runner};
 use crate::prelude::*;

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6dac20f62d8c33fd.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6dac20f62d8c33fd: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-44acdb5187ece5b8.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-44acdb5187ece5b8: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/gmmu-959dc492a1c4f980.d: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/debug/deps/gmmu-959dc492a1c4f980: src/lib.rs src/experiments.rs src/figures.rs
+
+src/lib.rs:
+src/experiments.rs:
+src/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gmmu-d7086b201b4422b4.d: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/debug/deps/libgmmu-d7086b201b4422b4.rlib: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/debug/deps/libgmmu-d7086b201b4422b4.rmeta: src/lib.rs src/experiments.rs src/figures.rs
+
+src/lib.rs:
+src/experiments.rs:
+src/figures.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gmmu_core-ca72032deb381203.d: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+/root/repo/target/debug/deps/libgmmu_core-ca72032deb381203.rlib: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+/root/repo/target/debug/deps/libgmmu_core-ca72032deb381203.rmeta: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ccws.rs:
+crates/core/src/cpm.rs:
+crates/core/src/lls.rs:
+crates/core/src/mmu.rs:
+crates/core/src/tlb.rs:
+crates/core/src/vta.rs:
+crates/core/src/walker.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gmmu_mem-ce9e2cda0389bb5c.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/debug/deps/libgmmu_mem-ce9e2cda0389bb5c.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/debug/deps/libgmmu_mem-ce9e2cda0389bb5c.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/gmmu_sim-b93cc0a0a77661ec.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/libgmmu_sim-b93cc0a0a77661ec.rlib: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/debug/deps/libgmmu_sim-b93cc0a0a77661ec.rmeta: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/table.rs:

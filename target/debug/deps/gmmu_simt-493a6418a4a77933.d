@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gmmu_simt-493a6418a4a77933.d: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/debug/deps/libgmmu_simt-493a6418a4a77933.rlib: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/debug/deps/libgmmu_simt-493a6418a4a77933.rmeta: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/coalesce.rs:
+crates/simt/src/config.rs:
+crates/simt/src/core.rs:
+crates/simt/src/gpu.rs:
+crates/simt/src/program.rs:
+crates/simt/src/stack.rs:
+crates/simt/src/tbc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/gmmu_vm-1b00e1ca46ae5189.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/debug/deps/libgmmu_vm-1b00e1ca46ae5189.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/debug/deps/libgmmu_vm-1b00e1ca46ae5189.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/space.rs:

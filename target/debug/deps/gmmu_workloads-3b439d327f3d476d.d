@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/gmmu_workloads-3b439d327f3d476d.d: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/libgmmu_workloads-3b439d327f3d476d.rlib: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+/root/repo/target/debug/deps/libgmmu_workloads-3b439d327f3d476d.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/mummergpu.rs:
+crates/workloads/src/pathfinder.rs:
+crates/workloads/src/streamcluster.rs:
+crates/workloads/src/util.rs:

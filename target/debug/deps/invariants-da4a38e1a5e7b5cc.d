@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/invariants-da4a38e1a5e7b5cc.d: tests/invariants.rs
+
+/root/repo/target/debug/deps/invariants-da4a38e1a5e7b5cc: tests/invariants.rs
+
+tests/invariants.rs:

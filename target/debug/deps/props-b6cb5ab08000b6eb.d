@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/props-b6cb5ab08000b6eb.d: tests/props.rs
+
+/root/repo/target/debug/deps/props-b6cb5ab08000b6eb: tests/props.rs
+
+tests/props.rs:

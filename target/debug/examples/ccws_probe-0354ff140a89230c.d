@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ccws_probe-0354ff140a89230c.d: examples/ccws_probe.rs
+
+/root/repo/target/debug/examples/ccws_probe-0354ff140a89230c: examples/ccws_probe.rs
+
+examples/ccws_probe.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/design_space-e206b67484947f44.d: examples/design_space.rs
+
+/root/repo/target/debug/examples/design_space-e206b67484947f44: examples/design_space.rs
+
+examples/design_space.rs:

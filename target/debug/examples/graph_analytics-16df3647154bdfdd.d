@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph_analytics-16df3647154bdfdd.d: examples/graph_analytics.rs
+
+/root/repo/target/debug/examples/graph_analytics-16df3647154bdfdd: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/kv_store_unified-f9fbd95542847b11.d: examples/kv_store_unified.rs
+
+/root/repo/target/debug/examples/kv_store_unified-f9fbd95542847b11: examples/kv_store_unified.rs
+
+examples/kv_store_unified.rs:

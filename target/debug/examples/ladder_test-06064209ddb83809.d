@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ladder_test-06064209ddb83809.d: examples/ladder_test.rs
+
+/root/repo/target/debug/examples/ladder_test-06064209ddb83809: examples/ladder_test.rs
+
+examples/ladder_test.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-dd7dba5ee75cdac4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-dd7dba5ee75cdac4: examples/quickstart.rs
+
+examples/quickstart.rs:

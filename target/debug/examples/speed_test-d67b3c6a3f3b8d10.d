@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/speed_test-d67b3c6a3f3b8d10.d: examples/speed_test.rs
+
+/root/repo/target/debug/examples/speed_test-d67b3c6a3f3b8d10: examples/speed_test.rs
+
+examples/speed_test.rs:

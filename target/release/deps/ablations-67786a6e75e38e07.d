@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-67786a6e75e38e07.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-67786a6e75e38e07: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-6918898db14423d5.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-6918898db14423d5: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

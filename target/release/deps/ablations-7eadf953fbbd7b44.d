@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-7eadf953fbbd7b44.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-7eadf953fbbd7b44: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-e0794f3147b07ded.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-e0794f3147b07ded: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

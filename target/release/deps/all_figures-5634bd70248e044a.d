@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-5634bd70248e044a.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-5634bd70248e044a: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

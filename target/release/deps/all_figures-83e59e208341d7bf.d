@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-83e59e208341d7bf.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-83e59e208341d7bf: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

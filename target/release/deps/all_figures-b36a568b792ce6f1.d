@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-b36a568b792ce6f1.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-b36a568b792ce6f1: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-bc6b08a4ec80de35.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-bc6b08a4ec80de35: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

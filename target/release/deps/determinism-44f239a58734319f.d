@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-44f239a58734319f.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-44f239a58734319f: tests/determinism.rs
+
+tests/determinism.rs:

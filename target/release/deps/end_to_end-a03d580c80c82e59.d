@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-a03d580c80c82e59.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-a03d580c80c82e59: tests/end_to_end.rs
+
+tests/end_to_end.rs:

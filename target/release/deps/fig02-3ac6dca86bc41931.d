@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-3ac6dca86bc41931.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-3ac6dca86bc41931: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

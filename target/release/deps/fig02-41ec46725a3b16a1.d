@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-41ec46725a3b16a1.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-41ec46725a3b16a1: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-9305dbf0267235d3.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-9305dbf0267235d3: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

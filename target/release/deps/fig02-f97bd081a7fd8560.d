@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig02-f97bd081a7fd8560.d: crates/bench/src/bin/fig02.rs
+
+/root/repo/target/release/deps/fig02-f97bd081a7fd8560: crates/bench/src/bin/fig02.rs
+
+crates/bench/src/bin/fig02.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-25f9a705335d0203.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-25f9a705335d0203: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-57c394d703699e82.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-57c394d703699e82: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-6e3e5db8d27f7109.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-6e3e5db8d27f7109: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03-f8a616a74742e9c2.d: crates/bench/src/bin/fig03.rs
+
+/root/repo/target/release/deps/fig03-f8a616a74742e9c2: crates/bench/src/bin/fig03.rs
+
+crates/bench/src/bin/fig03.rs:

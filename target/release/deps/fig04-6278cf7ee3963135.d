@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-6278cf7ee3963135.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-6278cf7ee3963135: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

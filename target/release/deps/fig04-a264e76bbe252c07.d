@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-a264e76bbe252c07.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-a264e76bbe252c07: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

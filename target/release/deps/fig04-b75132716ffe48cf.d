@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-b75132716ffe48cf.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-b75132716ffe48cf: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig04-ca4b477bc5b05a1d.d: crates/bench/src/bin/fig04.rs
+
+/root/repo/target/release/deps/fig04-ca4b477bc5b05a1d: crates/bench/src/bin/fig04.rs
+
+crates/bench/src/bin/fig04.rs:

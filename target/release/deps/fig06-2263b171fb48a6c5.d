@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-2263b171fb48a6c5.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-2263b171fb48a6c5: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-2ff600a319a005a9.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-2ff600a319a005a9: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

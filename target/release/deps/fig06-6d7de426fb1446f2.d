@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-6d7de426fb1446f2.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-6d7de426fb1446f2: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig06-7b4a8dcea55a3fea.d: crates/bench/src/bin/fig06.rs
+
+/root/repo/target/release/deps/fig06-7b4a8dcea55a3fea: crates/bench/src/bin/fig06.rs
+
+crates/bench/src/bin/fig06.rs:

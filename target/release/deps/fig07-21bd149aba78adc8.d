@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-21bd149aba78adc8.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-21bd149aba78adc8: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

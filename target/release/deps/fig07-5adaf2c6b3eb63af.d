@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-5adaf2c6b3eb63af.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-5adaf2c6b3eb63af: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

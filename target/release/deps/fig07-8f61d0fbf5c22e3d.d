@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-8f61d0fbf5c22e3d.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-8f61d0fbf5c22e3d: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

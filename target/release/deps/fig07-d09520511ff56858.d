@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig07-d09520511ff56858.d: crates/bench/src/bin/fig07.rs
+
+/root/repo/target/release/deps/fig07-d09520511ff56858: crates/bench/src/bin/fig07.rs
+
+crates/bench/src/bin/fig07.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_walkref-368dbc3fe7ed463f.d: crates/bench/src/bin/fig09_walkref.rs
+
+/root/repo/target/release/deps/fig09_walkref-368dbc3fe7ed463f: crates/bench/src/bin/fig09_walkref.rs
+
+crates/bench/src/bin/fig09_walkref.rs:

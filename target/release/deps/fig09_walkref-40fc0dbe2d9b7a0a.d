@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_walkref-40fc0dbe2d9b7a0a.d: crates/bench/src/bin/fig09_walkref.rs
+
+/root/repo/target/release/deps/fig09_walkref-40fc0dbe2d9b7a0a: crates/bench/src/bin/fig09_walkref.rs
+
+crates/bench/src/bin/fig09_walkref.rs:

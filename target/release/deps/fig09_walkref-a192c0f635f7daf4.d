@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_walkref-a192c0f635f7daf4.d: crates/bench/src/bin/fig09_walkref.rs
+
+/root/repo/target/release/deps/fig09_walkref-a192c0f635f7daf4: crates/bench/src/bin/fig09_walkref.rs
+
+crates/bench/src/bin/fig09_walkref.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig09_walkref-cdd845fa94e3da68.d: crates/bench/src/bin/fig09_walkref.rs
+
+/root/repo/target/release/deps/fig09_walkref-cdd845fa94e3da68: crates/bench/src/bin/fig09_walkref.rs
+
+crates/bench/src/bin/fig09_walkref.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-2cd727c9f3dc5bc9.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-2cd727c9f3dc5bc9: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

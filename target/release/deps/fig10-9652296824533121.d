@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-9652296824533121.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-9652296824533121: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-c3989b48fc5d1a8a.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-c3989b48fc5d1a8a: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-e8c818b7d6f9756e.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-e8c818b7d6f9756e: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

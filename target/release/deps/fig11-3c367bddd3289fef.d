@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-3c367bddd3289fef.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-3c367bddd3289fef: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

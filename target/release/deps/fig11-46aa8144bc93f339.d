@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-46aa8144bc93f339.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-46aa8144bc93f339: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

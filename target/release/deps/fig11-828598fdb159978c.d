@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-828598fdb159978c.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-828598fdb159978c: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

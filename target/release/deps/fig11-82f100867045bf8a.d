@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-82f100867045bf8a.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-82f100867045bf8a: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-1f817b2b07bc2b79.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-1f817b2b07bc2b79: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-5708671a17cd2a65.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-5708671a17cd2a65: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-5725ac279ece378b.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-5725ac279ece378b: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-5be71f3ac18c171a.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-5be71f3ac18c171a: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-45441a2c20786fc8.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-45441a2c20786fc8: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

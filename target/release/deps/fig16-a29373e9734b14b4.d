@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-a29373e9734b14b4.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-a29373e9734b14b4: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-cd57d9da1f5862a3.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-cd57d9da1f5862a3: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16-eaf87a9fbd23a826.d: crates/bench/src/bin/fig16.rs
+
+/root/repo/target/release/deps/fig16-eaf87a9fbd23a826: crates/bench/src/bin/fig16.rs
+
+crates/bench/src/bin/fig16.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-0ab3ba7e0ae77528.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-0ab3ba7e0ae77528: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-867bbcbbe233feae.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-867bbcbbe233feae: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

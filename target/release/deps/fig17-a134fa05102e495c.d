@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-a134fa05102e495c.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-a134fa05102e495c: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17-c76b937f4094a601.d: crates/bench/src/bin/fig17.rs
+
+/root/repo/target/release/deps/fig17-c76b937f4094a601: crates/bench/src/bin/fig17.rs
+
+crates/bench/src/bin/fig17.rs:

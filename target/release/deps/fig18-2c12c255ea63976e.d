@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-2c12c255ea63976e.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-2c12c255ea63976e: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

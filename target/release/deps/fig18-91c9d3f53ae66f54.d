@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-91c9d3f53ae66f54.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-91c9d3f53ae66f54: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-b3ada5b208f38008.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-b3ada5b208f38008: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18-dbdd86a8c801bbc2.d: crates/bench/src/bin/fig18.rs
+
+/root/repo/target/release/deps/fig18-dbdd86a8c801bbc2: crates/bench/src/bin/fig18.rs
+
+crates/bench/src/bin/fig18.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-1141aac6305cdd06.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-1141aac6305cdd06: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

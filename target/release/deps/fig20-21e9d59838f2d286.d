@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-21e9d59838f2d286.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-21e9d59838f2d286: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

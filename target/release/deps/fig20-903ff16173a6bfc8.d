@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-903ff16173a6bfc8.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-903ff16173a6bfc8: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

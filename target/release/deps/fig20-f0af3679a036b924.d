@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig20-f0af3679a036b924.d: crates/bench/src/bin/fig20.rs
+
+/root/repo/target/release/deps/fig20-f0af3679a036b924: crates/bench/src/bin/fig20.rs
+
+crates/bench/src/bin/fig20.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22-2b3fbde6d9a8902c.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/release/deps/fig22-2b3fbde6d9a8902c: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22-32d6ebf73b77f2fb.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/release/deps/fig22-32d6ebf73b77f2fb: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

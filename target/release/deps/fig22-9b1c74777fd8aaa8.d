@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22-9b1c74777fd8aaa8.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/release/deps/fig22-9b1c74777fd8aaa8: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

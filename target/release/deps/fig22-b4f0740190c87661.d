@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig22-b4f0740190c87661.d: crates/bench/src/bin/fig22.rs
+
+/root/repo/target/release/deps/fig22-b4f0740190c87661: crates/bench/src/bin/fig22.rs
+
+crates/bench/src/bin/fig22.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmmu-1f4ef0ad61ac8172.d: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/release/deps/gmmu-1f4ef0ad61ac8172: src/lib.rs src/experiments.rs src/figures.rs
+
+src/lib.rs:
+src/experiments.rs:
+src/figures.rs:

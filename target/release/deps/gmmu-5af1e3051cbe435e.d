@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmmu-5af1e3051cbe435e.d: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/release/deps/libgmmu-5af1e3051cbe435e.rlib: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/release/deps/libgmmu-5af1e3051cbe435e.rmeta: src/lib.rs src/experiments.rs src/figures.rs
+
+src/lib.rs:
+src/experiments.rs:
+src/figures.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmmu-e7369bf8cdcd3089.d: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/release/deps/libgmmu-e7369bf8cdcd3089.rlib: src/lib.rs src/experiments.rs src/figures.rs
+
+/root/repo/target/release/deps/libgmmu-e7369bf8cdcd3089.rmeta: src/lib.rs src/experiments.rs src/figures.rs
+
+src/lib.rs:
+src/experiments.rs:
+src/figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmmu_bench-1a49d736e88753e0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/gmmu_bench-1a49d736e88753e0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmmu_bench-2ba8c56aea15ed33.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmmu_bench-2ba8c56aea15ed33.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmmu_bench-2ba8c56aea15ed33.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gmmu_bench-c635eecd792c4ce0.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/gmmu_bench-c635eecd792c4ce0: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

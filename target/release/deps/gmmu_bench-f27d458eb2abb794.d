@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/gmmu_bench-f27d458eb2abb794.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmmu_bench-f27d458eb2abb794.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libgmmu_bench-f27d458eb2abb794.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gmmu_core-1a1ec91cb8cf328c.d: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+/root/repo/target/release/deps/libgmmu_core-1a1ec91cb8cf328c.rlib: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+/root/repo/target/release/deps/libgmmu_core-1a1ec91cb8cf328c.rmeta: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ccws.rs:
+crates/core/src/cpm.rs:
+crates/core/src/lls.rs:
+crates/core/src/mmu.rs:
+crates/core/src/tlb.rs:
+crates/core/src/vta.rs:
+crates/core/src/walker.rs:

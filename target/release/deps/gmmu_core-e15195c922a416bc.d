@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gmmu_core-e15195c922a416bc.d: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+/root/repo/target/release/deps/gmmu_core-e15195c922a416bc: crates/core/src/lib.rs crates/core/src/ccws.rs crates/core/src/cpm.rs crates/core/src/lls.rs crates/core/src/mmu.rs crates/core/src/tlb.rs crates/core/src/vta.rs crates/core/src/walker.rs
+
+crates/core/src/lib.rs:
+crates/core/src/ccws.rs:
+crates/core/src/cpm.rs:
+crates/core/src/lls.rs:
+crates/core/src/mmu.rs:
+crates/core/src/tlb.rs:
+crates/core/src/vta.rs:
+crates/core/src/walker.rs:

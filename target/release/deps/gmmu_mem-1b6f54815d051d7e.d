@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmmu_mem-1b6f54815d051d7e.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/release/deps/gmmu_mem-1b6f54815d051d7e: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gmmu_mem-70dff3c46c64c585.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/release/deps/libgmmu_mem-70dff3c46c64c585.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/release/deps/libgmmu_mem-70dff3c46c64c585.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/system.rs:

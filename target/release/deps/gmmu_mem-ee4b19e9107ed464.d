@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gmmu_mem-ee4b19e9107ed464.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/release/deps/libgmmu_mem-ee4b19e9107ed464.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+/root/repo/target/release/deps/libgmmu_mem-ee4b19e9107ed464.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/dram.rs crates/mem/src/mshr.rs crates/mem/src/system.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/mshr.rs:
+crates/mem/src/system.rs:

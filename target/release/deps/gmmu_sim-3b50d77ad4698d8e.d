@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gmmu_sim-3b50d77ad4698d8e.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libgmmu_sim-3b50d77ad4698d8e.rlib: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libgmmu_sim-3b50d77ad4698d8e.rmeta: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/table.rs:

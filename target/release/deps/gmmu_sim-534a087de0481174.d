@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/gmmu_sim-534a087de0481174.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/gmmu_sim-534a087de0481174: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/table.rs:

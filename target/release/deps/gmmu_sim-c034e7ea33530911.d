@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/gmmu_sim-c034e7ea33530911.d: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libgmmu_sim-c034e7ea33530911.rlib: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+/root/repo/target/release/deps/libgmmu_sim-c034e7ea33530911.rmeta: crates/sim/src/lib.rs crates/sim/src/rng.rs crates/sim/src/stats.rs crates/sim/src/table.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/stats.rs:
+crates/sim/src/table.rs:

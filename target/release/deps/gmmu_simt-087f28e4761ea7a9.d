@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gmmu_simt-087f28e4761ea7a9.d: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/release/deps/gmmu_simt-087f28e4761ea7a9: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/coalesce.rs:
+crates/simt/src/config.rs:
+crates/simt/src/core.rs:
+crates/simt/src/gpu.rs:
+crates/simt/src/program.rs:
+crates/simt/src/stack.rs:
+crates/simt/src/tbc.rs:

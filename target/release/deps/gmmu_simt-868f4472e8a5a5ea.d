@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gmmu_simt-868f4472e8a5a5ea.d: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/release/deps/libgmmu_simt-868f4472e8a5a5ea.rlib: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/release/deps/libgmmu_simt-868f4472e8a5a5ea.rmeta: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/coalesce.rs:
+crates/simt/src/config.rs:
+crates/simt/src/core.rs:
+crates/simt/src/gpu.rs:
+crates/simt/src/program.rs:
+crates/simt/src/stack.rs:
+crates/simt/src/tbc.rs:

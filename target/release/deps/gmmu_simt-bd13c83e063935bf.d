@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gmmu_simt-bd13c83e063935bf.d: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/release/deps/libgmmu_simt-bd13c83e063935bf.rlib: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+/root/repo/target/release/deps/libgmmu_simt-bd13c83e063935bf.rmeta: crates/simt/src/lib.rs crates/simt/src/coalesce.rs crates/simt/src/config.rs crates/simt/src/core.rs crates/simt/src/gpu.rs crates/simt/src/program.rs crates/simt/src/stack.rs crates/simt/src/tbc.rs
+
+crates/simt/src/lib.rs:
+crates/simt/src/coalesce.rs:
+crates/simt/src/config.rs:
+crates/simt/src/core.rs:
+crates/simt/src/gpu.rs:
+crates/simt/src/program.rs:
+crates/simt/src/stack.rs:
+crates/simt/src/tbc.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gmmu_vm-0915e0baf4f73439.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/release/deps/libgmmu_vm-0915e0baf4f73439.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/release/deps/libgmmu_vm-0915e0baf4f73439.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/space.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/gmmu_vm-34744e48313f3087.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/release/deps/libgmmu_vm-34744e48313f3087.rlib: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/release/deps/libgmmu_vm-34744e48313f3087.rmeta: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/space.rs:

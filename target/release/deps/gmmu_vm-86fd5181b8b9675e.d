@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/gmmu_vm-86fd5181b8b9675e.d: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+/root/repo/target/release/deps/gmmu_vm-86fd5181b8b9675e: crates/vm/src/lib.rs crates/vm/src/addr.rs crates/vm/src/frame.rs crates/vm/src/page_table.rs crates/vm/src/space.rs
+
+crates/vm/src/lib.rs:
+crates/vm/src/addr.rs:
+crates/vm/src/frame.rs:
+crates/vm/src/page_table.rs:
+crates/vm/src/space.rs:

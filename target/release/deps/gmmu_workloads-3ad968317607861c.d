@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/gmmu_workloads-3ad968317607861c.d: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libgmmu_workloads-3ad968317607861c.rlib: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/libgmmu_workloads-3ad968317607861c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/mummergpu.rs:
+crates/workloads/src/pathfinder.rs:
+crates/workloads/src/streamcluster.rs:
+crates/workloads/src/util.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/gmmu_workloads-44f2745ef0aed1aa.d: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+/root/repo/target/release/deps/gmmu_workloads-44f2745ef0aed1aa: crates/workloads/src/lib.rs crates/workloads/src/bfs.rs crates/workloads/src/kmeans.rs crates/workloads/src/memcached.rs crates/workloads/src/mummergpu.rs crates/workloads/src/pathfinder.rs crates/workloads/src/streamcluster.rs crates/workloads/src/util.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/bfs.rs:
+crates/workloads/src/kmeans.rs:
+crates/workloads/src/memcached.rs:
+crates/workloads/src/mummergpu.rs:
+crates/workloads/src/pathfinder.rs:
+crates/workloads/src/streamcluster.rs:
+crates/workloads/src/util.rs:

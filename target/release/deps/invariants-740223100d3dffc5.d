@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/invariants-740223100d3dffc5.d: tests/invariants.rs
+
+/root/repo/target/release/deps/invariants-740223100d3dffc5: tests/invariants.rs
+
+tests/invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/props-99cd9edc44d7db2e.d: tests/props.rs
+
+/root/repo/target/release/deps/props-99cd9edc44d7db2e: tests/props.rs
+
+tests/props.rs:

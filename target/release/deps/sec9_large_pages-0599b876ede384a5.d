@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec9_large_pages-0599b876ede384a5.d: crates/bench/src/bin/sec9_large_pages.rs
+
+/root/repo/target/release/deps/sec9_large_pages-0599b876ede384a5: crates/bench/src/bin/sec9_large_pages.rs
+
+crates/bench/src/bin/sec9_large_pages.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec9_large_pages-636a1ea134015b72.d: crates/bench/src/bin/sec9_large_pages.rs
+
+/root/repo/target/release/deps/sec9_large_pages-636a1ea134015b72: crates/bench/src/bin/sec9_large_pages.rs
+
+crates/bench/src/bin/sec9_large_pages.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec9_large_pages-feddae4bfaf0f5bd.d: crates/bench/src/bin/sec9_large_pages.rs
+
+/root/repo/target/release/deps/sec9_large_pages-feddae4bfaf0f5bd: crates/bench/src/bin/sec9_large_pages.rs
+
+crates/bench/src/bin/sec9_large_pages.rs:

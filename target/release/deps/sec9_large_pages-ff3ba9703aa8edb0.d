@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sec9_large_pages-ff3ba9703aa8edb0.d: crates/bench/src/bin/sec9_large_pages.rs
+
+/root/repo/target/release/deps/sec9_large_pages-ff3ba9703aa8edb0: crates/bench/src/bin/sec9_large_pages.rs
+
+crates/bench/src/bin/sec9_large_pages.rs:

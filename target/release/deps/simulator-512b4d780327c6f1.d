@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/simulator-512b4d780327c6f1.d: crates/bench/benches/simulator.rs
+
+/root/repo/target/release/deps/simulator-512b4d780327c6f1: crates/bench/benches/simulator.rs
+
+crates/bench/benches/simulator.rs:

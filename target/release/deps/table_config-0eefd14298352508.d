@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_config-0eefd14298352508.d: crates/bench/src/bin/table_config.rs
+
+/root/repo/target/release/deps/table_config-0eefd14298352508: crates/bench/src/bin/table_config.rs
+
+crates/bench/src/bin/table_config.rs:

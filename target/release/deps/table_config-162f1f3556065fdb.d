@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_config-162f1f3556065fdb.d: crates/bench/src/bin/table_config.rs
+
+/root/repo/target/release/deps/table_config-162f1f3556065fdb: crates/bench/src/bin/table_config.rs
+
+crates/bench/src/bin/table_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_config-4574735d6cf429eb.d: crates/bench/src/bin/table_config.rs
+
+/root/repo/target/release/deps/table_config-4574735d6cf429eb: crates/bench/src/bin/table_config.rs
+
+crates/bench/src/bin/table_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table_config-af0f4a98246ddd85.d: crates/bench/src/bin/table_config.rs
+
+/root/repo/target/release/deps/table_config-af0f4a98246ddd85: crates/bench/src/bin/table_config.rs
+
+crates/bench/src/bin/table_config.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ccws_probe-919c76c5f36bb8b0.d: examples/ccws_probe.rs
+
+/root/repo/target/release/examples/ccws_probe-919c76c5f36bb8b0: examples/ccws_probe.rs
+
+examples/ccws_probe.rs:

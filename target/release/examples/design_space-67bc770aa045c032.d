@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/design_space-67bc770aa045c032.d: examples/design_space.rs
+
+/root/repo/target/release/examples/design_space-67bc770aa045c032: examples/design_space.rs
+
+examples/design_space.rs:

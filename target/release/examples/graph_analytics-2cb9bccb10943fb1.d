@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph_analytics-2cb9bccb10943fb1.d: examples/graph_analytics.rs
+
+/root/repo/target/release/examples/graph_analytics-2cb9bccb10943fb1: examples/graph_analytics.rs
+
+examples/graph_analytics.rs:

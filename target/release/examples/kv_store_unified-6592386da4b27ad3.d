@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/kv_store_unified-6592386da4b27ad3.d: examples/kv_store_unified.rs
+
+/root/repo/target/release/examples/kv_store_unified-6592386da4b27ad3: examples/kv_store_unified.rs
+
+examples/kv_store_unified.rs:

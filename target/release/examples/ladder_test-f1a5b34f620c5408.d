@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ladder_test-f1a5b34f620c5408.d: examples/ladder_test.rs
+
+/root/repo/target/release/examples/ladder_test-f1a5b34f620c5408: examples/ladder_test.rs
+
+examples/ladder_test.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-5f663fb89c16a4e8.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-5f663fb89c16a4e8: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/speed_test-bc00da968b8df014.d: examples/speed_test.rs
+
+/root/repo/target/release/examples/speed_test-bc00da968b8df014: examples/speed_test.rs
+
+examples/speed_test.rs:

@@ -70,6 +70,103 @@ fn tbc_is_deterministic() {
     assert_eq!(a.dwarps_formed, b.dwarps_formed);
 }
 
+/// Full-stats equality for the execution-engine matrix: {serial,
+/// parallel sweep} x {tick-every-cycle, idle-cycle skipping} must be
+/// observably equivalent — identical cycles, idle/live accounting,
+/// distributions, and every event counter — across benchmarks, MMU
+/// models, a throttling scheduler, and TBC.
+#[test]
+fn execution_engines_are_observably_equivalent() {
+    fn assert_same(a: &RunStats, b: &RunStats, what: &str) {
+        assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+        assert_eq!(a.completed, b.completed, "{what}: completed");
+        assert_eq!(a.instructions, b.instructions, "{what}: instructions");
+        assert_eq!(a.mem_instructions, b.mem_instructions, "{what}: mem_instructions");
+        assert_eq!(a.idle_cycles, b.idle_cycles, "{what}: idle_cycles");
+        assert_eq!(a.live_cycles, b.live_cycles, "{what}: live_cycles");
+        assert_eq!(a.page_divergence, b.page_divergence, "{what}: page_divergence");
+        assert_eq!(a.l1_miss_latency, b.l1_miss_latency, "{what}: l1_miss_latency");
+        assert_eq!(a.tlb_miss_latency, b.tlb_miss_latency, "{what}: tlb_miss_latency");
+        assert_eq!(a.tlb_accesses, b.tlb_accesses, "{what}: tlb_accesses");
+        assert_eq!(a.tlb_hits, b.tlb_hits, "{what}: tlb_hits");
+        assert_eq!(a.l1_accesses, b.l1_accesses, "{what}: l1_accesses");
+        assert_eq!(a.l1_hits, b.l1_hits, "{what}: l1_hits");
+        assert_eq!(a.walk_refs_issued, b.walk_refs_issued, "{what}: walk_refs_issued");
+        assert_eq!(a.walk_refs_naive, b.walk_refs_naive, "{what}: walk_refs_naive");
+        assert_eq!(a.walks, b.walks, "{what}: walks");
+        assert_eq!(a.walk_l2_hit_rate, b.walk_l2_hit_rate, "{what}: walk_l2_hit_rate");
+        assert_eq!(a.dram_requests, b.dram_requests, "{what}: dram_requests");
+        assert_eq!(a.replays, b.replays, "{what}: replays");
+        assert_eq!(a.dwarps_formed, b.dwarps_formed, "{what}: dwarps_formed");
+        assert_eq!(a.blocks_done, b.blocks_done, "{what}: blocks_done");
+    }
+
+    type Configure = fn(&mut GpuConfig);
+    let matrix: [(Bench, &str, Configure); 6] = [
+        (Bench::Memcached, "naive", |c| c.mmu = designs::naive3()),
+        (Bench::Memcached, "augmented", |c| c.mmu = designs::augmented()),
+        (Bench::Bfs, "naive", |c| c.mmu = designs::naive3()),
+        (Bench::Bfs, "augmented", |c| c.mmu = designs::augmented()),
+        (Bench::Streamcluster, "ta-ccws", |c| {
+            c.mmu = designs::augmented();
+            c.policy = PolicyKind::TaCcws { tlb_weight: 4 };
+        }),
+        (Bench::Mummergpu, "tbc", |c| {
+            c.mmu = designs::augmented();
+            c.tbc = Some(TbcConfig::tlb_aware(3));
+        }),
+    ];
+
+    // Serial reference: tick-every-cycle, one point at a time.
+    let mut reference = Vec::new();
+    {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        for (bench, _, configure) in matrix {
+            reference.push(r.run(bench, |c| {
+                configure(c);
+                c.tick_every_cycle = true;
+            }));
+        }
+    }
+
+    // Idle-cycle skipping, still serial.
+    {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        for (i, (bench, name, configure)) in matrix.iter().enumerate() {
+            let s = r.run(*bench, configure);
+            assert_same(&reference[i], &s, &format!("{bench}/{name} serial+skip"));
+        }
+    }
+
+    // Parallel sweep, both engines.
+    for legacy in [false, true] {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 4,
+            ..ExperimentOpts::quick()
+        });
+        let stats = r.sweep(|r| {
+            matrix
+                .map(|(bench, _, configure)| {
+                    r.run(bench, |c| {
+                        configure(c);
+                        c.tick_every_cycle = legacy;
+                    })
+                })
+                .to_vec()
+        });
+        for (i, (bench, name, _)) in matrix.iter().enumerate() {
+            let engine = if legacy { "tick-every-cycle" } else { "skip" };
+            assert_same(&reference[i], &stats[i], &format!("{bench}/{name} sweep+{engine}"));
+        }
+    }
+}
+
 #[test]
 fn core_count_scales_throughput() {
     let w = build(Bench::Kmeans, Scale::Tiny, 7);

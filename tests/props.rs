@@ -1,24 +1,48 @@
-//! Property-based tests (proptest) over the core data structures and
+//! Randomized property tests over the core data structures and
 //! cross-crate invariants.
+//!
+//! These used to be `proptest` properties; they are now driven by the
+//! in-tree deterministic [`Xoshiro256`] generator so the workspace has
+//! zero external dependencies (the build environment has no network
+//! access to a crates registry). Each property runs 64 seeded cases,
+//! and a failure message carries the case seed for replay.
 
 use gmmu_core::walker::{Walker, WalkerConfig};
 use gmmu_mem::{Cache, CacheConfig, MemConfig, MemorySystem};
+use gmmu_sim::rng::Xoshiro256;
 use gmmu_simt::coalesce::{coalesce, CoalesceBuf};
 use gmmu_simt::stack::SimtStack;
 use gmmu_vm::{AddressSpace, PageSize, SpaceConfig, VAddr, Vpn};
-use proptest::prelude::*;
 use std::collections::{HashMap, HashSet};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+const CASES: u64 = 64;
 
-    /// Address-space translation round-trips for arbitrary offsets into
-    /// arbitrary regions, and never invents mappings outside them.
-    #[test]
-    fn translation_roundtrip(
-        sizes in prop::collection::vec(1u64..200_000, 1..5),
-        probes in prop::collection::vec((0usize..5, 0u64..400_000), 1..50),
-    ) {
+/// Runs `f` once per case with a per-case RNG; panics mention the case
+/// number so failures can be replayed.
+fn for_each_case(test: &str, f: impl Fn(&mut Xoshiro256)) {
+    for case in 0..CASES {
+        let mut rng = Xoshiro256::seed_from(0x9_e77 ^ case);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            panic!("{test}: case {case} failed: {e:?}");
+        }
+    }
+}
+
+fn vec_u64(rng: &mut Xoshiro256, len: std::ops::Range<u64>, each: std::ops::Range<u64>) -> Vec<u64> {
+    let n = rng.gen_range(len);
+    (0..n).map(|_| rng.gen_range(each.clone())).collect()
+}
+
+/// Address-space translation round-trips for arbitrary offsets into
+/// arbitrary regions, and never invents mappings outside them.
+#[test]
+fn translation_roundtrip() {
+    for_each_case("translation_roundtrip", |rng| {
+        let sizes = vec_u64(rng, 1..5, 1..200_000);
+        let probes: Vec<(usize, u64)> = (0..rng.gen_range(1..50))
+            .map(|_| (rng.gen_range(0..5) as usize, rng.gen_range(0..400_000)))
+            .collect();
         let mut space = AddressSpace::new(SpaceConfig::default());
         let regions: Vec<_> = sizes
             .iter()
@@ -30,40 +54,45 @@ proptest! {
             let inside = off % region.bytes;
             let va = region.base.offset(inside);
             let (pa, _) = space.translate(va).expect("mapped offset must translate");
-            prop_assert_eq!(pa.raw() & 0xfff, va.raw() & 0xfff, "page offset preserved");
-            // Distinct pages must give distinct frames.
+            assert_eq!(pa.raw() & 0xfff, va.raw() & 0xfff, "page offset preserved");
         }
         // Unmapped gaps stay unmapped (the guard gap after the last region).
         let last = regions.last().unwrap();
-        prop_assert!(space.translate(last.end().offset(1 << 21)).is_err());
-    }
+        assert!(space.translate(last.end().offset(1 << 21)).is_err());
+    });
+}
 
-    /// Distinct mapped pages never alias the same physical frame.
-    #[test]
-    fn no_frame_aliasing(pages in 1u64..600) {
+/// Distinct mapped pages never alias the same physical frame.
+#[test]
+fn no_frame_aliasing() {
+    for_each_case("no_frame_aliasing", |rng| {
+        let pages = rng.gen_range(1..600);
         let mut space = AddressSpace::new(SpaceConfig::default());
         let r = space.map_region("r", pages * 4096, PageSize::Base4K).unwrap();
         let mut seen = HashSet::new();
         for p in 0..r.num_pages() {
             let (pa, _) = space.translate(r.at(p * 4096)).unwrap();
-            prop_assert!(seen.insert(pa.ppn().raw()), "frame aliased");
+            assert!(seen.insert(pa.ppn().raw()), "frame aliased");
         }
-    }
+    });
+}
 
-    /// The coalescer covers every active access with exactly the right
-    /// page, never duplicates a line, and bounds divergence by the lane
-    /// count.
-    #[test]
-    fn coalescer_covers_all_lanes(addrs in prop::collection::vec(0u64..1u64 << 30, 1..32)) {
+/// The coalescer covers every active access with exactly the right
+/// page, never duplicates a line, and bounds divergence by the lane
+/// count.
+#[test]
+fn coalescer_covers_all_lanes() {
+    for_each_case("coalescer_covers_all_lanes", |rng| {
+        let addrs = vec_u64(rng, 1..32, 0..1u64 << 30);
         let mut buf = CoalesceBuf::new();
         coalesce(addrs.iter().map(|&a| (VAddr::new(a), 0u16)), &mut buf);
-        prop_assert!(buf.pages.len() <= addrs.len());
-        prop_assert!(buf.lines.len() <= addrs.len());
+        assert!(buf.pages.len() <= addrs.len());
+        assert!(buf.lines.len() <= addrs.len());
         // No duplicate lines or pages.
         let lines: HashSet<u64> = buf.lines.iter().map(|l| l.vline).collect();
-        prop_assert_eq!(lines.len(), buf.lines.len());
+        assert_eq!(lines.len(), buf.lines.len());
         let pages: HashSet<u64> = buf.pages.iter().map(|p| p.vpn.raw()).collect();
-        prop_assert_eq!(pages.len(), buf.pages.len());
+        assert_eq!(pages.len(), buf.pages.len());
         // Every address's line and page are present and agree.
         for &a in &addrs {
             let va = VAddr::new(a);
@@ -72,21 +101,24 @@ proptest! {
                 .iter()
                 .find(|l| l.vline == va.line(7))
                 .expect("line covered");
-            prop_assert_eq!(
+            assert_eq!(
                 buf.pages[line.page_idx as usize].vpn,
                 va.vpn(),
                 "line mapped to wrong page"
             );
         }
-    }
+    });
+}
 
-    /// SIMT stack: for a divergent loop, every lane executes the body
-    /// exactly its own trip count and the tail executes once with the
-    /// full mask — regardless of the trip distribution.
-    #[test]
-    fn simt_stack_loops_execute_exact_trip_counts(
-        trips in prop::collection::vec(1u32..9, 1..32),
-    ) {
+/// SIMT stack: for a divergent loop, every lane executes the body
+/// exactly its own trip count and the tail executes once with the
+/// full mask — regardless of the trip distribution.
+#[test]
+fn simt_stack_loops_execute_exact_trip_counts() {
+    for_each_case("simt_stack_loops_execute_exact_trip_counts", |rng| {
+        let trips: Vec<u32> = (0..rng.gen_range(1..32))
+            .map(|_| rng.gen_range(1..9) as u32)
+            .collect();
         let n = trips.len();
         let full: u32 = if n == 32 { u32::MAX } else { (1u32 << n) - 1 };
         let mut stack = SimtStack::new(full, 3);
@@ -95,7 +127,7 @@ proptest! {
         let mut steps = 0;
         while !stack.is_done() {
             steps += 1;
-            prop_assert!(steps < 10_000, "stack failed to converge");
+            assert!(steps < 10_000, "stack failed to converge");
             let (pc, mask) = stack.current().unwrap();
             match pc {
                 0 => {
@@ -119,17 +151,21 @@ proptest! {
                     tail_mask |= mask;
                     stack.advance(3);
                 }
-                other => prop_assert!(false, "unexpected pc {}", other),
+                other => panic!("unexpected pc {other}"),
             }
-            prop_assert!(stack.depth() <= 2, "loop grew the stack");
+            assert!(stack.depth() <= 2, "loop grew the stack");
         }
-        prop_assert_eq!(body, trips);
-        prop_assert_eq!(tail_mask, full);
-    }
+        assert_eq!(body, trips);
+        assert_eq!(tail_mask, full);
+    });
+}
 
-    /// SIMT stack: an if/else partitions the lanes exactly.
-    #[test]
-    fn simt_stack_if_else_partitions(mask_bits in 0u32..u32::MAX, lanes in 2u32..33) {
+/// SIMT stack: an if/else partitions the lanes exactly.
+#[test]
+fn simt_stack_if_else_partitions() {
+    for_each_case("simt_stack_if_else_partitions", |rng| {
+        let mask_bits = rng.gen_range(0..u32::MAX as u64) as u32;
+        let lanes = rng.gen_range(2..33) as u32;
         let full = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
         let taken = mask_bits & full;
         // 0: branch(t→2, r=3); 1: else; 2: then; 3: join
@@ -147,17 +183,20 @@ proptest! {
                 _ => unreachable!(),
             }
         }
-        prop_assert_eq!(then_mask, taken);
-        prop_assert_eq!(else_mask, full & !taken);
-        prop_assert_eq!(join_mask, full);
-        prop_assert_eq!(then_mask & else_mask, 0);
-    }
+        assert_eq!(then_mask, taken);
+        assert_eq!(else_mask, full & !taken);
+        assert_eq!(join_mask, full);
+        assert_eq!(then_mask & else_mask, 0);
+    });
+}
 
-    /// Serial and coalesced walkers are functionally equivalent: same
-    /// translations, and the coalesced walker never issues more PTE
-    /// loads than the serial one.
-    #[test]
-    fn walker_equivalence(page_offsets in prop::collection::vec(0u64..2048, 1..16)) {
+/// Serial and coalesced walkers are functionally equivalent: same
+/// translations, and the coalesced walker never issues more PTE
+/// loads than the serial one.
+#[test]
+fn walker_equivalence() {
+    for_each_case("walker_equivalence", |rng| {
+        let page_offsets = vec_u64(rng, 1..16, 0..2048);
         let mut space = AddressSpace::new(SpaceConfig::default());
         let region = space.map_region("w", 2048 * 4096, PageSize::Base4K).unwrap();
         let base = region.base.vpn().raw();
@@ -176,7 +215,7 @@ proptest! {
             while done.len() < vpns.len() {
                 walker.advance(now, &mut mem, &space, &mut done);
                 now += 100;
-                prop_assert!(now < 10_000_000, "walker stalled");
+                assert!(now < 10_000_000, "walker stalled");
             }
             results.push(
                 done.iter()
@@ -185,40 +224,49 @@ proptest! {
             );
             issued.push(walker.stats.refs_issued.get());
         }
-        prop_assert_eq!(&results[0], &results[1], "walkers disagree on translations");
-        prop_assert!(issued[1] <= issued[0], "coalescing increased references");
+        assert_eq!(&results[0], &results[1], "walkers disagree on translations");
+        assert!(issued[1] <= issued[0], "coalescing increased references");
         // And both agree with the functional translation.
         for (&vpn, &ppn) in &results[0] {
             let expect = space.translate(Vpn::new(vpn).base()).unwrap().0.ppn().raw();
-            prop_assert_eq!(ppn, expect);
+            assert_eq!(ppn, expect);
         }
-    }
+    });
+}
 
-    /// A cache never "remembers" an invalidated line, and probing after
-    /// an access always hits.
-    #[test]
-    fn cache_probe_consistency(ops in prop::collection::vec((0u64..256, any::<bool>()), 1..200)) {
+/// A cache never "remembers" an invalidated line, and probing after
+/// an access always hits.
+#[test]
+fn cache_probe_consistency() {
+    for_each_case("cache_probe_consistency", |rng| {
+        let ops: Vec<(u64, bool)> = (0..rng.gen_range(1..200))
+            .map(|_| (rng.gen_range(0..256), rng.gen_bool(0.5)))
+            .collect();
         let mut cache = Cache::new(CacheConfig { sets: 8, ways: 2 });
         let mut stamp = 0;
         for (line, invalidate) in ops {
             if invalidate {
                 cache.invalidate(line);
-                prop_assert!(!cache.probe(line));
+                assert!(!cache.probe(line));
             } else {
                 stamp += 1;
                 cache.access(line, 0, stamp);
-                prop_assert!(cache.probe(line), "just-accessed line missing");
+                assert!(cache.probe(line), "just-accessed line missing");
             }
-            prop_assert!(cache.occupancy() <= 16);
+            assert!(cache.occupancy() <= 16);
         }
-    }
+    });
+}
 
-    /// Zipf sampling is always in range and deterministic per index.
-    #[test]
-    fn zipf_bounds(n in 1usize..5000, idx in 0u64..10_000) {
+/// Zipf sampling is always in range and deterministic per index.
+#[test]
+fn zipf_bounds() {
+    for_each_case("zipf_bounds", |rng| {
+        let n = rng.gen_range(1..5000) as usize;
+        let idx = rng.gen_range(0..10_000);
         let z = gmmu_sim::rng::Zipf::new(n, 0.99);
         let a = z.sample_at(42, idx);
-        prop_assert!(a < n);
-        prop_assert_eq!(a, z.sample_at(42, idx));
-    }
+        assert!(a < n);
+        assert_eq!(a, z.sample_at(42, idx));
+    });
 }
