@@ -162,6 +162,33 @@ fn bench_engine_throughput() {
         "engine/speedup             {:>8.2}x (event_skip over tick_every_cycle)",
         results[1].1 / results[0].1
     );
+
+    // Same point once more with the span tracer attached: the off path
+    // must stay free, and this reports what turning tracing *on* costs.
+    let mut best = f64::INFINITY;
+    let mut cycles = 0u64;
+    let mut events = 0usize;
+    for _ in 0..3 {
+        let c = cfg.clone();
+        let mut obs = gmmu_simt::Observer::tracing();
+        let t = Instant::now();
+        cycles = black_box(
+            gmmu_simt::Gpu::new(c)
+                .run_observed(w.kernel.as_ref(), &w.space, &mut obs)
+                .cycles,
+        );
+        best = best.min(t.elapsed().as_secs_f64());
+        events = obs.tracer.buffer().map_or(0, |b| b.len());
+    }
+    assert_eq!(cycles, results[0].0, "tracing changed simulated cycles");
+    println!(
+        "engine/traced              {:>8.2} Mcycles/s  ({events} events)",
+        cycles as f64 / best / 1e6
+    );
+    println!(
+        "engine/trace_overhead      {:>8.2}x wall time vs event_skip",
+        best / results[0].1
+    );
 }
 
 fn main() {

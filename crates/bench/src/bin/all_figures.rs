@@ -26,13 +26,14 @@ fn main() {
     for table in gmmu::figures::fig09() {
         println!("{table}");
     }
-    let figs: [(&str, FigFn); 14] = [
+    let figs: [(&str, FigFn); 15] = [
         ("fig02", gmmu::figures::fig02),
         ("fig03", gmmu::figures::fig03),
         ("fig04", gmmu::figures::fig04),
         ("fig06", gmmu::figures::fig06),
         ("fig07", gmmu::figures::fig07),
         ("fig10", gmmu::figures::fig10),
+        ("fig10_stalls", gmmu::figures::fig10_stalls),
         ("fig11", gmmu::figures::fig11),
         ("fig13", gmmu::figures::fig13),
         ("fig16", gmmu::figures::fig16),
@@ -102,6 +103,27 @@ fn main() {
             sims_per_fig[i],
             fig_walls[i].as_secs_f64(),
             if i + 1 < figs.len() { "," } else { "" }
+        );
+    }
+    let _ = writeln!(json, "  ],");
+    let _ = writeln!(json, "  \"points\": [");
+    for (i, p) in runner.point_log.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "    {{\"bench\": \"{:?}\", \"large_pages\": {}, \
+             \"fingerprint\": \"{:016x}\", \"engine\": \"{}\", \
+             \"wall_s\": {:.4}, \"observed\": {}}}{}",
+            p.bench,
+            p.large_pages,
+            p.fingerprint,
+            p.engine,
+            p.wall_s,
+            p.observed,
+            if i + 1 < runner.point_log.len() {
+                ","
+            } else {
+                ""
+            }
         );
     }
     let _ = writeln!(json, "  ]");

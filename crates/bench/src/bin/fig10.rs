@@ -6,7 +6,12 @@ fn main() {
     let csv = std::env::args().any(|a| a == "--csv");
     let mut runner = gmmu::Runner::new(opts);
     let started = std::time::Instant::now();
-    for table in runner.sweep(gmmu::figures::fig10) {
+    let tables = runner.sweep(|r| {
+        let mut tables = gmmu::figures::fig10(r);
+        tables.extend(gmmu::figures::fig10_stalls(r));
+        tables
+    });
+    for table in tables {
         println!("{table}");
         if csv {
             print!("{}", table.to_csv());

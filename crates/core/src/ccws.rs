@@ -337,7 +337,7 @@ mod tests {
             2,
             cfg(),
         );
-        let unit = (64 / 32).max(1);
+        let unit = 64 / 32;
         p.on_tlb_hit(0, 0);
         assert_eq!(p.lls().score(0), unit);
         p.on_tlb_hit(0, 3);

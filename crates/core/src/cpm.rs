@@ -123,9 +123,9 @@ impl CommonPageMatrix {
     /// every pairwise counter must be saturated. An empty member set is
     /// always compatible.
     pub fn is_compatible(&self, candidate: u16, members: impl IntoIterator<Item = u16>) -> bool {
-        members.into_iter().all(|m| {
-            m == candidate || self.counter(candidate, m) == self.max
-        })
+        members
+            .into_iter()
+            .all(|m| m == candidate || self.counter(candidate, m) == self.max)
     }
 
     /// Flushes the table when the flush interval has elapsed. Flush
@@ -137,7 +137,10 @@ impl CommonPageMatrix {
     pub fn tick(&mut self, now: Cycle) {
         let interval = self.config.flush_interval.max(1);
         let mut flushed = false;
-        while now.checked_sub(self.last_flush).is_some_and(|d| d >= interval) {
+        while now
+            .checked_sub(self.last_flush)
+            .is_some_and(|d| d >= interval)
+        {
             self.last_flush += interval;
             self.flushes.inc();
             flushed = true;

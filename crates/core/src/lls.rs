@@ -109,7 +109,10 @@ impl Lls {
     /// same scores as calling it once per cycle.
     pub fn tick(&mut self, now: Cycle) {
         let interval = self.config.decay_interval.max(1);
-        while now.checked_sub(self.last_decay).is_some_and(|d| d >= interval) {
+        while now
+            .checked_sub(self.last_decay)
+            .is_some_and(|d| d >= interval)
+        {
             self.last_decay += interval;
             self.decay_once();
         }

@@ -22,6 +22,7 @@ use crate::walker::{WalkDone, Walker, WalkerConfig};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
 use gmmu_mem::MemorySystem;
 use gmmu_sim::stats::{Counter, Summary};
+use gmmu_sim::trace::{TraceEvent, Tracer, TID_MMU};
 use gmmu_sim::Cycle;
 use gmmu_vm::{AddressSpace, Ppn, Vpn};
 use std::collections::HashMap;
@@ -307,11 +308,25 @@ impl Mmu {
     /// Services the walker and applies due TLB fills. Call once per core
     /// cycle before translating.
     pub fn advance(&mut self, now: Cycle, mem: &mut MemorySystem, space: &AddressSpace) {
+        self.advance_traced(now, mem, space, &mut Tracer::Off, 0);
+    }
+
+    /// [`Mmu::advance`] that also emits `tlb_miss` spans (miss enqueue →
+    /// fill applied, track `TID_MMU`) and per-lane `page_walk` spans
+    /// under core `pid` when tracing is on.
+    pub fn advance_traced(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        tracer: &mut Tracer,
+        pid: u32,
+    ) {
         let Some(walker) = self.walker.as_mut() else {
             return;
         };
         self.done_scratch.clear();
-        walker.advance(now, mem, space, &mut self.done_scratch);
+        walker.advance_traced(now, mem, space, &mut self.done_scratch, tracer, pid);
         for done in self.done_scratch.drain(..) {
             self.mshrs.set_completion(done.vpn.raw(), done.complete);
             self.pending_fills.push(done);
@@ -321,15 +336,27 @@ impl Mmu {
         while i < self.pending_fills.len() {
             if self.pending_fills[i].complete <= now {
                 let done = self.pending_fills.swap_remove(i);
-                self.apply_fill(now, done);
+                self.apply_fill(now, done, tracer, pid);
             } else {
                 i += 1;
             }
         }
     }
 
-    fn apply_fill(&mut self, now: Cycle, done: WalkDone) {
+    fn apply_fill(&mut self, now: Cycle, done: WalkDone, tracer: &mut Tracer, pid: u32) {
         self.miss_latency.record(done.complete - done.enqueued);
+        tracer.record(|| {
+            TraceEvent::span(
+                "tlb_miss",
+                "mmu",
+                pid,
+                TID_MMU,
+                done.enqueued,
+                done.complete - done.enqueued,
+            )
+            .arg("vpn", done.vpn.raw())
+            .arg("warp", done.warp as u64)
+        });
         self.mshrs.release(done.vpn.raw());
         let waiters = self.waiters.remove(&done.vpn.raw()).unwrap_or_default();
         let _ = now;
@@ -636,11 +663,15 @@ mod tests {
         // Warp 0 misses on page 2; warp 1 hits page 1 under that miss.
         let p2 = page(&r, 2);
         let _ = r.mmu.translate(now, 0, &[pr(p2, 0)], &r.space, &mut r.buf);
-        let out = r.mmu.translate(now + 1, 1, &[pr(p1, 1)], &r.space, &mut r.buf);
+        let out = r
+            .mmu
+            .translate(now + 1, 1, &[pr(p1, 1)], &r.space, &mut r.buf);
         assert!(matches!(out, TranslateOutcome::AllHit { .. }));
         // A second miss is also accepted (queued behind the walker).
         let p3 = page(&r, 3);
-        let out = r.mmu.translate(now + 2, 2, &[pr(p3, 2)], &r.space, &mut r.buf);
+        let out = r
+            .mmu
+            .translate(now + 2, 2, &[pr(p3, 2)], &r.space, &mut r.buf);
         assert!(matches!(out, TranslateOutcome::Miss { .. }));
     }
 
@@ -676,7 +707,7 @@ mod tests {
     #[test]
     fn port_count_serializes_wide_requests() {
         let mut r = rig(MmuModel::naive()); // 3 ports
-        // Warm 6 pages.
+                                            // Warm 6 pages.
         r.mmu.advance(0, &mut r.mem, &r.space);
         let pages: Vec<PageReq> = (0..6).map(|i| pr(page(&r, i), 0)).collect();
         for p in &pages {
@@ -703,7 +734,9 @@ mod tests {
         r.mmu.advance(0, &mut r.mem, &r.space);
         let _ = r.mmu.translate(0, 0, &[pr(p, 0)], &r.space, &mut r.buf);
         let (now, _) = settle(&mut r, 1);
-        let out = r.mmu.translate(now + 100, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+        let out = r
+            .mmu
+            .translate(now + 100, 0, &[pr(p, 0)], &r.space, &mut r.buf);
         assert_eq!(
             out,
             TranslateOutcome::AllHit {
@@ -757,7 +790,10 @@ mod tests {
         r.mmu.advance(0, &mut r.mem, &r.space);
         let out = r.mmu.translate(0, 0, &pages, &r.space, &mut r.buf);
         // Only the MSHR capacity registers; the rest wait.
-        assert!(matches!(out, TranslateOutcome::Miss { misses: 2, .. }), "{out:?}");
+        assert!(
+            matches!(out, TranslateOutcome::Miss { misses: 2, .. }),
+            "{out:?}"
+        );
         let (now, events) = settle(&mut r, 1);
         let wakes = events
             .iter()

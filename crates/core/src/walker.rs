@@ -19,6 +19,7 @@
 use gmmu_mem::cache::{Cache, CacheConfig};
 use gmmu_mem::{AccessKind, MemorySystem, LINE_SHIFT};
 use gmmu_sim::stats::{Counter, Summary};
+use gmmu_sim::trace::{TraceEvent, Tracer, TID_WALKER};
 use gmmu_sim::Cycle;
 use gmmu_vm::{AddressSpace, PageSize, Ppn, Vpn};
 use std::collections::VecDeque;
@@ -145,6 +146,9 @@ pub struct WalkerStats {
     pub batch_size: Summary,
     /// Upper-level loads served by the page-walk cache.
     pub pwc_hits: Counter,
+    /// Cycles any lane spent occupied by a walk, summed over lanes;
+    /// divide by `lanes x elapsed cycles` for walker occupancy.
+    pub lane_busy_cycles: Counter,
 }
 
 impl WalkerStats {
@@ -271,6 +275,11 @@ impl Walker {
         self.pending.len()
     }
 
+    /// Number of walk lanes (1 for coalesced/software walkers).
+    pub fn lane_count(&self) -> usize {
+        self.lanes.len()
+    }
+
     /// The earliest cycle at which [`Walker::advance`] can make progress,
     /// or `None` when nothing is queued. After an `advance(now)` the
     /// queue is non-empty only if every lane is busy past `now`, so the
@@ -295,15 +304,30 @@ impl Walker {
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
     ) {
+        self.advance_traced(now, mem, space, done, &mut Tracer::Off, 0);
+    }
+
+    /// [`Walker::advance`] that also emits one `page_walk` span per walk
+    /// (track `TID_WALKER + lane`) under core `pid` when tracing is on.
+    pub fn advance_traced(
+        &mut self,
+        now: Cycle,
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        done: &mut Vec<WalkDone>,
+        tracer: &mut Tracer,
+        pid: u32,
+    ) {
         match self.config.kind {
-            WalkerKind::Serial { .. } => self.advance_serial(now, mem, space, done, 0),
-            WalkerKind::Coalesced => self.advance_coalesced(now, mem, space, done),
+            WalkerKind::Serial { .. } => self.advance_serial(now, mem, space, done, 0, tracer, pid),
+            WalkerKind::Coalesced => self.advance_coalesced(now, mem, space, done, tracer, pid),
             WalkerKind::Software { trap_cycles } => {
-                self.advance_serial(now, mem, space, done, trap_cycles)
+                self.advance_serial(now, mem, space, done, trap_cycles, tracer, pid)
             }
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn advance_serial(
         &mut self,
         now: Cycle,
@@ -311,6 +335,8 @@ impl Walker {
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
         trap_cycles: u64,
+        tracer: &mut Tracer,
+        pid: u32,
     ) {
         loop {
             if self.pending.is_empty() {
@@ -344,7 +370,20 @@ impl Walker {
             self.stats.refs_naive.add(walk.levels.len() as u64);
             self.stats.walks.inc();
             self.stats.walk_latency.record(t - req.enqueued);
+            self.stats.lane_busy_cycles.add(t - now);
             self.lanes[lane_idx] = t;
+            tracer.record(|| {
+                TraceEvent::span(
+                    "page_walk",
+                    "walker",
+                    pid,
+                    TID_WALKER + lane_idx as u32,
+                    now,
+                    t - now,
+                )
+                .arg("vpn", req.vpn.raw())
+                .arg("warp", req.warp as u64)
+            });
             done.push(WalkDone {
                 vpn: req.vpn,
                 warp: req.warp,
@@ -361,6 +400,8 @@ impl Walker {
         mem: &mut MemorySystem,
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
+        tracer: &mut Tracer,
+        pid: u32,
     ) {
         if self.pending.is_empty() || self.lanes[0] > now {
             return;
@@ -419,6 +460,20 @@ impl Walker {
             let complete = walk_complete[wi];
             self.stats.walks.inc();
             self.stats.walk_latency.record(complete - req.enqueued);
+            // One span per walk in the batch; tracks fan out by batch
+            // index so concurrent walks render as parallel rows.
+            tracer.record(|| {
+                TraceEvent::span(
+                    "page_walk",
+                    "walker",
+                    pid,
+                    TID_WALKER + wi as u32,
+                    now,
+                    complete - now,
+                )
+                .arg("vpn", req.vpn.raw())
+                .arg("warp", req.warp as u64)
+            });
             done.push(WalkDone {
                 vpn: req.vpn,
                 warp: req.warp,
@@ -427,6 +482,7 @@ impl Walker {
                 enqueued: req.enqueued,
             });
         }
+        self.stats.lane_busy_cycles.add(t - now);
         self.lanes[0] = t;
     }
 }

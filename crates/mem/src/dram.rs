@@ -91,7 +91,10 @@ mod tests {
 
     #[test]
     fn burst_requests_queue() {
-        let mut ch = Channel::new(DramConfig { latency: 100, service: 4 });
+        let mut ch = Channel::new(DramConfig {
+            latency: 100,
+            service: 4,
+        });
         let times: Vec<Cycle> = (0..4).map(|_| ch.request(0)).collect();
         assert_eq!(times, vec![100, 104, 108, 112]);
         assert_eq!(ch.requests.get(), 4);
@@ -100,7 +103,10 @@ mod tests {
 
     #[test]
     fn queue_drains_over_time() {
-        let mut ch = Channel::new(DramConfig { latency: 100, service: 4 });
+        let mut ch = Channel::new(DramConfig {
+            latency: 100,
+            service: 4,
+        });
         ch.request(0);
         ch.request(0);
         // By cycle 50 the channel is free again.

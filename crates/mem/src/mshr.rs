@@ -124,7 +124,11 @@ impl MshrFile {
     /// Earliest completion among in-flight entries (NEVER when empty or
     /// all unknown) — used to decide when a blocked TLB frees up.
     pub fn earliest_completion(&self) -> Cycle {
-        self.entries.values().copied().min().unwrap_or(gmmu_sim::NEVER)
+        self.entries
+            .values()
+            .copied()
+            .min()
+            .unwrap_or(gmmu_sim::NEVER)
     }
 }
 

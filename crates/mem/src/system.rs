@@ -160,9 +160,7 @@ impl MemorySystem {
             t
         };
         let l2_done = at_l2 + self.config.l2_latency;
-        let l2_hit = self.slices[slice_idx]
-            .access(line, 0, at_l2)
-            .is_hit();
+        let l2_hit = self.slices[slice_idx].access(line, 0, at_l2).is_hit();
         let data_ready = if l2_hit {
             l2_done
         } else if priority {

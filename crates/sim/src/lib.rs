@@ -12,6 +12,7 @@
 //! * [`stats`] — counters, running means, and log-scale histograms used
 //!   for every statistic the paper reports.
 //! * [`table`] — plain-text/CSV table rendering for the figure harnesses.
+//! * [`trace`] — zero-cost span tracing with a Chrome/Perfetto exporter.
 //!
 //! # Examples
 //!
@@ -30,6 +31,7 @@
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 /// A point in simulated time, measured in shader-core clock cycles.
 ///

@@ -48,6 +48,23 @@ pub fn mix3(a: u64, b: u64, c: u64) -> u64 {
     mix64(a ^ mix2(b, c))
 }
 
+/// 64-bit FNV-1a hash. Used for stable, human-greppable fingerprints of
+/// configuration keys in run metadata — not for randomness.
+///
+/// ```
+/// use gmmu_sim::rng::fnv1a64;
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// SplitMix64 sequential generator.
 ///
 /// Mostly used to seed [`Xoshiro256`]; also handy when a tiny generator
@@ -101,10 +118,7 @@ impl Xoshiro256 {
     /// Returns the next 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
-        let result = self.s[1]
-            .wrapping_mul(5)
-            .rotate_left(7)
-            .wrapping_mul(9);
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
         let t = self.s[1] << 17;
         self.s[2] ^= self.s[0];
         self.s[3] ^= self.s[1];
@@ -300,8 +314,7 @@ mod tests {
         let z = Zipf::new(100, 0.8);
         assert_eq!(z.sample_at(7, 3), z.sample_at(7, 3));
         // Different stream positions should not all collapse to one rank.
-        let distinct: std::collections::HashSet<_> =
-            (0..50).map(|i| z.sample_at(7, i)).collect();
+        let distinct: std::collections::HashSet<_> = (0..50).map(|i| z.sample_at(7, i)).collect();
         assert!(distinct.len() > 5);
     }
 

@@ -60,7 +60,7 @@ impl fmt::Display for Counter {
     }
 }
 
-/// Mean/min/max accumulator without storing samples.
+/// Mean/min/max/stddev accumulator without storing samples.
 ///
 /// # Examples
 ///
@@ -71,11 +71,13 @@ impl fmt::Display for Counter {
 /// s.record(30);
 /// assert_eq!(s.mean(), 20.0);
 /// assert_eq!(s.max(), 30);
+/// assert_eq!(s.stddev(), 10.0);
 /// ```
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Summary {
     count: u64,
     sum: u64,
+    sum_sq: u128,
     min: u64,
     max: u64,
 }
@@ -86,6 +88,7 @@ impl Summary {
         Self {
             count: 0,
             sum: 0,
+            sum_sq: 0,
             min: u64::MAX,
             max: 0,
         }
@@ -96,6 +99,7 @@ impl Summary {
     pub fn record(&mut self, v: u64) {
         self.count += 1;
         self.sum += v;
+        self.sum_sq += v as u128 * v as u128;
         self.min = self.min.min(v);
         self.max = self.max.max(v);
     }
@@ -133,6 +137,19 @@ impl Summary {
         }
     }
 
+    /// Population standard deviation (0 when empty). Computed from the
+    /// running sum of squares; the subtraction is clamped at zero so
+    /// floating-point cancellation can never produce a NaN.
+    pub fn stddev(&self) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let n = self.count as f64;
+        let mean = self.sum as f64 / n;
+        let var = self.sum_sq as f64 / n - mean * mean;
+        var.max(0.0).sqrt()
+    }
+
     /// Merges another summary into this one.
     pub fn merge(&mut self, other: &Summary) {
         if other.count == 0 {
@@ -140,6 +157,7 @@ impl Summary {
         }
         self.count += other.count;
         self.sum += other.sum;
+        self.sum_sq += other.sum_sq;
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
@@ -230,7 +248,9 @@ impl Histogram {
         if self.count == 0 {
             return 0;
         }
-        let threshold = (p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64;
+        // At least one sample must be accumulated before the threshold is
+        // met: p = 0.0 means "the smallest non-empty bucket", not bucket 0.
+        let threshold = ((p.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut acc = 0;
         for (v, &n) in self.buckets.iter().enumerate() {
             acc += n;
@@ -326,7 +346,22 @@ mod tests {
             all.record(v);
         }
         a.merge(&b);
-        assert_eq!(a, all);
+        assert_eq!(a, all); // includes sum_sq, so stddev merges exactly
+        assert_eq!(a.stddev(), all.stddev());
+    }
+
+    #[test]
+    fn summary_stddev() {
+        let mut s = Summary::new();
+        assert_eq!(s.stddev(), 0.0);
+        s.record(7);
+        assert_eq!(s.stddev(), 0.0); // single sample has no spread
+        let mut s = Summary::new();
+        for v in [2, 4, 4, 4, 5, 5, 7, 9] {
+            s.record(v);
+        }
+        assert_eq!(s.mean(), 5.0);
+        assert_eq!(s.stddev(), 2.0);
     }
 
     #[test]
@@ -339,6 +374,17 @@ mod tests {
         assert_eq!(h.percentile(0.5), 4);
         assert_eq!(h.percentile(1.0), 9);
         assert_eq!(h.max(), 9);
+    }
+
+    #[test]
+    fn percentile_zero_skips_empty_buckets() {
+        // Regression: a threshold of 0 used to be satisfied before any
+        // mass accumulated, reporting bucket 0 even when it was empty.
+        let mut h = Histogram::new();
+        h.record(5);
+        h.record(7);
+        assert_eq!(h.percentile(0.0), 5);
+        assert_eq!(h.percentile(1.0), 7);
     }
 
     #[test]

@@ -14,7 +14,6 @@ use gmmu_vm::{PageSize, VAddr, Vpn};
 /// log2 of the L1 line size (128 bytes).
 const LINE_SHIFT: u32 = gmmu_mem::LINE_SHIFT;
 
-
 /// One coalesced line reference.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LineRef {
@@ -200,8 +199,7 @@ mod tests {
     fn granule_page_indices_stay_consistent() {
         use gmmu_vm::PageSize;
         let mut buf = CoalesceBuf::new();
-        let accesses =
-            (0..8u64).map(|i| (VAddr::new(0x4000_0000 + i * 300_000), 0u16));
+        let accesses = (0..8u64).map(|i| (VAddr::new(0x4000_0000 + i * 300_000), 0u16));
         coalesce_granule(accesses, PageSize::Large2M, &mut buf);
         for line in &buf.lines {
             let page = &buf.pages[line.page_idx as usize];

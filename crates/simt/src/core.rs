@@ -13,6 +13,7 @@ use crate::coalesce::{coalesce_granule, CoalesceBuf};
 use crate::config::{CoreTimings, GpuConfig, TbcConfig};
 use crate::program::{Kernel, MemKind, Op, ThreadId};
 use crate::stack::SimtStack;
+use crate::stall::{StallBreakdown, StallCause};
 use crate::tbc::TbcState;
 use gmmu_core::ccws::LocalityPolicy;
 use gmmu_core::cpm::CommonPageMatrix;
@@ -20,6 +21,7 @@ use gmmu_core::mmu::{Mmu, MmuEvent, TranslateBuf, TranslateOutcome};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
 use gmmu_mem::{AccessKind, Cache, CacheAccess, MemorySystem};
 use gmmu_sim::stats::{Counter, Histogram, Summary};
+use gmmu_sim::trace::{TraceEvent, Tracer, TID_DISPATCH};
 use gmmu_sim::Cycle;
 use gmmu_vm::{AddressSpace, PageSize, Ppn, VAddr, Vpn};
 
@@ -33,6 +35,9 @@ pub struct CoreStats {
     /// Cycles with live warps but no issue (stalls — Figure 10's idle
     /// cycles).
     pub idle_cycles: Counter,
+    /// The same idle cycles, attributed to their dominant stall cause;
+    /// sums exactly to `idle_cycles`.
+    pub stall_breakdown: StallBreakdown,
     /// Cycles with at least one live warp.
     pub live_cycles: Counter,
     /// Page divergence per memory instruction (Figure 3 right).
@@ -61,6 +66,42 @@ pub(crate) struct Pending {
     pub overlap_done_at: Cycle,
     /// Page divergence was recorded (first issue only).
     pub diverge_recorded: bool,
+    /// Whether any access of this instruction missed L2 and went to DRAM
+    /// (stall attribution).
+    pub touched_dram: bool,
+    /// Cycle the owning unit last went to sleep on TLB misses (the
+    /// `warp_sleep` trace span's start).
+    pub slept_at: Cycle,
+}
+
+/// Why a scheduling unit's issue timer is armed. Written wherever
+/// `ready_at` is set; read by stall attribution to name the blocker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub(crate) enum WaitKind {
+    /// ALU/branch pipeline latency (also the fresh-unit default).
+    #[default]
+    Pipeline,
+    /// Data return from the memory hierarchy.
+    MemData {
+        /// Whether the slowest access went to DRAM.
+        dram: bool,
+    },
+    /// Backing off after an MMU reject.
+    Reject,
+    /// Woken from a TLB sleep; re-presents remaining pages next cycle.
+    Replay,
+}
+
+impl WaitKind {
+    pub(crate) fn cause(self) -> StallCause {
+        match self {
+            WaitKind::Pipeline => StallCause::Pipeline,
+            WaitKind::MemData { dram: true } => StallCause::Dram,
+            WaitKind::MemData { dram: false } => StallCause::L1Mshr,
+            WaitKind::Reject => StallCause::MmuReject,
+            WaitKind::Replay => StallCause::ReplayWake,
+        }
+    }
 }
 
 /// Result of trying to issue a pending memory instruction.
@@ -83,6 +124,7 @@ pub(crate) struct Warp {
     pub ready_at: Cycle,
     pub pending: Option<Pending>,
     pub waiting_pages: usize,
+    pub wait: WaitKind,
 }
 
 impl Warp {
@@ -93,6 +135,7 @@ impl Warp {
             ready_at: 0,
             pending: None,
             waiting_pages: 0,
+            wait: WaitKind::default(),
         }
     }
 
@@ -131,7 +174,7 @@ pub(crate) struct MemPath {
 
 impl MemPath {
     /// Accesses the L1 (and below) for one physical line; returns the
-    /// cycle the data is usable.
+    /// cycle the data is usable and whether the request went to DRAM.
     fn access_line(
         &mut self,
         at: Cycle,
@@ -139,19 +182,20 @@ impl MemPath {
         warp: u16,
         tlb_missed: bool,
         mem: &mut MemorySystem,
-    ) -> Cycle {
+    ) -> (Cycle, bool) {
         // A line already being fetched merges into the outstanding miss.
         if let Some(done) = self.l1_mshrs.lookup(phys_line) {
-            return done.max(at + self.timings.l1_hit_latency);
+            return (done.max(at + self.timings.l1_hit_latency), false);
         }
         match self.l1.access(phys_line, warp as u32, at) {
-            CacheAccess::Hit => at + self.timings.l1_hit_latency,
+            CacheAccess::Hit => (at + self.timings.l1_hit_latency, false),
             CacheAccess::Miss { victim } => {
                 if let Some(v) = victim {
                     self.policy.on_l1_evict(v.meta as u16, v.line);
                 }
                 self.policy.on_l1_miss(warp, phys_line, tlb_missed);
-                let done = mem.access(at, phys_line, AccessKind::Load).complete;
+                let res = mem.access(at, phys_line, AccessKind::Load);
+                let done = res.complete;
                 self.stats.l1_miss_latency.record(done - at);
                 match self.l1_mshrs.allocate(phys_line) {
                     MshrOutcome::Allocated => self.l1_mshrs.set_completion(phys_line, done),
@@ -159,7 +203,7 @@ impl MemPath {
                     // memory-system bandwidth charged above.
                     MshrOutcome::Merged(_) | MshrOutcome::Full => {}
                 }
-                done
+                (done, !res.l2_hit)
             }
         }
     }
@@ -179,6 +223,7 @@ impl MemPath {
     ) -> Cycle {
         let mut done = now;
         let granule = self.granule;
+        let mut dram_seen = false;
         let mut seen_lines: Vec<u64> = Vec::new();
         for &(va, home) in pending
             .accesses
@@ -193,16 +238,19 @@ impl MemPath {
             let pl = phys_line(ppn, vline, granule);
             match pending.kind {
                 MemKind::Load => {
-                    let c = self.access_line(now, pl, home, pending.tlb_missed, mem);
+                    let (c, dram) = self.access_line(now, pl, home, pending.tlb_missed, mem);
+                    dram_seen |= dram;
                     done = done.max(c);
                 }
                 MemKind::Store => {
                     let res = mem.access(now, pl, gmmu_mem::AccessKind::Store);
+                    dram_seen |= !res.l2_hit;
                     let backpressure = res.complete.saturating_sub(self.timings.store_window);
                     done = done.max(now + self.timings.store_issue).max(backpressure);
                 }
             }
         }
+        pending.touched_dram |= dram_seen;
         pending
             .accesses
             .retain(|(va, _)| granule_vpn(*va, granule) != vpn);
@@ -302,12 +350,13 @@ impl MemPath {
         at: Cycle,
         cbuf: &CoalesceBuf,
         tbuf: &TranslateBuf,
-        pending: &Pending,
+        pending: &mut Pending,
         mem: &mut MemorySystem,
         only: Option<&[gmmu_core::mmu::Translation]>,
     ) -> Cycle {
         let translations = only.unwrap_or(&tbuf.hits);
         let mut done = at;
+        let mut dram_seen = false;
         for line in &cbuf.lines {
             let page = &cbuf.pages[line.page_idx as usize];
             let Some(t) = translations.iter().find(|t| t.vpn == page.vpn) else {
@@ -316,19 +365,22 @@ impl MemPath {
             let phys_line = phys_line(t.ppn, line.vline, self.granule);
             match pending.kind {
                 MemKind::Load => {
-                    let c =
+                    let (c, dram) =
                         self.access_line(at, phys_line, page.warp, pending.tlb_missed, mem);
+                    dram_seen |= dram;
                     done = done.max(c);
                 }
                 MemKind::Store => {
                     // Write-through, no-allocate; fire-and-forget until
                     // the write buffer runs too far ahead.
                     let res = mem.access(at, phys_line, AccessKind::Store);
+                    dram_seen |= !res.l2_hit;
                     let backpressure = res.complete.saturating_sub(self.timings.store_window);
                     done = done.max(at + self.timings.store_issue).max(backpressure);
                 }
             }
         }
+        pending.touched_dram |= dram_seen;
         done
     }
 }
@@ -369,6 +421,9 @@ pub struct ShaderCore {
     pub(crate) block_queue: std::collections::VecDeque<BlockWork>,
     /// Baseline mode: which block slots currently hold a live block.
     slot_occupied: Vec<bool>,
+    /// Baseline mode: cycle each occupied slot's block was dispatched
+    /// (the `block` trace span's start).
+    slot_started: Vec<Cycle>,
     /// Scratch for MMU event draining.
     events: Vec<MmuEvent>,
 }
@@ -405,6 +460,7 @@ impl ShaderCore {
             rr_ptr: 0,
             block_queue: std::collections::VecDeque::new(),
             slot_occupied: vec![false; cfg.warps_per_core / cfg.warps_per_block],
+            slot_started: vec![0; cfg.warps_per_core / cfg.warps_per_block],
             events: Vec::new(),
         }
     }
@@ -454,9 +510,10 @@ impl ShaderCore {
     }
 
     /// Marks finished baseline block slots as free and counts them.
-    fn reap_blocks(&mut self) {
+    fn reap_blocks(&mut self, now: Cycle, tracer: &mut Tracer) {
         if let ExecMode::Baseline { warps } = &self.exec {
             let wpb = self.warps_per_block;
+            let pid = self.id as u32;
             for slot in 0..warps.len() / wpb {
                 if self.slot_occupied[slot]
                     && warps[slot * wpb..(slot + 1) * wpb]
@@ -465,14 +522,25 @@ impl ShaderCore {
                 {
                     self.slot_occupied[slot] = false;
                     self.path.stats.blocks_done.inc();
+                    let started = self.slot_started[slot];
+                    tracer.record(|| {
+                        TraceEvent::span(
+                            "block",
+                            "dispatch",
+                            pid,
+                            TID_DISPATCH + slot as u32,
+                            started,
+                            now - started,
+                        )
+                    });
                 }
             }
         }
     }
 
     /// Fills free block slots from the queue.
-    fn dispatch_blocks(&mut self, kernel: &dyn Kernel) {
-        self.reap_blocks();
+    fn dispatch_blocks(&mut self, kernel: &dyn Kernel, now: Cycle, tracer: &mut Tracer) {
+        self.reap_blocks(now, tracer);
         let end_pc = kernel.program().end_pc();
         match &mut self.exec {
             ExecMode::Baseline { warps } => {
@@ -484,10 +552,10 @@ impl ShaderCore {
                             continue;
                         };
                         self.slot_occupied[slot] = true;
+                        self.slot_started[slot] = now;
                         for (i, w) in warps[group].iter_mut().enumerate() {
                             let first = block.first_tid + (i as u32) * 32;
-                            let in_block =
-                                block.n_threads.saturating_sub((i as u32) * 32).min(32);
+                            let in_block = block.n_threads.saturating_sub((i as u32) * 32).min(32);
                             *w = Warp {
                                 first_tid: first,
                                 stack: (in_block > 0).then(|| {
@@ -501,13 +569,14 @@ impl ShaderCore {
                                 ready_at: 0,
                                 pending: None,
                                 waiting_pages: 0,
+                                wait: WaitKind::default(),
                             };
                         }
                     }
                 }
             }
             ExecMode::Tbc(tbc) => {
-                tbc.dispatch_blocks(&mut self.block_queue, end_pc);
+                tbc.dispatch_blocks(&mut self.block_queue, end_pc, now);
             }
         }
     }
@@ -578,15 +647,22 @@ impl ShaderCore {
     /// Accounts `skipped` elided cycles exactly as per-cycle ticking
     /// would have: every skipped cycle is, by construction of the skip
     /// bound, a live-but-idle cycle (liveness cannot change without an
-    /// event, and events bound the skip).
-    pub fn note_idle_skip(&mut self, skipped: u64) {
+    /// event, and events bound the skip). `now` is the first skipped
+    /// cycle; the stall cause classified there holds for the whole span
+    /// — no unit's timer expires inside it, no fill or wake lands, and
+    /// a policy gate stays closed until at least the bounding decay
+    /// epoch — so charging the span to one cause matches what per-cycle
+    /// ticking would have recorded.
+    pub fn note_idle_skip(&mut self, now: Cycle, skipped: u64) {
         let live = match &self.exec {
             ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
             ExecMode::Tbc(t) => t.has_work(),
         };
         if live {
+            let cause = classify_stall(&self.exec, now);
             self.path.stats.live_cycles.add(skipped);
             self.path.stats.idle_cycles.add(skipped);
+            self.path.stats.stall_breakdown.add(cause, skipped);
         }
     }
 
@@ -599,11 +675,13 @@ impl ShaderCore {
         space: &AddressSpace,
         kernel: &dyn Kernel,
         iters: &mut [u32],
+        tracer: &mut Tracer,
     ) -> bool {
-        self.dispatch_blocks(kernel);
+        self.dispatch_blocks(kernel, now, tracer);
+        let pid = self.id as u32;
         let path = &mut self.path;
         path.l1_mshrs.expire(now);
-        path.mmu.advance(now, mem, space);
+        path.mmu.advance_traced(now, mem, space, tracer, pid);
         self.events.clear();
         self.events.extend(path.mmu.events());
         for ev in &self.events {
@@ -618,14 +696,27 @@ impl ShaderCore {
                         }
                         w.waiting_pages = w.waiting_pages.saturating_sub(1);
                         if w.waiting_pages == 0 {
-                            let all_serviced = w
-                                .pending
-                                .as_ref()
-                                .is_some_and(|p| p.accesses.is_empty());
+                            let slept = w.pending.as_ref().map_or(now, |p| p.slept_at);
+                            tracer.record(|| {
+                                TraceEvent::span(
+                                    "warp_sleep",
+                                    "warp",
+                                    pid,
+                                    warp as u32,
+                                    slept,
+                                    now - slept,
+                                )
+                                .arg("vpn", vpn.raw())
+                            });
+                            let all_serviced =
+                                w.pending.as_ref().is_some_and(|p| p.accesses.is_empty());
                             if all_serviced {
                                 // Instruction complete: commit it.
                                 let p = w.pending.take().expect("checked");
                                 w.ready_at = p.overlap_done_at.max(now + 1);
+                                w.wait = WaitKind::MemData {
+                                    dram: p.touched_dram,
+                                };
                                 let stack = w.stack.as_mut().expect("waiting warp is live");
                                 let (pc, _) = stack.current().expect("live");
                                 stack.advance(pc + 1);
@@ -633,10 +724,11 @@ impl ShaderCore {
                                 // Re-present the remaining (TLB-hit)
                                 // pages.
                                 w.ready_at = now + 1;
+                                w.wait = WaitKind::Replay;
                             }
                         }
                     }
-                    ExecMode::Tbc(t) => t.wake(warp, vpn, ppn, path, now, mem),
+                    ExecMode::Tbc(t) => t.wake(warp, vpn, ppn, path, now, mem, tracer, pid),
                 },
                 MmuEvent::Fault { vpn } => {
                     panic!("GPU page fault on {vpn}: workloads must pre-map their regions")
@@ -649,10 +741,17 @@ impl ShaderCore {
         }
 
         let issued = match &mut self.exec {
-            ExecMode::Baseline { warps } => {
-                baseline_issue(path, warps, &mut self.rr_ptr, now, mem, space, kernel, iters)
-            }
-            ExecMode::Tbc(t) => t.issue(path, now, mem, space, kernel, iters),
+            ExecMode::Baseline { warps } => baseline_issue(
+                path,
+                warps,
+                &mut self.rr_ptr,
+                now,
+                mem,
+                space,
+                kernel,
+                iters,
+            ),
+            ExecMode::Tbc(t) => t.issue(path, now, mem, space, kernel, iters, tracer, pid),
         };
         let live = match &self.exec {
             ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
@@ -661,12 +760,46 @@ impl ShaderCore {
         if live {
             path.stats.live_cycles.inc();
             if !issued {
+                let cause = classify_stall(&self.exec, now);
                 path.stats.idle_cycles.inc();
+                path.stats.stall_breakdown.add(cause, 1);
             }
         }
-        self.reap_blocks();
+        self.reap_blocks(now, tracer);
         issued
     }
+}
+
+/// Names the dominant blocker of a live-but-idle cycle: every non-done
+/// unit maps to one [`StallCause`] from its wait state, and the
+/// highest-priority cause present wins ([`StallCause`] declaration
+/// order). A schedulable-yet-unissued baseline warp can only have been
+/// gated by the locality policy — `baseline_issue` issues the first
+/// schedulable non-gated warp — so it classifies as `Throttled` without
+/// consulting (and perturbing) the policy.
+fn classify_stall(exec: &ExecMode, now: Cycle) -> StallCause {
+    let mut best: Option<StallCause> = None;
+    let mut note = |c: StallCause| best = Some(best.map_or(c, |b| b.min(c)));
+    match exec {
+        ExecMode::Baseline { warps } => {
+            for w in warps {
+                if w.is_done() {
+                    continue;
+                }
+                if w.waiting_pages > 0 {
+                    note(StallCause::TlbFill);
+                } else if w.ready_at > now {
+                    note(w.wait.cause());
+                } else {
+                    note(StallCause::Throttled);
+                }
+            }
+        }
+        ExecMode::Tbc(t) => t.classify_stall(now, &mut note),
+    }
+    // No live unit at all (work still queued behind full slots or an
+    // empty pipeline between blocks): a dispatch drought.
+    best.unwrap_or(StallCause::Dispatch)
 }
 
 /// Picks and executes one instruction from the baseline warps.
@@ -726,6 +859,7 @@ fn exec_one(
     match kernel.program().op(pc) {
         Op::Alu { cycles } => {
             warp.ready_at = now + cycles as u64;
+            warp.wait = WaitKind::Pipeline;
             stack.advance(pc + 1);
             path.stats.instructions.inc();
         }
@@ -748,6 +882,7 @@ fn exec_one(
             }
             stack.branch(taken, taken_pc, pc + 1, reconv_pc);
             warp.ready_at = now + path.timings.branch_latency;
+            warp.wait = WaitKind::Pipeline;
             path.stats.instructions.inc();
         }
         Op::Mem { site, kind } => {
@@ -768,6 +903,8 @@ fn exec_one(
                     tlb_missed: false,
                     overlap_done_at: 0,
                     diverge_recorded: false,
+                    touched_dram: false,
+                    slept_at: 0,
                 });
                 path.stats.instructions.inc();
                 path.stats.mem_instructions.inc();
@@ -778,17 +915,19 @@ fn exec_one(
             match path.issue_mem(now, w as u16, &mut pending, mem, space) {
                 MemIssue::Done(ready) => {
                     warp.ready_at = ready;
-                    warp.stack
-                        .as_mut()
-                        .expect("live warp")
-                        .advance(pc + 1);
+                    warp.wait = WaitKind::MemData {
+                        dram: pending.touched_dram,
+                    };
+                    warp.stack.as_mut().expect("live warp").advance(pc + 1);
                 }
                 MemIssue::WaitTlb(misses) => {
                     warp.waiting_pages = misses;
+                    pending.slept_at = now;
                     warp.pending = Some(pending);
                 }
                 MemIssue::Retry(at) => {
                     warp.ready_at = at;
+                    warp.wait = WaitKind::Reject;
                     warp.pending = Some(pending);
                 }
             }
@@ -873,8 +1012,9 @@ mod tests {
             core.push_block(b * 64, (threads - b * 64).min(64));
         }
         let mut now = 0;
+        let mut tracer = Tracer::Off;
         while core.has_work() {
-            core.tick(now, &mut mem, &space, &kernel, &mut iters);
+            core.tick(now, &mut mem, &space, &kernel, &mut iters, &mut tracer);
             now += 1;
             assert!(now < 1_000_000, "core never finished");
         }
@@ -922,11 +1062,32 @@ mod tests {
     }
 
     #[test]
+    fn stall_breakdown_sums_to_idle_cycles() {
+        for mmu in [MmuModel::Ideal, MmuModel::naive()] {
+            let (core, _) = run_core(mmu, 256);
+            let stats = core.stats();
+            assert_eq!(
+                stats.stall_breakdown.total(),
+                stats.idle_cycles.get(),
+                "breakdown must refine idle_cycles exactly"
+            );
+        }
+        let (real, _) = run_core(MmuModel::naive(), 256);
+        assert!(
+            real.stats().stall_breakdown.get(StallCause::TlbFill) > 0,
+            "a naive MMU must show TLB-fill stalls"
+        );
+    }
+
+    #[test]
     fn deterministic_across_runs() {
         let (a, ta) = run_core(MmuModel::naive(), 128);
         let (b, tb) = run_core(MmuModel::naive(), 128);
         assert_eq!(ta, tb);
         assert_eq!(a.stats().instructions.get(), b.stats().instructions.get());
-        assert_eq!(a.mmu().tlb().unwrap().misses(), b.mmu().tlb().unwrap().misses());
+        assert_eq!(
+            a.mmu().tlb().unwrap().misses(),
+            b.mmu().tlb().unwrap().misses()
+        );
     }
 }

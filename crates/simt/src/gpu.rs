@@ -10,7 +10,9 @@
 
 use crate::config::GpuConfig;
 use crate::core::ShaderCore;
+use crate::observe::{CounterSnapshot, Observer};
 use crate::program::Kernel;
+use crate::stall::StallBreakdown;
 use gmmu_mem::MemorySystem;
 use gmmu_sim::stats::{Histogram, Summary};
 use gmmu_sim::Cycle;
@@ -29,6 +31,9 @@ pub struct RunStats {
     pub mem_instructions: u64,
     /// Sum over cores of cycles with live warps but no issue.
     pub idle_cycles: u64,
+    /// `idle_cycles` split by dominant stall cause; its total equals
+    /// `idle_cycles` exactly, on every run and both engines.
+    pub stall_breakdown: StallBreakdown,
     /// Sum over cores of cycles with live warps.
     pub live_cycles: u64,
     /// Per-memory-instruction page divergence (Figure 3 right).
@@ -73,6 +78,7 @@ impl RunStats {
             instructions: 0,
             mem_instructions: 0,
             idle_cycles: 0,
+            stall_breakdown: StallBreakdown::new(),
             live_cycles: 0,
             page_divergence: Histogram::new(),
             l1_miss_latency: Summary::new(),
@@ -186,6 +192,22 @@ impl Gpu {
     /// Panics if a kernel touches an unmapped page (GPU page fault) or
     /// the kernel has zero threads.
     pub fn run(&mut self, kernel: &dyn Kernel, space: &AddressSpace) -> RunStats {
+        self.run_observed(kernel, space, &mut Observer::off())
+    }
+
+    /// [`Gpu::run`] with observation instruments attached. With
+    /// [`Observer::off`] this is exactly `run` — same results, no
+    /// recording cost (the determinism suite asserts bit-identity).
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Gpu::run`].
+    pub fn run_observed(
+        &mut self,
+        kernel: &dyn Kernel,
+        space: &AddressSpace,
+        obs: &mut Observer,
+    ) -> RunStats {
         let threads = kernel.num_threads();
         assert!(threads > 0, "kernel has no threads");
         if self.config.granule == gmmu_vm::PageSize::Large2M {
@@ -198,7 +220,10 @@ impl Gpu {
             );
         }
         let bt = kernel.block_threads();
-        assert!(bt > 0 && bt.is_multiple_of(32), "block size must be a warp multiple");
+        assert!(
+            bt > 0 && bt.is_multiple_of(32),
+            "block size must be a warp multiple"
+        );
         let n_blocks = threads.div_ceil(bt);
         let n_cores = self.cores.len();
         for b in 0..n_blocks {
@@ -208,6 +233,14 @@ impl Gpu {
         }
         let num_sites = kernel.program().num_sites().max(1);
         let mut iters = vec![0u32; threads as usize * num_sites];
+        if let Some(rec) = obs.intervals.as_mut() {
+            let lanes: usize = self
+                .cores
+                .iter()
+                .map(|c| c.mmu().walker().map_or(0, |w| w.lane_count()))
+                .sum();
+            rec.set_lanes(lanes as u64);
+        }
 
         // The idle-cycle-skipping engine is observably equivalent to
         // ticking every cycle: whenever no core issues, core state can
@@ -215,21 +248,34 @@ impl Gpu {
         // so the loop jumps `now` straight to the earliest such event
         // and credits the skipped cycles to the same idle/live
         // counters the per-cycle loop would have bumped.
-        let legacy = self.config.tick_every_cycle
-            || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some();
+        let legacy =
+            self.config.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some();
         let mut now: Cycle = 0;
         let mut completed = true;
         loop {
             let mut live = false;
             let mut issued = false;
             for core in &mut self.cores {
-                issued |= core.tick(now, &mut self.mem, space, kernel, &mut iters);
+                issued |= core.tick(
+                    now,
+                    &mut self.mem,
+                    space,
+                    kernel,
+                    &mut iters,
+                    &mut obs.tracer,
+                );
                 live |= core.has_work();
             }
             if !live {
                 break;
             }
             now += 1;
+            if let Some(rec) = obs.intervals.as_mut() {
+                while rec.due(now) {
+                    let totals = Self::totals(&self.cores, &self.mem);
+                    rec.sample(totals);
+                }
+            }
             if now >= self.config.max_cycles {
                 completed = false;
                 break;
@@ -250,16 +296,48 @@ impl Gpu {
             let skipped = capped - now;
             if skipped > 0 {
                 for core in &mut self.cores {
-                    core.note_idle_skip(skipped);
+                    core.note_idle_skip(now, skipped);
                 }
                 now = capped;
+                if let Some(rec) = obs.intervals.as_mut() {
+                    // No observed counter moves inside an idle span, so
+                    // boundaries crossed by the jump record zero activity
+                    // — exactly what the per-cycle engine records.
+                    while rec.due(now) {
+                        let totals = Self::totals(&self.cores, &self.mem);
+                        rec.sample(totals);
+                    }
+                }
             }
             if now >= self.config.max_cycles {
                 completed = false;
                 break;
             }
         }
+        if let Some(rec) = obs.intervals.as_mut() {
+            rec.finish(now, Self::totals(&self.cores, &self.mem));
+        }
         self.collect(now, completed)
+    }
+
+    /// Current whole-GPU totals of the counters interval samples track.
+    fn totals(cores: &[ShaderCore], mem: &MemorySystem) -> CounterSnapshot {
+        let mut t = CounterSnapshot {
+            dram_requests: mem.dram_requests(),
+            ..CounterSnapshot::default()
+        };
+        for core in cores {
+            t.instructions += core.stats().instructions.get();
+            let mmu = core.mmu();
+            if let Some(tlb) = mmu.tlb() {
+                t.tlb_accesses += tlb.accesses.get();
+                t.tlb_hits += tlb.hits.get();
+            }
+            if let Some(w) = mmu.walker() {
+                t.walker_busy_cycles += w.stats.lane_busy_cycles.get();
+            }
+        }
+        t
     }
 
     fn collect(&self, cycles: Cycle, completed: bool) -> RunStats {
@@ -273,6 +351,12 @@ impl Gpu {
             s.instructions += st.instructions.get();
             s.mem_instructions += st.mem_instructions.get();
             s.idle_cycles += st.idle_cycles.get();
+            debug_assert_eq!(
+                st.stall_breakdown.total(),
+                st.idle_cycles.get(),
+                "stall breakdown must refine idle_cycles exactly"
+            );
+            s.stall_breakdown.merge(&st.stall_breakdown);
             s.live_cycles += st.live_cycles.get();
             s.page_divergence.merge(&st.page_divergence);
             s.l1_miss_latency.merge(&st.l1_miss_latency);
@@ -398,7 +482,7 @@ mod tests {
         }
         fn branch_taken(&self, tid: ThreadId, site: u16, iter: u32) -> bool {
             match site {
-                1 => mix3(tid as u64, 1, iter as u64) % 2 == 0,
+                1 => mix3(tid as u64, 1, iter as u64).is_multiple_of(2),
                 2 => iter + 1 < self.trips(tid),
                 _ => false,
             }
@@ -450,7 +534,12 @@ mod tests {
     fn augmented_mmu_beats_naive() {
         let naive = run(cfg(MmuModel::naive()), 512);
         let aug = run(cfg(MmuModel::augmented()), 512);
-        assert!(aug.cycles < naive.cycles, "augmented {} !< naive {}", aug.cycles, naive.cycles);
+        assert!(
+            aug.cycles < naive.cycles,
+            "augmented {} !< naive {}",
+            aug.cycles,
+            naive.cycles
+        );
         assert!(aug.walk_refs_eliminated() > 0.0);
     }
 
@@ -514,5 +603,11 @@ mod tests {
         assert!(s.mem_insn_fraction() > 0.0 && s.mem_insn_fraction() < 1.0);
         assert!(s.page_divergence.count() == s.mem_instructions);
         assert!(s.idle_cycles <= s.live_cycles);
+        assert_eq!(
+            s.stall_breakdown.total(),
+            s.idle_cycles,
+            "stall breakdown must sum exactly to idle_cycles"
+        );
+        assert!(s.stall_breakdown.get(crate::StallCause::TlbFill) > 0);
     }
 }

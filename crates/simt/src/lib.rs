@@ -27,16 +27,23 @@
 //!   TLB-aware variant driven by the Common Page Matrix.
 //! * [`gpu`] — the whole GPU: block dispatch, the global cycle loop,
 //!   aggregate statistics ([`gpu::RunStats`]).
+//! * [`stall`] — idle-cycle attribution by dominant stall cause.
+//! * [`observe`] — per-run observation: span tracing and interval
+//!   time-series, both strictly zero-cost when off.
 
 pub mod coalesce;
 pub mod config;
 pub mod core;
 pub mod gpu;
+pub mod observe;
 pub mod program;
 pub mod stack;
+pub mod stall;
 pub mod tbc;
 
 pub use config::{CoreTimings, GpuConfig};
 pub use gpu::{Gpu, RunStats};
+pub use observe::{IntervalRecorder, IntervalSample, Observer};
 pub use program::{Kernel, MemKind, Op, Program};
 pub use stack::SimtStack;
+pub use stall::{StallBreakdown, StallCause};

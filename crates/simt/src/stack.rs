@@ -200,9 +200,9 @@ mod tests {
             let (pc, mask) = s.current().unwrap();
             match pc {
                 0 => {
-                    for lane in 0..3 {
+                    for (lane, n) in executed_body.iter_mut().enumerate() {
                         if mask & (1 << lane) != 0 {
-                            executed_body[lane] += 1;
+                            *n += 1;
                         }
                     }
                     s.advance(1);
@@ -240,9 +240,9 @@ mod tests {
             max_depth = max_depth.max(s.depth());
             match pc {
                 0 => {
-                    for lane in 0..2 {
+                    for (lane, n) in counts.iter_mut().enumerate() {
                         if mask & (1 << lane) != 0 {
-                            counts[lane] += 1;
+                            *n += 1;
                         }
                     }
                     s.advance(1);

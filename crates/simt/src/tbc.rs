@@ -15,9 +15,11 @@
 //! page divergence at a possible cost of more dynamic warps (Figure 19).
 
 use crate::config::{GpuConfig, TbcConfig};
-use crate::core::{BlockWork, MemIssue, MemPath, Pending};
+use crate::core::{BlockWork, MemIssue, MemPath, Pending, WaitKind};
 use crate::program::{Kernel, Op, ThreadId};
+use crate::stall::StallCause;
 use gmmu_mem::MemorySystem;
+use gmmu_sim::trace::{TraceEvent, Tracer, TID_DISPATCH};
 use gmmu_sim::Cycle;
 use gmmu_vm::AddressSpace;
 use std::collections::VecDeque;
@@ -34,6 +36,7 @@ pub(crate) struct Dwarp {
     pub at_branch: bool,
     pub done_at_rpc: bool,
     pub alive: bool,
+    pub wait: WaitKind,
 }
 
 impl Dwarp {
@@ -48,6 +51,7 @@ impl Dwarp {
             at_branch: false,
             done_at_rpc: false,
             alive: false,
+            wait: WaitKind::default(),
         }
     }
 
@@ -83,6 +87,8 @@ struct TbcBlock {
     /// Core-local static warp id of the block's first warp.
     base_warp: u16,
     levels: Vec<TbcLevel>,
+    /// Cycle the block was dispatched (the `block` trace span's start).
+    started: Cycle,
 }
 
 /// The TBC executor of one shader core.
@@ -109,6 +115,7 @@ impl TbcState {
                     first_tid: 0,
                     base_warp: (s * cfg.warps_per_block) as u16,
                     levels: Vec::new(),
+                    started: 0,
                 })
                 .collect(),
             units: Vec::new(),
@@ -141,10 +148,7 @@ impl TbcState {
             if let Some(top) = block.levels.last() {
                 for &u in &top.units {
                     let unit = &self.units[u as usize];
-                    if unit.alive
-                        && !unit.at_branch
-                        && !unit.done_at_rpc
-                        && unit.waiting_pages == 0
+                    if unit.alive && !unit.at_branch && !unit.done_at_rpc && unit.waiting_pages == 0
                     {
                         next = next.min(unit.ready_at.max(now + 1));
                     }
@@ -158,6 +162,41 @@ impl TbcState {
     #[allow(dead_code)]
     pub(crate) fn peak_units(&self) -> usize {
         self.units.len()
+    }
+
+    /// Reports one [`StallCause`] per live unit to `note` (stall
+    /// attribution; see `core::classify_stall`). Units parked at a
+    /// branch barrier, done at their reconvergence point, or buried
+    /// below the top of their block's stack are dispatch/barrier
+    /// droughts; top-level units waiting on pages or timers report
+    /// their wait kind.
+    pub(crate) fn classify_stall(&self, now: Cycle, note: &mut dyn FnMut(StallCause)) {
+        for block in &self.blocks {
+            if !block.active {
+                continue;
+            }
+            let n_levels = block.levels.len();
+            for (li, level) in block.levels.iter().enumerate() {
+                let top = li + 1 == n_levels;
+                for &u in &level.units {
+                    let unit = &self.units[u as usize];
+                    if !unit.alive {
+                        continue;
+                    }
+                    if !top || unit.at_branch || unit.done_at_rpc {
+                        note(StallCause::Dispatch);
+                    } else if unit.waiting_pages > 0 {
+                        note(StallCause::TlbFill);
+                    } else if unit.ready_at > now {
+                        note(unit.wait.cause());
+                    } else {
+                        // Schedulable yet nothing issued anywhere: only
+                        // possible transiently; count as a drought.
+                        note(StallCause::Dispatch);
+                    }
+                }
+            }
+        }
     }
 
     fn alloc_unit(&mut self, d: Dwarp) -> u16 {
@@ -175,6 +214,7 @@ impl TbcState {
         self.free_units.push(id);
     }
 
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn wake(
         &mut self,
         unit: u16,
@@ -183,6 +223,8 @@ impl TbcState {
         path: &mut MemPath,
         now: Cycle,
         mem: &mut MemorySystem,
+        tracer: &mut Tracer,
+        pid: u32,
     ) {
         let u = &mut self.units[unit as usize];
         debug_assert!(u.alive && u.waiting_pages > 0);
@@ -191,10 +233,18 @@ impl TbcState {
         }
         u.waiting_pages = u.waiting_pages.saturating_sub(1);
         if u.waiting_pages == 0 {
+            let slept = u.pending.as_ref().map_or(now, |p| p.slept_at);
+            tracer.record(|| {
+                TraceEvent::span("warp_sleep", "warp", pid, unit as u32, slept, now - slept)
+                    .arg("vpn", vpn.raw())
+            });
             let all_serviced = u.pending.as_ref().is_some_and(|p| p.accesses.is_empty());
             if all_serviced {
                 let p = u.pending.take().expect("checked");
                 u.ready_at = p.overlap_done_at.max(now + 1);
+                u.wait = WaitKind::MemData {
+                    dram: p.touched_dram,
+                };
                 u.pc += 1;
                 // done_at_rpc is fixed up against the unit's level by
                 // maintain_block via the rpc check below.
@@ -202,6 +252,7 @@ impl TbcState {
                 self.fixup_done(unit);
             } else {
                 u.ready_at = now + 1;
+                u.wait = WaitKind::Replay;
             }
         }
     }
@@ -220,7 +271,12 @@ impl TbcState {
     }
 
     /// Fills idle block slots from the queue.
-    pub(crate) fn dispatch_blocks(&mut self, queue: &mut VecDeque<BlockWork>, end_pc: u32) {
+    pub(crate) fn dispatch_blocks(
+        &mut self,
+        queue: &mut VecDeque<BlockWork>,
+        end_pc: u32,
+        now: Cycle,
+    ) {
         for b in 0..self.blocks.len() {
             if self.blocks[b].active {
                 continue;
@@ -251,6 +307,7 @@ impl TbcState {
             let block = &mut self.blocks[b];
             block.active = true;
             block.first_tid = work.first_tid;
+            block.started = now;
             block.levels = vec![TbcLevel {
                 rpc: end_pc,
                 units,
@@ -270,9 +327,11 @@ impl TbcState {
         space: &AddressSpace,
         kernel: &dyn Kernel,
         iters: &mut [u32],
+        tracer: &mut Tracer,
+        pid: u32,
     ) -> bool {
         for b in 0..self.blocks.len() {
-            self.maintain_block(b, path, now, kernel, iters);
+            self.maintain_block(b, path, now, kernel, iters, tracer, pid);
         }
         // Collect schedulable units (top level of each active block).
         let mut cands = std::mem::take(&mut self.cand_scratch);
@@ -303,6 +362,7 @@ impl TbcState {
 
     /// Handles barrier-complete (compaction) and level-complete (pop)
     /// conditions for one block.
+    #[allow(clippy::too_many_arguments)]
     fn maintain_block(
         &mut self,
         b: usize,
@@ -310,6 +370,8 @@ impl TbcState {
         now: Cycle,
         kernel: &dyn Kernel,
         iters: &mut [u32],
+        tracer: &mut Tracer,
+        pid: u32,
     ) {
         loop {
             if !self.blocks[b].active {
@@ -319,6 +381,17 @@ impl TbcState {
                 // Block finished.
                 self.blocks[b].active = false;
                 path.stats.blocks_done.inc();
+                let started = self.blocks[b].started;
+                tracer.record(|| {
+                    TraceEvent::span(
+                        "block",
+                        "dispatch",
+                        pid,
+                        TID_DISPATCH + b as u32,
+                        started,
+                        now - started,
+                    )
+                });
                 return;
             };
             let all_done = top
@@ -330,14 +403,10 @@ impl TbcState {
                 continue;
             }
             let all_at_branch = !top.units.is_empty()
-                && top
-                    .units
-                    .iter()
-                    .all(|&u| self.units[u as usize].at_branch || self.units[u as usize].done_at_rpc);
-            let any_at_branch = top
-                .units
-                .iter()
-                .any(|&u| self.units[u as usize].at_branch);
+                && top.units.iter().all(|&u| {
+                    self.units[u as usize].at_branch || self.units[u as usize].done_at_rpc
+                });
+            let any_at_branch = top.units.iter().any(|&u| self.units[u as usize].at_branch);
             if all_at_branch && any_at_branch {
                 self.compact_at_branch(b, path, now, kernel, iters);
                 continue;
@@ -364,6 +433,7 @@ impl TbcState {
                 unit.at_branch = false;
                 unit.done_at_rpc = resume == rpc;
                 unit.ready_at = now + 1;
+                unit.wait = WaitKind::Pipeline;
             }
         }
     }
@@ -485,6 +555,7 @@ impl TbcState {
                     unit.pc = resume;
                     unit.done_at_rpc = resume == rpc;
                     unit.ready_at = now + path.timings.branch_latency;
+                    unit.wait = WaitKind::Pipeline;
                 }
             }
         }
@@ -606,6 +677,7 @@ impl TbcState {
             Op::Alu { cycles } => {
                 let unit = &mut self.units[u as usize];
                 unit.ready_at = now + cycles as u64;
+                unit.wait = WaitKind::Pipeline;
                 unit.pc = pc + 1;
                 unit.done_at_rpc = unit.pc == level_rpc;
                 path.stats.instructions.inc();
@@ -614,6 +686,7 @@ impl TbcState {
                 let unit = &mut self.units[u as usize];
                 unit.at_branch = true;
                 unit.ready_at = now + path.timings.branch_latency;
+                unit.wait = WaitKind::Pipeline;
                 path.stats.instructions.inc();
             }
             Op::Mem { site, kind } => {
@@ -635,6 +708,8 @@ impl TbcState {
                         tlb_missed: false,
                         overlap_done_at: 0,
                         diverge_recorded: false,
+                        touched_dram: false,
+                        slept_at: 0,
                     });
                     path.stats.instructions.inc();
                     path.stats.mem_instructions.inc();
@@ -646,17 +721,22 @@ impl TbcState {
                     MemIssue::Done(ready) => {
                         let unit = &mut self.units[u as usize];
                         unit.ready_at = ready;
+                        unit.wait = WaitKind::MemData {
+                            dram: pending.touched_dram,
+                        };
                         unit.pc = pc + 1;
                         unit.done_at_rpc = unit.pc == level_rpc;
                     }
                     MemIssue::WaitTlb(misses) => {
                         let unit = &mut self.units[u as usize];
                         unit.waiting_pages = misses;
+                        pending.slept_at = now;
                         unit.pending = Some(pending);
                     }
                     MemIssue::Retry(at) => {
                         let unit = &mut self.units[u as usize];
                         unit.ready_at = at;
+                        unit.wait = WaitKind::Reject;
                         unit.pending = Some(pending);
                     }
                 }
@@ -742,8 +822,8 @@ mod tests {
             let lane = tid % 32;
             let warp = tid / 32;
             match self.pattern {
-                Pattern::Parity => lane % 2 == 0,
-                Pattern::Xor => (lane + warp) % 2 == 0,
+                Pattern::Parity => lane.is_multiple_of(2),
+                Pattern::Xor => (lane + warp).is_multiple_of(2),
                 Pattern::Uniform => true,
             }
         }

@@ -178,7 +178,9 @@ impl PageTable {
         let terminal_level = match size {
             PageSize::Base4K => 1,
             PageSize::Large2M => {
-                if !vpn.raw().is_multiple_of(FRAMES_PER_LARGE) || !ppn.raw().is_multiple_of(FRAMES_PER_LARGE) {
+                if !vpn.raw().is_multiple_of(FRAMES_PER_LARGE)
+                    || !ppn.raw().is_multiple_of(FRAMES_PER_LARGE)
+                {
                     return Err(MapError::Misaligned);
                 }
                 2
@@ -323,7 +325,10 @@ mod tests {
         let data = frames.alloc().unwrap();
         pt.map(Vpn::new(0xabc), data, PageSize::Base4K, &mut frames)
             .unwrap();
-        assert_eq!(pt.translate(Vpn::new(0xabc)), Some((data, PageSize::Base4K)));
+        assert_eq!(
+            pt.translate(Vpn::new(0xabc)),
+            Some((data, PageSize::Base4K))
+        );
         assert_eq!(pt.translate(Vpn::new(0xabd)), None);
         assert_eq!(pt.mapped_pages(), 1);
     }
@@ -333,7 +338,8 @@ mod tests {
         let (mut pt, mut frames) = setup();
         let d1 = frames.alloc().unwrap();
         let d2 = frames.alloc().unwrap();
-        pt.map(Vpn::new(5), d1, PageSize::Base4K, &mut frames).unwrap();
+        pt.map(Vpn::new(5), d1, PageSize::Base4K, &mut frames)
+            .unwrap();
         assert_eq!(
             pt.map(Vpn::new(5), d2, PageSize::Base4K, &mut frames),
             Err(MapError::AlreadyMapped)
@@ -358,10 +364,13 @@ mod tests {
         // The paper's Figure 8: three pages sharing PML4 and PDP entries;
         // the first two also share the PD entry.
         let (mut pt, mut frames) = setup();
-        let mk = |l4: u64, l3: u64, l2: u64, l1: u64| {
-            Vpn::new((l4 << 27) | (l3 << 18) | (l2 << 9) | l1)
-        };
-        let pages = [mk(0xb9, 0x0c, 0xac, 0x03), mk(0xb9, 0x0c, 0xac, 0x04), mk(0xb9, 0x0c, 0xad, 0x05)];
+        let mk =
+            |l4: u64, l3: u64, l2: u64, l1: u64| Vpn::new((l4 << 27) | (l3 << 18) | (l2 << 9) | l1);
+        let pages = [
+            mk(0xb9, 0x0c, 0xac, 0x03),
+            mk(0xb9, 0x0c, 0xac, 0x04),
+            mk(0xb9, 0x0c, 0xad, 0x05),
+        ];
         for p in pages {
             let f = frames.alloc().unwrap();
             pt.map(p, f, PageSize::Base4K, &mut frames).unwrap();
@@ -413,7 +422,8 @@ mod tests {
     fn base_page_inside_large_page_is_overlap() {
         let (mut pt, mut frames) = setup();
         let big = frames.alloc_large().unwrap();
-        pt.map(Vpn::new(0), big, PageSize::Large2M, &mut frames).unwrap();
+        pt.map(Vpn::new(0), big, PageSize::Large2M, &mut frames)
+            .unwrap();
         let f = frames.alloc().unwrap();
         assert_eq!(
             pt.map(Vpn::new(5), f, PageSize::Base4K, &mut frames),
@@ -425,7 +435,8 @@ mod tests {
     fn unmap_removes_translation() {
         let (mut pt, mut frames) = setup();
         let f = frames.alloc().unwrap();
-        pt.map(Vpn::new(77), f, PageSize::Base4K, &mut frames).unwrap();
+        pt.map(Vpn::new(77), f, PageSize::Base4K, &mut frames)
+            .unwrap();
         assert!(pt.unmap(Vpn::new(77)));
         assert!(!pt.unmap(Vpn::new(77)));
         assert_eq!(pt.translate(Vpn::new(77)), None);
@@ -439,7 +450,8 @@ mod tests {
         let (mut pt, mut frames) = setup();
         for i in 0..16u64 {
             let f = frames.alloc().unwrap();
-            pt.map(Vpn::new(i), f, PageSize::Base4K, &mut frames).unwrap();
+            pt.map(Vpn::new(i), f, PageSize::Base4K, &mut frames)
+                .unwrap();
         }
         let lines: std::collections::HashSet<u64> = (0..16)
             .map(|i| pt.walk(Vpn::new(i)).levels[3].pte_paddr.line(7))
@@ -447,7 +459,8 @@ mod tests {
         assert_eq!(lines.len(), 1);
         let line17 = pt.walk(Vpn::new(0)).levels[3].pte_paddr.line(7);
         let f = frames.alloc().unwrap();
-        pt.map(Vpn::new(16), f, PageSize::Base4K, &mut frames).unwrap();
+        pt.map(Vpn::new(16), f, PageSize::Base4K, &mut frames)
+            .unwrap();
         assert_ne!(pt.walk(Vpn::new(16)).levels[3].pte_paddr.line(7), line17);
     }
 }

@@ -164,8 +164,12 @@ impl AddressSpace {
                 let first_vpn = base >> crate::addr::PAGE_SHIFT;
                 for i in 0..rounded / PAGE_BYTES {
                     let frame = self.frames.alloc().ok_or(VmError::OutOfMemory)?;
-                    self.table
-                        .map(Vpn::new(first_vpn + i), frame, PageSize::Base4K, &mut self.frames)?;
+                    self.table.map(
+                        Vpn::new(first_vpn + i),
+                        frame,
+                        PageSize::Base4K,
+                        &mut self.frames,
+                    )?;
                 }
             }
             PageSize::Large2M => {
@@ -279,7 +283,9 @@ mod tests {
     #[test]
     fn distinct_pages_map_to_distinct_frames() {
         let mut s = space();
-        let r = s.map_region("r", 64 * PAGE_BYTES, PageSize::Base4K).unwrap();
+        let r = s
+            .map_region("r", 64 * PAGE_BYTES, PageSize::Base4K)
+            .unwrap();
         let mut frames = std::collections::HashSet::new();
         for p in 0..r.num_pages() {
             let (pa, _) = s.translate(r.at(p * PAGE_BYTES)).unwrap();
@@ -317,7 +323,9 @@ mod tests {
     #[test]
     fn unmap_region_bumps_epoch_and_removes_translations() {
         let mut s = space();
-        let r = s.map_region("gone", 8 * PAGE_BYTES, PageSize::Base4K).unwrap();
+        let r = s
+            .map_region("gone", 8 * PAGE_BYTES, PageSize::Base4K)
+            .unwrap();
         assert_eq!(s.shootdown_epoch(), 0);
         assert!(s.unmap_region("gone"));
         assert_eq!(s.shootdown_epoch(), 1);
@@ -328,7 +336,9 @@ mod tests {
     #[test]
     fn rounding_covers_partial_pages() {
         let mut s = space();
-        let r = s.map_region("odd", PAGE_BYTES + 1, PageSize::Base4K).unwrap();
+        let r = s
+            .map_region("odd", PAGE_BYTES + 1, PageSize::Base4K)
+            .unwrap();
         assert_eq!(r.num_pages(), 2);
         assert!(s.translate(r.at(PAGE_BYTES)).is_ok());
     }
@@ -340,9 +350,7 @@ mod tests {
             policy: FramePolicy::Sequential,
             vbase: 0x4000_0000,
         });
-        let err = s
-            .map_region("huge", 1 << 24, PageSize::Base4K)
-            .unwrap_err();
+        let err = s.map_region("huge", 1 << 24, PageSize::Base4K).unwrap_err();
         assert_eq!(err, VmError::OutOfMemory);
     }
 }

@@ -68,24 +68,48 @@ impl BfsKernel {
             .expect("map frontier_out");
         let program = Program::new(vec![
             // Per-node prologue.
-            Op::Mem { site: 0, kind: MemKind::Load },  // 0: row_offsets[node]
-            Op::Alu { cycles: 6 },                     // 1
-            Op::Alu { cycles: 6 },                     // 2
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            }, // 0: row_offsets[node]
+            Op::Alu { cycles: 6 }, // 1
+            Op::Alu { cycles: 6 }, // 2
             // Edge loop body (pc 3..=11).
-            Op::Mem { site: 1, kind: MemKind::Load },  // 3: edges[node][j]
-            Op::Alu { cycles: 4 },                     // 4
-            Op::Alu { cycles: 4 },                     // 5
-            Op::Mem { site: 2, kind: MemKind::Load },  // 6: visited[neighbor]
-            Op::Alu { cycles: 4 },                     // 7
-            Op::Alu { cycles: 4 },                     // 8
-            Op::Branch { site: 3, taken_pc: 11, reconv_pc: 11 }, // 9: skip if visited
-            Op::Alu { cycles: 8 },                     // 10: frontier update work
-            Op::Alu { cycles: 4 },                     // 11
-            Op::Alu { cycles: 4 },                     // 12
-            Op::Branch { site: 4, taken_pc: 3, reconv_pc: 14 }, // 13: next edge
+            Op::Mem {
+                site: 1,
+                kind: MemKind::Load,
+            }, // 3: edges[node][j]
+            Op::Alu { cycles: 4 }, // 4
+            Op::Alu { cycles: 4 }, // 5
+            Op::Mem {
+                site: 2,
+                kind: MemKind::Load,
+            }, // 6: visited[neighbor]
+            Op::Alu { cycles: 4 }, // 7
+            Op::Alu { cycles: 4 }, // 8
+            Op::Branch {
+                site: 3,
+                taken_pc: 11,
+                reconv_pc: 11,
+            }, // 9: skip if visited
+            Op::Alu { cycles: 8 }, // 10: frontier update work
+            Op::Alu { cycles: 4 }, // 11
+            Op::Alu { cycles: 4 }, // 12
+            Op::Branch {
+                site: 4,
+                taken_pc: 3,
+                reconv_pc: 14,
+            }, // 13: next edge
             // Per-node epilogue.
-            Op::Mem { site: 5, kind: MemKind::Store }, // 14: frontier_out
-            Op::Branch { site: 6, taken_pc: 0, reconv_pc: 16 }, // 15: next node
+            Op::Mem {
+                site: 5,
+                kind: MemKind::Store,
+            }, // 14: frontier_out
+            Op::Branch {
+                site: 6,
+                taken_pc: 0,
+                reconv_pc: 16,
+            }, // 15: next node
         ]);
         Self {
             program,

@@ -51,17 +51,34 @@ impl KmeansKernel {
             .map_region("kmeans.assign", n_points * 4, pages)
             .expect("map assign");
         let program = Program::new(vec![
-            Op::Mem { site: 0, kind: MemKind::Load },  // 0: point line
-            Op::Alu { cycles: 6 },                     // 1
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            }, // 0: point line
+            Op::Alu { cycles: 6 }, // 1
             // Centroid loop (pc 2..=6).
-            Op::Mem { site: 1, kind: MemKind::Load },  // 2: centroid c
-            Op::Alu { cycles: 8 },                     // 3: distance accumulate
-            Op::Alu { cycles: 8 },                     // 4
-            Op::Alu { cycles: 4 },                     // 5: min update
-            Op::Branch { site: 2, taken_pc: 2, reconv_pc: 7 }, // 6: next centroid
-            Op::Alu { cycles: 6 },                     // 7
-            Op::Mem { site: 3, kind: MemKind::Store }, // 8: assignment
-            Op::Branch { site: 4, taken_pc: 0, reconv_pc: 10 }, // 9: next point
+            Op::Mem {
+                site: 1,
+                kind: MemKind::Load,
+            }, // 2: centroid c
+            Op::Alu { cycles: 8 }, // 3: distance accumulate
+            Op::Alu { cycles: 8 }, // 4
+            Op::Alu { cycles: 4 }, // 5: min update
+            Op::Branch {
+                site: 2,
+                taken_pc: 2,
+                reconv_pc: 7,
+            }, // 6: next centroid
+            Op::Alu { cycles: 6 }, // 7
+            Op::Mem {
+                site: 3,
+                kind: MemKind::Store,
+            }, // 8: assignment
+            Op::Branch {
+                site: 4,
+                taken_pc: 0,
+                reconv_pc: 10,
+            }, // 9: next point
         ]);
         Self {
             program,

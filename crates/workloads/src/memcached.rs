@@ -74,23 +74,43 @@ impl MemcachedKernel {
             )
             .expect("map responses");
         let program = Program::new(vec![
-            Op::Alu { cycles: 6 },                     // 0: hash key
-            Op::Alu { cycles: 6 },                     // 1
-            Op::Alu { cycles: 4 },                     // 2
-            Op::Mem { site: 0, kind: MemKind::Load },  // 3: bucket head
-            Op::Alu { cycles: 4 },                     // 4
+            Op::Alu { cycles: 6 }, // 0: hash key
+            Op::Alu { cycles: 6 }, // 1
+            Op::Alu { cycles: 4 }, // 2
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            }, // 3: bucket head
+            Op::Alu { cycles: 4 }, // 4
             // Chain-walk loop (pc 5..=9).
-            Op::Mem { site: 1, kind: MemKind::Load },  // 5: candidate key line
-            Op::Alu { cycles: 6 },                     // 6: key compare
-            Op::Alu { cycles: 4 },                     // 7
-            Op::Alu { cycles: 4 },                     // 8
-            Op::Branch { site: 2, taken_pc: 5, reconv_pc: 10 }, // 9: next link
-            Op::Mem { site: 3, kind: MemKind::Load },  // 10: value line
-            Op::Alu { cycles: 6 },                     // 11
-            Op::Alu { cycles: 4 },                     // 12
-            Op::Mem { site: 4, kind: MemKind::Store }, // 13: response
-            Op::Alu { cycles: 4 },                     // 14
-            Op::Branch { site: 5, taken_pc: 0, reconv_pc: 16 }, // 15: next request
+            Op::Mem {
+                site: 1,
+                kind: MemKind::Load,
+            }, // 5: candidate key line
+            Op::Alu { cycles: 6 }, // 6: key compare
+            Op::Alu { cycles: 4 }, // 7
+            Op::Alu { cycles: 4 }, // 8
+            Op::Branch {
+                site: 2,
+                taken_pc: 5,
+                reconv_pc: 10,
+            }, // 9: next link
+            Op::Mem {
+                site: 3,
+                kind: MemKind::Load,
+            }, // 10: value line
+            Op::Alu { cycles: 6 }, // 11
+            Op::Alu { cycles: 4 }, // 12
+            Op::Mem {
+                site: 4,
+                kind: MemKind::Store,
+            }, // 13: response
+            Op::Alu { cycles: 4 }, // 14
+            Op::Branch {
+                site: 5,
+                taken_pc: 0,
+                reconv_pc: 16,
+            }, // 15: next request
         ]);
         Self {
             program,

@@ -74,17 +74,31 @@ impl MummerKernel {
             )
             .expect("map results");
         let program = Program::new(vec![
-            Op::Alu { cycles: 6 },                     // 0: load query chars
+            Op::Alu { cycles: 6 }, // 0: load query chars
             // Walk loop (pc 1..=7).
-            Op::Mem { site: 0, kind: MemKind::Load },  // 1: trie node
-            Op::Alu { cycles: 6 },                     // 2: char compare
-            Op::Alu { cycles: 6 },                     // 3
-            Op::Alu { cycles: 4 },                     // 4
-            Op::Alu { cycles: 4 },                     // 5
-            Op::Alu { cycles: 4 },                     // 6
-            Op::Branch { site: 1, taken_pc: 1, reconv_pc: 8 }, // 7: descend?
-            Op::Mem { site: 2, kind: MemKind::Store }, // 8: match result
-            Op::Branch { site: 3, taken_pc: 0, reconv_pc: 10 }, // 9: next query
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            }, // 1: trie node
+            Op::Alu { cycles: 6 }, // 2: char compare
+            Op::Alu { cycles: 6 }, // 3
+            Op::Alu { cycles: 4 }, // 4
+            Op::Alu { cycles: 4 }, // 5
+            Op::Alu { cycles: 4 }, // 6
+            Op::Branch {
+                site: 1,
+                taken_pc: 1,
+                reconv_pc: 8,
+            }, // 7: descend?
+            Op::Mem {
+                site: 2,
+                kind: MemKind::Store,
+            }, // 8: match result
+            Op::Branch {
+                site: 3,
+                taken_pc: 0,
+                reconv_pc: 10,
+            }, // 9: next query
         ]);
         Self {
             program,
@@ -239,7 +253,7 @@ mod tests {
         let a = k.warp_base(0);
         let b = k.warp_base(32);
         assert_eq!(b - a, WARP_STRIDE);
-        assert!(WARP_STRIDE < WARP_WINDOW, "windows must overlap");
+        const { assert!(WARP_STRIDE < WARP_WINDOW, "windows must overlap") };
         // Distant warps' windows are disjoint.
         let far = k.warp_base(32 * 40);
         assert!(far.abs_diff(a) >= WARP_WINDOW);
@@ -248,8 +262,7 @@ mod tests {
     #[test]
     fn match_lengths_diverge() {
         let (_, k) = kernel();
-        let lens: std::collections::HashSet<u32> =
-            (0..64).map(|t| k.match_len(t, 0)).collect();
+        let lens: std::collections::HashSet<u32> = (0..64).map(|t| k.match_len(t, 0)).collect();
         assert!(lens.len() > 8, "match lengths too uniform");
         assert!(lens.iter().all(|&l| (4..MAX_DEPTH).contains(&l)));
     }

@@ -46,19 +46,32 @@ impl PathfinderKernel {
             .expect("map rows");
         let program = Program::new(vec![
             // Row loop (pc 0..=12).
-            Op::Mem { site: 0, kind: MemKind::Load },  // 0: wall[r][cols]
-            Op::Alu { cycles: 4 },                     // 1
-            Op::Mem { site: 1, kind: MemKind::Load },  // 2: prev[cols±1]
-            Op::Alu { cycles: 8 },                     // 3: min of three
-            Op::Alu { cycles: 8 },                     // 4
-            Op::Alu { cycles: 4 },                     // 5
-            Op::Alu { cycles: 4 },                     // 6
-            Op::Mem { site: 2, kind: MemKind::Store }, // 7: cur[cols]
-            Op::Alu { cycles: 4 },                     // 8
-            Op::Alu { cycles: 4 },                     // 9
-            Op::Alu { cycles: 4 },                     // 10
-            Op::Alu { cycles: 4 },                     // 11
-            Op::Branch { site: 3, taken_pc: 0, reconv_pc: 13 }, // 12: next row
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            }, // 0: wall[r][cols]
+            Op::Alu { cycles: 4 }, // 1
+            Op::Mem {
+                site: 1,
+                kind: MemKind::Load,
+            }, // 2: prev[cols±1]
+            Op::Alu { cycles: 8 }, // 3: min of three
+            Op::Alu { cycles: 8 }, // 4
+            Op::Alu { cycles: 4 }, // 5
+            Op::Alu { cycles: 4 }, // 6
+            Op::Mem {
+                site: 2,
+                kind: MemKind::Store,
+            }, // 7: cur[cols]
+            Op::Alu { cycles: 4 }, // 8
+            Op::Alu { cycles: 4 }, // 9
+            Op::Alu { cycles: 4 }, // 10
+            Op::Alu { cycles: 4 }, // 11
+            Op::Branch {
+                site: 3,
+                taken_pc: 0,
+                reconv_pc: 13,
+            }, // 12: next row
         ]);
         Self {
             program,
@@ -102,7 +115,9 @@ impl Kernel for PathfinderKernel {
             // DP results are packed by thread (each thread keeps its
             // segment's running minima), so the ping-pong buffers stay
             // resident while the wall streams.
-            1 => self.rows.at(((r % 2) * self.threads as u64 + tid as u64) * 4),
+            1 => self
+                .rows
+                .at(((r % 2) * self.threads as u64 + tid as u64) * 4),
             2 => self
                 .rows
                 .at((((r + 1) % 2) * self.threads as u64 + tid as u64) * 4),

@@ -58,17 +58,34 @@ impl StreamclusterKernel {
             .map_region("sc.cost", n_points * 8, pages)
             .expect("map cost");
         let program = Program::new(vec![
-            Op::Mem { site: 0, kind: MemKind::Load },  // 0: point
-            Op::Alu { cycles: 8 },                     // 1
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            }, // 0: point
+            Op::Alu { cycles: 8 }, // 1
             // Centre-comparison loop (pc 2..=7).
-            Op::Mem { site: 1, kind: MemKind::Load },  // 2: candidate centre
-            Op::Alu { cycles: 12 },                    // 3: distance
-            Op::Alu { cycles: 12 },                    // 4
-            Op::Alu { cycles: 8 },                     // 5: gain accumulate
-            Op::Alu { cycles: 4 },                     // 6
-            Op::Branch { site: 2, taken_pc: 2, reconv_pc: 8 }, // 7
-            Op::Mem { site: 3, kind: MemKind::Store }, // 8: cost/assign
-            Op::Branch { site: 4, taken_pc: 0, reconv_pc: 10 }, // 9
+            Op::Mem {
+                site: 1,
+                kind: MemKind::Load,
+            }, // 2: candidate centre
+            Op::Alu { cycles: 12 }, // 3: distance
+            Op::Alu { cycles: 12 }, // 4
+            Op::Alu { cycles: 8 },  // 5: gain accumulate
+            Op::Alu { cycles: 4 },  // 6
+            Op::Branch {
+                site: 2,
+                taken_pc: 2,
+                reconv_pc: 8,
+            }, // 7
+            Op::Mem {
+                site: 3,
+                kind: MemKind::Store,
+            }, // 8: cost/assign
+            Op::Branch {
+                site: 4,
+                taken_pc: 0,
+                reconv_pc: 10,
+            }, // 9
         ]);
         Self {
             program,

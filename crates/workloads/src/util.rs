@@ -31,10 +31,7 @@ mod tests {
         // counts: [2, 1, 3]
         let count = |o: u32| [2u32, 1, 3][o as usize];
         let pairs: Vec<(u32, u32)> = (0..6).map(|i| split_iter(i, 3, count)).collect();
-        assert_eq!(
-            pairs,
-            vec![(0, 0), (0, 1), (1, 0), (2, 0), (2, 1), (2, 2)]
-        );
+        assert_eq!(pairs, vec![(0, 0), (0, 1), (1, 0), (2, 0), (2, 1), (2, 2)]);
     }
 
     #[test]

@@ -5,7 +5,12 @@ use gmmu_simt::{Gpu, GpuConfig};
 use gmmu_workloads::{build, Bench, Scale};
 
 fn main() {
-    for bench in [Bench::Streamcluster, Bench::Memcached, Bench::Bfs, Bench::Mummergpu] {
+    for bench in [
+        Bench::Streamcluster,
+        Bench::Memcached,
+        Bench::Bfs,
+        Bench::Mummergpu,
+    ] {
         let w = build(bench, Scale::Small, 7);
         for (name, pol, mmu) in [
             ("rr-ideal", PolicyKind::None, MmuModel::Ideal),
@@ -15,8 +20,16 @@ fn main() {
             cfg.policy = pol;
             let mut gpu = Gpu::new(cfg);
             let s = gpu.run(w.kernel.as_ref(), &w.space);
-            let events: u64 = gpu.cores().iter().map(|c| c.policy_ref().events.get()).sum();
-            let totals: u64 = gpu.cores().iter().map(|c| c.policy_ref().lls().total()).sum();
+            let events: u64 = gpu
+                .cores()
+                .iter()
+                .map(|c| c.policy_ref().events.get())
+                .sum();
+            let totals: u64 = gpu
+                .cores()
+                .iter()
+                .map(|c| c.policy_ref().lls().total())
+                .sum();
             println!("{bench:>14} {name:>10}: cycles={} l1hit={:.2} vta_events={events} lls_total={totals}",
                 s.cycles, 1.0 - s.l1_miss_rate());
         }

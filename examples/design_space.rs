@@ -67,7 +67,5 @@ fn main() {
     println!("{table}");
     println!("(CSV below for plotting)\n");
     // The same table as machine-readable output.
-    for t in [table] {
-        print!("{}", t.to_csv());
-    }
+    print!("{}", table.to_csv());
 }

@@ -32,7 +32,11 @@ fn main() {
     );
     let ideal = run_kernel(base_cfg(), workload.kernel.as_ref(), &workload.space);
     let configs: [(&str, MmuModel, PolicyKind); 4] = [
-        ("no translation (upper bound)", MmuModel::Ideal, PolicyKind::None),
+        (
+            "no translation (upper bound)",
+            MmuModel::Ideal,
+            PolicyKind::None,
+        ),
         ("naive CPU-style MMU", MmuModel::naive(), PolicyKind::None),
         ("augmented MMU", MmuModel::augmented(), PolicyKind::None),
         (

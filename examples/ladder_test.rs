@@ -8,7 +8,12 @@ use gmmu_simt::{gpu::run_kernel, GpuConfig};
 use gmmu_workloads::{build, Bench, Scale};
 
 fn main() {
-    let benches = [Bench::Bfs, Bench::Mummergpu, Bench::Streamcluster, Bench::Memcached];
+    let benches = [
+        Bench::Bfs,
+        Bench::Mummergpu,
+        Bench::Streamcluster,
+        Bench::Memcached,
+    ];
     for bench in benches {
         let w = build(bench, Scale::Small, 7);
         let run = |cfg: GpuConfig| run_kernel(cfg, w.kernel.as_ref(), &w.space);
@@ -16,16 +21,45 @@ fn main() {
         let ideal = run(base(MmuModel::Ideal));
         let sp = |s: &gmmu_simt::RunStats| s.speedup_vs(&ideal);
 
-        let tlb = |entries, ports, mode| TlbConfig { entries, ports, mode, ..TlbConfig::naive() };
+        let tlb = |entries, ports, mode| TlbConfig {
+            entries,
+            ports,
+            mode,
+            ..TlbConfig::naive()
+        };
         let mk = |t, w| MmuModel::Real { tlb: t, walker: w };
 
-        let naive3 = run(base(mk(tlb(128,3,TlbMode::Blocking), WalkerConfig::serial())));
-        let naive4 = run(base(mk(tlb(128,4,TlbMode::Blocking), WalkerConfig::serial())));
-        let hum    = run(base(mk(tlb(128,4,TlbMode::HitUnderMiss), WalkerConfig::serial())));
-        let ovl    = run(base(mk(tlb(128,4,TlbMode::HitUnderMissOverlap), WalkerConfig::serial())));
-        let sched  = run(base(mk(tlb(128,4,TlbMode::HitUnderMissOverlap), WalkerConfig::coalesced())));
-        let ptw8   = run(base(mk(tlb(128,4,TlbMode::Blocking), WalkerConfig::serial_n(8))));
-        let big    = run(base(mk(TlbConfig{entries:512,..tlb(512,4,TlbMode::Blocking)}, WalkerConfig::serial())));
+        let naive3 = run(base(mk(
+            tlb(128, 3, TlbMode::Blocking),
+            WalkerConfig::serial(),
+        )));
+        let naive4 = run(base(mk(
+            tlb(128, 4, TlbMode::Blocking),
+            WalkerConfig::serial(),
+        )));
+        let hum = run(base(mk(
+            tlb(128, 4, TlbMode::HitUnderMiss),
+            WalkerConfig::serial(),
+        )));
+        let ovl = run(base(mk(
+            tlb(128, 4, TlbMode::HitUnderMissOverlap),
+            WalkerConfig::serial(),
+        )));
+        let sched = run(base(mk(
+            tlb(128, 4, TlbMode::HitUnderMissOverlap),
+            WalkerConfig::coalesced(),
+        )));
+        let ptw8 = run(base(mk(
+            tlb(128, 4, TlbMode::Blocking),
+            WalkerConfig::serial_n(8),
+        )));
+        let big = run(base(mk(
+            TlbConfig {
+                entries: 512,
+                ..tlb(512, 4, TlbMode::Blocking)
+            },
+            WalkerConfig::serial(),
+        )));
         let idealtlb = run(base(MmuModel::ideal_large_tlb()));
         println!("{bench:>14} MMU: n3={:.2} n4={:.2} hum={:.2} ovl={:.2} sched={:.2} | ptw8={:.2} big512={:.2} idealTLB={:.2} refs_elim={:.2} walkL2={:.2}",
             sp(&naive3), sp(&naive4), sp(&hum), sp(&ovl), sp(&sched),
@@ -33,17 +67,31 @@ fn main() {
 
         // CCWS family on augmented MMU
         let pol = |p: PolicyKind, mmu: MmuModel| {
-            let mut c = base(mmu); c.policy = p; c
+            let mut c = base(mmu);
+            c.policy = p;
+            c
         };
         let ccws_notlb = run(pol(PolicyKind::Ccws, MmuModel::Ideal));
         let ccws_aug = run(pol(PolicyKind::Ccws, MmuModel::augmented()));
-        let ta4 = run(pol(PolicyKind::TaCcws{tlb_weight:4}, MmuModel::augmented()));
+        let ta4 = run(pol(
+            PolicyKind::TaCcws { tlb_weight: 4 },
+            MmuModel::augmented(),
+        ));
         let tcws = run(pol(PolicyKind::tcws_best(), MmuModel::augmented()));
-        println!("{bench:>14} CCWS: ccws_notlb={:.2} ccws_aug={:.2} ta4={:.2} tcws={:.2}",
-            sp(&ccws_notlb), sp(&ccws_aug), sp(&ta4), sp(&tcws));
+        println!(
+            "{bench:>14} CCWS: ccws_notlb={:.2} ccws_aug={:.2} ta4={:.2} tcws={:.2}",
+            sp(&ccws_notlb),
+            sp(&ccws_aug),
+            sp(&ta4),
+            sp(&tcws)
+        );
 
         // TBC family
-        let tbc = |t: Option<TbcConfig>, mmu: MmuModel| { let mut c = base(mmu); c.tbc = t; c };
+        let tbc = |t: Option<TbcConfig>, mmu: MmuModel| {
+            let mut c = base(mmu);
+            c.tbc = t;
+            c
+        };
         let tbc_notlb = run(tbc(Some(TbcConfig::baseline()), MmuModel::Ideal));
         let tbc_aug = run(tbc(Some(TbcConfig::baseline()), MmuModel::augmented()));
         let tbc_aware = run(tbc(Some(TbcConfig::tlb_aware(3)), MmuModel::augmented()));

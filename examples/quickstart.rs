@@ -30,8 +30,16 @@ fn main() {
 
     // 3. Run: the no-TLB ideal (the paper's baseline), the naive
     //    CPU-style MMU, and the paper's augmented design.
-    let ideal = run_kernel(gpu(MmuModel::Ideal), workload.kernel.as_ref(), &workload.space);
-    let naive = run_kernel(gpu(MmuModel::naive()), workload.kernel.as_ref(), &workload.space);
+    let ideal = run_kernel(
+        gpu(MmuModel::Ideal),
+        workload.kernel.as_ref(),
+        &workload.space,
+    );
+    let naive = run_kernel(
+        gpu(MmuModel::naive()),
+        workload.kernel.as_ref(),
+        &workload.space,
+    );
     let augmented = run_kernel(
         gpu(MmuModel::augmented()),
         workload.kernel.as_ref(),

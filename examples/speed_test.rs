@@ -10,7 +10,9 @@ fn main() {
     };
     for bench in Bench::all() {
         let w = build(bench, scale, 7);
-        let cfg = |mmu| GpuConfig { ..gmmu_simt::GpuConfig::experiment_scale(mmu) };
+        let cfg = |mmu| GpuConfig {
+            ..gmmu_simt::GpuConfig::experiment_scale(mmu)
+        };
         let t0 = std::time::Instant::now();
         let ideal = run_kernel(cfg(MmuModel::Ideal), w.kernel.as_ref(), &w.space);
         let t_ideal = t0.elapsed();

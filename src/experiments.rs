@@ -18,17 +18,30 @@
 //! sweep in any thread count.
 
 use crate::prelude::*;
+use gmmu_sim::rng::fnv1a64;
+use gmmu_sim::trace::Tracer;
 use gmmu_simt::gpu::run_kernel;
+use gmmu_simt::{IntervalRecorder, Observer};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+use std::time::Instant;
 
 const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
+               [--trace PATH] [--intervals PATH] [--interval-stride N]
   --quick    tiny workloads on a 2-core machine (CI/smoke scope)
   --full     the paper's full 30-core machine (slow; final numbers)
   --csv      also print each table as CSV
   --jobs N   worker threads for design-point sweeps
-             (default: GMMU_JOBS or the machine's available parallelism)";
+             (default: GMMU_JOBS or the machine's available parallelism)
+  --trace PATH
+             write a Chrome/Perfetto trace.json of the first design
+             point simulated (load at ui.perfetto.dev)
+  --intervals PATH
+             write that point's interval time-series to PATH
+             (.json extension for JSON, otherwise CSV)
+  --interval-stride N
+             interval sample stride in cycles (default 10000)";
 
 /// Default sweep parallelism: the `GMMU_JOBS` environment variable when
 /// set, otherwise the machine's available parallelism.
@@ -60,6 +73,14 @@ pub struct ExperimentOpts {
     pub seed: u64,
     /// Worker threads used by [`Runner::run_points_parallel`].
     pub jobs: usize,
+    /// Write a Chrome/Perfetto trace of the first design point
+    /// simulated to this path (`--trace`).
+    pub trace: Option<&'static str>,
+    /// Write that point's interval time-series to this path
+    /// (`--intervals`; `.json` extension selects JSON, otherwise CSV).
+    pub intervals: Option<&'static str>,
+    /// Interval sample stride in cycles (`--interval-stride`).
+    pub interval_stride: u64,
 }
 
 impl Default for ExperimentOpts {
@@ -69,6 +90,9 @@ impl Default for ExperimentOpts {
             n_cores: 8,
             seed: 7,
             jobs: default_jobs(),
+            trace: None,
+            intervals: None,
+            interval_stride: 10_000,
         }
     }
 }
@@ -103,14 +127,16 @@ impl ExperimentOpts {
             match arg.as_str() {
                 "--quick" => {
                     opts = Self {
-                        jobs: opts.jobs,
-                        ..Self::quick()
+                        scale: Scale::Tiny,
+                        n_cores: 2,
+                        ..opts
                     }
                 }
                 "--full" => {
                     opts = Self {
-                        jobs: opts.jobs,
-                        ..Self::full()
+                        scale: Scale::Full,
+                        n_cores: 30,
+                        ..opts
                     }
                 }
                 "--csv" => {} // presentation flag, handled by the binary
@@ -118,14 +144,35 @@ impl ExperimentOpts {
                     Some(v) => opts.jobs = parse_jobs(&v),
                     None => bad_usage("--jobs needs a value"),
                 },
+                "--trace" => match args.next() {
+                    Some(v) => opts.trace = Some(leak_path(v)),
+                    None => bad_usage("--trace needs a path"),
+                },
+                "--intervals" => match args.next() {
+                    Some(v) => opts.intervals = Some(leak_path(v)),
+                    None => bad_usage("--intervals needs a path"),
+                },
+                "--interval-stride" => match args.next() {
+                    Some(v) => opts.interval_stride = parse_stride(&v),
+                    None => bad_usage("--interval-stride needs a value"),
+                },
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0)
                 }
-                other => match other.strip_prefix("--jobs=") {
-                    Some(v) => opts.jobs = parse_jobs(v),
-                    None => bad_usage(&format!("unknown argument `{other}`")),
-                },
+                other => {
+                    if let Some(v) = other.strip_prefix("--jobs=") {
+                        opts.jobs = parse_jobs(v)
+                    } else if let Some(v) = other.strip_prefix("--trace=") {
+                        opts.trace = Some(leak_path(v.to_string()))
+                    } else if let Some(v) = other.strip_prefix("--intervals=") {
+                        opts.intervals = Some(leak_path(v.to_string()))
+                    } else if let Some(v) = other.strip_prefix("--interval-stride=") {
+                        opts.interval_stride = parse_stride(v)
+                    } else {
+                        bad_usage(&format!("unknown argument `{other}`"))
+                    }
+                }
             }
         }
         opts
@@ -141,6 +188,12 @@ impl ExperimentOpts {
         cfg.seed = self.seed;
         cfg
     }
+
+    /// Whether any observation output (`--trace` / `--intervals`) was
+    /// requested.
+    pub fn observes(&self) -> bool {
+        self.trace.is_some() || self.intervals.is_some()
+    }
 }
 
 fn parse_jobs(v: &str) -> usize {
@@ -148,6 +201,21 @@ fn parse_jobs(v: &str) -> usize {
         Ok(n) if n >= 1 => n,
         _ => bad_usage(&format!("--jobs needs a positive integer, got `{v}`")),
     }
+}
+
+fn parse_stride(v: &str) -> u64 {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => bad_usage(&format!(
+            "--interval-stride needs a positive integer, got `{v}`"
+        )),
+    }
+}
+
+/// Output paths live for the whole process (they came from argv), which
+/// keeps [`ExperimentOpts`] `Copy` — one leaked allocation per flag.
+fn leak_path(v: String) -> &'static str {
+    Box::leak(v.into_boxed_str())
 }
 
 /// One design point a sweep will simulate: which workload build and the
@@ -171,6 +239,76 @@ impl PointSpec {
     }
 }
 
+/// Run metadata for one executed design point (cache hits excluded),
+/// folded into `BENCH_all_figures.json` alongside the tables.
+#[derive(Debug, Clone)]
+pub struct PointRun {
+    /// Workload simulated.
+    pub bench: Bench,
+    /// Whether the 2 MB-page workload build ran.
+    pub large_pages: bool,
+    /// FNV-1a 64 hash of the full memo key (bench + complete
+    /// `GpuConfig`): a stable fingerprint of the configuration.
+    pub fingerprint: u64,
+    /// Engine that executed the point: `event_skip` or
+    /// `tick_every_cycle` (config flag or `GMMU_TICK_EVERY_CYCLE`).
+    pub engine: &'static str,
+    /// Wall-clock seconds the simulation took.
+    pub wall_s: f64,
+    /// Whether this was the observed run (`--trace` / `--intervals`).
+    pub observed: bool,
+}
+
+/// Engine label for run metadata; mirrors the engine selection in the
+/// GPU run loop.
+fn engine_label(cfg: &GpuConfig) -> &'static str {
+    if cfg.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some() {
+        "tick_every_cycle"
+    } else {
+        "event_skip"
+    }
+}
+
+/// Simulates one design point with the observation instruments the
+/// options ask for, writing the trace / interval files as a side
+/// effect. Results are bit-identical to the unobserved run.
+fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStats {
+    let mut obs = Observer::off();
+    if opts.trace.is_some() {
+        obs.tracer = Tracer::recording();
+    }
+    if opts.intervals.is_some() {
+        obs.intervals = Some(IntervalRecorder::new(opts.interval_stride));
+    }
+    let stats = Gpu::new(spec.cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+    if let (Some(path), Some(buf)) = (opts.trace, obs.tracer.buffer()) {
+        match buf.write_chrome_json(path) {
+            Ok(()) => eprintln!(
+                "trace: {} events from {:?} written to {path}",
+                buf.len(),
+                spec.bench
+            ),
+            Err(e) => eprintln!("trace: failed to write {path}: {e}"),
+        }
+    }
+    if let (Some(path), Some(rec)) = (opts.intervals, obs.intervals.as_ref()) {
+        let body = if path.ends_with(".json") {
+            rec.to_json()
+        } else {
+            rec.to_csv()
+        };
+        match std::fs::write(path, body) {
+            Ok(()) => eprintln!(
+                "intervals: {} samples from {:?} written to {path}",
+                rec.samples().len(),
+                spec.bench
+            ),
+            Err(e) => eprintln!("intervals: failed to write {path}: {e}"),
+        }
+    }
+    stats
+}
+
 /// How [`Runner::run`] services a design point (see [`Runner::sweep`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -191,8 +329,14 @@ pub struct Runner {
     cache: HashMap<String, RunStats>,
     recorded: Vec<PointSpec>,
     mode: Mode,
+    /// The first fresh simulation still owes the `--trace`/`--intervals`
+    /// outputs.
+    observe_pending: bool,
     /// Simulations executed (diagnostics; cache hits don't count).
     pub runs: usize,
+    /// Metadata for every simulation executed, in a deterministic order
+    /// (spec order for parallel sweeps, execution order otherwise).
+    pub point_log: Vec<PointRun>,
 }
 
 impl Runner {
@@ -205,7 +349,9 @@ impl Runner {
             cache: HashMap::new(),
             recorded: Vec::new(),
             mode: Mode::Direct,
+            observe_pending: opts.observes(),
             runs: 0,
+            point_log: Vec::new(),
         }
     }
 
@@ -237,13 +383,29 @@ impl Runner {
             return hit.clone();
         }
         self.ensure_workload(spec.bench, spec.large_pages);
+        let observe = self.observe_pending;
+        self.observe_pending = false;
+        let opts = self.opts;
+        let started = Instant::now();
         let w = if spec.large_pages {
             &self.large_page_workloads[&spec.bench]
         } else {
             &self.workloads[&spec.bench]
         };
+        let stats = if observe {
+            observed_run(opts, &spec, w)
+        } else {
+            run_kernel(spec.cfg.clone(), w.kernel.as_ref(), &w.space)
+        };
         self.runs += 1;
-        let stats = run_kernel(spec.cfg, w.kernel.as_ref(), &w.space);
+        self.point_log.push(PointRun {
+            bench: spec.bench,
+            large_pages: spec.large_pages,
+            fingerprint: fnv1a64(key.as_bytes()),
+            engine: engine_label(&spec.cfg),
+            wall_s: started.elapsed().as_secs_f64(),
+            observed: observe,
+        });
         self.cache.insert(key, stats.clone());
         stats
     }
@@ -346,30 +508,71 @@ impl Runner {
         for (_, spec) in &todo {
             self.ensure_workload(spec.bench, spec.large_pages);
         }
+        if self.observe_pending {
+            // The observed point runs serially (its file writes must not
+            // interleave with workers) and first, so `--trace` on a
+            // sweep binary observes the sweep's first design point.
+            let (key, spec) = todo.remove(0);
+            self.observe_pending = false;
+            let opts = self.opts;
+            let started = Instant::now();
+            let w = if spec.large_pages {
+                &self.large_page_workloads[&spec.bench]
+            } else {
+                &self.workloads[&spec.bench]
+            };
+            let stats = observed_run(opts, &spec, w);
+            self.runs += 1;
+            self.point_log.push(PointRun {
+                bench: spec.bench,
+                large_pages: spec.large_pages,
+                fingerprint: fnv1a64(key.as_bytes()),
+                engine: engine_label(&spec.cfg),
+                wall_s: started.elapsed().as_secs_f64(),
+                observed: true,
+            });
+            self.cache.insert(key, stats);
+            if todo.is_empty() {
+                return;
+            }
+        }
         let workloads = &self.workloads;
         let large_page_workloads = &self.large_page_workloads;
         let jobs = self.opts.jobs.clamp(1, todo.len());
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, RunStats)>> = Mutex::new(Vec::with_capacity(todo.len()));
+        let done: Mutex<Vec<(usize, RunStats, f64)>> = Mutex::new(Vec::with_capacity(todo.len()));
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some((_, spec)) = todo.get(i) else { break };
+                    let started = Instant::now();
                     let w = if spec.large_pages {
                         &large_page_workloads[&spec.bench]
                     } else {
                         &workloads[&spec.bench]
                     };
                     let stats = run_kernel(spec.cfg.clone(), w.kernel.as_ref(), &w.space);
-                    done.lock().unwrap().push((i, stats));
+                    done.lock()
+                        .unwrap()
+                        .push((i, stats, started.elapsed().as_secs_f64()));
                 });
             }
         });
-        let done = done.into_inner().unwrap();
+        let mut done = done.into_inner().unwrap();
+        done.sort_by_key(|&(i, _, _)| i); // spec order, not completion order
         self.runs += done.len();
-        for (i, stats) in done {
-            self.cache.insert(todo[i].0.clone(), stats);
+        for (i, stats, wall_s) in done {
+            let (key, spec) = &todo[i];
+            self.point_log.push(PointRun {
+                bench: spec.bench,
+                large_pages: spec.large_pages,
+                fingerprint: fnv1a64(key.as_bytes()),
+                engine: engine_label(&spec.cfg),
+                wall_s,
+                observed: false,
+            });
+            self.cache.insert(key.clone(), stats);
         }
     }
 }

@@ -275,11 +275,49 @@ pub fn fig10(r: &mut Runner) -> Vec<Table> {
     vec![t, stats]
 }
 
+/// Figure 10 companion: *where* the idle cycles of Figure 10's naive
+/// and scheduled design points go, split by dominant stall cause. Each
+/// cause column is its share of the row's idle cycles; the breakdown
+/// sums exactly to `idle_cycles` by construction.
+pub fn fig10_stalls(r: &mut Runner) -> Vec<Table> {
+    let mut headers: Vec<&str> = vec!["bench", "design", "idle %"];
+    headers.extend(StallCause::ALL.iter().map(|c| c.label()));
+    let mut t = Table::new(
+        "Figure 10 (companion) — idle-cycle attribution (cause columns: % of idle)",
+        &headers,
+    );
+    for b in Bench::all() {
+        for (name, model) in [
+            ("naive", designs::naive4()),
+            ("+PTW sched", designs::augmented()),
+        ] {
+            let s = r.run(b, |c| c.mmu = model);
+            let mut row = vec![
+                bench_cell(b),
+                name.into(),
+                (100.0 * s.idle_fraction()).into(),
+            ];
+            for cause in StallCause::ALL {
+                row.push(s.stall_breakdown.share_pct(cause).into());
+            }
+            t.row(row);
+        }
+    }
+    vec![t]
+}
+
 /// Figure 11: one augmented walker vs many naive serial walkers.
 pub fn fig11(r: &mut Runner) -> Vec<Table> {
     let mut t = Table::new(
         "Figure 11 — augmented 1 PTW vs naive multi-PTW (speedup vs no TLB)",
-        &["bench", "augmented 1 PTW", "1 PTW", "2 PTW", "4 PTW", "8 PTW"],
+        &[
+            "bench",
+            "augmented 1 PTW",
+            "1 PTW",
+            "2 PTW",
+            "4 PTW",
+            "8 PTW",
+        ],
     );
     for b in Bench::all() {
         let mut row = vec![
@@ -586,24 +624,28 @@ pub fn table_config(opts: crate::ExperimentOpts) -> Vec<Table> {
     );
     let rows: [(&str, String, String); 8] = [
         ("SIMT cores", "30".into(), cfg.n_cores.to_string()),
-        ("warps per core", "48".into(), cfg.warps_per_core.to_string()),
+        (
+            "warps per core",
+            "48".into(),
+            cfg.warps_per_core.to_string(),
+        ),
         ("warp size", "32".into(), "32".into()),
         (
             "L1 data cache",
             "32KB, 128B lines, LRU".into(),
             format!("{}KB, 128B lines, LRU", cfg.l1.lines() * 128 / 1024),
         ),
-        (
-            "memory channels",
-            "8".into(),
-            cfg.mem.channels.to_string(),
-        ),
+        ("memory channels", "8".into(), cfg.mem.channels.to_string()),
         (
             "L2 per channel",
             "128KB".into(),
             format!("{}KB", cfg.mem.l2_slice.lines() * 128 / 1024),
         ),
-        ("page size", "4KB (2MB in §9)".into(), format!("{}", cfg.granule)),
+        (
+            "page size",
+            "4KB (2MB in §9)".into(),
+            format!("{}", cfg.granule),
+        ),
         (
             "TLB (baseline)",
             "128-entry, 3-port, blocking".into(),
@@ -614,42 +656,6 @@ pub fn table_config(opts: crate::ExperimentOpts) -> Vec<Table> {
         t.row(vec![k.into(), p.into(), v.into()]);
     }
     vec![t]
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::ExperimentOpts;
-
-    #[test]
-    fn fig09_matches_the_papers_worked_example() {
-        let tables = fig09();
-        let t = &tables[0];
-        // serial: 12 issued of 12; coalesced: 7 of 12.
-        assert_eq!(t.cell(0, 1), t.cell(0, 2));
-        let issued = match t.cell(1, 1).unwrap() {
-            gmmu_sim::table::Cell::Num(v, _) => *v,
-            other => panic!("unexpected cell {other:?}"),
-        };
-        assert_eq!(issued, 7.0);
-    }
-
-    #[test]
-    fn quick_fig03_produces_all_benchmarks() {
-        let mut r = Runner::new(ExperimentOpts::quick());
-        let tables = fig03(&mut r);
-        assert_eq!(tables.len(), 2);
-        assert_eq!(tables[0].len(), 6);
-        assert_eq!(tables[1].len(), 6);
-    }
-
-    #[test]
-    fn config_table_reports_paper_values() {
-        let tables = table_config(ExperimentOpts::full());
-        let text = tables[0].to_string();
-        assert!(text.contains("30"));
-        assert!(text.contains("128KB"));
-    }
 }
 
 /// Ablations beyond the paper's figures: design choices DESIGN.md calls
@@ -689,7 +695,9 @@ pub fn ablations(r: &mut Runner) -> Vec<Table> {
     // 2. TLB associativity and MSHR depth on the augmented design.
     let mut geometry = Table::new(
         "Ablation — TLB associativity / MSHR depth on the augmented design",
-        &["bench", "2-way", "4-way", "8-way", "8 MSHRs", "16 MSHRs", "32 MSHRs"],
+        &[
+            "bench", "2-way", "4-way", "8-way", "8 MSHRs", "16 MSHRs", "32 MSHRs",
+        ],
     );
     for b in benches {
         let mut row = vec![bench_cell(b)];
@@ -750,4 +758,40 @@ pub fn ablations(r: &mut Runner) -> Vec<Table> {
         cpm.row(row);
     }
     vec![walkers, geometry, cpm]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExperimentOpts;
+
+    #[test]
+    fn fig09_matches_the_papers_worked_example() {
+        let tables = fig09();
+        let t = &tables[0];
+        // serial: 12 issued of 12; coalesced: 7 of 12.
+        assert_eq!(t.cell(0, 1), t.cell(0, 2));
+        let issued = match t.cell(1, 1).unwrap() {
+            gmmu_sim::table::Cell::Num(v, _) => *v,
+            other => panic!("unexpected cell {other:?}"),
+        };
+        assert_eq!(issued, 7.0);
+    }
+
+    #[test]
+    fn quick_fig03_produces_all_benchmarks() {
+        let mut r = Runner::new(ExperimentOpts::quick());
+        let tables = fig03(&mut r);
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].len(), 6);
+        assert_eq!(tables[1].len(), 6);
+    }
+
+    #[test]
+    fn config_table_reports_paper_values() {
+        let tables = table_config(ExperimentOpts::full());
+        let text = tables[0].to_string();
+        assert!(text.contains("30"));
+        assert!(text.contains("128KB"));
+    }
 }

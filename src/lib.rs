@@ -48,9 +48,9 @@ pub mod prelude {
     pub use gmmu_core::walker::WalkerConfig;
     pub use gmmu_sim::table::Table;
     pub use gmmu_simt::config::TbcConfig;
-    pub use gmmu_simt::{Gpu, GpuConfig, RunStats};
+    pub use gmmu_simt::{Gpu, GpuConfig, Observer, RunStats, StallBreakdown, StallCause};
     pub use gmmu_vm::PageSize;
     pub use gmmu_workloads::{build, build_paged, Bench, Scale, Workload};
 }
 
-pub use experiments::{ExperimentOpts, Runner};
+pub use experiments::{ExperimentOpts, PointRun, Runner};

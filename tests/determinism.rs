@@ -3,7 +3,58 @@
 
 use gmmu::experiments::{designs, ExperimentOpts, Runner};
 use gmmu::prelude::*;
+use gmmu_sim::trace::Tracer;
 use gmmu_simt::gpu::run_kernel;
+use gmmu_simt::IntervalRecorder;
+
+fn assert_same(a: &RunStats, b: &RunStats, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.completed, b.completed, "{what}: completed");
+    assert_eq!(a.instructions, b.instructions, "{what}: instructions");
+    assert_eq!(
+        a.mem_instructions, b.mem_instructions,
+        "{what}: mem_instructions"
+    );
+    assert_eq!(a.idle_cycles, b.idle_cycles, "{what}: idle_cycles");
+    assert_eq!(
+        a.stall_breakdown, b.stall_breakdown,
+        "{what}: stall_breakdown"
+    );
+    assert_eq!(a.live_cycles, b.live_cycles, "{what}: live_cycles");
+    assert_eq!(
+        a.page_divergence, b.page_divergence,
+        "{what}: page_divergence"
+    );
+    assert_eq!(
+        a.l1_miss_latency, b.l1_miss_latency,
+        "{what}: l1_miss_latency"
+    );
+    assert_eq!(
+        a.tlb_miss_latency, b.tlb_miss_latency,
+        "{what}: tlb_miss_latency"
+    );
+    assert_eq!(a.tlb_accesses, b.tlb_accesses, "{what}: tlb_accesses");
+    assert_eq!(a.tlb_hits, b.tlb_hits, "{what}: tlb_hits");
+    assert_eq!(a.l1_accesses, b.l1_accesses, "{what}: l1_accesses");
+    assert_eq!(a.l1_hits, b.l1_hits, "{what}: l1_hits");
+    assert_eq!(
+        a.walk_refs_issued, b.walk_refs_issued,
+        "{what}: walk_refs_issued"
+    );
+    assert_eq!(
+        a.walk_refs_naive, b.walk_refs_naive,
+        "{what}: walk_refs_naive"
+    );
+    assert_eq!(a.walks, b.walks, "{what}: walks");
+    assert_eq!(
+        a.walk_l2_hit_rate, b.walk_l2_hit_rate,
+        "{what}: walk_l2_hit_rate"
+    );
+    assert_eq!(a.dram_requests, b.dram_requests, "{what}: dram_requests");
+    assert_eq!(a.replays, b.replays, "{what}: replays");
+    assert_eq!(a.dwarps_formed, b.dwarps_formed, "{what}: dwarps_formed");
+    assert_eq!(a.blocks_done, b.blocks_done, "{what}: blocks_done");
+}
 
 #[test]
 fn identical_configs_are_bit_identical() {
@@ -77,34 +128,12 @@ fn tbc_is_deterministic() {
 /// models, a throttling scheduler, and TBC.
 #[test]
 fn execution_engines_are_observably_equivalent() {
-    fn assert_same(a: &RunStats, b: &RunStats, what: &str) {
-        assert_eq!(a.cycles, b.cycles, "{what}: cycles");
-        assert_eq!(a.completed, b.completed, "{what}: completed");
-        assert_eq!(a.instructions, b.instructions, "{what}: instructions");
-        assert_eq!(a.mem_instructions, b.mem_instructions, "{what}: mem_instructions");
-        assert_eq!(a.idle_cycles, b.idle_cycles, "{what}: idle_cycles");
-        assert_eq!(a.live_cycles, b.live_cycles, "{what}: live_cycles");
-        assert_eq!(a.page_divergence, b.page_divergence, "{what}: page_divergence");
-        assert_eq!(a.l1_miss_latency, b.l1_miss_latency, "{what}: l1_miss_latency");
-        assert_eq!(a.tlb_miss_latency, b.tlb_miss_latency, "{what}: tlb_miss_latency");
-        assert_eq!(a.tlb_accesses, b.tlb_accesses, "{what}: tlb_accesses");
-        assert_eq!(a.tlb_hits, b.tlb_hits, "{what}: tlb_hits");
-        assert_eq!(a.l1_accesses, b.l1_accesses, "{what}: l1_accesses");
-        assert_eq!(a.l1_hits, b.l1_hits, "{what}: l1_hits");
-        assert_eq!(a.walk_refs_issued, b.walk_refs_issued, "{what}: walk_refs_issued");
-        assert_eq!(a.walk_refs_naive, b.walk_refs_naive, "{what}: walk_refs_naive");
-        assert_eq!(a.walks, b.walks, "{what}: walks");
-        assert_eq!(a.walk_l2_hit_rate, b.walk_l2_hit_rate, "{what}: walk_l2_hit_rate");
-        assert_eq!(a.dram_requests, b.dram_requests, "{what}: dram_requests");
-        assert_eq!(a.replays, b.replays, "{what}: replays");
-        assert_eq!(a.dwarps_formed, b.dwarps_formed, "{what}: dwarps_formed");
-        assert_eq!(a.blocks_done, b.blocks_done, "{what}: blocks_done");
-    }
-
     type Configure = fn(&mut GpuConfig);
     let matrix: [(Bench, &str, Configure); 6] = [
         (Bench::Memcached, "naive", |c| c.mmu = designs::naive3()),
-        (Bench::Memcached, "augmented", |c| c.mmu = designs::augmented()),
+        (Bench::Memcached, "augmented", |c| {
+            c.mmu = designs::augmented()
+        }),
         (Bench::Bfs, "naive", |c| c.mmu = designs::naive3()),
         (Bench::Bfs, "augmented", |c| c.mmu = designs::augmented()),
         (Bench::Streamcluster, "ta-ccws", |c| {
@@ -162,8 +191,97 @@ fn execution_engines_are_observably_equivalent() {
         });
         for (i, (bench, name, _)) in matrix.iter().enumerate() {
             let engine = if legacy { "tick-every-cycle" } else { "skip" };
-            assert_same(&reference[i], &stats[i], &format!("{bench}/{name} sweep+{engine}"));
+            assert_same(
+                &reference[i],
+                &stats[i],
+                &format!("{bench}/{name} sweep+{engine}"),
+            );
         }
+    }
+}
+
+/// Attaching the observation instruments must not perturb a run: full
+/// `RunStats` (stall breakdown included) bit-identical with tracing and
+/// interval sampling on versus off, the emitted trace and time-series
+/// identical across the per-cycle and idle-skip engines, and the trace
+/// non-empty with the spans the MMU work cares about.
+#[test]
+fn observation_is_invisible_and_engine_independent() {
+    type Configure = fn(&mut GpuConfig);
+    let matrix: [(Bench, &str, Configure); 3] = [
+        (Bench::Memcached, "naive", |c| c.mmu = designs::naive3()),
+        (Bench::Bfs, "augmented", |c| c.mmu = designs::augmented()),
+        (Bench::Mummergpu, "tbc", |c| {
+            c.mmu = designs::augmented();
+            c.tbc = Some(TbcConfig::tlb_aware(3));
+        }),
+    ];
+    let opts = ExperimentOpts::quick();
+    let observer = || Observer {
+        tracer: Tracer::recording(),
+        intervals: Some(IntervalRecorder::new(1_000)),
+    };
+    for (bench, name, configure) in matrix {
+        let w = build(bench, opts.scale, opts.seed);
+        let mut cfg = opts.gpu(MmuModel::Ideal);
+        configure(&mut cfg);
+
+        let plain = Gpu::new(cfg.clone()).run(w.kernel.as_ref(), &w.space);
+        assert_eq!(
+            plain.stall_breakdown.total(),
+            plain.idle_cycles,
+            "{bench}/{name}: breakdown must sum to idle_cycles"
+        );
+
+        let mut obs = observer();
+        let observed = Gpu::new(cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+        assert_same(
+            &plain,
+            &observed,
+            &format!("{bench}/{name} observed-vs-plain"),
+        );
+
+        let buf = obs.tracer.buffer().expect("recording tracer");
+        assert!(!buf.is_empty(), "{bench}/{name}: trace is empty");
+        assert!(
+            buf.events().iter().any(|e| e.name == "tlb_miss"),
+            "{bench}/{name}: no tlb_miss spans"
+        );
+        assert!(
+            buf.events().iter().any(|e| e.name == "page_walk"),
+            "{bench}/{name}: no page_walk spans"
+        );
+        let rec = obs.intervals.as_ref().expect("interval recorder");
+        assert!(
+            !rec.samples().is_empty(),
+            "{bench}/{name}: no interval samples"
+        );
+        let insns: u64 = rec.samples().iter().map(|s| s.instructions).sum();
+        assert_eq!(
+            insns, observed.instructions,
+            "{bench}/{name}: intervals lose instructions"
+        );
+
+        let mut legacy_cfg = cfg.clone();
+        legacy_cfg.tick_every_cycle = true;
+        let mut obs_legacy = observer();
+        let legacy =
+            Gpu::new(legacy_cfg).run_observed(w.kernel.as_ref(), &w.space, &mut obs_legacy);
+        assert_same(
+            &observed,
+            &legacy,
+            &format!("{bench}/{name} skip-vs-legacy observed"),
+        );
+        assert_eq!(
+            obs.tracer.buffer(),
+            obs_legacy.tracer.buffer(),
+            "{bench}/{name}: trace differs across engines"
+        );
+        assert_eq!(
+            obs.intervals.as_ref().unwrap().samples(),
+            obs_legacy.intervals.as_ref().unwrap().samples(),
+            "{bench}/{name}: interval series differs across engines"
+        );
     }
 }
 

@@ -14,7 +14,10 @@ fn naive_tlbs_degrade_every_benchmark() {
     for b in Bench::all() {
         let sp = r.speedup(b, |c| c.mmu = designs::naive3());
         assert!(sp < 1.0, "{b}: naive TLBs should degrade, got {sp:.3}");
-        assert!(sp > 0.02, "{b}: naive TLBs should not deadlock, got {sp:.3}");
+        assert!(
+            sp > 0.02,
+            "{b}: naive TLBs should not deadlock, got {sp:.3}"
+        );
     }
 }
 
@@ -28,8 +31,14 @@ fn augmentation_ladder_is_monotone_enough() {
         let hum = r.speedup(b, |c| c.mmu = designs::hum());
         let aug = r.speedup(b, |c| c.mmu = designs::augmented());
         let ideal_tlb = r.speedup(b, |c| c.mmu = designs::ideal_tlb());
-        assert!(hum >= naive * 0.98, "{b}: hit-under-miss regressed ({hum} vs {naive})");
-        assert!(aug >= hum * 0.98, "{b}: PTW scheduling regressed ({aug} vs {hum})");
+        assert!(
+            hum >= naive * 0.98,
+            "{b}: hit-under-miss regressed ({hum} vs {naive})"
+        );
+        assert!(
+            aug >= hum * 0.98,
+            "{b}: PTW scheduling regressed ({aug} vs {hum})"
+        );
         assert!(aug > 0.75, "{b}: augmented design too slow ({aug})");
         assert!(
             (aug - ideal_tlb).abs() < 0.15,
@@ -148,7 +157,10 @@ fn large_pages_collapse_divergence_for_coalesced_kernels() {
         let small = r.run(b, |c| c.mmu = designs::naive4());
         let large = r.run_large_pages(b, |c| c.mmu = designs::naive4());
         assert!(large.page_divergence.mean() <= small.page_divergence.mean());
-        assert!(large.page_divergence.mean() < 1.2, "{b} still diverges at 2MB");
+        assert!(
+            large.page_divergence.mean() < 1.2,
+            "{b} still diverges at 2MB"
+        );
         assert!(large.tlb_miss_rate() < small.tlb_miss_rate());
     }
     // The far-flung pair keeps residual divergence even at 2 MB

@@ -28,8 +28,11 @@ fn stat_conservation_under_every_mmu() {
             assert!(s.walk_refs_naive <= 4 * s.walks, "{b}");
             // Page-divergence samples come one per memory instruction.
             assert_eq!(s.page_divergence.count(), s.mem_instructions, "{b}");
-            // Busyness bookkeeping.
+            // Busyness bookkeeping: the stall-cause breakdown is an
+            // exact refinement of the idle counter.
             assert!(s.idle_cycles <= s.live_cycles, "{b}");
+            assert_eq!(s.stall_breakdown.total(), s.idle_cycles, "{b}");
+            assert!(s.stall_breakdown.get(StallCause::TlbFill) > 0, "{b}");
             assert!(s.instructions > 0 && s.cycles > 0, "{b}");
         }
     }

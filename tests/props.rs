@@ -29,7 +29,11 @@ fn for_each_case(test: &str, f: impl Fn(&mut Xoshiro256)) {
     }
 }
 
-fn vec_u64(rng: &mut Xoshiro256, len: std::ops::Range<u64>, each: std::ops::Range<u64>) -> Vec<u64> {
+fn vec_u64(
+    rng: &mut Xoshiro256,
+    len: std::ops::Range<u64>,
+    each: std::ops::Range<u64>,
+) -> Vec<u64> {
     let n = rng.gen_range(len);
     (0..n).map(|_| rng.gen_range(each.clone())).collect()
 }
@@ -47,7 +51,11 @@ fn translation_roundtrip() {
         let regions: Vec<_> = sizes
             .iter()
             .enumerate()
-            .map(|(i, &s)| space.map_region(&format!("r{i}"), s, PageSize::Base4K).unwrap())
+            .map(|(i, &s)| {
+                space
+                    .map_region(&format!("r{i}"), s, PageSize::Base4K)
+                    .unwrap()
+            })
             .collect();
         for (ri, off) in probes {
             let region = &regions[ri % regions.len()];
@@ -68,7 +76,9 @@ fn no_frame_aliasing() {
     for_each_case("no_frame_aliasing", |rng| {
         let pages = rng.gen_range(1..600);
         let mut space = AddressSpace::new(SpaceConfig::default());
-        let r = space.map_region("r", pages * 4096, PageSize::Base4K).unwrap();
+        let r = space
+            .map_region("r", pages * 4096, PageSize::Base4K)
+            .unwrap();
         let mut seen = HashSet::new();
         for p in 0..r.num_pages() {
             let (pa, _) = space.translate(r.at(p * 4096)).unwrap();
@@ -166,7 +176,11 @@ fn simt_stack_if_else_partitions() {
     for_each_case("simt_stack_if_else_partitions", |rng| {
         let mask_bits = rng.gen_range(0..u32::MAX as u64) as u32;
         let lanes = rng.gen_range(2..33) as u32;
-        let full = if lanes == 32 { u32::MAX } else { (1u32 << lanes) - 1 };
+        let full = if lanes == 32 {
+            u32::MAX
+        } else {
+            (1u32 << lanes) - 1
+        };
         let taken = mask_bits & full;
         // 0: branch(t→2, r=3); 1: else; 2: then; 3: join
         let mut stack = SimtStack::new(full, 4);
@@ -177,9 +191,18 @@ fn simt_stack_if_else_partitions() {
         while !stack.is_done() {
             let (pc, m) = stack.current().unwrap();
             match pc {
-                1 => { else_mask |= m; stack.advance(3); }
-                2 => { then_mask |= m; stack.advance(3); }
-                3 => { join_mask |= m; stack.advance(4); }
+                1 => {
+                    else_mask |= m;
+                    stack.advance(3);
+                }
+                2 => {
+                    then_mask |= m;
+                    stack.advance(3);
+                }
+                3 => {
+                    join_mask |= m;
+                    stack.advance(4);
+                }
                 _ => unreachable!(),
             }
         }
@@ -198,7 +221,9 @@ fn walker_equivalence() {
     for_each_case("walker_equivalence", |rng| {
         let page_offsets = vec_u64(rng, 1..16, 0..2048);
         let mut space = AddressSpace::new(SpaceConfig::default());
-        let region = space.map_region("w", 2048 * 4096, PageSize::Base4K).unwrap();
+        let region = space
+            .map_region("w", 2048 * 4096, PageSize::Base4K)
+            .unwrap();
         let base = region.base.vpn().raw();
         let vpns: Vec<Vpn> = page_offsets.iter().map(|&o| Vpn::new(base + o)).collect();
 
