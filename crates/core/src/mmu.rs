@@ -21,6 +21,7 @@ use crate::tlb::{Tlb, TlbConfig};
 use crate::walker::{WalkDone, Walker, WalkerConfig};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
 use gmmu_mem::MemorySystem;
+use gmmu_sim::fault::{FaultInjectConfig, FaultInjector};
 use gmmu_sim::stats::{Counter, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_MMU};
 use gmmu_sim::Cycle;
@@ -190,9 +191,23 @@ pub enum MmuEvent {
         ppn: Ppn,
     },
     /// A walk found the page unmapped (page fault — the paper interrupts
-    /// a CPU; our workloads pre-map everything so this is fatal).
+    /// a CPU to service it). One event is emitted *per waiting warp*, so
+    /// coalesced waiters all learn about the fault; the core parks them
+    /// until the modeled CPU handler maps the page (or aborts the run if
+    /// demand paging is disabled).
     Fault {
         /// Faulting page.
+        vpn: Vpn,
+        /// Waiting warp (scheduling unit) to park.
+        warp: u16,
+    },
+    /// An in-flight walk was squashed by a TLB shootdown before its fill
+    /// applied. One event per waiting warp; the core retries the access
+    /// after a bounded backoff, re-walking against the updated table.
+    Squashed {
+        /// Waiting warp (scheduling unit) to retry.
+        warp: u16,
+        /// Page whose walk was squashed.
         vpn: Vpn,
     },
 }
@@ -239,6 +254,8 @@ pub struct Mmu {
     lookup_next_free: Cycle,
     /// Monotonic stamp for TLB LRU.
     stamp: u64,
+    /// Deterministic fault injector (`None` = no perturbation at all).
+    inject: Option<FaultInjector>,
     /// Requests rejected (blocking / MSHR-full).
     pub rejects: Counter,
     /// Per-miss resolution latency: miss detection → TLB fill applied
@@ -246,6 +263,10 @@ pub struct Mmu {
     pub miss_latency: Summary,
     /// Page faults observed.
     pub faults: Counter,
+    /// TLB shootdowns observed (epoch bumps serviced).
+    pub shootdowns: Counter,
+    /// In-flight walks squashed by shootdowns.
+    pub squashed_walks: Counter,
 }
 
 impl Mmu {
@@ -270,10 +291,20 @@ impl Mmu {
             events: Vec::new(),
             lookup_next_free: 0,
             stamp: 0,
+            inject: None,
             rejects: Counter::new(),
             miss_latency: Summary::new(),
             faults: Counter::new(),
+            shootdowns: Counter::new(),
+            squashed_walks: Counter::new(),
         }
+    }
+
+    /// Arms (or disarms, with `None`) deterministic fault injection:
+    /// delayed walk fills and transient rejections. With `None` the MMU
+    /// behaves bit-identically to a build without the harness.
+    pub fn set_injection(&mut self, cfg: Option<FaultInjectConfig>) {
+        self.inject = cfg.map(FaultInjector::new);
     }
 
     /// The model this MMU implements.
@@ -327,7 +358,10 @@ impl Mmu {
         };
         self.done_scratch.clear();
         walker.advance_traced(now, mem, space, &mut self.done_scratch, tracer, pid);
-        for done in self.done_scratch.drain(..) {
+        for mut done in self.done_scratch.drain(..) {
+            if let Some(inj) = &self.inject {
+                done.complete += inj.walk_delay(done.vpn.raw(), done.enqueued);
+            }
             self.mshrs.set_completion(done.vpn.raw(), done.complete);
             self.pending_fills.push(done);
         }
@@ -381,7 +415,24 @@ impl Mmu {
             }
             None => {
                 self.faults.inc();
-                self.events.push(MmuEvent::Fault { vpn: done.vpn });
+                if waiters.is_empty() {
+                    // Defensive: a faulting walk always has at least its
+                    // original requester waiting, but never drop a fault.
+                    self.events.push(MmuEvent::Fault {
+                        vpn: done.vpn,
+                        warp: done.warp,
+                    });
+                } else {
+                    // One event per coalesced waiter — a single
+                    // unattributed fault would leave merged warps asleep
+                    // forever.
+                    for warp in waiters {
+                        self.events.push(MmuEvent::Fault {
+                            vpn: done.vpn,
+                            warp,
+                        });
+                    }
+                }
             }
         }
     }
@@ -448,6 +499,15 @@ impl Mmu {
             }
             return TranslateOutcome::AllHit { ready_at: now };
         };
+
+        // Injected transient queue-full rejection: the request bounces
+        // exactly as if an internal buffer were momentarily full.
+        if let Some(inj) = &self.inject {
+            if inj.reject(now, requester as u64) {
+                self.rejects.inc();
+                return TranslateOutcome::Reject { retry_at: now + 8 };
+            }
+        }
 
         // Blocking TLB: any outstanding walk blocks all memory
         // instructions (Section 6.2).
@@ -549,6 +609,30 @@ impl Mmu {
     pub fn flush_tlb(&mut self) {
         if let Some(tlb) = self.tlb.as_mut() {
             tlb.flush();
+        }
+    }
+
+    /// Services a full TLB shootdown (the owning CPU changed the page
+    /// table): flushes the TLB and the walker's page-walk cache, squashes
+    /// every in-flight walk — queued requests *and* fills computed
+    /// against the old table but not yet applied — releases their MSHRs,
+    /// and emits one [`MmuEvent::Squashed`] per waiting warp so the core
+    /// retries the access with bounded backoff against the new table.
+    pub fn shootdown(&mut self, now: Cycle) {
+        let _ = now;
+        self.shootdowns.inc();
+        self.flush_tlb();
+        let Some(walker) = self.walker.as_mut() else {
+            return;
+        };
+        let mut squashed: Vec<Vpn> = walker.shootdown().into_iter().map(|r| r.vpn).collect();
+        squashed.extend(self.pending_fills.drain(..).map(|d| d.vpn));
+        for vpn in squashed {
+            self.squashed_walks.inc();
+            self.mshrs.release(vpn.raw());
+            for warp in self.waiters.remove(&vpn.raw()).unwrap_or_default() {
+                self.events.push(MmuEvent::Squashed { warp, vpn });
+            }
         }
     }
 }
@@ -812,10 +896,103 @@ mod tests {
         r.mmu.advance(0, &mut r.mem, &r.space);
         let _ = r
             .mmu
-            .translate(0, 0, &[pr(Vpn::new(0x1), 0)], &r.space, &mut r.buf);
+            .translate(0, 7, &[pr(Vpn::new(0x1), 7)], &r.space, &mut r.buf);
         let (_, events) = settle(&mut r, 1);
-        assert!(events.iter().any(|e| matches!(e, MmuEvent::Fault { .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MmuEvent::Fault { warp: 7, .. })));
         assert_eq!(r.mmu.faults.get(), 1);
+    }
+
+    #[test]
+    fn coalesced_waiters_each_get_a_fault_event() {
+        // Regression: a faulting walk whose MSHR merged several waiters
+        // must emit one fault per waiter — a single unattributed event
+        // would leave the merged warps asleep forever.
+        let model = MmuModel::Real {
+            tlb: TlbConfig {
+                mode: TlbMode::HitUnderMiss,
+                ..TlbConfig::naive()
+            },
+            walker: WalkerConfig::serial(),
+        };
+        let mut r = rig(model);
+        let unmapped = Vpn::new(0x1);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let _ = r
+            .mmu
+            .translate(0, 3, &[pr(unmapped, 3)], &r.space, &mut r.buf);
+        let _ = r
+            .mmu
+            .translate(0, 9, &[pr(unmapped, 9)], &r.space, &mut r.buf);
+        assert_eq!(r.mmu.outstanding_walks(), 1, "misses merged in one MSHR");
+        let (_, events) = settle(&mut r, 1);
+        let faulted: Vec<u16> = events
+            .iter()
+            .filter_map(|e| match e {
+                MmuEvent::Fault { warp, .. } => Some(*warp),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(faulted.len(), 2);
+        assert!(faulted.contains(&3) && faulted.contains(&9));
+        assert_eq!(r.mmu.faults.get(), 1, "one faulting walk");
+    }
+
+    #[test]
+    fn shootdown_squashes_inflight_walks_and_notifies_waiters() {
+        let mut r = rig(MmuModel::naive());
+        let p = page(&r, 0);
+        r.mmu.advance(0, &mut r.mem, &r.space);
+        let out = r.mmu.translate(0, 4, &[pr(p, 4)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Miss { .. }));
+        r.mmu.shootdown(1);
+        let events: Vec<MmuEvent> = r.mmu.events().collect();
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MmuEvent::Squashed { warp: 4, vpn } if *vpn == p)));
+        assert_eq!(r.mmu.outstanding_walks(), 0, "squash released the MSHR");
+        assert_eq!(r.mmu.squashed_walks.get(), 1);
+        assert_eq!(r.mmu.shootdowns.get(), 1);
+        // The retried access re-walks and completes normally.
+        r.mmu.advance(2, &mut r.mem, &r.space);
+        let out = r.mmu.translate(2, 4, &[pr(p, 4)], &r.space, &mut r.buf);
+        assert!(matches!(out, TranslateOutcome::Miss { .. }));
+        let (_, events) = settle(&mut r, 3);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, MmuEvent::Wake { warp: 4, .. })));
+    }
+
+    #[test]
+    fn injected_rejects_and_delays_are_deterministic() {
+        let run = |inject| {
+            let mut r = rig(MmuModel::naive());
+            r.mmu.set_injection(inject);
+            let mut log = Vec::new();
+            let mut now = 0;
+            for i in 0..16 {
+                r.mmu.advance(now, &mut r.mem, &r.space);
+                let p = page(&r, i);
+                let out = r.mmu.translate(now, 0, &[pr(p, 0)], &r.space, &mut r.buf);
+                log.push(format!("{out:?}"));
+                let (n2, _) = settle(&mut r, now + 1);
+                now = n2 + 10;
+            }
+            (log, r.mmu.rejects.get(), r.mmu.miss_latency.mean())
+        };
+        let cfg = FaultInjectConfig {
+            seed: 11,
+            reject_rate: 0.3,
+            walk_delay_rate: 0.5,
+            walk_delay_cycles: 200,
+            ..FaultInjectConfig::off()
+        };
+        let a = run(Some(cfg));
+        let b = run(Some(cfg));
+        assert_eq!(a, b, "same seed, same fault schedule");
+        let off = run(None);
+        assert_ne!(a.2, off.2, "delayed walks must show up in the miss latency");
     }
 
     #[test]

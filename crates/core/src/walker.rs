@@ -275,6 +275,19 @@ impl Walker {
         self.pending.len()
     }
 
+    /// The per-walker half of a TLB shootdown: squashes every queued
+    /// (not yet started) walk and flushes the page-walk cache, whose
+    /// cached upper-level PTEs may now be stale. Lanes keep their busy
+    /// reservations — hardware lanes finish the PTE loads they already
+    /// issued; the MMU drops the results. Returns the squashed requests
+    /// so the MMU can re-disposition their waiters.
+    pub fn shootdown(&mut self) -> Vec<WalkRequest> {
+        if let Some(pwc) = self.pwc.as_mut() {
+            pwc.flush();
+        }
+        self.pending.drain(..).collect()
+    }
+
     /// Number of walk lanes (1 for coalesced/software walkers).
     pub fn lane_count(&self) -> usize {
         self.lanes.len()

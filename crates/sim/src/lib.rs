@@ -9,6 +9,9 @@
 //! * [`rng`] — counter-based and xoshiro PRNGs plus distributions
 //!   (uniform, Zipf, permutations) that behave identically on every
 //!   platform and toolchain.
+//! * [`fault`] — deterministic fault injection (demand faults, delayed
+//!   walks, transient rejections, shootdown storms) driven by the
+//!   counter-based mixers, so fault schedules are reproducible.
 //! * [`stats`] — counters, running means, and log-scale histograms used
 //!   for every statistic the paper reports.
 //! * [`table`] — plain-text/CSV table rendering for the figure harnesses.
@@ -28,6 +31,7 @@
 //! assert!(hist.mean() > 10.0 && hist.mean() < 21.0);
 //! ```
 
+pub mod fault;
 pub mod rng;
 pub mod stats;
 pub mod table;

@@ -11,6 +11,8 @@ use gmmu_core::ccws::{PolicyConfig, PolicyKind};
 use gmmu_core::cpm::CpmConfig;
 use gmmu_core::mmu::MmuModel;
 use gmmu_mem::{CacheConfig, MemConfig};
+use gmmu_sim::fault::FaultInjectConfig;
+use gmmu_sim::Cycle;
 use gmmu_vm::PageSize;
 
 /// Fixed pipeline latencies of a shader core.
@@ -74,6 +76,63 @@ impl TbcConfig {
     }
 }
 
+/// The fault-and-recovery model: demand paging, shootdown replay, and
+/// the forward-progress watchdog. The default ([`FaultConfig::off`])
+/// disables all of it, and a disabled model is bit-identical to a build
+/// without the machinery (the determinism suite enforces this).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Park faulting warps and service them through the modeled CPU
+    /// fault handler instead of aborting the run. Requires running via
+    /// [`crate::gpu::Gpu::run_faulted`] so the handler can map pages.
+    pub demand_paging: bool,
+    /// CPU handler latency for a *minor* fault (page resident, just
+    /// needs a PTE): interrupt + handler + map.
+    pub minor_latency: Cycle,
+    /// CPU handler latency for a *major* fault (backing data must be
+    /// fetched first).
+    pub major_latency: Cycle,
+    /// Fraction of faulting pages treated as major, decided
+    /// deterministically per page from the GPU seed.
+    pub major_fraction: f64,
+    /// Cycles a warp backs off before retrying an access whose walk was
+    /// squashed by a TLB shootdown (bounded, fixed backoff).
+    pub shootdown_backoff: Cycle,
+    /// Forward-progress watchdog: fail the run with a diagnostic dump
+    /// after this many cycles without a single issued instruction
+    /// (0 = disabled).
+    pub watchdog: Cycle,
+}
+
+impl FaultConfig {
+    /// Everything disabled — the bit-identical default.
+    pub fn off() -> Self {
+        Self {
+            demand_paging: false,
+            minor_latency: 3_000,
+            major_latency: 30_000,
+            major_fraction: 0.25,
+            shootdown_backoff: 32,
+            watchdog: 0,
+        }
+    }
+
+    /// Demand paging on, with the watchdog armed as a safety net.
+    pub fn demand() -> Self {
+        Self {
+            demand_paging: true,
+            watchdog: 10_000_000,
+            ..Self::off()
+        }
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self::off()
+    }
+}
+
 /// Full GPU configuration.
 #[derive(Debug, Clone)]
 pub struct GpuConfig {
@@ -114,6 +173,12 @@ pub struct GpuConfig {
     /// Seed folded into workload construction (kept here so a whole
     /// experiment is reproducible from its config).
     pub seed: u64,
+    /// Fault-and-recovery model (demand paging, shootdown backoff,
+    /// watchdog). [`FaultConfig::off`] by default.
+    pub fault: FaultConfig,
+    /// Deterministic fault injection (delayed walks, transient rejects,
+    /// shootdown storms). `None` = no perturbation.
+    pub inject: Option<FaultInjectConfig>,
 }
 
 impl Default for GpuConfig {
@@ -134,6 +199,8 @@ impl Default for GpuConfig {
             tick_every_cycle: false,
             max_cycles: 200_000_000,
             seed: 0x5eed,
+            fault: FaultConfig::off(),
+            inject: None,
         }
     }
 }

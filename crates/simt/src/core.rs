@@ -10,7 +10,7 @@
 //! warps managed by [`crate::tbc`].
 
 use crate::coalesce::{coalesce_granule, CoalesceBuf};
-use crate::config::{CoreTimings, GpuConfig, TbcConfig};
+use crate::config::{CoreTimings, FaultConfig, GpuConfig, TbcConfig};
 use crate::program::{Kernel, MemKind, Op, ThreadId};
 use crate::stack::SimtStack;
 use crate::stall::{StallBreakdown, StallCause};
@@ -124,6 +124,9 @@ pub(crate) struct Warp {
     pub ready_at: Cycle,
     pub pending: Option<Pending>,
     pub waiting_pages: usize,
+    /// Pages whose walks ended in a page fault; the warp is parked until
+    /// the modeled CPU fault handler maps them all.
+    pub faulted_pages: usize,
     pub wait: WaitKind,
 }
 
@@ -135,6 +138,7 @@ impl Warp {
             ready_at: 0,
             pending: None,
             waiting_pages: 0,
+            faulted_pages: 0,
             wait: WaitKind::default(),
         }
     }
@@ -144,7 +148,10 @@ impl Warp {
     }
 
     fn schedulable(&self, now: Cycle) -> bool {
-        !self.is_done() && self.waiting_pages == 0 && self.ready_at <= now
+        !self.is_done()
+            && self.waiting_pages == 0
+            && self.faulted_pages == 0
+            && self.ready_at <= now
     }
 }
 
@@ -426,6 +433,12 @@ pub struct ShaderCore {
     slot_started: Vec<Cycle>,
     /// Scratch for MMU event draining.
     events: Vec<MmuEvent>,
+    /// Fault-and-recovery model knobs (copied from the GPU config).
+    pub(crate) fault: FaultConfig,
+    /// Units parked on each faulted page, keyed by raw VPN.
+    fault_waiters: std::collections::HashMap<u64, Vec<u16>>,
+    /// Faulted pages not yet reported to the GPU's fault handler.
+    pub(crate) pending_faults: Vec<Vpn>,
 }
 
 impl ShaderCore {
@@ -441,12 +454,14 @@ impl ShaderCore {
             },
             Some(t) => ExecMode::Tbc(TbcState::new(cfg, *t)),
         };
+        let mut mmu = Mmu::new(cfg.mmu);
+        mmu.set_injection(cfg.inject.filter(|i| i.enabled()));
         Self {
             id,
             warps_per_block: cfg.warps_per_block,
             path: MemPath {
                 granule: cfg.granule,
-                mmu: Mmu::new(cfg.mmu),
+                mmu,
                 l1: Cache::new(cfg.l1),
                 l1_mshrs: MshrFile::new(cfg.l1_mshrs),
                 policy: LocalityPolicy::new(cfg.policy, cfg.warps_per_core, cfg.policy_config),
@@ -462,6 +477,9 @@ impl ShaderCore {
             slot_occupied: vec![false; cfg.warps_per_core / cfg.warps_per_block],
             slot_started: vec![0; cfg.warps_per_core / cfg.warps_per_block],
             events: Vec::new(),
+            fault: cfg.fault,
+            fault_waiters: std::collections::HashMap::new(),
+            pending_faults: Vec::new(),
         }
     }
 
@@ -569,6 +587,7 @@ impl ShaderCore {
                                 ready_at: 0,
                                 pending: None,
                                 waiting_pages: 0,
+                                faulted_pages: 0,
                                 wait: WaitKind::default(),
                             };
                         }
@@ -602,7 +621,7 @@ impl ShaderCore {
             ExecMode::Baseline { warps } => {
                 let mut throttled = false;
                 for w in warps {
-                    if w.is_done() || w.waiting_pages > 0 {
+                    if w.is_done() || w.waiting_pages > 0 || w.faulted_pages > 0 {
                         continue;
                     }
                     if w.ready_at > now {
@@ -664,6 +683,79 @@ impl ShaderCore {
             self.path.stats.idle_cycles.add(skipped);
             self.path.stats.stall_breakdown.add(cause, skipped);
         }
+    }
+
+    /// Squashes in-flight walks and flushes the TLB in response to a
+    /// shootdown epoch bump; the resulting [`MmuEvent::Squashed`] events
+    /// drain on this core's next tick.
+    pub fn shootdown(&mut self, now: Cycle) {
+        self.path.mmu.shootdown(now);
+    }
+
+    /// Moves faulted pages not yet reported to the fault handler into
+    /// `out` (the GPU drains these each cycle).
+    pub(crate) fn drain_faults(&mut self, out: &mut Vec<Vpn>) {
+        out.append(&mut self.pending_faults);
+    }
+
+    /// The CPU fault handler finished mapping `vpn`: release every unit
+    /// parked on it; units with no other outstanding pages replay their
+    /// access next cycle.
+    pub(crate) fn resolve_fault(&mut self, vpn: Vpn, now: Cycle) {
+        let Some(waiters) = self.fault_waiters.remove(&vpn.raw()) else {
+            return;
+        };
+        for unit in waiters {
+            match &mut self.exec {
+                ExecMode::Baseline { warps } => {
+                    let w = &mut warps[unit as usize];
+                    debug_assert!(w.faulted_pages > 0);
+                    w.faulted_pages = w.faulted_pages.saturating_sub(1);
+                    if w.faulted_pages == 0 && w.waiting_pages == 0 {
+                        w.ready_at = now + 1;
+                        w.wait = WaitKind::Replay;
+                    }
+                }
+                ExecMode::Tbc(t) => t.resolve_fault(unit, now),
+            }
+        }
+    }
+
+    /// A human-readable dump of everything that could explain a stuck
+    /// core, for the forward-progress watchdog's failure report.
+    pub fn stall_diagnostics(&self, now: Cycle) -> String {
+        use std::fmt::Write as _;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            "core {}: outstanding_walks={} walker_queue={} unreported_faults={} faulted_pages={:?}",
+            self.id,
+            self.path.mmu.outstanding_walks(),
+            self.path.mmu.walker().map_or(0, |w| w.queue_len()),
+            self.pending_faults.len(),
+            self.fault_waiters.keys().collect::<Vec<_>>(),
+        );
+        match &self.exec {
+            ExecMode::Baseline { warps } => {
+                for (i, w) in warps.iter().enumerate() {
+                    if w.is_done() {
+                        continue;
+                    }
+                    let _ = writeln!(
+                        s,
+                        "  warp {i}: waiting_pages={} faulted_pages={} ready_at={} (now {now}) \
+                         wait={:?} pending_accesses={}",
+                        w.waiting_pages,
+                        w.faulted_pages,
+                        w.ready_at,
+                        w.wait,
+                        w.pending.as_ref().map_or(0, |p| p.accesses.len()),
+                    );
+                }
+            }
+            ExecMode::Tbc(t) => t.stall_diagnostics(&mut s, now),
+        }
+        s
     }
 
     /// Advances the core by one cycle. Returns `true` if it issued an
@@ -730,9 +822,42 @@ impl ShaderCore {
                     }
                     ExecMode::Tbc(t) => t.wake(warp, vpn, ppn, path, now, mem, tracer, pid),
                 },
-                MmuEvent::Fault { vpn } => {
-                    panic!("GPU page fault on {vpn}: workloads must pre-map their regions")
+                MmuEvent::Fault { vpn, warp } => {
+                    if !self.fault.demand_paging {
+                        panic!("GPU page fault on {vpn}: workloads must pre-map their regions")
+                    }
+                    // Park the unit: the walk concluded (without a
+                    // translation), so the page moves from the waiting
+                    // count to the faulted count and the warp sleeps
+                    // until the CPU fault handler maps it.
+                    match &mut self.exec {
+                        ExecMode::Baseline { warps } => {
+                            let w = &mut warps[warp as usize];
+                            debug_assert!(w.waiting_pages > 0);
+                            w.waiting_pages = w.waiting_pages.saturating_sub(1);
+                            w.faulted_pages += 1;
+                        }
+                        ExecMode::Tbc(t) => t.fault(warp),
+                    }
+                    let waiters = self.fault_waiters.entry(vpn.raw()).or_default();
+                    if waiters.is_empty() {
+                        self.pending_faults.push(vpn);
+                    }
+                    waiters.push(warp);
                 }
+                MmuEvent::Squashed { warp, vpn: _ } => match &mut self.exec {
+                    ExecMode::Baseline { warps } => {
+                        let w = &mut warps[warp as usize];
+                        w.waiting_pages = w.waiting_pages.saturating_sub(1);
+                        if w.waiting_pages == 0 && w.faulted_pages == 0 {
+                            // Retained accesses re-present against the
+                            // flushed TLB after a bounded backoff.
+                            w.ready_at = now + self.fault.shootdown_backoff.max(1);
+                            w.wait = WaitKind::Reject;
+                        }
+                    }
+                    ExecMode::Tbc(t) => t.squash(warp, now, self.fault.shootdown_backoff),
+                },
             }
         }
         path.policy.tick(now);
@@ -786,7 +911,9 @@ fn classify_stall(exec: &ExecMode, now: Cycle) -> StallCause {
                 if w.is_done() {
                     continue;
                 }
-                if w.waiting_pages > 0 {
+                if w.faulted_pages > 0 {
+                    note(StallCause::FaultService);
+                } else if w.waiting_pages > 0 {
                     note(StallCause::TlbFill);
                 } else if w.ready_at > now {
                     note(w.wait.cause());

@@ -14,9 +14,10 @@ use crate::observe::{CounterSnapshot, Observer};
 use crate::program::Kernel;
 use crate::stall::StallBreakdown;
 use gmmu_mem::MemorySystem;
+use gmmu_sim::fault::{major_fault, FaultInjector};
 use gmmu_sim::stats::{Histogram, Summary};
 use gmmu_sim::Cycle;
-use gmmu_vm::AddressSpace;
+use gmmu_vm::{AddressSpace, Vpn};
 
 /// Aggregated results of one kernel run.
 #[derive(Debug, Clone)]
@@ -66,6 +67,16 @@ pub struct RunStats {
     pub dwarps_formed: u64,
     /// Thread blocks completed.
     pub blocks_done: u64,
+    /// Page faults serviced by the modeled CPU fault handler (demand
+    /// paging; 0 whenever the fault model is off).
+    pub faults: u64,
+    /// TLB shootdowns observed (per core) via epoch bumps.
+    pub shootdowns: u64,
+    /// In-flight page walks squashed by shootdowns and replayed.
+    pub squashed_walks: u64,
+    /// True when the forward-progress watchdog killed the run (implies
+    /// `completed == false`).
+    pub watchdog_fired: bool,
 }
 
 impl RunStats {
@@ -95,6 +106,10 @@ impl RunStats {
             replays: 0,
             dwarps_formed: 0,
             blocks_done: 0,
+            faults: 0,
+            shootdowns: 0,
+            squashed_walks: 0,
+            watchdog_fired: false,
         }
     }
 
@@ -156,6 +171,30 @@ impl RunStats {
     }
 }
 
+/// How a run borrows the address space: shared (read-only translation,
+/// the historical contract) or owned (the fault handler and shootdown
+/// storms may map/remap pages mid-run).
+enum SpaceAccess<'a> {
+    Shared(&'a AddressSpace),
+    Owned(&'a mut AddressSpace),
+}
+
+impl SpaceAccess<'_> {
+    fn get(&self) -> &AddressSpace {
+        match self {
+            SpaceAccess::Shared(s) => s,
+            SpaceAccess::Owned(s) => s,
+        }
+    }
+
+    fn get_mut(&mut self) -> Option<&mut AddressSpace> {
+        match self {
+            SpaceAccess::Shared(_) => None,
+            SpaceAccess::Owned(s) => Some(s),
+        }
+    }
+}
+
 /// A configured GPU ready to run kernels.
 ///
 /// # Examples
@@ -189,8 +228,9 @@ impl Gpu {
     ///
     /// # Panics
     ///
-    /// Panics if a kernel touches an unmapped page (GPU page fault) or
-    /// the kernel has zero threads.
+    /// Panics if a kernel touches an unmapped page while demand paging
+    /// ([`crate::config::FaultConfig::demand_paging`]) is off, or the
+    /// kernel has zero threads.
     pub fn run(&mut self, kernel: &dyn Kernel, space: &AddressSpace) -> RunStats {
         self.run_observed(kernel, space, &mut Observer::off())
     }
@@ -208,11 +248,42 @@ impl Gpu {
         space: &AddressSpace,
         obs: &mut Observer,
     ) -> RunStats {
+        self.run_inner(kernel, SpaceAccess::Shared(space), obs)
+    }
+
+    /// [`Gpu::run_observed`] with a *mutable* address space: page faults
+    /// raised by demand-paged warps are serviced by the modeled CPU
+    /// fault handler (which maps the page after the configured
+    /// minor/major latency), and injected shootdown storms may remap
+    /// regions mid-run. Required whenever
+    /// [`crate::config::FaultConfig::demand_paging`] expects faults to
+    /// actually resolve — with a shared space a faulted page can never
+    /// be mapped and the forward-progress watchdog ends the run.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Gpu::run`].
+    pub fn run_faulted(
+        &mut self,
+        kernel: &dyn Kernel,
+        space: &mut AddressSpace,
+        obs: &mut Observer,
+    ) -> RunStats {
+        self.run_inner(kernel, SpaceAccess::Owned(space), obs)
+    }
+
+    fn run_inner(
+        &mut self,
+        kernel: &dyn Kernel,
+        mut space: SpaceAccess<'_>,
+        obs: &mut Observer,
+    ) -> RunStats {
         let threads = kernel.num_threads();
         assert!(threads > 0, "kernel has no threads");
         if self.config.granule == gmmu_vm::PageSize::Large2M {
             assert!(
                 space
+                    .get()
                     .regions()
                     .iter()
                     .all(|r| r.page_size == gmmu_vm::PageSize::Large2M),
@@ -250,23 +321,139 @@ impl Gpu {
         // counters the per-cycle loop would have bumped.
         let legacy =
             self.config.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some();
+        let fault_cfg = self.config.fault;
+        let injector = self
+            .config
+            .inject
+            .filter(|i| i.enabled())
+            .map(FaultInjector::new);
+        // Pages in CPU fault service: (page, cycle the mapping lands).
+        let mut fault_q: Vec<(Vpn, Cycle)> = Vec::new();
+        let mut fault_scratch: Vec<Vpn> = Vec::new();
+        let mut resolved_scratch: Vec<Vpn> = Vec::new();
+        let mut last_epoch = space.get().shootdown_epoch();
+        let mut next_storm: u32 = 1;
+        let mut last_progress: Cycle = 0;
+        let mut watchdog_fired = false;
         let mut now: Cycle = 0;
         let mut completed = true;
         loop {
+            // Injected shootdown storms: remap a deterministically-chosen
+            // region, bumping the epoch the check below observes. Storm
+            // cycles are folded into the skip target, so both engines
+            // land on them exactly.
+            if let Some(inj) = &injector {
+                while inj.storm_at(next_storm).is_some_and(|c| c <= now) {
+                    let k = next_storm;
+                    next_storm += 1;
+                    if let Some(sp) = space.get_mut() {
+                        if !sp.regions().is_empty() {
+                            let idx = inj.storm_region(k, sp.regions().len());
+                            let name = sp.regions()[idx].name.clone();
+                            // OOM during a storm leaves the old mapping
+                            // in place — the run continues unharmed.
+                            let _ = sp.remap_region(&name);
+                        }
+                    }
+                }
+            }
+            // The GPU observes unmap/remap activity through the space's
+            // shootdown epoch: on a bump every core flushes its TLB and
+            // squashes in-flight walks (the squash events wake their
+            // warps for a backed-off retry this very cycle).
+            let epoch = space.get().shootdown_epoch();
+            if epoch != last_epoch {
+                last_epoch = epoch;
+                for core in &mut self.cores {
+                    core.shootdown(now);
+                }
+            }
+            // CPU fault handler completions due this cycle: map the page
+            // (idempotent), then release every parked warp.
+            if !fault_q.is_empty() {
+                resolved_scratch.clear();
+                fault_q.retain(|&(vpn, at)| {
+                    if at <= now {
+                        resolved_scratch.push(vpn);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for &vpn in &resolved_scratch {
+                    let mapped = match space.get_mut() {
+                        Some(sp) => sp.map_page(vpn).is_ok(),
+                        // A shared space cannot be mapped into — see
+                        // `run_faulted`.
+                        None => false,
+                    };
+                    if mapped {
+                        for core in &mut self.cores {
+                            core.resolve_fault(vpn, now);
+                        }
+                    } else {
+                        // Couldn't map (shared space, region gone, out of
+                        // frames): keep the warps parked and retry the
+                        // handler later. Releasing them would replay,
+                        // refault, and count as issue progress — hiding
+                        // the livelock from the watchdog.
+                        fault_q.push((vpn, now + fault_cfg.minor_latency.max(1)));
+                    }
+                }
+            }
             let mut live = false;
             let mut issued = false;
             for core in &mut self.cores {
                 issued |= core.tick(
                     now,
                     &mut self.mem,
-                    space,
+                    space.get(),
                     kernel,
                     &mut iters,
                     &mut obs.tracer,
                 );
                 live |= core.has_work();
             }
+            // New page faults raised this cycle enter the handler queue
+            // once each; minor/major classification is a pure function
+            // of the seed and the page.
+            fault_scratch.clear();
+            for core in &mut self.cores {
+                core.drain_faults(&mut fault_scratch);
+            }
+            for &vpn in &fault_scratch {
+                if fault_q.iter().any(|&(v, _)| v == vpn) {
+                    continue;
+                }
+                let latency = if major_fault(self.config.seed, vpn.raw(), fault_cfg.major_fraction)
+                {
+                    fault_cfg.major_latency
+                } else {
+                    fault_cfg.minor_latency
+                };
+                fault_q.push((vpn, now + latency.max(1)));
+            }
             if !live {
+                break;
+            }
+            if issued {
+                last_progress = now;
+            } else if fault_cfg.watchdog > 0 && now - last_progress >= fault_cfg.watchdog {
+                eprintln!(
+                    "gmmu watchdog: no instruction issued for {} cycles \
+                     (last progress at cycle {last_progress}, now {now})",
+                    now - last_progress
+                );
+                eprintln!(
+                    "  {} page(s) in CPU fault service: {:?}",
+                    fault_q.len(),
+                    fault_q
+                );
+                for core in &self.cores {
+                    eprint!("{}", core.stall_diagnostics(now));
+                }
+                watchdog_fired = true;
+                completed = false;
                 break;
             }
             now += 1;
@@ -288,6 +475,23 @@ impl Gpu {
                 if let Some(c) = core.next_event_at(now - 1) {
                     target = target.min(c);
                 }
+            }
+            // Fault-handler completions, the storm schedule, and the
+            // watchdog deadline are global timers the cores know nothing
+            // about; folding them in keeps both engines on identical
+            // cycles.
+            for &(_, at) in &fault_q {
+                target = target.min(at);
+            }
+            if let Some(inj) = &injector {
+                if space.get_mut().is_some() {
+                    if let Some(c) = inj.storm_at(next_storm) {
+                        target = target.min(c.max(now));
+                    }
+                }
+            }
+            if fault_cfg.watchdog > 0 {
+                target = target.min(last_progress + fault_cfg.watchdog);
             }
             if target == Cycle::MAX || target <= now {
                 continue;
@@ -317,7 +521,9 @@ impl Gpu {
         if let Some(rec) = obs.intervals.as_mut() {
             rec.finish(now, Self::totals(&self.cores, &self.mem));
         }
-        self.collect(now, completed)
+        let mut stats = self.collect(now, completed);
+        stats.watchdog_fired = watchdog_fired;
+        stats
     }
 
     /// Current whole-GPU totals of the counters interval samples track.
@@ -367,6 +573,9 @@ impl Gpu {
             s.l1_hits += core.l1().hits.get();
             let mmu = core.mmu();
             s.tlb_miss_latency.merge(&mmu.miss_latency);
+            s.faults += mmu.faults.get();
+            s.shootdowns += mmu.shootdowns.get();
+            s.squashed_walks += mmu.squashed_walks.get();
             if let Some(tlb) = mmu.tlb() {
                 s.tlb_accesses += tlb.accesses.get();
                 s.tlb_hits += tlb.hits.get();

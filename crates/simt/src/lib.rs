@@ -41,7 +41,7 @@ pub mod stack;
 pub mod stall;
 pub mod tbc;
 
-pub use config::{CoreTimings, GpuConfig};
+pub use config::{CoreTimings, FaultConfig, GpuConfig};
 pub use gpu::{Gpu, RunStats};
 pub use observe::{IntervalRecorder, IntervalSample, Observer};
 pub use program::{Kernel, MemKind, Op, Program};

@@ -19,6 +19,9 @@ use gmmu_sim::stats::pct;
 /// the attribution priority (earlier wins when several causes coexist).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum StallCause {
+    /// A warp is parked on a page fault, waiting for the modeled CPU
+    /// fault handler to map the page (demand paging).
+    FaultService,
     /// A warp is asleep waiting for a page-walk to fill the TLB.
     TlbFill,
     /// The MMU rejected the access (blocking TLB busy or MSHRs full) and
@@ -44,10 +47,11 @@ pub enum StallCause {
 
 impl StallCause {
     /// Number of causes (the breakdown vector's length).
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every cause, in priority (= display) order.
     pub const ALL: [StallCause; StallCause::COUNT] = [
+        StallCause::FaultService,
         StallCause::TlbFill,
         StallCause::MmuReject,
         StallCause::Dram,
@@ -61,6 +65,7 @@ impl StallCause {
     /// Short human-readable label (table column header).
     pub fn label(self) -> &'static str {
         match self {
+            StallCause::FaultService => "fault svc",
             StallCause::TlbFill => "tlb fill",
             StallCause::MmuReject => "mmu reject",
             StallCause::Dram => "dram",
@@ -125,6 +130,7 @@ mod tests {
     #[test]
     fn priority_is_declaration_order() {
         // `min` over causes picks the dominant blocker.
+        assert!(StallCause::FaultService < StallCause::TlbFill);
         assert!(StallCause::TlbFill < StallCause::Dram);
         assert!(StallCause::Dram < StallCause::Pipeline);
         assert!(StallCause::Pipeline < StallCause::Dispatch);

@@ -33,6 +33,9 @@ pub(crate) struct Dwarp {
     pub ready_at: Cycle,
     pub pending: Option<Pending>,
     pub waiting_pages: usize,
+    /// Pages whose walks ended in a page fault; the unit is parked until
+    /// the modeled CPU fault handler maps them all.
+    pub faulted_pages: usize,
     pub at_branch: bool,
     pub done_at_rpc: bool,
     pub alive: bool,
@@ -48,6 +51,7 @@ impl Dwarp {
             ready_at: 0,
             pending: None,
             waiting_pages: 0,
+            faulted_pages: 0,
             at_branch: false,
             done_at_rpc: false,
             alive: false,
@@ -60,6 +64,7 @@ impl Dwarp {
             && !self.at_branch
             && !self.done_at_rpc
             && self.waiting_pages == 0
+            && self.faulted_pages == 0
             && self.ready_at <= now
     }
 
@@ -148,7 +153,11 @@ impl TbcState {
             if let Some(top) = block.levels.last() {
                 for &u in &top.units {
                     let unit = &self.units[u as usize];
-                    if unit.alive && !unit.at_branch && !unit.done_at_rpc && unit.waiting_pages == 0
+                    if unit.alive
+                        && !unit.at_branch
+                        && !unit.done_at_rpc
+                        && unit.waiting_pages == 0
+                        && unit.faulted_pages == 0
                     {
                         next = next.min(unit.ready_at.max(now + 1));
                     }
@@ -185,6 +194,8 @@ impl TbcState {
                     }
                     if !top || unit.at_branch || unit.done_at_rpc {
                         note(StallCause::Dispatch);
+                    } else if unit.faulted_pages > 0 {
+                        note(StallCause::FaultService);
                     } else if unit.waiting_pages > 0 {
                         note(StallCause::TlbFill);
                     } else if unit.ready_at > now {
@@ -254,6 +265,63 @@ impl TbcState {
                 u.ready_at = now + 1;
                 u.wait = WaitKind::Replay;
             }
+        }
+    }
+
+    /// A walk for one of `unit`'s pages ended in a page fault: move the
+    /// page from the waiting count to the faulted count (the core tracks
+    /// which units each faulted page parks).
+    pub(crate) fn fault(&mut self, unit: u16) {
+        let u = &mut self.units[unit as usize];
+        debug_assert!(u.alive && u.waiting_pages > 0);
+        u.waiting_pages = u.waiting_pages.saturating_sub(1);
+        u.faulted_pages += 1;
+    }
+
+    /// One of `unit`'s in-flight walks was squashed by a TLB shootdown;
+    /// with nothing else outstanding the unit retries after `backoff`.
+    pub(crate) fn squash(&mut self, unit: u16, now: Cycle, backoff: Cycle) {
+        let u = &mut self.units[unit as usize];
+        u.waiting_pages = u.waiting_pages.saturating_sub(1);
+        if u.waiting_pages == 0 && u.faulted_pages == 0 {
+            u.ready_at = now + backoff.max(1);
+            u.wait = WaitKind::Reject;
+        }
+    }
+
+    /// The CPU fault handler mapped one of `unit`'s faulted pages; with
+    /// nothing else outstanding the unit replays next cycle.
+    pub(crate) fn resolve_fault(&mut self, unit: u16, now: Cycle) {
+        let u = &mut self.units[unit as usize];
+        debug_assert!(u.faulted_pages > 0);
+        u.faulted_pages = u.faulted_pages.saturating_sub(1);
+        if u.faulted_pages == 0 && u.waiting_pages == 0 {
+            u.ready_at = now + 1;
+            u.wait = WaitKind::Replay;
+        }
+    }
+
+    /// Appends per-unit state to the watchdog's diagnostic dump.
+    pub(crate) fn stall_diagnostics(&self, s: &mut String, now: Cycle) {
+        use std::fmt::Write as _;
+        for (i, u) in self.units.iter().enumerate() {
+            if !u.alive {
+                continue;
+            }
+            let _ = writeln!(
+                s,
+                "  dwarp {i}: block={} pc={} waiting_pages={} faulted_pages={} ready_at={} \
+                 (now {now}) wait={:?} at_branch={} done_at_rpc={} pending_accesses={}",
+                u.block,
+                u.pc,
+                u.waiting_pages,
+                u.faulted_pages,
+                u.ready_at,
+                u.wait,
+                u.at_branch,
+                u.done_at_rpc,
+                u.pending.as_ref().map_or(0, |p| p.accesses.len()),
+            );
         }
     }
 

@@ -129,13 +129,25 @@ impl PageTable {
     ///
     /// # Panics
     ///
-    /// Panics if the allocator cannot provide the root frame.
+    /// Panics if the allocator cannot provide the root frame; use
+    /// [`PageTable::try_new`] to handle exhaustion as a reportable
+    /// outcome instead.
     pub fn new(frames: &mut FrameAlloc) -> Self {
-        let root = frames.alloc().expect("no frame for page-table root");
-        Self {
+        Self::try_new(frames).expect("no frame for page-table root")
+    }
+
+    /// Fallible [`PageTable::new`]: returns [`MapError::OutOfFrames`]
+    /// when the allocator cannot provide the root frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MapError::OutOfFrames`] on frame exhaustion.
+    pub fn try_new(frames: &mut FrameAlloc) -> Result<Self, MapError> {
+        let root = frames.alloc().ok_or(MapError::OutOfFrames)?;
+        Ok(Self {
             nodes: vec![Node::new(root)],
             mapped_pages: 0,
-        }
+        })
     }
 
     /// The physical frame of the root node (the CR3 value).
@@ -441,6 +453,16 @@ mod tests {
         assert!(!pt.unmap(Vpn::new(77)));
         assert_eq!(pt.translate(Vpn::new(77)), None);
         assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn root_frame_exhaustion_is_reportable() {
+        let mut frames = FrameAlloc::new(1 << 9, FramePolicy::Sequential);
+        while frames.alloc().is_some() {}
+        assert!(matches!(
+            PageTable::try_new(&mut frames),
+            Err(MapError::OutOfFrames)
+        ));
     }
 
     #[test]

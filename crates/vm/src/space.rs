@@ -1,10 +1,12 @@
 //! Per-process address spaces.
 //!
 //! An [`AddressSpace`] owns a page table and a frame allocator and hands
-//! out named virtual regions, eagerly populated (the paper's workloads
-//! never demand-fault during the timed kernel; hUMA-style GPU page faults
-//! are future work there and here). Unmapping bumps a shootdown epoch that
-//! TLB models observe to invalidate stale entries.
+//! out named virtual regions, eagerly populated by default (the paper's
+//! workloads never demand-fault during the timed kernel). For hUMA-style
+//! GPU page faults a region's pages can be released again with
+//! [`AddressSpace::unmap_pages_where`] and faulted back in one at a time
+//! with [`AddressSpace::map_page`]. Unmapping bumps a shootdown epoch
+//! that TLB models observe to invalidate stale entries.
 
 use crate::addr::{PAddr, PageSize, VAddr, Vpn, FRAMES_PER_LARGE, PAGE_BYTES};
 use crate::frame::{FrameAlloc, FramePolicy};
@@ -126,16 +128,31 @@ pub struct AddressSpace {
 
 impl AddressSpace {
     /// Creates an empty address space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.phys_frames` cannot even hold the page-table
+    /// root; use [`AddressSpace::try_new`] to report that instead.
     pub fn new(config: SpaceConfig) -> Self {
+        Self::try_new(config).expect("no frame for page-table root")
+    }
+
+    /// Fallible [`AddressSpace::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] when the allocator cannot provide
+    /// the page-table root frame.
+    pub fn try_new(config: SpaceConfig) -> Result<Self, VmError> {
         let mut frames = FrameAlloc::new(config.phys_frames, config.policy);
-        let table = PageTable::new(&mut frames);
-        Self {
+        let table = PageTable::try_new(&mut frames)?;
+        Ok(Self {
             table,
             frames,
             regions: Vec::new(),
             next_vbase: config.vbase,
             shootdown_epoch: 0,
-        }
+        })
     }
 
     /// Maps a new region of at least `bytes` bytes with the given page
@@ -252,6 +269,142 @@ impl AddressSpace {
     pub fn shootdown_epoch(&self) -> u64 {
         self.shootdown_epoch
     }
+
+    /// The region containing `va`, if any.
+    pub fn region_containing(&self, va: VAddr) -> Option<&Region> {
+        self.regions
+            .iter()
+            .find(|r| r.base.raw() <= va.raw() && va.raw() < r.end().raw())
+    }
+
+    /// Releases the translations of every page for which `keep_unmapped`
+    /// returns `true`, across all regions, *without* removing the regions
+    /// themselves — the pages demand-fault back in via
+    /// [`AddressSpace::map_page`]. Freed 4 KiB frames return to the
+    /// allocator; 2 MiB frames are not reclaimed (the allocator has no
+    /// large free list, and the simulator never stores page contents).
+    ///
+    /// Bumps the shootdown epoch once if anything was unmapped. Returns
+    /// the number of translations removed.
+    pub fn unmap_pages_where(&mut self, mut keep_unmapped: impl FnMut(Vpn) -> bool) -> u64 {
+        let spans: Vec<(u64, u64, u64, PageSize)> = self
+            .regions
+            .iter()
+            .map(|r| {
+                let step = r.page_size.bytes() / PAGE_BYTES;
+                (r.base.vpn().raw(), r.num_pages(), step, r.page_size)
+            })
+            .collect();
+        let mut removed = 0u64;
+        for (first, pages, step, size) in spans {
+            let mut vpn = first;
+            while vpn < first + pages {
+                let v = Vpn::new(vpn);
+                if keep_unmapped(v) {
+                    let frame = self.table.translate(v).map(|(ppn, _)| ppn);
+                    if self.table.unmap(v) {
+                        removed += 1;
+                        if size == PageSize::Base4K {
+                            if let Some(ppn) = frame {
+                                self.frames.free(ppn);
+                            }
+                        }
+                    }
+                }
+                vpn += step;
+            }
+        }
+        if removed > 0 {
+            self.shootdown_epoch += 1;
+        }
+        removed
+    }
+
+    /// Releases every translation while keeping the regions: the fully
+    /// demand-paged starting state (zero pre-mapped pages).
+    pub fn unmap_all_pages(&mut self) -> u64 {
+        self.unmap_pages_where(|_| true)
+    }
+
+    /// Services a page fault: installs a translation for the page of
+    /// `vpn` inside an existing region. Idempotent — mapping an
+    /// already-mapped page succeeds without change, so concurrent faults
+    /// on the same page from several cores coalesce naturally.
+    ///
+    /// Does *not* bump the shootdown epoch: installing a translation
+    /// cannot make a cached TLB entry stale.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::Unmapped`] if `vpn` lies outside every region,
+    /// [`VmError::OutOfMemory`] on frame exhaustion.
+    pub fn map_page(&mut self, vpn: Vpn) -> Result<PageSize, VmError> {
+        let region = self
+            .region_containing(vpn.base())
+            .ok_or_else(|| VmError::Unmapped(vpn.base()))?;
+        let size = region.page_size;
+        if self.table.translate(vpn).is_some() {
+            return Ok(size);
+        }
+        match size {
+            PageSize::Base4K => {
+                let frame = self.frames.alloc().ok_or(VmError::OutOfMemory)?;
+                self.table
+                    .map(vpn, frame, PageSize::Base4K, &mut self.frames)?;
+            }
+            PageSize::Large2M => {
+                let aligned = Vpn::new(vpn.raw() & !(FRAMES_PER_LARGE - 1));
+                let frame = self.frames.alloc_large().ok_or(VmError::OutOfMemory)?;
+                self.table
+                    .map(aligned, frame, PageSize::Large2M, &mut self.frames)?;
+            }
+        }
+        Ok(size)
+    }
+
+    /// Remaps an existing region onto fresh physical frames in place —
+    /// the mid-run `unmap`/`remap` a CPU performs when it migrates pages.
+    /// Virtual addresses are unchanged; every page ends up mapped (even
+    /// if the region was partially demand-paged) and the shootdown epoch
+    /// is bumped so GPU TLBs flush. Returns `Ok(false)` if no region has
+    /// that name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] on frame exhaustion.
+    pub fn remap_region(&mut self, name: &str) -> Result<bool, VmError> {
+        let Some(region) = self.regions.iter().find(|r| r.name == name).cloned() else {
+            return Ok(false);
+        };
+        let step = region.page_size.bytes() / PAGE_BYTES;
+        let first = region.base.vpn().raw();
+        let mut vpn = first;
+        while vpn < first + region.num_pages() {
+            let v = Vpn::new(vpn);
+            let old = self.table.translate(v).map(|(ppn, _)| ppn);
+            self.table.unmap(v);
+            match region.page_size {
+                PageSize::Base4K => {
+                    // Allocate before freeing the old frame, or the LIFO
+                    // free list would hand the same frame straight back.
+                    let frame = self.frames.alloc().ok_or(VmError::OutOfMemory)?;
+                    self.table
+                        .map(v, frame, PageSize::Base4K, &mut self.frames)?;
+                    if let Some(ppn) = old {
+                        self.frames.free(ppn);
+                    }
+                }
+                PageSize::Large2M => {
+                    let frame = self.frames.alloc_large().ok_or(VmError::OutOfMemory)?;
+                    self.table
+                        .map(v, frame, PageSize::Large2M, &mut self.frames)?;
+                }
+            }
+            vpn += step;
+        }
+        self.shootdown_epoch += 1;
+        Ok(true)
+    }
 }
 
 #[cfg(test)]
@@ -341,6 +494,56 @@ mod tests {
             .unwrap();
         assert_eq!(r.num_pages(), 2);
         assert!(s.translate(r.at(PAGE_BYTES)).is_ok());
+    }
+
+    #[test]
+    fn demand_paging_roundtrip() {
+        let mut s = space();
+        let r = s
+            .map_region("d", 16 * PAGE_BYTES, PageSize::Base4K)
+            .unwrap();
+        assert_eq!(s.unmap_all_pages(), 16);
+        assert_eq!(s.shootdown_epoch(), 1);
+        assert!(s.translate(r.at(0)).is_err());
+        assert_eq!(s.regions().len(), 1, "regions persist under demand paging");
+        let size = s.map_page(r.at(5 * PAGE_BYTES).vpn()).unwrap();
+        assert_eq!(size, PageSize::Base4K);
+        assert!(s.translate(r.at(5 * PAGE_BYTES)).is_ok());
+        assert!(s.translate(r.at(6 * PAGE_BYTES)).is_err());
+        // Idempotent: a second fault on the same page coalesces.
+        s.map_page(r.at(5 * PAGE_BYTES).vpn()).unwrap();
+        assert_eq!(s.shootdown_epoch(), 1, "map_page never bumps the epoch");
+    }
+
+    #[test]
+    fn map_page_outside_regions_is_unmapped() {
+        let mut s = space();
+        let err = s.map_page(VAddr::new(0x999_0000).vpn()).unwrap_err();
+        assert!(matches!(err, VmError::Unmapped(_)));
+    }
+
+    #[test]
+    fn remap_region_moves_frames_and_bumps_epoch() {
+        let mut s = space();
+        let r = s.map_region("m", 8 * PAGE_BYTES, PageSize::Base4K).unwrap();
+        let (pa0, _) = s.translate(r.at(0)).unwrap();
+        assert!(s.remap_region("m").unwrap());
+        assert_eq!(s.shootdown_epoch(), 1);
+        let (pa1, _) = s.translate(r.at(0)).unwrap();
+        assert_ne!(pa0.ppn().raw(), pa1.ppn().raw(), "remap must move frames");
+        assert!(!s.remap_region("absent").unwrap());
+    }
+
+    #[test]
+    fn demand_paged_large_region_faults_whole_large_pages() {
+        let mut s = space();
+        let r = s.map_region("big", 4 << 20, PageSize::Large2M).unwrap();
+        assert!(s.unmap_all_pages() > 0);
+        assert!(s.translate(r.at(0)).is_err());
+        let size = s.map_page(r.at((1 << 20) + 123).vpn()).unwrap();
+        assert_eq!(size, PageSize::Large2M);
+        assert!(s.translate(r.at(0)).is_ok(), "whole 2MB page mapped");
+        assert!(s.translate(r.at(2 << 20)).is_err());
     }
 
     #[test]

@@ -36,6 +36,7 @@ pub mod pathfinder;
 pub mod streamcluster;
 mod util;
 
+use gmmu_sim::fault::{FaultInjectConfig, FaultInjector};
 use gmmu_simt::Kernel;
 use gmmu_vm::{AddressSpace, PageSize, SpaceConfig};
 
@@ -174,6 +175,29 @@ pub fn build_paged(bench: Bench, scale: Scale, seed: u64, pages: PageSize) -> Wo
         )),
     };
     Workload { space, kernel }
+}
+
+/// Builds a benchmark, then unmaps data pages per the injection
+/// config's demand-fault schedule (with
+/// [`FaultInjectConfig::demand_paged`]'s `unmap_fraction = 1.0` the run
+/// starts with *zero* pre-mapped data pages). Region bookkeeping stays
+/// intact, so every later touch demand-faults and the modeled CPU fault
+/// handler can map it. Returns the workload and how many pages start
+/// unmapped.
+///
+/// Run the result with [`gmmu_simt::gpu::Gpu::run_faulted`] and
+/// [`gmmu_simt::FaultConfig::demand`]-style settings; a plain
+/// [`gmmu_simt::gpu::Gpu::run`] would panic on the first fault.
+pub fn build_demand_paged(
+    bench: Bench,
+    scale: Scale,
+    seed: u64,
+    inject: &FaultInjectConfig,
+) -> (Workload, u64) {
+    let mut w = build(bench, scale, seed);
+    let inj = FaultInjector::new(*inject);
+    let unmapped = w.space.unmap_pages_where(|vpn| inj.unmap_page(vpn.raw()));
+    (w, unmapped)
 }
 
 #[cfg(test)]

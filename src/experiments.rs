@@ -29,6 +29,7 @@ use std::time::Instant;
 
 const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
                [--trace PATH] [--intervals PATH] [--interval-stride N]
+               [--fault-inject] [--fault-seed N]
   --quick    tiny workloads on a 2-core machine (CI/smoke scope)
   --full     the paper's full 30-core machine (slow; final numbers)
   --csv      also print each table as CSV
@@ -41,7 +42,16 @@ const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
              write that point's interval time-series to PATH
              (.json extension for JSON, otherwise CSV)
   --interval-stride N
-             interval sample stride in cycles (default 10000)";
+             interval sample stride in cycles (default 10000)
+  --fault-inject
+             run the fault-injection harness instead of the figure:
+             every workload executes a fully demand-paged run (zero
+             pre-mapped pages) and a mixed-fault run (partial unmap,
+             delayed walks, transient rejects, shootdown storms);
+             exits non-zero if any run panics, hangs, or trips the
+             forward-progress watchdog
+  --fault-seed N
+             seed for the deterministic fault schedules (default 0xfa57)";
 
 /// Default sweep parallelism: the `GMMU_JOBS` environment variable when
 /// set, otherwise the machine's available parallelism.
@@ -81,6 +91,11 @@ pub struct ExperimentOpts {
     pub intervals: Option<&'static str>,
     /// Interval sample stride in cycles (`--interval-stride`).
     pub interval_stride: u64,
+    /// Run the fault-injection harness instead of the figure
+    /// (`--fault-inject`).
+    pub fault_inject: bool,
+    /// Seed for the deterministic fault schedules (`--fault-seed`).
+    pub fault_seed: u64,
 }
 
 impl Default for ExperimentOpts {
@@ -93,6 +108,8 @@ impl Default for ExperimentOpts {
             trace: None,
             intervals: None,
             interval_stride: 10_000,
+            fault_inject: false,
+            fault_seed: 0xfa57,
         }
     }
 }
@@ -156,6 +173,11 @@ impl ExperimentOpts {
                     Some(v) => opts.interval_stride = parse_stride(&v),
                     None => bad_usage("--interval-stride needs a value"),
                 },
+                "--fault-inject" => opts.fault_inject = true,
+                "--fault-seed" => match args.next() {
+                    Some(v) => opts.fault_seed = parse_seed(&v),
+                    None => bad_usage("--fault-seed needs a value"),
+                },
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0)
@@ -169,11 +191,18 @@ impl ExperimentOpts {
                         opts.intervals = Some(leak_path(v.to_string()))
                     } else if let Some(v) = other.strip_prefix("--interval-stride=") {
                         opts.interval_stride = parse_stride(v)
+                    } else if let Some(v) = other.strip_prefix("--fault-seed=") {
+                        opts.fault_seed = parse_seed(v)
                     } else {
                         bad_usage(&format!("unknown argument `{other}`"))
                     }
                 }
             }
+        }
+        if opts.fault_inject {
+            // The harness replaces the figure: every binary that parses
+            // its arguments here gains the fault-injection mode.
+            run_fault_injection(opts)
         }
         opts
     }
@@ -209,6 +238,16 @@ fn parse_stride(v: &str) -> u64 {
         _ => bad_usage(&format!(
             "--interval-stride needs a positive integer, got `{v}`"
         )),
+    }
+}
+
+fn parse_seed(v: &str) -> u64 {
+    let parsed = v
+        .strip_prefix("0x")
+        .map_or_else(|| v.parse::<u64>(), |h| u64::from_str_radix(h, 16));
+    match parsed {
+        Ok(n) => n,
+        _ => bad_usage(&format!("--fault-seed needs an integer, got `{v}`")),
     }
 }
 
@@ -575,6 +614,71 @@ impl Runner {
             self.cache.insert(key.clone(), stats);
         }
     }
+}
+
+/// The `--fault-inject` harness: proves every recovery path survives on
+/// all six workloads, then exits. Each benchmark executes twice —
+///
+/// 1. **demand-paged**: every data page starts unmapped, so the whole
+///    footprint arrives through page faults serviced by the modeled CPU
+///    fault handler;
+/// 2. **mixed-fault**: [`FaultInjectConfig::smoke`] — a quarter of the
+///    pages unmapped plus delayed walks, transient rejections, and
+///    TLB-shootdown storms that remap live regions mid-run.
+///
+/// The forward-progress watchdog is armed throughout; any panic, hang,
+/// watchdog trip, or fault-free demand-paged run exits non-zero.
+pub fn run_fault_injection(opts: ExperimentOpts) -> ! {
+    println!(
+        "fault-injection harness: seed {:#x}, {:?} scale, augmented MMU",
+        opts.fault_seed, opts.scale
+    );
+    println!(
+        "{:<14} {:<13} {:>12} {:>8} {:>10} {:>9}  status",
+        "bench", "run", "cycles", "faults", "shootdowns", "squashed"
+    );
+    let mut failures = 0u32;
+    for bench in Bench::all() {
+        for (label, inject) in [
+            (
+                "demand-paged",
+                FaultInjectConfig::demand_paged(opts.fault_seed),
+            ),
+            ("mixed-fault", FaultInjectConfig::smoke(opts.fault_seed)),
+        ] {
+            let (mut w, unmapped) = build_demand_paged(bench, opts.scale, opts.seed, &inject);
+            let mut cfg = opts.gpu(designs::augmented());
+            cfg.fault = FaultConfig::demand();
+            cfg.inject = Some(inject);
+            let stats =
+                Gpu::new(cfg).run_faulted(w.kernel.as_ref(), &mut w.space, &mut Observer::off());
+            let ok = stats.completed && (unmapped == 0 || stats.faults > 0);
+            let status = if stats.watchdog_fired {
+                "WATCHDOG"
+            } else if !ok {
+                "FAILED"
+            } else {
+                "ok"
+            };
+            if !ok {
+                failures += 1;
+            }
+            println!(
+                "{:<14} {:<13} {:>12} {:>8} {:>10} {:>9}  {status}",
+                bench.name(),
+                label,
+                stats.cycles,
+                stats.faults,
+                stats.shootdowns,
+                stats.squashed_walks
+            );
+        }
+    }
+    if failures > 0 {
+        eprintln!("fault injection: {failures} run(s) failed");
+        std::process::exit(1)
+    }
+    std::process::exit(0)
 }
 
 /// TLB geometry helper used by the design-space figures.

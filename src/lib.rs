@@ -46,11 +46,14 @@ pub mod prelude {
     pub use gmmu_core::mmu::MmuModel;
     pub use gmmu_core::tlb::{TlbConfig, TlbMode};
     pub use gmmu_core::walker::WalkerConfig;
+    pub use gmmu_sim::fault::FaultInjectConfig;
     pub use gmmu_sim::table::Table;
     pub use gmmu_simt::config::TbcConfig;
-    pub use gmmu_simt::{Gpu, GpuConfig, Observer, RunStats, StallBreakdown, StallCause};
+    pub use gmmu_simt::{
+        FaultConfig, Gpu, GpuConfig, Observer, RunStats, StallBreakdown, StallCause,
+    };
     pub use gmmu_vm::PageSize;
-    pub use gmmu_workloads::{build, build_paged, Bench, Scale, Workload};
+    pub use gmmu_workloads::{build, build_demand_paged, build_paged, Bench, Scale, Workload};
 }
 
 pub use experiments::{ExperimentOpts, PointRun, Runner};

@@ -54,6 +54,10 @@ fn assert_same(a: &RunStats, b: &RunStats, what: &str) {
     assert_eq!(a.replays, b.replays, "{what}: replays");
     assert_eq!(a.dwarps_formed, b.dwarps_formed, "{what}: dwarps_formed");
     assert_eq!(a.blocks_done, b.blocks_done, "{what}: blocks_done");
+    assert_eq!(a.faults, b.faults, "{what}: faults");
+    assert_eq!(a.shootdowns, b.shootdowns, "{what}: shootdowns");
+    assert_eq!(a.squashed_walks, b.squashed_walks, "{what}: squashed_walks");
+    assert_eq!(a.watchdog_fired, b.watchdog_fired, "{what}: watchdog_fired");
 }
 
 #[test]

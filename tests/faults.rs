@@ -1,0 +1,193 @@
+//! The fault-and-recovery pipeline end-to-end: demand paging with the
+//! modeled CPU fault handler, TLB-shootdown storms with squash-and-replay,
+//! the forward-progress watchdog, and the bit-identity of it all when
+//! nothing actually faults.
+
+use gmmu::experiments::{designs, ExperimentOpts};
+use gmmu::prelude::*;
+
+/// The harness configuration: quick-scope machine, augmented MMU,
+/// demand paging on with the watchdog armed.
+fn faulting_cfg(inject: Option<FaultInjectConfig>) -> GpuConfig {
+    let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    cfg.fault = FaultConfig::demand();
+    cfg.inject = inject;
+    cfg
+}
+
+fn run_faulted(mut w: Workload, cfg: GpuConfig) -> RunStats {
+    Gpu::new(cfg).run_faulted(w.kernel.as_ref(), &mut w.space, &mut Observer::off())
+}
+
+/// Every workload must finish a run that starts with *zero* pre-mapped
+/// data pages: each first touch faults, parks its warps, and resumes
+/// once the modeled CPU handler maps the page. The fault model changes
+/// timing only — committed work is identical to the pre-mapped run.
+#[test]
+fn all_benches_complete_fully_demand_paged() {
+    let inject = FaultInjectConfig::demand_paged(0xfa57);
+    for bench in Bench::all() {
+        let (w, unmapped) = build_demand_paged(bench, Scale::Tiny, 7, &inject);
+        assert!(unmapped > 0, "{bench}: nothing was unmapped");
+        let faulted = run_faulted(w, faulting_cfg(Some(inject)));
+        assert!(faulted.completed, "{bench} hit the cycle cap");
+        assert!(!faulted.watchdog_fired, "{bench} tripped the watchdog");
+        assert!(faulted.faults > 0, "{bench} never faulted");
+
+        let clean = {
+            let w = build(bench, Scale::Tiny, 7);
+            let cfg = ExperimentOpts::quick().gpu(designs::augmented());
+            Gpu::new(cfg).run(w.kernel.as_ref(), &w.space)
+        };
+        assert_eq!(
+            clean.instructions, faulted.instructions,
+            "{bench}: demand paging changed the committed work"
+        );
+        assert_eq!(
+            clean.mem_instructions, faulted.mem_instructions,
+            "{bench}: demand paging changed the memory work"
+        );
+        assert!(
+            faulted.cycles > clean.cycles,
+            "{bench}: servicing {} faults cannot be free",
+            faulted.faults
+        );
+    }
+}
+
+/// Demand-paged runs are deterministic and engine-independent: the
+/// tick-every-cycle loop and the idle-cycle-skipping engine service the
+/// same fault schedule on the same cycles.
+#[test]
+fn demand_paged_runs_agree_across_engines() {
+    let inject = FaultInjectConfig::demand_paged(0xfa57);
+    for bench in [Bench::Bfs, Bench::Kmeans] {
+        let run_with = |legacy: bool| {
+            let (w, _) = build_demand_paged(bench, Scale::Tiny, 7, &inject);
+            let mut cfg = faulting_cfg(Some(inject));
+            cfg.tick_every_cycle = legacy;
+            run_faulted(w, cfg)
+        };
+        let skip = run_with(false);
+        let tick = run_with(true);
+        assert_eq!(skip.cycles, tick.cycles, "{bench}: engines disagree");
+        assert_eq!(skip.instructions, tick.instructions);
+        assert_eq!(skip.idle_cycles, tick.idle_cycles);
+        assert_eq!(skip.stall_breakdown, tick.stall_breakdown);
+        assert_eq!(skip.faults, tick.faults);
+        assert_eq!(skip.shootdowns, tick.shootdowns);
+        assert_eq!(skip.squashed_walks, tick.squashed_walks);
+        assert_eq!(skip.watchdog_fired, tick.watchdog_fired);
+        assert!(
+            skip.stall_breakdown.get(StallCause::FaultService) > 0,
+            "{bench}: parked warps must be attributed to fault service"
+        );
+    }
+}
+
+/// Injected shootdown storms remap live regions mid-run; every core
+/// observes the epoch bump, flushes its TLB, squashes in-flight walks,
+/// and the squashed warps replay. The run still commits exactly the
+/// pre-storm work.
+#[test]
+fn shootdown_storms_flush_and_replay() {
+    let inject = FaultInjectConfig::storm(0xfa57, 8_000, 3);
+    let w = build(Bench::Kmeans, Scale::Tiny, 7);
+    let cfg = faulting_cfg(Some(inject));
+    let n_cores = cfg.n_cores as u64;
+    let stats = run_faulted(w, cfg);
+    assert!(stats.completed, "storm run hit the cycle cap");
+    assert!(!stats.watchdog_fired);
+    assert!(stats.shootdowns > 0, "no core observed a shootdown");
+    assert_eq!(
+        stats.shootdowns % n_cores,
+        0,
+        "every core must observe every epoch bump"
+    );
+
+    let clean = {
+        let w = build(Bench::Kmeans, Scale::Tiny, 7);
+        let cfg = ExperimentOpts::quick().gpu(designs::augmented());
+        Gpu::new(cfg).run(w.kernel.as_ref(), &w.space)
+    };
+    assert_eq!(
+        clean.instructions, stats.instructions,
+        "storms changed the committed work"
+    );
+    assert_eq!(clean.mem_instructions, stats.mem_instructions);
+}
+
+/// The mixed smoke configuration — demand faults, delayed walks,
+/// transient rejections, and storms at once — completes and exercises
+/// the demand-fault path.
+#[test]
+fn mixed_fault_smoke_completes() {
+    let inject = FaultInjectConfig::smoke(0xfa57);
+    let (w, unmapped) = build_demand_paged(Bench::Pathfinder, Scale::Tiny, 7, &inject);
+    assert!(unmapped > 0);
+    let stats = run_faulted(w, faulting_cfg(Some(inject)));
+    assert!(stats.completed);
+    assert!(!stats.watchdog_fired);
+    assert!(stats.faults > 0);
+}
+
+/// When a fault can never resolve — here, a read-only space the handler
+/// cannot map into — the run must not hang: warps stay parked, the
+/// watchdog detects the lack of forward progress, and the run fails
+/// with `watchdog_fired` at the same cycle on both engines.
+#[test]
+fn watchdog_fires_when_faults_cannot_resolve() {
+    let inject = FaultInjectConfig::demand_paged(0xfa57);
+    let run_with = |legacy: bool| {
+        let (w, unmapped) = build_demand_paged(Bench::Bfs, Scale::Tiny, 7, &inject);
+        assert!(unmapped > 0);
+        let mut cfg = faulting_cfg(Some(inject));
+        cfg.fault.watchdog = 50_000;
+        cfg.tick_every_cycle = legacy;
+        // Shared space: demand paging is on, but the handler has nothing
+        // it may map into.
+        Gpu::new(cfg).run(w.kernel.as_ref(), &w.space)
+    };
+    let skip = run_with(false);
+    assert!(skip.watchdog_fired, "watchdog never fired");
+    assert!(!skip.completed, "a watchdog kill is not a completion");
+    assert!(
+        skip.stall_breakdown.get(StallCause::FaultService) > 0,
+        "the stalled tail must be attributed to fault service"
+    );
+    let tick = run_with(true);
+    assert_eq!(
+        skip.cycles, tick.cycles,
+        "engines disagree on the kill cycle"
+    );
+    assert!(tick.watchdog_fired);
+}
+
+/// Arming the fault model without any injection must be invisible: a
+/// `run_faulted` on a fully-mapped space is bit-identical to the plain
+/// historical `run`.
+#[test]
+fn armed_but_fault_free_is_bit_identical() {
+    let plain = {
+        let w = build(Bench::Streamcluster, Scale::Tiny, 7);
+        let cfg = ExperimentOpts::quick().gpu(designs::augmented());
+        Gpu::new(cfg).run(w.kernel.as_ref(), &w.space)
+    };
+    let armed = {
+        let w = build(Bench::Streamcluster, Scale::Tiny, 7);
+        run_faulted(w, faulting_cfg(Some(FaultInjectConfig::off())))
+    };
+    assert_eq!(plain.cycles, armed.cycles, "arming the model cost cycles");
+    assert_eq!(plain.instructions, armed.instructions);
+    assert_eq!(plain.idle_cycles, armed.idle_cycles);
+    assert_eq!(plain.stall_breakdown, armed.stall_breakdown);
+    assert_eq!(plain.tlb_accesses, armed.tlb_accesses);
+    assert_eq!(plain.tlb_hits, armed.tlb_hits);
+    assert_eq!(plain.l1_accesses, armed.l1_accesses);
+    assert_eq!(plain.dram_requests, armed.dram_requests);
+    assert_eq!(plain.replays, armed.replays);
+    assert_eq!(armed.faults, 0);
+    assert_eq!(armed.shootdowns, 0);
+    assert_eq!(armed.squashed_walks, 0);
+    assert!(!armed.watchdog_fired);
+}

@@ -7,6 +7,7 @@
 //! access to a crates registry). Each property runs 64 seeded cases,
 //! and a failure message carries the case seed for replay.
 
+use gmmu_core::mmu::{Mmu, MmuEvent, MmuModel, PageReq, TranslateBuf, TranslateOutcome};
 use gmmu_core::walker::{Walker, WalkerConfig};
 use gmmu_mem::{Cache, CacheConfig, MemConfig, MemorySystem};
 use gmmu_sim::rng::Xoshiro256;
@@ -257,6 +258,109 @@ fn walker_equivalence() {
             assert_eq!(ppn, expect);
         }
     });
+}
+
+/// Drives `mmu` until `vpn` translates, returning the physical frame it
+/// delivered (from a TLB hit or a walk-completion wake).
+fn resolve(
+    mmu: &mut Mmu,
+    mem: &mut MemorySystem,
+    space: &AddressSpace,
+    vpn: Vpn,
+    now: &mut u64,
+    buf: &mut TranslateBuf,
+) -> u64 {
+    loop {
+        mmu.advance(*now, mem, space);
+        mmu.events().for_each(drop);
+        match mmu.translate(*now, 0, &[PageReq::new(vpn, 0)], space, buf) {
+            TranslateOutcome::AllHit { .. } => return buf.hits[0].ppn.raw(),
+            TranslateOutcome::Reject { retry_at } => *now = retry_at.max(*now + 1),
+            TranslateOutcome::Miss { .. } => loop {
+                *now += 1;
+                assert!(*now < 10_000_000, "walk for {vpn} never completed");
+                mmu.advance(*now, mem, space);
+                let mut delivered = None;
+                for ev in mmu.events() {
+                    if let MmuEvent::Wake { vpn: v, ppn, .. } = ev {
+                        if v == vpn {
+                            delivered = Some(ppn.raw());
+                        }
+                    }
+                }
+                if let Some(ppn) = delivered {
+                    return ppn;
+                }
+            },
+        }
+    }
+}
+
+/// After any unmap → epoch bump → remap sequence, a shootdown-serviced
+/// MMU never yields a stale translation: every translation it delivers
+/// — whether a TLB hit or a completed walk — matches the page table as
+/// it stands at delivery time, for arbitrary touch patterns and remap
+/// rounds.
+#[test]
+fn shootdown_replay_never_yields_stale_translations() {
+    for_each_case("shootdown_replay_never_yields_stale_translations", |rng| {
+        let pages = rng.gen_range(4..48);
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let r = space
+            .map_region("r", pages * 4096, PageSize::Base4K)
+            .unwrap();
+        let base = r.base.vpn().raw();
+        let mut mem = MemorySystem::new(MemConfig::default());
+        let mut mmu = Mmu::new(MmuModel::augmented());
+        let mut buf = TranslateBuf::new();
+        let mut now = 0u64;
+        for round in 0..3 {
+            for p in vec_u64(rng, 1..20, 0..pages) {
+                let vpn = Vpn::new(base + p);
+                let got = resolve(&mut mmu, &mut mem, &space, vpn, &mut now, &mut buf);
+                let expect = space.translate(vpn.base()).unwrap().0.ppn().raw();
+                assert_eq!(
+                    got, expect,
+                    "stale frame for page {p} after {round} remap(s)"
+                );
+            }
+            let epoch = space.shootdown_epoch();
+            assert!(space.remap_region("r").unwrap(), "remap moved nothing");
+            assert!(
+                space.shootdown_epoch() > epoch,
+                "remap must bump the shootdown epoch"
+            );
+            mmu.shootdown(now);
+            now += 1;
+        }
+    });
+}
+
+/// End-to-end storm replay: mid-run unmap/remap storms leave both
+/// execution engines in full agreement — same cycles, same fault and
+/// shootdown counts — and the run still completes.
+#[test]
+fn storm_replay_agrees_across_engines() {
+    use gmmu::experiments::{designs, ExperimentOpts};
+    use gmmu::prelude::*;
+    for seed in [1u64, 7, 23] {
+        let run_with = |legacy: bool| {
+            let mut w = build(Bench::Kmeans, Scale::Tiny, 7);
+            let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+            cfg.fault = FaultConfig::demand();
+            cfg.inject = Some(FaultInjectConfig::storm(seed, 8_000, 3));
+            cfg.tick_every_cycle = legacy;
+            Gpu::new(cfg).run_faulted(w.kernel.as_ref(), &mut w.space, &mut Observer::off())
+        };
+        let skip = run_with(false);
+        let tick = run_with(true);
+        assert!(skip.completed, "seed {seed}: storm run hit the cycle cap");
+        assert_eq!(skip.cycles, tick.cycles, "seed {seed}: engines disagree");
+        assert_eq!(skip.instructions, tick.instructions);
+        assert_eq!(skip.shootdowns, tick.shootdowns);
+        assert_eq!(skip.squashed_walks, tick.squashed_walks);
+        assert_eq!(skip.faults, tick.faults);
+    }
 }
 
 /// A cache never "remembers" an invalidated line, and probing after
