@@ -87,6 +87,16 @@ fn main() {
     let _ = writeln!(json, "{{");
     let _ = writeln!(json, "  \"scale\": \"{:?}\",", opts.scale);
     let _ = writeln!(json, "  \"jobs\": {},", opts.jobs);
+    let _ = writeln!(
+        json,
+        "  \"engine\": \"{}\",",
+        if opts.engine == gmmu::prelude::EngineKind::Parallel {
+            "parallel"
+        } else {
+            "serial"
+        }
+    );
+    let _ = writeln!(json, "  \"run_threads\": {},", opts.run_threads);
     let _ = writeln!(json, "  \"total_sims\": {},", runner.runs);
     let _ = writeln!(json, "  \"batch_wall_s\": {:.3},", batch_wall.as_secs_f64());
     let _ = writeln!(json, "  \"wall_s\": {:.3},", total_wall.as_secs_f64());
@@ -112,12 +122,15 @@ fn main() {
             json,
             "    {{\"bench\": \"{:?}\", \"large_pages\": {}, \
              \"fingerprint\": \"{:016x}\", \"engine\": \"{}\", \
-             \"wall_s\": {:.4}, \"observed\": {}}}{}",
+             \"wall_s\": {:.4}, \"cycles\": {}, \
+             \"sim_cycles_per_sec\": {:.0}, \"observed\": {}}}{}",
             p.bench,
             p.large_pages,
             p.fingerprint,
             p.engine,
             p.wall_s,
+            p.cycles,
+            p.sim_cycles_per_sec,
             p.observed,
             if i + 1 < runner.point_log.len() {
                 ","

@@ -20,7 +20,7 @@
 use crate::tlb::{Tlb, TlbConfig};
 use crate::walker::{WalkDone, Walker, WalkerConfig};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
-use gmmu_mem::MemorySystem;
+use gmmu_mem::MemPort;
 use gmmu_sim::fault::{FaultInjectConfig, FaultInjector};
 use gmmu_sim::stats::{Counter, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_MMU};
@@ -336,9 +336,19 @@ impl Mmu {
         self.mshrs.len()
     }
 
+    /// True when [`Mmu::advance`] would be a no-op this cycle: no
+    /// finished walk is waiting to fill and nothing is queued at the
+    /// walker. Walks only enter via [`Mmu::translate`] (an issue, hence
+    /// a non-quiet core cycle), so an idle MMU stays idle until the core
+    /// does something — which is what lets the core keep its cached
+    /// next-event value across quiet ticks.
+    pub fn is_idle(&self) -> bool {
+        self.pending_fills.is_empty() && self.walker.as_ref().is_none_or(|w| w.queue_len() == 0)
+    }
+
     /// Services the walker and applies due TLB fills. Call once per core
     /// cycle before translating.
-    pub fn advance(&mut self, now: Cycle, mem: &mut MemorySystem, space: &AddressSpace) {
+    pub fn advance(&mut self, now: Cycle, mem: &mut dyn MemPort, space: &AddressSpace) {
         self.advance_traced(now, mem, space, &mut Tracer::Off, 0);
     }
 
@@ -348,7 +358,7 @@ impl Mmu {
     pub fn advance_traced(
         &mut self,
         now: Cycle,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
         tracer: &mut Tracer,
         pid: u32,
@@ -641,7 +651,7 @@ impl Mmu {
 mod tests {
     use super::*;
     use crate::tlb::TlbMode;
-    use gmmu_mem::MemConfig;
+    use gmmu_mem::{MemConfig, MemorySystem};
     use gmmu_vm::{PageSize, SpaceConfig};
 
     struct Rig {

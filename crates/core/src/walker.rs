@@ -17,7 +17,7 @@
 //!   we model its function and timing.
 
 use gmmu_mem::cache::{Cache, CacheConfig};
-use gmmu_mem::{AccessKind, MemorySystem, LINE_SHIFT};
+use gmmu_mem::{AccessKind, MemPort, LINE_SHIFT};
 use gmmu_sim::stats::{Counter, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_WALKER};
 use gmmu_sim::Cycle;
@@ -240,7 +240,7 @@ impl Walker {
         at: Cycle,
         level: u32,
         pte_paddr: u64,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
     ) -> Cycle {
         if level > 1 {
             if let Some(pwc) = pwc.as_mut() {
@@ -313,7 +313,7 @@ impl Walker {
     pub fn advance(
         &mut self,
         now: Cycle,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
     ) {
@@ -325,7 +325,7 @@ impl Walker {
     pub fn advance_traced(
         &mut self,
         now: Cycle,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
         tracer: &mut Tracer,
@@ -344,7 +344,7 @@ impl Walker {
     fn advance_serial(
         &mut self,
         now: Cycle,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
         trap_cycles: u64,
@@ -410,7 +410,7 @@ impl Walker {
     fn advance_coalesced(
         &mut self,
         now: Cycle,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
         tracer: &mut Tracer,
@@ -503,7 +503,7 @@ impl Walker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gmmu_mem::MemConfig;
+    use gmmu_mem::{MemConfig, MemorySystem};
     use gmmu_vm::SpaceConfig;
 
     fn setup() -> (AddressSpace, MemorySystem) {

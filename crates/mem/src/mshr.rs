@@ -7,7 +7,8 @@
 //! same-key misses so only one request goes downstream.
 
 use gmmu_sim::Cycle;
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
 
 /// Outcome of trying to register a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +42,12 @@ pub struct MshrFile {
     capacity: usize,
     // key → completion cycle (NEVER until known).
     entries: HashMap<u64, Cycle>,
+    // Known completions, lazily deleted: a heap element is live only
+    // while `entries[key]` still holds the same cycle. [`MshrFile::expire`]
+    // and [`MshrFile::earliest_completion`] pop (and discard) stale tops,
+    // turning both from O(entries) scans into O(log n) per in-flight
+    // completion — they run every core cycle on the TLB hot path.
+    heap: BinaryHeap<Reverse<(Cycle, u64)>>,
     /// Peak simultaneous occupancy (diagnostics).
     peak: usize,
 }
@@ -56,6 +63,7 @@ impl MshrFile {
         Self {
             capacity,
             entries: HashMap::with_capacity(capacity),
+            heap: BinaryHeap::with_capacity(capacity),
             peak: 0,
         }
     }
@@ -108,12 +116,25 @@ impl MshrFile {
         debug_assert!(entry.is_some(), "set_completion on unallocated MSHR");
         if let Some(e) = entry {
             *e = done;
+            if done != gmmu_sim::NEVER {
+                self.heap.push(Reverse((done, key)));
+            }
         }
     }
 
     /// Releases every entry whose completion is `<= now`.
     pub fn expire(&mut self, now: Cycle) {
-        self.entries.retain(|_, done| *done > now);
+        while let Some(&Reverse((done, key))) = self.heap.peek() {
+            if done > now {
+                break;
+            }
+            self.heap.pop();
+            // Stale heap elements (released, re-timed, or already expired
+            // entries) are simply discarded.
+            if self.entries.get(&key) == Some(&done) {
+                self.entries.remove(&key);
+            }
+        }
     }
 
     /// Releases a specific entry (e.g. a squashed walk).
@@ -123,12 +144,14 @@ impl MshrFile {
 
     /// Earliest completion among in-flight entries (NEVER when empty or
     /// all unknown) — used to decide when a blocked TLB frees up.
-    pub fn earliest_completion(&self) -> Cycle {
-        self.entries
-            .values()
-            .copied()
-            .min()
-            .unwrap_or(gmmu_sim::NEVER)
+    pub fn earliest_completion(&mut self) -> Cycle {
+        while let Some(&Reverse((done, key))) = self.heap.peek() {
+            if self.entries.get(&key) == Some(&done) {
+                return done;
+            }
+            self.heap.pop();
+        }
+        gmmu_sim::NEVER
     }
 }
 
@@ -192,5 +215,88 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn retimed_completion_expires_at_latest_value_only() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1);
+        m.set_completion(1, 100);
+        m.set_completion(1, 200); // e.g. injected walk delay
+        m.expire(150);
+        assert_eq!(m.lookup(1), Some(200), "stale earlier time must not expire");
+        assert_eq!(m.earliest_completion(), 200);
+        m.expire(200);
+        assert_eq!(m.lookup(1), None);
+        assert_eq!(m.earliest_completion(), gmmu_sim::NEVER);
+    }
+
+    #[test]
+    fn retimed_completion_can_move_earlier() {
+        let mut m = MshrFile::new(4);
+        m.allocate(1);
+        m.set_completion(1, 200);
+        m.set_completion(1, 100);
+        assert_eq!(m.earliest_completion(), 100);
+        m.expire(100);
+        assert_eq!(m.lookup(1), None);
+        m.expire(250); // the stale (200, 1) element must not resurrect it
+        assert_eq!(m.len(), 0);
+    }
+
+    #[test]
+    fn release_then_reallocate_ignores_stale_heap_elements() {
+        let mut m = MshrFile::new(2);
+        m.allocate(5);
+        m.set_completion(5, 100);
+        m.release(5); // squashed walk
+        assert_eq!(m.earliest_completion(), gmmu_sim::NEVER);
+        m.allocate(5);
+        m.set_completion(5, 100); // same cycle as the stale element
+        m.expire(100);
+        assert_eq!(m.lookup(5), None);
+        m.allocate(5);
+        m.expire(u64::MAX - 1); // unknown completion still never expires
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn matches_linear_reference_under_mixed_traffic() {
+        // Exhaustive cross-check of the heap against a straightforward
+        // map-scan implementation over a deterministic traffic pattern.
+        let mut m = MshrFile::new(8);
+        let mut reference: HashMap<u64, Cycle> = HashMap::new();
+        let mut x: u64 = 0x9e3779b97f4a7c15;
+        for step in 0..4096u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let key = (x >> 32) % 16;
+            match x % 4 {
+                0 => {
+                    if m.allocate(key) == MshrOutcome::Allocated {
+                        reference.insert(key, gmmu_sim::NEVER);
+                    }
+                }
+                1 => {
+                    if reference.contains_key(&key) {
+                        let done = step + (x % 64);
+                        m.set_completion(key, done);
+                        reference.insert(key, done);
+                    }
+                }
+                2 => {
+                    m.release(key);
+                    reference.remove(&key);
+                }
+                _ => {
+                    m.expire(step);
+                    reference.retain(|_, done| *done > step);
+                }
+            }
+            let want = reference.values().copied().min().unwrap_or(gmmu_sim::NEVER);
+            assert_eq!(m.earliest_completion(), want, "step {step}");
+            assert_eq!(m.len(), reference.len(), "step {step}");
+        }
     }
 }

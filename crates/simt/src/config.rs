@@ -133,6 +133,22 @@ impl Default for FaultConfig {
     }
 }
 
+/// Which engine drives the per-cycle core loop inside a run.
+///
+/// Both engines produce bit-identical [`crate::gpu::RunStats`], traces,
+/// and fault schedules; the determinism suite enforces this. See
+/// DESIGN.md ("Execution engine") for the ordering protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EngineKind {
+    /// One thread ticks every core in index order (the reference).
+    #[default]
+    Serial,
+    /// Cores tick concurrently on a worker pool within each cycle;
+    /// shared-memory accesses are serialized into exact core-index
+    /// order, so the result is bit-identical to [`EngineKind::Serial`].
+    Parallel,
+}
+
 /// Full GPU configuration.
 #[derive(Debug, Clone)]
 pub struct GpuConfig {
@@ -168,6 +184,15 @@ pub struct GpuConfig {
     /// the equivalence tests. The `GMMU_TICK_EVERY_CYCLE` environment
     /// variable forces it on regardless of this field.
     pub tick_every_cycle: bool,
+    /// Intra-run execution engine (orthogonal to `tick_every_cycle`:
+    /// the parallel engine supports both the idle-skipping and legacy
+    /// global loops).
+    pub engine: EngineKind,
+    /// Threads the parallel engine may use for one run, *including* the
+    /// calling thread (so `1` degenerates to serial even when `engine`
+    /// is [`EngineKind::Parallel`]). Has no effect under
+    /// [`EngineKind::Serial`]. Results never depend on this value.
+    pub run_threads: usize,
     /// Safety valve: abort a run after this many cycles.
     pub max_cycles: u64,
     /// Seed folded into workload construction (kept here so a whole
@@ -197,6 +222,8 @@ impl Default for GpuConfig {
             timings: CoreTimings::default(),
             granule: PageSize::Base4K,
             tick_every_cycle: false,
+            engine: EngineKind::Serial,
+            run_threads: 1,
             max_cycles: 200_000_000,
             seed: 0x5eed,
             fault: FaultConfig::off(),

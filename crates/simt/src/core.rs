@@ -19,11 +19,12 @@ use gmmu_core::ccws::LocalityPolicy;
 use gmmu_core::cpm::CommonPageMatrix;
 use gmmu_core::mmu::{Mmu, MmuEvent, TranslateBuf, TranslateOutcome};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
-use gmmu_mem::{AccessKind, Cache, CacheAccess, MemorySystem};
+use gmmu_mem::{AccessKind, Cache, CacheAccess, MemPort};
 use gmmu_sim::stats::{Counter, Histogram, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_DISPATCH};
 use gmmu_sim::Cycle;
 use gmmu_vm::{AddressSpace, PageSize, Ppn, VAddr, Vpn};
+use std::cell::Cell;
 
 /// Statistics gathered by one shader core.
 #[derive(Debug, Clone, Default)]
@@ -188,7 +189,7 @@ impl MemPath {
         phys_line: u64,
         warp: u16,
         tlb_missed: bool,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
     ) -> (Cycle, bool) {
         // A line already being fetched merges into the outstanding miss.
         if let Some(done) = self.l1_mshrs.lookup(phys_line) {
@@ -226,7 +227,7 @@ impl MemPath {
         pending: &mut Pending,
         vpn: gmmu_vm::Vpn,
         ppn: Ppn,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
     ) -> Cycle {
         let mut done = now;
         let granule = self.granule;
@@ -273,7 +274,7 @@ impl MemPath {
         now: Cycle,
         requester: u16,
         pending: &mut Pending,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
     ) -> MemIssue {
         debug_assert!(!pending.accesses.is_empty());
@@ -358,7 +359,7 @@ impl MemPath {
         cbuf: &CoalesceBuf,
         tbuf: &TranslateBuf,
         pending: &mut Pending,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         only: Option<&[gmmu_core::mmu::Translation]>,
     ) -> Cycle {
         let translations = only.unwrap_or(&tbuf.hits);
@@ -439,6 +440,15 @@ pub struct ShaderCore {
     fault_waiters: std::collections::HashMap<u64, Vec<u16>>,
     /// Faulted pages not yet reported to the GPU's fault handler.
     pub(crate) pending_faults: Vec<Vpn>,
+    /// Memoized [`ShaderCore::next_event_at`] result (`None` = invalid;
+    /// `Some(inner)` = the last computed answer). [`ShaderCore::tick`]
+    /// keeps it across *quiet* ticks — cycles that provably changed no
+    /// state the computation reads — and drops it otherwise, so the
+    /// idle-skip engine stops rescanning every warp of every core per
+    /// jump. External timer sources ([`ShaderCore::push_block`],
+    /// [`ShaderCore::resolve_fault`], [`ShaderCore::shootdown`]) drop it
+    /// too.
+    next_event_cache: Cell<Option<Option<Cycle>>>,
 }
 
 impl ShaderCore {
@@ -480,11 +490,13 @@ impl ShaderCore {
             fault: cfg.fault,
             fault_waiters: std::collections::HashMap::new(),
             pending_faults: Vec::new(),
+            next_event_cache: Cell::new(None),
         }
     }
 
     /// Queues a thread block for execution on this core.
     pub fn push_block(&mut self, first_tid: ThreadId, n_threads: u32) {
+        self.next_event_cache.set(None);
         self.block_queue.push_back(BlockWork {
             first_tid,
             n_threads,
@@ -556,10 +568,12 @@ impl ShaderCore {
         }
     }
 
-    /// Fills free block slots from the queue.
-    fn dispatch_blocks(&mut self, kernel: &dyn Kernel, now: Cycle, tracer: &mut Tracer) {
+    /// Fills free block slots from the queue; returns whether any block
+    /// was dispatched.
+    fn dispatch_blocks(&mut self, kernel: &dyn Kernel, now: Cycle, tracer: &mut Tracer) -> bool {
         self.reap_blocks(now, tracer);
         let end_pc = kernel.program().end_pc();
+        let mut dispatched = false;
         match &mut self.exec {
             ExecMode::Baseline { warps } => {
                 let wpb = self.warps_per_block;
@@ -569,6 +583,7 @@ impl ShaderCore {
                         let Some(block) = self.block_queue.pop_front() else {
                             continue;
                         };
+                        dispatched = true;
                         self.slot_occupied[slot] = true;
                         self.slot_started[slot] = now;
                         for (i, w) in warps[group].iter_mut().enumerate() {
@@ -595,9 +610,10 @@ impl ShaderCore {
                 }
             }
             ExecMode::Tbc(tbc) => {
-                tbc.dispatch_blocks(&mut self.block_queue, end_pc, now);
+                dispatched = tbc.dispatch_blocks(&mut self.block_queue, end_pc, now);
             }
         }
+        dispatched
     }
 
     /// The earliest cycle after `now` (the cycle just ticked) at which
@@ -609,7 +625,36 @@ impl ShaderCore {
     /// (which can release throttled warps), and block dispatch into a
     /// free slot. Warps waiting on pages carry no timer of their own —
     /// the MMU fill that wakes them is already a candidate.
+    ///
+    /// The answer is memoized: a cached future value is reused as long
+    /// as every tick since it was computed was *quiet* (see
+    /// [`ShaderCore::tick`]), because a quiet tick arms no timer and
+    /// the clamp terms (`now + 1` floors) only ever rise with `now`. A
+    /// cached value at or before `now`, or any non-quiet activity,
+    /// forces a recompute.
     pub fn next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        if let Some(cached) = self.next_event_cache.get() {
+            match cached {
+                None => return None,
+                Some(c) if c > now => return Some(c),
+                Some(_) => {}
+            }
+        }
+        let fresh = self.compute_next_event_at(now);
+        self.next_event_cache.set(Some(fresh));
+        fresh
+    }
+
+    /// Drops the memoized next-event value, forcing the next
+    /// [`ShaderCore::next_event_at`] call to recompute. The core does
+    /// this itself wherever state changes; the public entry point exists
+    /// so the hot-path microbenchmark can measure the uncached scan.
+    pub fn invalidate_next_event_cache(&self) {
+        self.next_event_cache.set(None);
+    }
+
+    /// The uncached scan behind [`ShaderCore::next_event_at`].
+    fn compute_next_event_at(&self, now: Cycle) -> Option<Cycle> {
         if !self.has_work() {
             return None;
         }
@@ -689,6 +734,7 @@ impl ShaderCore {
     /// shootdown epoch bump; the resulting [`MmuEvent::Squashed`] events
     /// drain on this core's next tick.
     pub fn shootdown(&mut self, now: Cycle) {
+        self.next_event_cache.set(None);
         self.path.mmu.shootdown(now);
     }
 
@@ -705,6 +751,9 @@ impl ShaderCore {
         let Some(waiters) = self.fault_waiters.remove(&vpn.raw()) else {
             return;
         };
+        // This arms `ready_at` timers outside of a tick: the cached
+        // next-event value could otherwise skip straight past the wake.
+        self.next_event_cache.set(None);
         for unit in waiters {
             match &mut self.exec {
                 ExecMode::Baseline { warps } => {
@@ -763,16 +812,17 @@ impl ShaderCore {
     pub fn tick(
         &mut self,
         now: Cycle,
-        mem: &mut MemorySystem,
+        mem: &mut dyn MemPort,
         space: &AddressSpace,
         kernel: &dyn Kernel,
         iters: &mut [u32],
         tracer: &mut Tracer,
     ) -> bool {
-        self.dispatch_blocks(kernel, now, tracer);
+        let dispatched = self.dispatch_blocks(kernel, now, tracer);
         let pid = self.id as u32;
         let path = &mut self.path;
         path.l1_mshrs.expire(now);
+        let mmu_was_idle = path.mmu.is_idle();
         path.mmu.advance_traced(now, mem, space, tracer, pid);
         self.events.clear();
         self.events.extend(path.mmu.events());
@@ -865,6 +915,13 @@ impl ShaderCore {
             cpm.tick(now);
         }
 
+        // Captured before issuing (which mutates): whether any unit
+        // could act this cycle. A schedulable-but-gated warp counts —
+        // `issue_allowed` perturbs policy state even when it denies.
+        let could_issue = match &self.exec {
+            ExecMode::Baseline { warps } => warps.iter().any(|w| w.schedulable(now)),
+            ExecMode::Tbc(t) => t.has_ready_work(now),
+        };
         let issued = match &mut self.exec {
             ExecMode::Baseline { warps } => baseline_issue(
                 path,
@@ -889,6 +946,14 @@ impl ShaderCore {
                 path.stats.idle_cycles.inc();
                 path.stats.stall_breakdown.add(cause, 1);
             }
+        }
+        // A quiet tick touched nothing `next_event_at` reads: no block
+        // dispatched, the MMU had nothing to advance, no events drained,
+        // and no unit could issue (so no executor or policy mutation
+        // either). Only then may the memoized next-event value survive.
+        let quiet = !dispatched && mmu_was_idle && self.events.is_empty() && !could_issue;
+        if !quiet {
+            self.next_event_cache.set(None);
         }
         self.reap_blocks(now, tracer);
         issued
@@ -936,7 +1001,7 @@ fn baseline_issue(
     warps: &mut [Warp],
     rr_ptr: &mut usize,
     now: Cycle,
-    mem: &mut MemorySystem,
+    mem: &mut dyn MemPort,
     space: &AddressSpace,
     kernel: &dyn Kernel,
     iters: &mut [u32],
@@ -974,7 +1039,7 @@ fn exec_one(
     warps: &mut [Warp],
     w: usize,
     now: Cycle,
-    mem: &mut MemorySystem,
+    mem: &mut dyn MemPort,
     space: &AddressSpace,
     kernel: &dyn Kernel,
     iters: &mut [u32],
@@ -1067,7 +1132,7 @@ mod tests {
     use super::*;
     use crate::program::Program;
     use gmmu_core::mmu::MmuModel;
-    use gmmu_mem::MemConfig;
+    use gmmu_mem::{MemConfig, MemorySystem};
     use gmmu_vm::{PageSize, Region, SpaceConfig};
 
     /// A trivial streaming kernel: each thread loads 8 bytes from its

@@ -8,14 +8,16 @@
 //! metric is [`RunStats::speedup_vs`] against the ideal-MMU run of the
 //! same configuration.
 
-use crate::config::GpuConfig;
+use crate::config::{EngineKind, GpuConfig};
 use crate::core::ShaderCore;
 use crate::observe::{CounterSnapshot, Observer};
+use crate::parallel::{worker_loop, ParallelPool};
 use crate::program::Kernel;
 use crate::stall::StallBreakdown;
 use gmmu_mem::MemorySystem;
 use gmmu_sim::fault::{major_fault, FaultInjector};
 use gmmu_sim::stats::{Histogram, Summary};
+use gmmu_sim::trace::Tracer;
 use gmmu_sim::Cycle;
 use gmmu_vm::{AddressSpace, Vpn};
 
@@ -77,6 +79,10 @@ pub struct RunStats {
     /// True when the forward-progress watchdog killed the run (implies
     /// `completed == false`).
     pub watchdog_fired: bool,
+    /// Wall-clock seconds the run took on the host. The only
+    /// nondeterministic field: every other field is bit-identical
+    /// across engines, thread counts, and repeat runs.
+    pub wall_s: f64,
 }
 
 impl RunStats {
@@ -110,6 +116,18 @@ impl RunStats {
             shootdowns: 0,
             squashed_walks: 0,
             watchdog_fired: false,
+            wall_s: 0.0,
+        }
+    }
+
+    /// Simulated cycles per wall-clock second — the throughput metric
+    /// the engine comparison tracks (0 when the run was too fast for
+    /// the clock to resolve).
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cycles as f64 / self.wall_s
+        } else {
+            0.0
         }
     }
 
@@ -278,6 +296,7 @@ impl Gpu {
         mut space: SpaceAccess<'_>,
         obs: &mut Observer,
     ) -> RunStats {
+        let wall_start = std::time::Instant::now();
         let threads = kernel.num_threads();
         assert!(threads > 0, "kernel has no threads");
         if self.config.granule == gmmu_vm::PageSize::Large2M {
@@ -313,6 +332,54 @@ impl Gpu {
             rec.set_lanes(lanes as u64);
         }
 
+        // The parallel engine ticks cores concurrently within each
+        // cycle behind a lock-step barrier; an ordered memory gate and
+        // a core-index-ordered result merge make it bit-identical to
+        // serial (see crate::parallel). The worker count excludes the
+        // calling thread, which participates in every cycle — so
+        // `run_threads: 1` (and a 1-core GPU) degenerate to serial.
+        let run_threads = self.config.run_threads;
+        let mut stats = if self.config.engine == EngineKind::Parallel
+            && run_threads > 1
+            && self.cores.len() > 1
+        {
+            let n_workers = (run_threads - 1).min(self.cores.len() - 1);
+            let pool = ParallelPool::new(self.cores.len());
+            std::thread::scope(|s| {
+                for _ in 0..n_workers {
+                    s.spawn(|| worker_loop(&pool));
+                }
+                let stats = self.drive(kernel, &mut space, obs, &mut iters, Some(&pool));
+                pool.shutdown();
+                stats
+            })
+        } else {
+            self.drive(kernel, &mut space, obs, &mut iters, None)
+        };
+        stats.wall_s = wall_start.elapsed().as_secs_f64();
+        stats
+    }
+
+    /// The global cycle loop, shared by every engine: `pool` selects
+    /// how the per-cycle core ticks execute; all cross-core phases run
+    /// on the calling thread either way.
+    fn drive<'k>(
+        &mut self,
+        kernel: &'k dyn Kernel,
+        space: &mut SpaceAccess<'_>,
+        obs: &mut Observer,
+        iters: &mut [u32],
+        pool: Option<&ParallelPool<'k>>,
+    ) -> RunStats {
+        // Per-core staging tracers for the parallel engine, merged into
+        // the observer's buffer in core-index order after every cycle.
+        let mut staging: Vec<Tracer> = match pool {
+            Some(_) if obs.tracer.enabled() => {
+                (0..self.cores.len()).map(|_| Tracer::recording()).collect()
+            }
+            Some(_) => (0..self.cores.len()).map(|_| Tracer::Off).collect(),
+            None => Vec::new(),
+        };
         // The idle-cycle-skipping engine is observably equivalent to
         // ticking every cycle: whenever no core issues, core state can
         // only change at a future completion / wake / epoch boundary,
@@ -401,19 +468,44 @@ impl Gpu {
                     }
                 }
             }
-            let mut live = false;
-            let mut issued = false;
-            for core in &mut self.cores {
-                issued |= core.tick(
-                    now,
-                    &mut self.mem,
-                    space.get(),
-                    kernel,
-                    &mut iters,
-                    &mut obs.tracer,
-                );
-                live |= core.has_work();
-            }
+            let (issued, live) = match pool {
+                None => {
+                    let mut live = false;
+                    let mut issued = false;
+                    for core in &mut self.cores {
+                        issued |= core.tick(
+                            now,
+                            &mut self.mem,
+                            space.get(),
+                            kernel,
+                            iters,
+                            &mut obs.tracer,
+                        );
+                        live |= core.has_work();
+                    }
+                    (issued, live)
+                }
+                Some(pool) => {
+                    let issued = pool.run_cycle(
+                        &mut self.cores,
+                        &mut self.mem,
+                        space.get(),
+                        kernel,
+                        iters,
+                        &mut staging,
+                        now,
+                    );
+                    if let Tracer::Buffer(dst) = &mut obs.tracer {
+                        for t in &mut staging {
+                            if let Tracer::Buffer(src) = t {
+                                dst.append(src);
+                            }
+                        }
+                    }
+                    let live = self.cores.iter().any(|c| c.has_work());
+                    (issued, live)
+                }
+            };
             // New page faults raised this cycle enter the handler queue
             // once each; minor/major classification is a pure function
             // of the seed and the page.
@@ -794,6 +886,26 @@ mod tests {
         assert_eq!(a.instructions, b.instructions);
         assert_eq!(a.tlb_accesses, b.tlb_accesses);
         assert_eq!(a.dram_requests, b.dram_requests);
+    }
+
+    #[test]
+    fn parallel_engine_is_bit_identical_to_serial() {
+        let serial = run(cfg(MmuModel::augmented()), 512);
+        for threads in [2, 4] {
+            let mut c = cfg(MmuModel::augmented());
+            c.engine = crate::config::EngineKind::Parallel;
+            c.run_threads = threads;
+            let par = run(c, 512);
+            assert_eq!(serial.cycles, par.cycles, "{threads} threads");
+            assert_eq!(serial.instructions, par.instructions, "{threads} threads");
+            assert_eq!(serial.idle_cycles, par.idle_cycles, "{threads} threads");
+            assert_eq!(serial.tlb_accesses, par.tlb_accesses, "{threads} threads");
+            assert_eq!(serial.tlb_hits, par.tlb_hits, "{threads} threads");
+            assert_eq!(serial.l1_accesses, par.l1_accesses, "{threads} threads");
+            assert_eq!(serial.dram_requests, par.dram_requests, "{threads} threads");
+            assert_eq!(serial.walks, par.walks, "{threads} threads");
+            assert_eq!(serial.replays, par.replays, "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,288 @@
+//! Deterministic intra-run parallel execution engine.
+//!
+//! Shards the per-cycle `for core in cores` loop across a worker pool
+//! while producing results **bit-identical** to the serial engine. The
+//! protocol has three pieces:
+//!
+//! 1. **Ticket claiming.** One `AtomicU64` packs `(generation << 32) |
+//!    next_core`. The main thread publishes a cycle's work by writing
+//!    the [`CycleWork`] cell and then Release-storing a fresh ticket
+//!    with the generation bumped and the index reset to zero. Workers
+//!    (and the main thread, which participates as a peer) claim cores
+//!    in ascending index order with a CAS; the Acquire load feeding a
+//!    successful CAS synchronizes with the publication, so claimed work
+//!    is always the current cycle's. The generation tag makes stale
+//!    CASes from the previous cycle fail (no ABA).
+//!
+//! 2. **Ordered memory gate.** Each core ticks against a [`GatedMem`]
+//!    instead of the shared [`MemorySystem`]. Core `i`'s first memory
+//!    access blocks until every core `j < i` has finished its entire
+//!    tick (per-core `done` flags, Release-stored / Acquire-loaded).
+//!    The shared memory system therefore observes *exactly* the serial
+//!    access sequence — all of core 0's requests, then core 1's, ... —
+//!    and at most one thread touches it at a time. Cores that issue no
+//!    memory request this cycle never wait at all, which is where the
+//!    parallelism comes from: translation, scheduling, compaction, and
+//!    ALU bookkeeping overlap freely. Deadlock-free because waiting is
+//!    strictly index-ordered: core 0 never waits, and the claimer of
+//!    core `i` waits only on lower indices, all claimed before `i`.
+//!
+//! 3. **Ordered result merge.** Everything a tick emits ends up in
+//!    per-core staging (trace events in per-core [`Tracer`]s, the
+//!    issued flag in a per-core slot). After the cycle barrier the main
+//!    thread folds the staging in core-index order, reproducing the
+//!    serial emission order byte for byte. All cross-core phases —
+//!    storms, shootdowns, fault service, watchdog, idle-skip targets,
+//!    interval samples, final collection — run on the main thread
+//!    between barriers, untouched.
+//!
+//! Per-core state is only ever accessed by the thread that claimed the
+//! core (raw-pointer indexing into the cores slice with disjoint
+//! indices), the kernel is shared as `&dyn Kernel` (hence `Kernel:
+//! Sync`), the address space is read-only during ticks, and the
+//! per-thread iteration counters are disjoint per core because a block
+//! is dispatched to exactly one core and never migrates.
+
+use crate::core::ShaderCore;
+use crate::program::Kernel;
+use gmmu_mem::{AccessKind, MemPort, MemResult, MemorySystem};
+use gmmu_sim::trace::Tracer;
+use gmmu_sim::Cycle;
+use gmmu_vm::AddressSpace;
+use std::cell::UnsafeCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+/// Brief busy-wait, then yield: cycles are short, so waits usually
+/// resolve within a few spins, but on an oversubscribed (or single-CPU)
+/// host the yield lets the thread that owns the awaited core run.
+#[inline]
+fn backoff(spins: &mut u32) {
+    if *spins < 64 {
+        *spins += 1;
+        std::hint::spin_loop();
+    } else {
+        std::thread::yield_now();
+    }
+}
+
+/// One cycle's shared inputs, republished by the main thread before
+/// each generation bump. Raw pointers because the underlying borrows
+/// (`&mut self.cores`, `&mut self.mem`, ...) only live for the
+/// `run_cycle` call; the protocol guarantees workers dereference them
+/// only inside that window.
+struct CycleWork<'k> {
+    cores: *mut ShaderCore,
+    mem: *mut MemorySystem,
+    space: *const AddressSpace,
+    kernel: Option<&'k dyn Kernel>,
+    iters: *mut u32,
+    iters_len: usize,
+    tracers: *mut Tracer,
+    now: Cycle,
+}
+
+impl CycleWork<'_> {
+    fn empty() -> Self {
+        Self {
+            cores: std::ptr::null_mut(),
+            mem: std::ptr::null_mut(),
+            space: std::ptr::null(),
+            kernel: None,
+            iters: std::ptr::null_mut(),
+            iters_len: 0,
+            tracers: std::ptr::null_mut(),
+            now: 0,
+        }
+    }
+}
+
+/// Shared state of one run's worker pool. Created on the main thread,
+/// borrowed by scoped workers, dropped when the run's scope ends.
+pub(crate) struct ParallelPool<'k> {
+    /// `(generation << 32) | next_unclaimed_core`. The initial index is
+    /// `n_cores`, i.e. "nothing to claim".
+    ticket: AtomicU64,
+    /// Per-core completion flags for the current generation; also the
+    /// ordering gate [`GatedMem`] waits on.
+    done: Vec<AtomicBool>,
+    /// Per-core "this tick issued an instruction" results.
+    issued: Vec<AtomicBool>,
+    /// Tells workers the run is over.
+    quit: AtomicBool,
+    work: UnsafeCell<CycleWork<'k>>,
+    n_cores: usize,
+}
+
+// SAFETY: the `UnsafeCell<CycleWork>` is written by the main thread
+// only while no core of the current generation is claimable (ticket
+// index ≥ n_cores and all previous claims finished), and read by
+// workers only after an Acquire load of a ticket value that the main
+// thread Release-stored after the write. All other fields are atomics.
+unsafe impl Sync for ParallelPool<'_> {}
+
+impl<'k> ParallelPool<'k> {
+    pub(crate) fn new(n_cores: usize) -> Self {
+        assert!(n_cores > 0 && n_cores < u32::MAX as usize);
+        Self {
+            ticket: AtomicU64::new(n_cores as u64),
+            done: (0..n_cores).map(|_| AtomicBool::new(false)).collect(),
+            issued: (0..n_cores).map(|_| AtomicBool::new(false)).collect(),
+            quit: AtomicBool::new(false),
+            work: UnsafeCell::new(CycleWork::empty()),
+            n_cores,
+        }
+    }
+
+    /// Releases the workers; call once after the last `run_cycle`.
+    pub(crate) fn shutdown(&self) {
+        self.quit.store(true, Ordering::Release);
+    }
+
+    /// Executes one cycle's core ticks across the pool (the calling
+    /// thread participates). Returns whether any core issued. On return
+    /// every tick has completed, `tracers[i]` holds core `i`'s spans
+    /// for this cycle, and the borrows passed in are quiescent again.
+    #[allow(clippy::too_many_arguments)] // mirrors ShaderCore::tick + the cores slice
+    pub(crate) fn run_cycle(
+        &self,
+        cores: &mut [ShaderCore],
+        mem: &mut MemorySystem,
+        space: &AddressSpace,
+        kernel: &'k dyn Kernel,
+        iters: &mut [u32],
+        tracers: &mut [Tracer],
+        now: Cycle,
+    ) -> bool {
+        debug_assert_eq!(cores.len(), self.n_cores);
+        debug_assert_eq!(tracers.len(), self.n_cores);
+        for d in &self.done {
+            d.store(false, Ordering::Relaxed);
+        }
+        // SAFETY: no claimable work exists right now (see the Sync
+        // impl's invariant), so no worker reads the cell concurrently.
+        unsafe {
+            *self.work.get() = CycleWork {
+                cores: cores.as_mut_ptr(),
+                mem,
+                space,
+                kernel: Some(kernel),
+                iters: iters.as_mut_ptr(),
+                iters_len: iters.len(),
+                tracers: tracers.as_mut_ptr(),
+                now,
+            };
+        }
+        let generation = (self.ticket.load(Ordering::Relaxed) >> 32) + 1;
+        self.ticket.store(generation << 32, Ordering::Release);
+        self.claim_loop();
+        // Barrier: the claim loop returning only means every core was
+        // *claimed*; wait until every tick has finished.
+        for d in &self.done {
+            let mut spins = 0u32;
+            while !d.load(Ordering::Acquire) {
+                backoff(&mut spins);
+            }
+        }
+        self.issued.iter().any(|i| i.load(Ordering::Relaxed))
+    }
+
+    /// Claims and ticks cores until the current generation is
+    /// exhausted.
+    fn claim_loop(&self) {
+        loop {
+            let t = self.ticket.load(Ordering::Acquire);
+            let idx = (t & 0xffff_ffff) as usize;
+            if idx >= self.n_cores {
+                return;
+            }
+            if self
+                .ticket
+                .compare_exchange_weak(t, t + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_ok()
+            {
+                // SAFETY: the CAS succeeded on a ticket the main thread
+                // published after writing `work`, and index `idx` is
+                // claimed exactly once per generation.
+                unsafe { self.tick_core(idx) };
+            }
+        }
+    }
+
+    /// Ticks core `idx` of the current generation.
+    ///
+    /// # Safety
+    ///
+    /// Caller must hold a claim on `idx` obtained from the ticket CAS,
+    /// which guarantees `work` is current and no other thread touches
+    /// core `idx`, `tracers[idx]`, or this core's iteration counters.
+    unsafe fn tick_core(&self, idx: usize) {
+        let w = &*self.work.get();
+        let core = &mut *w.cores.add(idx);
+        let tracer = &mut *w.tracers.add(idx);
+        // Cores write disjoint counter slots (a block lives on exactly
+        // one core), so handing each claim a full view of the slice is
+        // race-free.
+        let iters = std::slice::from_raw_parts_mut(w.iters, w.iters_len);
+        let kernel = w.kernel.expect("ticket claimed before work published");
+        let space = &*w.space;
+        let mut gate = GatedMem {
+            mem: w.mem,
+            done: &self.done,
+            core_index: idx,
+            cleared: idx == 0,
+        };
+        let issued = core.tick(w.now, &mut gate, space, kernel, iters, tracer);
+        self.issued[idx].store(issued, Ordering::Relaxed);
+        self.done[idx].store(true, Ordering::Release);
+    }
+}
+
+/// Worker body: claim-and-tick until the pool shuts down.
+pub(crate) fn worker_loop(pool: &ParallelPool<'_>) {
+    let mut spins = 0u32;
+    loop {
+        if pool.quit.load(Ordering::Acquire) {
+            return;
+        }
+        let t = pool.ticket.load(Ordering::Acquire);
+        if ((t & 0xffff_ffff) as usize) < pool.n_cores {
+            pool.claim_loop();
+            spins = 0;
+        } else {
+            backoff(&mut spins);
+        }
+    }
+}
+
+/// The [`MemPort`] the parallel engine hands each core: delegates to
+/// the shared memory system once every lower-indexed core has finished
+/// its tick. This serializes cross-core memory traffic into exact
+/// core-index order — the serial engine's order — and doubles as the
+/// mutual-exclusion proof: while core `i` accesses memory, cores `< i`
+/// are done (no further accesses) and cores `> i` are parked in their
+/// own gate.
+struct GatedMem<'p> {
+    mem: *mut MemorySystem,
+    done: &'p [AtomicBool],
+    core_index: usize,
+    /// Set once the gate has been passed; `done` flags are monotone
+    /// within a generation, so later accesses skip the scan.
+    cleared: bool,
+}
+
+impl MemPort for GatedMem<'_> {
+    fn access(&mut self, now: Cycle, line: u64, kind: AccessKind) -> MemResult {
+        if !self.cleared {
+            for d in &self.done[..self.core_index] {
+                let mut spins = 0u32;
+                while !d.load(Ordering::Acquire) {
+                    backoff(&mut spins);
+                }
+            }
+            self.cleared = true;
+        }
+        // SAFETY: exclusive by the gate protocol (see type docs); the
+        // Acquire loads above synchronize with lower cores' writes.
+        unsafe { MemPort::access(&mut *self.mem, now, line, kind) }
+    }
+}

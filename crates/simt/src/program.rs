@@ -140,8 +140,11 @@ impl Program {
 /// Implementations live in `gmmu-workloads`; each models one of the
 /// paper's six benchmarks. All methods must be *deterministic pure
 /// functions* — the simulator may call them more than once for the same
-/// arguments (TLB-miss replay, dynamic warp formation).
-pub trait Kernel {
+/// arguments (TLB-miss replay, dynamic warp formation). `Sync` is a
+/// supertrait because the parallel execution engine shares one `&dyn
+/// Kernel` across its worker threads; purity makes this trivially true
+/// for every workload.
+pub trait Kernel: Sync {
     /// Short benchmark name (e.g. `"bfs"`).
     fn name(&self) -> &str;
 

@@ -28,6 +28,7 @@ use std::sync::Mutex;
 use std::time::Instant;
 
 const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
+               [--engine serial|parallel] [--run-threads N]
                [--trace PATH] [--intervals PATH] [--interval-stride N]
                [--fault-inject] [--fault-seed N]
   --quick    tiny workloads on a 2-core machine (CI/smoke scope)
@@ -35,6 +36,16 @@ const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
   --csv      also print each table as CSV
   --jobs N   worker threads for design-point sweeps
              (default: GMMU_JOBS or the machine's available parallelism)
+  --engine serial|parallel
+             intra-run execution engine (default serial); parallel
+             ticks cores concurrently within each cycle and is
+             bit-identical to serial
+  --run-threads N
+             threads per simulation under --engine parallel, including
+             the calling thread (default 2 when --engine parallel is
+             given, else 1). Composes with --jobs under one shared
+             thread budget: jobs is clamped so jobs x run-threads
+             never exceeds the machine's available parallelism
   --trace PATH
              write a Chrome/Perfetto trace.json of the first design
              point simulated (load at ui.perfetto.dev)
@@ -96,6 +107,11 @@ pub struct ExperimentOpts {
     pub fault_inject: bool,
     /// Seed for the deterministic fault schedules (`--fault-seed`).
     pub fault_seed: u64,
+    /// Intra-run execution engine (`--engine`).
+    pub engine: EngineKind,
+    /// Threads per simulation under the parallel engine, including the
+    /// calling thread (`--run-threads`).
+    pub run_threads: usize,
 }
 
 impl Default for ExperimentOpts {
@@ -110,6 +126,8 @@ impl Default for ExperimentOpts {
             interval_stride: 10_000,
             fault_inject: false,
             fault_seed: 0xfa57,
+            engine: EngineKind::Serial,
+            run_threads: 1,
         }
     }
 }
@@ -161,6 +179,14 @@ impl ExperimentOpts {
                     Some(v) => opts.jobs = parse_jobs(&v),
                     None => bad_usage("--jobs needs a value"),
                 },
+                "--engine" => match args.next() {
+                    Some(v) => opts.engine = parse_engine(&v),
+                    None => bad_usage("--engine needs serial or parallel"),
+                },
+                "--run-threads" => match args.next() {
+                    Some(v) => opts.run_threads = parse_run_threads(&v),
+                    None => bad_usage("--run-threads needs a value"),
+                },
                 "--trace" => match args.next() {
                     Some(v) => opts.trace = Some(leak_path(v)),
                     None => bad_usage("--trace needs a path"),
@@ -185,6 +211,10 @@ impl ExperimentOpts {
                 other => {
                     if let Some(v) = other.strip_prefix("--jobs=") {
                         opts.jobs = parse_jobs(v)
+                    } else if let Some(v) = other.strip_prefix("--engine=") {
+                        opts.engine = parse_engine(v)
+                    } else if let Some(v) = other.strip_prefix("--run-threads=") {
+                        opts.run_threads = parse_run_threads(v)
                     } else if let Some(v) = other.strip_prefix("--trace=") {
                         opts.trace = Some(leak_path(v.to_string()))
                     } else if let Some(v) = other.strip_prefix("--intervals=") {
@@ -198,6 +228,17 @@ impl ExperimentOpts {
                     }
                 }
             }
+        }
+        if opts.engine == EngineKind::Parallel && opts.run_threads < 2 {
+            // `--engine parallel` without `--run-threads` should
+            // actually parallelize.
+            opts.run_threads = 2;
+        }
+        if opts.run_threads > 1 {
+            // One shared thread budget: an N-thread engine under an
+            // M-way sweep would run N*M threads, so shrink the sweep
+            // pool to keep the product within the machine.
+            opts.jobs = opts.jobs.min((default_jobs() / opts.run_threads).max(1));
         }
         if opts.fault_inject {
             // The harness replaces the figure: every binary that parses
@@ -215,6 +256,8 @@ impl ExperimentOpts {
         // Keep the paper's 30-core : 8-channel balance at any size.
         cfg.mem.channels = ((self.n_cores * 8 + 15) / 30).max(1);
         cfg.seed = self.seed;
+        cfg.engine = self.engine;
+        cfg.run_threads = self.run_threads;
         cfg
     }
 
@@ -229,6 +272,23 @@ fn parse_jobs(v: &str) -> usize {
     match v.parse::<usize>() {
         Ok(n) if n >= 1 => n,
         _ => bad_usage(&format!("--jobs needs a positive integer, got `{v}`")),
+    }
+}
+
+fn parse_engine(v: &str) -> EngineKind {
+    match v {
+        "serial" => EngineKind::Serial,
+        "parallel" => EngineKind::Parallel,
+        _ => bad_usage(&format!("--engine needs serial or parallel, got `{v}`")),
+    }
+}
+
+fn parse_run_threads(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => bad_usage(&format!(
+            "--run-threads needs a positive integer, got `{v}`"
+        )),
     }
 }
 
@@ -289,11 +349,17 @@ pub struct PointRun {
     /// FNV-1a 64 hash of the full memo key (bench + complete
     /// `GpuConfig`): a stable fingerprint of the configuration.
     pub fingerprint: u64,
-    /// Engine that executed the point: `event_skip` or
-    /// `tick_every_cycle` (config flag or `GMMU_TICK_EVERY_CYCLE`).
+    /// Engine that executed the point: `event_skip`,
+    /// `tick_every_cycle` (config flag or `GMMU_TICK_EVERY_CYCLE`), or
+    /// `parallel` (either global loop under the intra-run worker pool).
     pub engine: &'static str,
     /// Wall-clock seconds the simulation took.
     pub wall_s: f64,
+    /// Simulated cycles of the run.
+    pub cycles: u64,
+    /// Simulated cycles per wall-clock second
+    /// ([`RunStats::cycles_per_sec`]), the engine-comparison metric.
+    pub sim_cycles_per_sec: f64,
     /// Whether this was the observed run (`--trace` / `--intervals`).
     pub observed: bool,
 }
@@ -301,7 +367,9 @@ pub struct PointRun {
 /// Engine label for run metadata; mirrors the engine selection in the
 /// GPU run loop.
 fn engine_label(cfg: &GpuConfig) -> &'static str {
-    if cfg.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some() {
+    if cfg.engine == EngineKind::Parallel && cfg.run_threads > 1 && cfg.n_cores > 1 {
+        "parallel"
+    } else if cfg.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some() {
         "tick_every_cycle"
     } else {
         "event_skip"
@@ -443,6 +511,8 @@ impl Runner {
             fingerprint: fnv1a64(key.as_bytes()),
             engine: engine_label(&spec.cfg),
             wall_s: started.elapsed().as_secs_f64(),
+            cycles: stats.cycles,
+            sim_cycles_per_sec: stats.cycles_per_sec(),
             observed: observe,
         });
         self.cache.insert(key, stats.clone());
@@ -568,6 +638,8 @@ impl Runner {
                 fingerprint: fnv1a64(key.as_bytes()),
                 engine: engine_label(&spec.cfg),
                 wall_s: started.elapsed().as_secs_f64(),
+                cycles: stats.cycles,
+                sim_cycles_per_sec: stats.cycles_per_sec(),
                 observed: true,
             });
             self.cache.insert(key, stats);
@@ -609,6 +681,8 @@ impl Runner {
                 fingerprint: fnv1a64(key.as_bytes()),
                 engine: engine_label(&spec.cfg),
                 wall_s,
+                cycles: stats.cycles,
+                sim_cycles_per_sec: stats.cycles_per_sec(),
                 observed: false,
             });
             self.cache.insert(key.clone(), stats);

@@ -177,6 +177,52 @@ fn execution_engines_are_observably_equivalent() {
         }
     }
 
+    // The parallel intra-run engine at 1, 2, and 4 run-threads must be
+    // bit-identical to the serial reference on every workload. One
+    // thread degenerates to the serial loop (the flag must be a no-op);
+    // two and four exercise worker claiming, the ordered memory gate,
+    // and the per-core trace merge.
+    for threads in [1usize, 2, 4] {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        for (i, (bench, name, configure)) in matrix.iter().enumerate() {
+            let s = r.run(*bench, |c| {
+                configure(c);
+                c.engine = EngineKind::Parallel;
+                c.run_threads = threads;
+            });
+            assert_same(
+                &reference[i],
+                &s,
+                &format!("{bench}/{name} parallel run_threads={threads}"),
+            );
+        }
+    }
+
+    // Parallel engine under the tick-every-cycle global loop: the two
+    // knobs are orthogonal and must compose.
+    {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        for (i, (bench, name, configure)) in matrix.iter().enumerate() {
+            let s = r.run(*bench, |c| {
+                configure(c);
+                c.engine = EngineKind::Parallel;
+                c.run_threads = 2;
+                c.tick_every_cycle = true;
+            });
+            assert_same(
+                &reference[i],
+                &s,
+                &format!("{bench}/{name} parallel+tick-every-cycle"),
+            );
+        }
+    }
+
     // Parallel sweep, both engines.
     for legacy in [false, true] {
         let mut r = Runner::new(ExperimentOpts {
@@ -285,6 +331,31 @@ fn observation_is_invisible_and_engine_independent() {
             obs.intervals.as_ref().unwrap().samples(),
             obs_legacy.intervals.as_ref().unwrap().samples(),
             "{bench}/{name}: interval series differs across engines"
+        );
+
+        // The parallel engine stages trace events per core and merges
+        // them in core-index order after each cycle: the emitted trace
+        // must be byte-identical to the serial one, not merely a
+        // permutation.
+        let mut par_cfg = cfg.clone();
+        par_cfg.engine = EngineKind::Parallel;
+        par_cfg.run_threads = 4;
+        let mut obs_par = observer();
+        let par = Gpu::new(par_cfg).run_observed(w.kernel.as_ref(), &w.space, &mut obs_par);
+        assert_same(
+            &observed,
+            &par,
+            &format!("{bench}/{name} parallel observed"),
+        );
+        assert_eq!(
+            obs.tracer.buffer(),
+            obs_par.tracer.buffer(),
+            "{bench}/{name}: trace differs under the parallel engine"
+        );
+        assert_eq!(
+            obs.intervals.as_ref().unwrap().samples(),
+            obs_par.intervals.as_ref().unwrap().samples(),
+            "{bench}/{name}: interval series differs under the parallel engine"
         );
     }
 }

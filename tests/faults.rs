@@ -56,28 +56,39 @@ fn all_benches_complete_fully_demand_paged() {
 }
 
 /// Demand-paged runs are deterministic and engine-independent: the
-/// tick-every-cycle loop and the idle-cycle-skipping engine service the
-/// same fault schedule on the same cycles.
+/// tick-every-cycle loop, the idle-cycle-skipping engine, and the
+/// parallel intra-run engine service the same fault schedule on the
+/// same cycles.
 #[test]
 fn demand_paged_runs_agree_across_engines() {
     let inject = FaultInjectConfig::demand_paged(0xfa57);
     for bench in [Bench::Bfs, Bench::Kmeans] {
-        let run_with = |legacy: bool| {
+        let run_with = |legacy: bool, threads: usize| {
             let (w, _) = build_demand_paged(bench, Scale::Tiny, 7, &inject);
             let mut cfg = faulting_cfg(Some(inject));
             cfg.tick_every_cycle = legacy;
+            if threads > 1 {
+                cfg.engine = EngineKind::Parallel;
+                cfg.run_threads = threads;
+            }
             run_faulted(w, cfg)
         };
-        let skip = run_with(false);
-        let tick = run_with(true);
-        assert_eq!(skip.cycles, tick.cycles, "{bench}: engines disagree");
-        assert_eq!(skip.instructions, tick.instructions);
-        assert_eq!(skip.idle_cycles, tick.idle_cycles);
-        assert_eq!(skip.stall_breakdown, tick.stall_breakdown);
-        assert_eq!(skip.faults, tick.faults);
-        assert_eq!(skip.shootdowns, tick.shootdowns);
-        assert_eq!(skip.squashed_walks, tick.squashed_walks);
-        assert_eq!(skip.watchdog_fired, tick.watchdog_fired);
+        let skip = run_with(false, 1);
+        let tick = run_with(true, 1);
+        let par = run_with(false, 2);
+        for (other, engine) in [(&tick, "tick-every-cycle"), (&par, "parallel")] {
+            assert_eq!(
+                skip.cycles, other.cycles,
+                "{bench}: {engine} engine disagrees"
+            );
+            assert_eq!(skip.instructions, other.instructions);
+            assert_eq!(skip.idle_cycles, other.idle_cycles);
+            assert_eq!(skip.stall_breakdown, other.stall_breakdown);
+            assert_eq!(skip.faults, other.faults);
+            assert_eq!(skip.shootdowns, other.shootdowns);
+            assert_eq!(skip.squashed_walks, other.squashed_walks);
+            assert_eq!(skip.watchdog_fired, other.watchdog_fired);
+        }
         assert!(
             skip.stall_breakdown.get(StallCause::FaultService) > 0,
             "{bench}: parked warps must be attributed to fault service"
@@ -134,33 +145,43 @@ fn mixed_fault_smoke_completes() {
 /// When a fault can never resolve — here, a read-only space the handler
 /// cannot map into — the run must not hang: warps stay parked, the
 /// watchdog detects the lack of forward progress, and the run fails
-/// with `watchdog_fired` at the same cycle on both engines.
+/// with `watchdog_fired` at the same cycle on every engine.
 #[test]
 fn watchdog_fires_when_faults_cannot_resolve() {
     let inject = FaultInjectConfig::demand_paged(0xfa57);
-    let run_with = |legacy: bool| {
+    let run_with = |legacy: bool, threads: usize| {
         let (w, unmapped) = build_demand_paged(Bench::Bfs, Scale::Tiny, 7, &inject);
         assert!(unmapped > 0);
         let mut cfg = faulting_cfg(Some(inject));
         cfg.fault.watchdog = 50_000;
         cfg.tick_every_cycle = legacy;
+        if threads > 1 {
+            cfg.engine = EngineKind::Parallel;
+            cfg.run_threads = threads;
+        }
         // Shared space: demand paging is on, but the handler has nothing
         // it may map into.
         Gpu::new(cfg).run(w.kernel.as_ref(), &w.space)
     };
-    let skip = run_with(false);
+    let skip = run_with(false, 1);
     assert!(skip.watchdog_fired, "watchdog never fired");
     assert!(!skip.completed, "a watchdog kill is not a completion");
     assert!(
         skip.stall_breakdown.get(StallCause::FaultService) > 0,
         "the stalled tail must be attributed to fault service"
     );
-    let tick = run_with(true);
+    let tick = run_with(true, 1);
     assert_eq!(
         skip.cycles, tick.cycles,
         "engines disagree on the kill cycle"
     );
     assert!(tick.watchdog_fired);
+    let par = run_with(false, 4);
+    assert_eq!(
+        skip.cycles, par.cycles,
+        "parallel engine disagrees on the kill cycle"
+    );
+    assert!(par.watchdog_fired);
 }
 
 /// Arming the fault model without any injection must be invisible: a
