@@ -57,10 +57,28 @@ fn main() {
         union.extend(specs);
     }
 
-    // One parallel batch over the whole evaluation.
+    // One parallel batch over the whole evaluation. With `--journal`
+    // this is a restartable queue: points already journaled are skipped
+    // and each fresh point is journaled the moment it completes, so a
+    // killed run (or `--kill-after N`) resumes without recompute.
     let t_batch = Instant::now();
     runner.run_points_parallel(union);
     let batch_wall = t_batch.elapsed();
+
+    // A shard worker only fills its slice of the journal; replaying the
+    // figures would simulate every other shard's points on-demand.
+    // Print/replay happens in the final merge run (same --journal, no
+    // --shard).
+    if let Some((i, n)) = opts.shard {
+        if n > 1 {
+            eprintln!(
+                "[all] shard {i}/{n}: {} point(s) simulated, {} from the journal; \
+                 run unsharded with the same --journal to print the figures",
+                runner.runs, runner.journal_hits
+            );
+            return;
+        }
+    }
 
     // Replay pass: print each figure from the warm cache.
     let mut fig_walls = Vec::new();
@@ -90,14 +108,15 @@ fn main() {
     let _ = writeln!(
         json,
         "  \"engine\": \"{}\",",
-        if opts.engine == gmmu::prelude::EngineKind::Parallel {
-            "parallel"
-        } else {
-            "serial"
+        match opts.engine {
+            gmmu::prelude::EngineKind::Parallel => "parallel",
+            gmmu::prelude::EngineKind::Event => "event",
+            _ => "serial",
         }
     );
     let _ = writeln!(json, "  \"run_threads\": {},", opts.run_threads);
     let _ = writeln!(json, "  \"total_sims\": {},", runner.runs);
+    let _ = writeln!(json, "  \"journal_hits\": {},", runner.journal_hits);
     let _ = writeln!(json, "  \"batch_wall_s\": {:.3},", batch_wall.as_secs_f64());
     let _ = writeln!(json, "  \"wall_s\": {:.3},", total_wall.as_secs_f64());
     let _ = writeln!(

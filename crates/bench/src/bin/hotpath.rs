@@ -13,7 +13,12 @@
 //! * the coalescer's linear-scan dedup inner loop, coalesced and
 //!   divergent warps;
 //! * `ShaderCore::next_event_at` — cached vs. recomputed every query
-//!   (the idle-skip engine queries every core on every skip attempt).
+//!   (the idle-skip engine queries every core on every skip attempt);
+//! * the event calendar — `peek`/`take_due`/`schedule` steps vs. the
+//!   linear all-cores min-scan the skip engine performs per skip;
+//! * the engines end-to-end — serial vs. event-calendar
+//!   `sim_cycles_per_sec` on a real workload (same cycles, by
+//!   construction; the ratio is the sweep-wall-time win).
 
 use gmmu_core::mmu::MmuModel;
 use gmmu_core::tlb::{Tlb, TlbConfig};
@@ -330,6 +335,81 @@ fn next_event_benches(results: &mut Vec<(String, f64)>, budget: Duration) {
     results.push(("next_event_at_recomputed".into(), ns));
 }
 
+// ------------------------------------------------------------ Calendar
+
+/// One engine scheduling step over 32 cores, repeated 256 times per
+/// iteration: jump to the next wake cycle, collect the due keys, and
+/// reschedule each — against the linear min-scan over every core's
+/// `next_event_at` the idle-skip engine performs instead.
+fn calendar_benches(results: &mut Vec<(String, f64)>, budget: Duration) {
+    use gmmu_sim::calendar::Calendar;
+    const KEYS: u32 = 32;
+
+    let mut cal = Calendar::new(KEYS as usize);
+    let mut x = 0x2545f4914f6cdd1du64;
+    for k in 0..KEYS {
+        cal.schedule(k, 1 + lcg(&mut x) % 64);
+    }
+    let mut due: Vec<u32> = Vec::with_capacity(KEYS as usize);
+    let ns = bench_ns(budget, || {
+        for _ in 0..256 {
+            let now = cal.peek_cycle().expect("calendar never drains");
+            cal.take_due(now, &mut due);
+            for &k in &due {
+                cal.schedule(k, now + 1 + lcg(&mut x) % 64);
+            }
+            black_box(due.len());
+        }
+    });
+    results.push(("calendar_step_x256".into(), ns));
+
+    let mut x = 0x2545f4914f6cdd1du64;
+    let mut wake: Vec<u64> = (0..KEYS).map(|_| 1 + lcg(&mut x) % 64).collect();
+    let ns = bench_ns(budget, || {
+        for _ in 0..256 {
+            let now = wake.iter().copied().min().expect("non-empty");
+            let mut taken = 0usize;
+            for w in wake.iter_mut() {
+                if *w <= now {
+                    *w = now + 1 + lcg(&mut x) % 64;
+                    taken += 1;
+                }
+            }
+            black_box(taken);
+        }
+    });
+    results.push(("calendar_linear_scan_x256".into(), ns));
+}
+
+// ------------------------------------------------------------- Engines
+
+/// End-to-end engine throughput on one real workload: best-of-3
+/// `sim_cycles_per_sec` for the serial and event-calendar engines.
+/// The runs are bit-identical (asserted); only the wall time differs.
+fn engine_benches() -> (f64, f64) {
+    use gmmu::prelude::*;
+    let w = build(Bench::Bfs, Scale::Tiny, 7);
+    let best = |engine: EngineKind| -> (f64, u64) {
+        let mut cfg = gmmu::ExperimentOpts::quick().gpu(MmuModel::augmented());
+        cfg.engine = engine;
+        let mut cycles = 0u64;
+        let mut rate = 0f64;
+        for _ in 0..3 {
+            let stats = gmmu_simt::gpu::run_kernel(cfg.clone(), w.kernel.as_ref(), &w.space);
+            cycles = stats.cycles;
+            rate = rate.max(stats.cycles_per_sec());
+        }
+        (rate, cycles)
+    };
+    let (serial, serial_cycles) = best(EngineKind::Serial);
+    let (event, event_cycles) = best(EngineKind::Event);
+    assert_eq!(
+        serial_cycles, event_cycles,
+        "the engines must simulate the same run"
+    );
+    (serial, event)
+}
+
 fn main() {
     let budget = Duration::from_millis(150);
     let mut results: Vec<(String, f64)> = Vec::new();
@@ -337,6 +417,8 @@ fn main() {
     mshr_benches(&mut results, budget);
     coalesce_benches(&mut results, budget);
     next_event_benches(&mut results, budget);
+    calendar_benches(&mut results, budget);
+    let (serial_rate, event_rate) = engine_benches();
 
     for (name, ns) in &results {
         println!("{name:<32} {ns:>12.1} ns/iter");
@@ -351,9 +433,20 @@ fn main() {
     let tlb_speedup = ratio("tlb_lookup_set_indexed_x256", "tlb_lookup_linear_ref_x256");
     let mshr_speedup = ratio("mshr_heap_cycle_x256", "mshr_linear_ref_cycle_x256");
     let cache_speedup = ratio("next_event_at_cached", "next_event_at_recomputed");
+    let calendar_speedup = ratio("calendar_step_x256", "calendar_linear_scan_x256");
+    let engine_speedup = if serial_rate > 0.0 {
+        event_rate / serial_rate
+    } else {
+        0.0
+    };
     println!("tlb set-indexed vs linear:      {tlb_speedup:.2}x");
     println!("mshr heap vs map-scan:          {mshr_speedup:.2}x");
     println!("next-event cached vs recompute: {cache_speedup:.2}x");
+    println!("calendar vs linear min-scan:    {calendar_speedup:.2}x");
+    println!(
+        "event engine vs serial:         {engine_speedup:.2}x \
+         ({event_rate:.0} vs {serial_rate:.0} sim cycles/s)"
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -371,8 +464,17 @@ fn main() {
     let _ = writeln!(json, "    \"mshr_heap_vs_linear\": {mshr_speedup:.3},");
     let _ = writeln!(
         json,
-        "    \"next_event_cached_vs_recomputed\": {cache_speedup:.3}"
+        "    \"next_event_cached_vs_recomputed\": {cache_speedup:.3},"
     );
+    let _ = writeln!(
+        json,
+        "    \"calendar_vs_linear_scan\": {calendar_speedup:.3}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"engine\": {{");
+    let _ = writeln!(json, "    \"serial_sim_cycles_per_sec\": {serial_rate:.0},");
+    let _ = writeln!(json, "    \"event_sim_cycles_per_sec\": {event_rate:.0},");
+    let _ = writeln!(json, "    \"event_vs_serial\": {engine_speedup:.3}");
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     match std::fs::write("BENCH_hotpath.json", &json) {

@@ -103,7 +103,7 @@ impl WalkerConfig {
 }
 
 /// A queued walk request.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkRequest {
     /// Page to translate.
     pub vpn: Vpn,
@@ -114,7 +114,7 @@ pub struct WalkRequest {
 }
 
 /// A finished walk, ready to fill the TLB.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkDone {
     /// Page that was walked.
     pub vpn: Vpn,
@@ -497,6 +497,82 @@ impl Walker {
         }
         self.stats.lane_busy_cycles.add(t - now);
         self.lanes[0] = t;
+    }
+}
+
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for WalkRequest {
+    fn save(&self, w: &mut Saver) {
+        self.vpn.save(w);
+        w.u16(self.warp);
+        w.u64(self.enqueued);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.vpn.load(r)?;
+        self.warp = r.u16()?;
+        self.enqueued = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Ckpt for WalkDone {
+    fn save(&self, w: &mut Saver) {
+        self.vpn.save(w);
+        w.u16(self.warp);
+        self.translation.save(w);
+        w.u64(self.complete);
+        w.u64(self.enqueued);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.vpn.load(r)?;
+        self.warp = r.u16()?;
+        self.translation.load(r)?;
+        self.complete = r.u64()?;
+        self.enqueued = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Ckpt for WalkerStats {
+    fn save(&self, w: &mut Saver) {
+        self.walks.save(w);
+        self.refs_issued.save(w);
+        self.refs_naive.save(w);
+        self.walk_latency.save(w);
+        self.batch_size.save(w);
+        self.pwc_hits.save(w);
+        self.lane_busy_cycles.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.walks.load(r)?;
+        self.refs_issued.load(r)?;
+        self.refs_naive.load(r)?;
+        self.walk_latency.load(r)?;
+        self.batch_size.load(r)?;
+        self.pwc_hits.load(r)?;
+        self.lane_busy_cycles.load(r)
+    }
+}
+
+impl Ckpt for Walker {
+    /// Whether a page-walk cache exists is config-derived geometry, so
+    /// the stream holds its contents only when the walker has one.
+    fn save(&self, w: &mut Saver) {
+        self.lanes.save(w);
+        self.pending.save(w);
+        if let Some(pwc) = &self.pwc {
+            pwc.save(w);
+        }
+        self.stats.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.lanes.load(r)?;
+        self.pending.load(r)?;
+        if let Some(pwc) = &mut self.pwc {
+            pwc.load(r)?;
+        }
+        self.stats.load(r)
     }
 }
 

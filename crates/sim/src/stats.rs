@@ -286,6 +286,50 @@ impl Histogram {
     }
 }
 
+impl crate::ckpt::Ckpt for Counter {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        w.u64(self.0);
+    }
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        self.0 = r.u64()?;
+        Ok(())
+    }
+}
+
+impl crate::ckpt::Ckpt for Summary {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u128(self.sum_sq);
+        w.u64(self.min);
+        w.u64(self.max);
+    }
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        self.count = r.u64()?;
+        self.sum = r.u64()?;
+        self.sum_sq = r.u128()?;
+        self.min = r.u64()?;
+        self.max = r.u64()?;
+        Ok(())
+    }
+}
+
+impl crate::ckpt::Ckpt for Histogram {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        self.buckets.save(w);
+        w.u64(self.count);
+        w.u64(self.sum);
+        w.u64(self.max);
+    }
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        self.buckets.load(r)?;
+        self.count = r.u64()?;
+        self.sum = r.u64()?;
+        self.max = r.u64()?;
+        Ok(())
+    }
+}
+
 /// Ratio helper: `num / den` as a percentage, 0 when `den == 0`.
 pub fn pct(num: u64, den: u64) -> f64 {
     if den == 0 {

@@ -26,7 +26,7 @@ pub const TID_DISPATCH: u32 = 1200;
 /// One completed span. `pid` is the core id, `tid` the track within the
 /// core (warp index, walker lane, block slot, ...). Fixed-size argument
 /// storage keeps events `Copy` and allocation-free.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct TraceEvent {
     /// Process id in the Chrome trace model: the core index.
     pub pid: u32,
@@ -198,9 +198,120 @@ impl Tracer {
     }
 }
 
+/// The span names, categories, and argument keys the simulator emits.
+/// Checkpoint restore maps serialized strings back onto these statics so
+/// a restored trace compares pointer-for-pointer equal to a live one;
+/// unknown strings (from a newer writer) are leaked once instead.
+const INTERNED: &[&str] = &[
+    "",
+    "tlb_miss",
+    "page_walk",
+    "warp_sleep",
+    "block",
+    "mmu",
+    "walker",
+    "warp",
+    "dispatch",
+    "vpn",
+];
+
+fn intern(s: &str) -> &'static str {
+    for &k in INTERNED {
+        if k == s {
+            return k;
+        }
+    }
+    Box::leak(s.to_owned().into_boxed_str())
+}
+
+impl crate::ckpt::Ckpt for TraceEvent {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        w.u32(self.pid);
+        w.u32(self.tid);
+        w.str(self.name);
+        w.str(self.cat);
+        w.u64(self.start);
+        w.u64(self.dur);
+        w.u8(self.n_args);
+        for (k, v) in &self.args {
+            w.str(k);
+            w.u64(*v);
+        }
+    }
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        self.pid = r.u32()?;
+        self.tid = r.u32()?;
+        self.name = intern(r.str()?);
+        self.cat = intern(r.str()?);
+        self.start = r.u64()?;
+        self.dur = r.u64()?;
+        self.n_args = r.u8()?;
+        for slot in &mut self.args {
+            let k = intern(r.str()?);
+            let v = r.u64()?;
+            *slot = (k, v);
+        }
+        Ok(())
+    }
+}
+
+impl crate::ckpt::Ckpt for TraceBuffer {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        self.events.save(w);
+    }
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        self.events.load(r)
+    }
+}
+
+impl crate::ckpt::Ckpt for Tracer {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        match self {
+            Tracer::Off => w.u8(0),
+            Tracer::Buffer(buf) => {
+                w.u8(1);
+                buf.save(w);
+            }
+        }
+    }
+    /// Restores into a tracer of the *same shape*: the caller attaches
+    /// the instruments before loading, and a mismatch (checkpoint taken
+    /// with tracing on, restored with it off, or vice versa) is an error
+    /// rather than a silent divergence.
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        let tag = r.u8()?;
+        match (tag, self) {
+            (0, Tracer::Off) => Ok(()),
+            (1, Tracer::Buffer(buf)) => buf.load(r),
+            _ => Err(crate::ckpt::CkptError::Corrupt(
+                "tracer on/off state differs from the checkpoint",
+            )),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn tracer_round_trips_through_checkpoint() {
+        use crate::ckpt::{Ckpt, Loader, Saver};
+        let mut t = Tracer::recording();
+        t.record(|| TraceEvent::span("tlb_miss", "mmu", 3, TID_MMU, 100, 250).arg("vpn", 42));
+        t.record(|| TraceEvent::span("page_walk", "walker", 3, TID_WALKER, 110, 200));
+        let mut w = Saver::new();
+        t.save(&mut w);
+        let bytes = w.into_bytes();
+
+        let mut back = Tracer::recording();
+        back.load(&mut Loader::new(&bytes)).unwrap();
+        assert_eq!(t, back);
+
+        // Shape mismatch is an error, not silence.
+        let mut off = Tracer::Off;
+        assert!(off.load(&mut Loader::new(&bytes)).is_err());
+    }
 
     #[test]
     fn off_tracer_never_builds_events() {

@@ -147,6 +147,15 @@ pub enum EngineKind {
     /// shared-memory accesses are serialized into exact core-index
     /// order, so the result is bit-identical to [`EngineKind::Serial`].
     Parallel,
+    /// The event-calendar engine: per-component wake times live in a
+    /// [`gmmu_sim::calendar::Calendar`] and the clock jumps straight
+    /// between event cycles, ticking only the cores whose events fire.
+    /// Bit-identical to [`EngineKind::Serial`]; additionally supports
+    /// deterministic checkpoint/restore
+    /// ([`crate::gpu::Gpu::run_event_checkpointed`]). Ignored (falls
+    /// back to the standard loop) when `tick_every_cycle` or
+    /// `GMMU_TICK_EVERY_CYCLE` forces per-cycle ticking.
+    Event,
 }
 
 /// Full GPU configuration.

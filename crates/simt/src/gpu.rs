@@ -15,6 +15,8 @@ use crate::parallel::{worker_loop, ParallelPool};
 use crate::program::Kernel;
 use crate::stall::StallBreakdown;
 use gmmu_mem::MemorySystem;
+use gmmu_sim::calendar::Calendar;
+use gmmu_sim::ckpt::{fnv1a64, Ckpt, CkptError, Loader, Saver};
 use gmmu_sim::fault::{major_fault, FaultInjector};
 use gmmu_sim::stats::{Histogram, Summary};
 use gmmu_sim::trace::Tracer;
@@ -189,6 +191,35 @@ impl RunStats {
     }
 }
 
+/// Magic bytes opening every checkpoint image.
+pub const CKPT_MAGIC: [u8; 4] = *b"GMCK";
+/// Checkpoint format version. Bumped whenever the payload layout
+/// changes; old images are refused rather than misread (see
+/// `DESIGN.md`, "Checkpoint format versioning").
+pub const CKPT_VERSION: u32 = 1;
+
+/// The configuration fingerprint stored in a checkpoint header: a
+/// stable hash of the GPU configuration, kernel name, and thread count.
+/// [`Gpu::run_event_checkpointed`] refuses to resume a checkpoint whose
+/// fingerprint differs — state can only be loaded into an identically
+/// shaped machine.
+fn ckpt_fingerprint(config: &GpuConfig, kernel: &dyn Kernel) -> u64 {
+    let key = format!("{:?}|{}|{}", config, kernel.name(), kernel.num_threads());
+    fnv1a64(key.as_bytes())
+}
+
+/// Checkpoint emission and resume controls for one
+/// [`Gpu::run_event_checkpointed`] run.
+pub struct CheckpointOpts<'a> {
+    /// Emit a checkpoint at the first visited cycle at or after every
+    /// multiple of this many cycles (0 = never emit).
+    pub every: Cycle,
+    /// Receives each emitted checkpoint image.
+    pub sink: &'a mut dyn FnMut(&[u8]),
+    /// A checkpoint image to resume from instead of starting at cycle 0.
+    pub resume: Option<&'a [u8]>,
+}
+
 /// How a run borrows the address space: shared (read-only translation,
 /// the historical contract) or owned (the fault handler and shootdown
 /// storms may map/remap pages mid-run).
@@ -290,19 +321,20 @@ impl Gpu {
         self.run_inner(kernel, SpaceAccess::Owned(space), obs)
     }
 
-    fn run_inner(
+    /// Shared run preamble: validates the kernel against the space,
+    /// distributes thread blocks round-robin over the cores, and returns
+    /// the per-thread-per-site iteration counters.
+    fn prepare_run(
         &mut self,
         kernel: &dyn Kernel,
-        mut space: SpaceAccess<'_>,
+        space: &AddressSpace,
         obs: &mut Observer,
-    ) -> RunStats {
-        let wall_start = std::time::Instant::now();
+    ) -> Vec<u32> {
         let threads = kernel.num_threads();
         assert!(threads > 0, "kernel has no threads");
         if self.config.granule == gmmu_vm::PageSize::Large2M {
             assert!(
                 space
-                    .get()
                     .regions()
                     .iter()
                     .all(|r| r.page_size == gmmu_vm::PageSize::Large2M),
@@ -322,7 +354,6 @@ impl Gpu {
             self.cores[(b as usize) % n_cores].push_block(first, count);
         }
         let num_sites = kernel.program().num_sites().max(1);
-        let mut iters = vec![0u32; threads as usize * num_sites];
         if let Some(rec) = obs.intervals.as_mut() {
             let lanes: usize = self
                 .cores
@@ -331,6 +362,54 @@ impl Gpu {
                 .sum();
             rec.set_lanes(lanes as u64);
         }
+        vec![0u32; threads as usize * num_sites]
+    }
+
+    /// Runs `kernel` on the event-calendar engine with deterministic
+    /// checkpoint/restore: a versioned snapshot of the *entire*
+    /// simulation state (cores, TLBs, MSHRs, page tables, calendar,
+    /// statistics, observer buffers) is handed to `opts.sink` every
+    /// `opts.every` cycles, and a run resumed from such a snapshot
+    /// (`opts.resume`) finishes bit-identical to an uninterrupted one —
+    /// same stats, traces, and interval series.
+    ///
+    /// The space is always owned (the `run_faulted` contract): demand
+    /// paging and shootdown storms mutate it, so its state is part of
+    /// the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `opts.resume` is truncated, corrupt, from a different
+    /// format version, or from a differently configured machine
+    /// (fingerprint mismatch). Never fails when `opts.resume` is `None`.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Gpu::run`].
+    pub fn run_event_checkpointed(
+        &mut self,
+        kernel: &dyn Kernel,
+        space: &mut AddressSpace,
+        obs: &mut Observer,
+        mut opts: CheckpointOpts<'_>,
+    ) -> Result<RunStats, CkptError> {
+        let wall_start = std::time::Instant::now();
+        let mut iters = self.prepare_run(kernel, space, obs);
+        let mut access = SpaceAccess::Owned(space);
+        let mut stats =
+            self.drive_event_ckpt(kernel, &mut access, obs, &mut iters, Some(&mut opts))?;
+        stats.wall_s = wall_start.elapsed().as_secs_f64();
+        Ok(stats)
+    }
+
+    fn run_inner(
+        &mut self,
+        kernel: &dyn Kernel,
+        mut space: SpaceAccess<'_>,
+        obs: &mut Observer,
+    ) -> RunStats {
+        let wall_start = std::time::Instant::now();
+        let mut iters = self.prepare_run(kernel, space.get(), obs);
 
         // The parallel engine ticks cores concurrently within each
         // cycle behind a lock-step barrier; an ordered memory gate and
@@ -339,6 +418,8 @@ impl Gpu {
         // calling thread, which participates in every cycle — so
         // `run_threads: 1` (and a 1-core GPU) degenerate to serial.
         let run_threads = self.config.run_threads;
+        let legacy =
+            self.config.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some();
         let mut stats = if self.config.engine == EngineKind::Parallel
             && run_threads > 1
             && self.cores.len() > 1
@@ -353,6 +434,8 @@ impl Gpu {
                 pool.shutdown();
                 stats
             })
+        } else if self.config.engine == EngineKind::Event && !legacy {
+            self.drive_event(kernel, &mut space, obs, &mut iters)
         } else {
             self.drive(kernel, &mut space, obs, &mut iters, None)
         };
@@ -618,6 +701,396 @@ impl Gpu {
         stats
     }
 
+    /// The event-calendar engine: every timer source — each core, the
+    /// CPU fault-handler queue, the shootdown-storm schedule, the
+    /// watchdog deadline, and the interval sampler — owns a key in one
+    /// [`Calendar`], and the clock jumps straight between event cycles,
+    /// ticking only the cores whose keys fire.
+    ///
+    /// Bit-identity with [`Gpu::drive`] rests on three facts the
+    /// determinism suite enforces end-to-end:
+    ///
+    /// 1. A core that is not due would have had a *quiet* tick (see
+    ///    [`ShaderCore::tick`]): no dispatch, no MMU activity, no
+    ///    events, no issuable unit. Quiet ticks touch only catch-up
+    ///    state (MSHR expiry, policy/CPM decay epochs) that replays
+    ///    identically when the next real tick arrives, so eliding them
+    ///    is unobservable — and since elided cores make no memory
+    ///    accesses, ticking the due subset in core-index order
+    ///    reproduces the serial engine's shared-memory access order
+    ///    exactly.
+    /// 2. Idle/live accounting for elided cycles is deferred and
+    ///    flushed before anything at the current cycle can mutate core
+    ///    state: a deferred span's stall classification is constant
+    ///    (any state change would have made the core due), so charging
+    ///    it at flush time equals per-cycle charging.
+    /// 3. Global timers fire on exactly the cycles the serial loop
+    ///    folds into its skip target, and ties are broken identically
+    ///    (phases in the same order, cores in index order).
+    fn drive_event(
+        &mut self,
+        kernel: &dyn Kernel,
+        space: &mut SpaceAccess<'_>,
+        obs: &mut Observer,
+        iters: &mut [u32],
+    ) -> RunStats {
+        self.drive_event_ckpt(kernel, space, obs, iters, None)
+            .expect("an event run without a resume image cannot fail")
+    }
+
+    /// [`Gpu::drive_event`] with optional checkpoint emission/resume.
+    /// Snapshots are taken at the top of a visited cycle, before any
+    /// phase of that cycle runs, so a resumed run re-enters the loop in
+    /// exactly the captured state and replays the remainder
+    /// bit-identically.
+    fn drive_event_ckpt(
+        &mut self,
+        kernel: &dyn Kernel,
+        space: &mut SpaceAccess<'_>,
+        obs: &mut Observer,
+        iters: &mut [u32],
+        mut ckpt: Option<&mut CheckpointOpts<'_>>,
+    ) -> Result<RunStats, CkptError> {
+        let n = self.cores.len();
+        let key_fault = n as u32;
+        let key_storm = key_fault + 1;
+        let key_watchdog = key_storm + 1;
+        let key_sampler = key_watchdog + 1;
+        let fault_cfg = self.config.fault;
+        let injector = self
+            .config
+            .inject
+            .filter(|i| i.enabled())
+            .map(FaultInjector::new);
+        let mut cal = Calendar::new(n + 4);
+        let mut due: Vec<u32> = Vec::with_capacity(n + 4);
+        let mut fault_q: Vec<(Vpn, Cycle)> = Vec::new();
+        let mut fault_scratch: Vec<Vpn> = Vec::new();
+        let mut resolved_scratch: Vec<Vpn> = Vec::new();
+        // Per core: the last cycle whose live/idle accounting has been
+        // recorded (by a tick or a flushed idle span).
+        let mut accounted: Vec<Cycle> = vec![0; n];
+        let mut live_mask: Vec<bool> = self.cores.iter().map(|c| c.has_work()).collect();
+        let mut last_epoch = space.get().shootdown_epoch();
+        let mut next_storm: u32 = 1;
+        let mut last_progress: Cycle = 0;
+        let mut watchdog_fired = false;
+        let mut now: Cycle = 0;
+        let mut completed = true;
+        for i in 0..n as u32 {
+            cal.schedule(i, 0);
+        }
+        if fault_cfg.watchdog > 0 {
+            cal.schedule(key_watchdog, fault_cfg.watchdog);
+        }
+        if let Some(inj) = &injector {
+            if space.get_mut().is_some() {
+                if let Some(c) = inj.storm_at(next_storm) {
+                    cal.schedule(key_storm, c);
+                }
+            }
+        }
+        if let Some(rec) = obs.intervals.as_ref() {
+            cal.schedule(key_sampler, rec.next_boundary());
+        }
+        let mut next_emit: Cycle = ckpt.as_ref().map_or(0, |c| c.every.max(1));
+        if let Some(opts) = ckpt.as_mut() {
+            if let Some(bytes) = opts.resume {
+                let mut r = Loader::new(bytes);
+                let found = r.header(&CKPT_MAGIC, CKPT_VERSION)?;
+                let expected = ckpt_fingerprint(&self.config, kernel);
+                if found != expected {
+                    return Err(CkptError::ConfigMismatch { expected, found });
+                }
+                now = r.u64()?;
+                last_progress = r.u64()?;
+                next_storm = r.u32()?;
+                last_epoch = r.u64()?;
+                fault_q.load(&mut r)?;
+                for a in accounted.iter_mut() {
+                    *a = r.u64()?;
+                }
+                cal.load(&mut r)?;
+                for it in iters.iter_mut() {
+                    *it = r.u32()?;
+                }
+                match space {
+                    SpaceAccess::Owned(sp) => sp.load(&mut r)?,
+                    SpaceAccess::Shared(_) => {
+                        return Err(CkptError::Corrupt("resume requires an owned address space"))
+                    }
+                }
+                self.mem.load(&mut r)?;
+                for core in &mut self.cores {
+                    core.load(&mut r)?;
+                }
+                obs.tracer.load(&mut r)?;
+                if let Some(rec) = obs.intervals.as_mut() {
+                    rec.load(&mut r)?;
+                }
+                if r.remaining() != 0 {
+                    return Err(CkptError::Corrupt("trailing bytes after checkpoint"));
+                }
+                for (i, core) in self.cores.iter().enumerate() {
+                    live_mask[i] = core.has_work();
+                }
+                next_emit = now + opts.every.max(1);
+            }
+        }
+        loop {
+            // Snapshot at the top of a visited cycle, before any phase
+            // of the cycle runs: the resume path re-enters the loop
+            // here with identical state.
+            if let Some(opts) = ckpt.as_mut() {
+                if opts.every > 0 && now > 0 && now >= next_emit {
+                    let image = self.save_checkpoint(
+                        kernel,
+                        space,
+                        obs,
+                        iters,
+                        (now, last_progress, next_storm, last_epoch),
+                        &fault_q,
+                        &accounted,
+                        &cal,
+                    );
+                    (opts.sink)(&image);
+                    next_emit = now + opts.every;
+                }
+            }
+            // Deferred idle spans flush before anything at `now` can
+            // change a core's stall classification.
+            if now > 0 {
+                let upto = now - 1;
+                for (core, acc) in self.cores.iter_mut().zip(accounted.iter_mut()) {
+                    if *acc < upto {
+                        core.note_idle_skip(*acc + 1, upto - *acc);
+                        *acc = upto;
+                    }
+                }
+            }
+            // Storm catch-up, exactly as the serial loop: the counter
+            // advances through every storm at or before `now`; the
+            // remap itself needs an owned space.
+            if let Some(inj) = &injector {
+                while inj.storm_at(next_storm).is_some_and(|c| c <= now) {
+                    let k = next_storm;
+                    next_storm += 1;
+                    if let Some(sp) = space.get_mut() {
+                        if !sp.regions().is_empty() {
+                            let idx = inj.storm_region(k, sp.regions().len());
+                            let name = sp.regions()[idx].name.clone();
+                            let _ = sp.remap_region(&name);
+                        }
+                    }
+                }
+                if space.get_mut().is_some() {
+                    match inj.storm_at(next_storm) {
+                        Some(c) => cal.schedule(key_storm, c),
+                        None => cal.cancel(key_storm),
+                    }
+                }
+            }
+            let epoch = space.get().shootdown_epoch();
+            if epoch != last_epoch {
+                last_epoch = epoch;
+                for (i, core) in self.cores.iter_mut().enumerate() {
+                    core.shootdown(now);
+                    cal.schedule(i as u32, now);
+                }
+            }
+            if !fault_q.is_empty() {
+                resolved_scratch.clear();
+                fault_q.retain(|&(vpn, at)| {
+                    if at <= now {
+                        resolved_scratch.push(vpn);
+                        false
+                    } else {
+                        true
+                    }
+                });
+                for &vpn in &resolved_scratch {
+                    let mapped = match space.get_mut() {
+                        Some(sp) => sp.map_page(vpn).is_ok(),
+                        None => false,
+                    };
+                    if mapped {
+                        for (i, core) in self.cores.iter_mut().enumerate() {
+                            core.resolve_fault(vpn, now);
+                            cal.schedule(i as u32, now);
+                        }
+                    } else {
+                        fault_q.push((vpn, now + fault_cfg.minor_latency.max(1)));
+                    }
+                }
+            }
+            cal.take_due(now, &mut due);
+            let mut issued = false;
+            fault_scratch.clear();
+            for &key in &due {
+                if key >= n as u32 {
+                    continue; // global timers: their phases already ran
+                }
+                let i = key as usize;
+                let core = &mut self.cores[i];
+                let fired = core.tick(
+                    now,
+                    &mut self.mem,
+                    space.get(),
+                    kernel,
+                    iters,
+                    &mut obs.tracer,
+                );
+                issued |= fired;
+                accounted[i] = now;
+                live_mask[i] = core.has_work();
+                core.drain_faults(&mut fault_scratch);
+                if fired {
+                    // After an issue the very next cycle may issue
+                    // again (round-robin arbitration carries no timer).
+                    cal.schedule(key, now + 1);
+                } else {
+                    match core.next_event_at(now) {
+                        Some(c) => cal.schedule(key, c),
+                        None => cal.cancel(key),
+                    }
+                }
+            }
+            for &vpn in &fault_scratch {
+                if fault_q.iter().any(|&(v, _)| v == vpn) {
+                    continue;
+                }
+                let latency = if major_fault(self.config.seed, vpn.raw(), fault_cfg.major_fraction)
+                {
+                    fault_cfg.major_latency
+                } else {
+                    fault_cfg.minor_latency
+                };
+                fault_q.push((vpn, now + latency.max(1)));
+            }
+            match fault_q.iter().map(|&(_, at)| at).min() {
+                Some(at) => cal.schedule(key_fault, at),
+                None => cal.cancel(key_fault),
+            }
+            if !live_mask.iter().any(|&l| l) {
+                break;
+            }
+            if issued {
+                last_progress = now;
+                if fault_cfg.watchdog > 0 {
+                    cal.schedule(key_watchdog, now + fault_cfg.watchdog);
+                }
+            } else if fault_cfg.watchdog > 0 && now - last_progress >= fault_cfg.watchdog {
+                eprintln!(
+                    "gmmu watchdog: no instruction issued for {} cycles \
+                     (last progress at cycle {last_progress}, now {now})",
+                    now - last_progress
+                );
+                eprintln!(
+                    "  {} page(s) in CPU fault service: {:?}",
+                    fault_q.len(),
+                    fault_q
+                );
+                for core in &self.cores {
+                    eprint!("{}", core.stall_diagnostics(now));
+                }
+                watchdog_fired = true;
+                completed = false;
+                // The serial loop ticked every live core on the kill
+                // cycle; account it for the cores that were not due.
+                for (core, acc) in self.cores.iter_mut().zip(accounted.iter_mut()) {
+                    if *acc < now {
+                        core.note_idle_skip(*acc + 1, now - *acc);
+                        *acc = now;
+                    }
+                }
+                break;
+            }
+            let next = cal
+                .peek_cycle()
+                .expect("a live machine must have a scheduled event");
+            debug_assert!(next > now, "calendar must advance the clock");
+            now = next.min(self.config.max_cycles);
+            if let Some(rec) = obs.intervals.as_mut() {
+                while rec.due(now) {
+                    let totals = Self::totals(&self.cores, &self.mem);
+                    rec.sample(totals);
+                }
+                cal.schedule(key_sampler, rec.next_boundary());
+            }
+            if now >= self.config.max_cycles {
+                completed = false;
+                let upto = now - 1;
+                for (core, acc) in self.cores.iter_mut().zip(accounted.iter_mut()) {
+                    if *acc < upto {
+                        core.note_idle_skip(*acc + 1, upto - *acc);
+                        *acc = upto;
+                    }
+                }
+                break;
+            }
+        }
+        if let Some(rec) = obs.intervals.as_mut() {
+            rec.finish(now, Self::totals(&self.cores, &self.mem));
+        }
+        let mut stats = self.collect(now, completed);
+        stats.watchdog_fired = watchdog_fired;
+        Ok(stats)
+    }
+
+    /// Serializes the full simulation state at the top of cycle
+    /// `clocks.0`. Layout (after the header) is fixed by
+    /// [`CKPT_VERSION`]: engine clocks, fault queue, per-core idle
+    /// accounting, calendar, iteration counters, address space, memory
+    /// system, cores, then observer buffers. Geometry-length sequences
+    /// (accounted, iters, cores) are written per element without a
+    /// length — the machine shape is pinned by the fingerprint.
+    #[allow(clippy::too_many_arguments)]
+    fn save_checkpoint(
+        &self,
+        kernel: &dyn Kernel,
+        space: &SpaceAccess<'_>,
+        obs: &Observer,
+        iters: &[u32],
+        clocks: (Cycle, Cycle, u32, u64),
+        fault_q: &[(Vpn, Cycle)],
+        accounted: &[Cycle],
+        cal: &Calendar,
+    ) -> Vec<u8> {
+        let (now, last_progress, next_storm, last_epoch) = clocks;
+        let mut w = Saver::new();
+        w.header(
+            &CKPT_MAGIC,
+            CKPT_VERSION,
+            ckpt_fingerprint(&self.config, kernel),
+        );
+        w.u64(now);
+        w.u64(last_progress);
+        w.u32(next_storm);
+        w.u64(last_epoch);
+        // Same wire shape as `Vec::save` (the resume path loads with it).
+        w.usize(fault_q.len());
+        for entry in fault_q {
+            entry.save(&mut w);
+        }
+        for &a in accounted {
+            w.u64(a);
+        }
+        cal.save(&mut w);
+        for &it in iters {
+            w.u32(it);
+        }
+        space.get().save(&mut w);
+        self.mem.save(&mut w);
+        for core in &self.cores {
+            core.save(&mut w);
+        }
+        obs.tracer.save(&mut w);
+        if let Some(rec) = obs.intervals.as_ref() {
+            rec.save(&mut w);
+        }
+        w.into_bytes()
+    }
+
     /// Current whole-GPU totals of the counters interval samples track.
     fn totals(cores: &[ShaderCore], mem: &MemorySystem) -> CounterSnapshot {
         let mut t = CounterSnapshot {
@@ -697,6 +1170,68 @@ pub fn run_kernel(config: GpuConfig, kernel: &dyn Kernel, space: &AddressSpace) 
     Gpu::new(config).run(kernel, space)
 }
 
+impl Ckpt for RunStats {
+    fn save(&self, w: &mut Saver) {
+        w.u64(self.cycles);
+        w.bool(self.completed);
+        w.u64(self.instructions);
+        w.u64(self.mem_instructions);
+        w.u64(self.idle_cycles);
+        self.stall_breakdown.save(w);
+        w.u64(self.live_cycles);
+        self.page_divergence.save(w);
+        self.l1_miss_latency.save(w);
+        self.tlb_miss_latency.save(w);
+        w.u64(self.tlb_accesses);
+        w.u64(self.tlb_hits);
+        w.u64(self.l1_accesses);
+        w.u64(self.l1_hits);
+        w.u64(self.walk_refs_issued);
+        w.u64(self.walk_refs_naive);
+        w.u64(self.walks);
+        w.f64(self.walk_l2_hit_rate);
+        w.u64(self.dram_requests);
+        w.u64(self.replays);
+        w.u64(self.dwarps_formed);
+        w.u64(self.blocks_done);
+        w.u64(self.faults);
+        w.u64(self.shootdowns);
+        w.u64(self.squashed_walks);
+        w.bool(self.watchdog_fired);
+        w.f64(self.wall_s);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.cycles = r.u64()?;
+        self.completed = r.bool()?;
+        self.instructions = r.u64()?;
+        self.mem_instructions = r.u64()?;
+        self.idle_cycles = r.u64()?;
+        self.stall_breakdown.load(r)?;
+        self.live_cycles = r.u64()?;
+        self.page_divergence.load(r)?;
+        self.l1_miss_latency.load(r)?;
+        self.tlb_miss_latency.load(r)?;
+        self.tlb_accesses = r.u64()?;
+        self.tlb_hits = r.u64()?;
+        self.l1_accesses = r.u64()?;
+        self.l1_hits = r.u64()?;
+        self.walk_refs_issued = r.u64()?;
+        self.walk_refs_naive = r.u64()?;
+        self.walks = r.u64()?;
+        self.walk_l2_hit_rate = r.f64()?;
+        self.dram_requests = r.u64()?;
+        self.replays = r.u64()?;
+        self.dwarps_formed = r.u64()?;
+        self.blocks_done = r.u64()?;
+        self.faults = r.u64()?;
+        self.shootdowns = r.u64()?;
+        self.squashed_walks = r.u64()?;
+        self.watchdog_fired = r.bool()?;
+        self.wall_s = r.f64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -725,10 +1260,10 @@ mod tests {
         /// 4: alu (join of if — then path starts here)   [simplified if]
         /// 5: branch loop-site → taken 0 (continue), reconv 6
         /// 6: store
-        fn new(space: &mut AddressSpace, threads: u32) -> Self {
+        fn new(space: &mut AddressSpace, threads: u32) -> Result<Self, gmmu_vm::VmError> {
             let bytes = 4u64 << 20;
-            let region = space.map_region("data", bytes, PageSize::Base4K).unwrap();
-            Self {
+            let region = space.map_region("data", bytes, PageSize::Base4K)?;
+            Ok(Self {
                 program: Program::new(vec![
                     Op::Alu { cycles: 4 },
                     Op::Mem {
@@ -755,7 +1290,7 @@ mod tests {
                 region,
                 threads,
                 pages: bytes / 4096,
-            }
+            })
         }
 
         fn trips(&self, tid: ThreadId) -> u32 {
@@ -803,7 +1338,8 @@ mod tests {
 
     fn run(c: GpuConfig, threads: u32) -> RunStats {
         let mut space = AddressSpace::new(SpaceConfig::default());
-        let kernel = DivergentKernel::new(&mut space, threads);
+        let kernel =
+            DivergentKernel::new(&mut space, threads).expect("test space has frames to spare");
         run_kernel(c, &kernel, &space)
     }
 
@@ -906,6 +1442,25 @@ mod tests {
             assert_eq!(serial.walks, par.walks, "{threads} threads");
             assert_eq!(serial.replays, par.replays, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn event_engine_is_bit_identical_to_serial() {
+        let serial = run(cfg(MmuModel::augmented()), 512);
+        let mut c = cfg(MmuModel::augmented());
+        c.engine = crate::config::EngineKind::Event;
+        let event = run(c, 512);
+        assert_eq!(serial.cycles, event.cycles);
+        assert_eq!(serial.instructions, event.instructions);
+        assert_eq!(serial.idle_cycles, event.idle_cycles);
+        assert_eq!(serial.stall_breakdown, event.stall_breakdown);
+        assert_eq!(serial.live_cycles, event.live_cycles);
+        assert_eq!(serial.tlb_accesses, event.tlb_accesses);
+        assert_eq!(serial.tlb_hits, event.tlb_hits);
+        assert_eq!(serial.l1_accesses, event.l1_accesses);
+        assert_eq!(serial.dram_requests, event.dram_requests);
+        assert_eq!(serial.walks, event.walks);
+        assert_eq!(serial.replays, event.replays);
     }
 
     #[test]

@@ -60,7 +60,7 @@ pub struct CounterSnapshot {
 }
 
 /// One interval's worth of activity, as deltas over the epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct IntervalSample {
     /// Cycle the interval ends at (exclusive).
     pub end_cycle: Cycle,
@@ -139,6 +139,14 @@ impl IntervalRecorder {
     #[inline]
     pub fn due(&self, now: Cycle) -> bool {
         now >= self.next
+    }
+
+    /// The next sample boundary — the cycle at which [`IntervalRecorder::due`]
+    /// first becomes true. The event-calendar engine schedules its
+    /// sampler key here.
+    #[inline]
+    pub fn next_boundary(&self) -> Cycle {
+        self.next
     }
 
     /// Closes the interval ending at the pending boundary using the
@@ -235,6 +243,63 @@ impl IntervalRecorder {
         }
         out.push_str("  ]\n}\n");
         out
+    }
+}
+
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for CounterSnapshot {
+    fn save(&self, w: &mut Saver) {
+        w.u64(self.instructions);
+        w.u64(self.tlb_accesses);
+        w.u64(self.tlb_hits);
+        w.u64(self.walker_busy_cycles);
+        w.u64(self.dram_requests);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.instructions = r.u64()?;
+        self.tlb_accesses = r.u64()?;
+        self.tlb_hits = r.u64()?;
+        self.walker_busy_cycles = r.u64()?;
+        self.dram_requests = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Ckpt for IntervalSample {
+    fn save(&self, w: &mut Saver) {
+        w.u64(self.end_cycle);
+        w.u64(self.cycles);
+        w.u64(self.instructions);
+        w.u64(self.tlb_accesses);
+        w.u64(self.tlb_hits);
+        w.u64(self.walker_busy_cycles);
+        w.u64(self.dram_requests);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.end_cycle = r.u64()?;
+        self.cycles = r.u64()?;
+        self.instructions = r.u64()?;
+        self.tlb_accesses = r.u64()?;
+        self.tlb_hits = r.u64()?;
+        self.walker_busy_cycles = r.u64()?;
+        self.dram_requests = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Ckpt for IntervalRecorder {
+    /// `stride` and `lanes` come from the run setup and are rebuilt by
+    /// the caller; the stream holds the sampling cursor and the samples.
+    fn save(&self, w: &mut Saver) {
+        w.u64(self.next);
+        self.last.save(w);
+        self.samples.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.next = r.u64()?;
+        self.last.load(r)?;
+        self.samples.load(r)
     }
 }
 

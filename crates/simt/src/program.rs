@@ -17,9 +17,10 @@ use gmmu_vm::VAddr;
 pub type ThreadId = u32;
 
 /// Load or store.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum MemKind {
     /// A load: the warp waits for the data.
+    #[default]
     Load,
     /// A store: fire-and-forget write-through traffic.
     Store,

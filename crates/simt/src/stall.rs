@@ -123,6 +123,22 @@ impl StallBreakdown {
     }
 }
 
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for StallBreakdown {
+    fn save(&self, w: &mut Saver) {
+        for v in &self.0 {
+            w.u64(*v);
+        }
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        for v in &mut self.0 {
+            *v = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

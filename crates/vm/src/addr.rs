@@ -19,9 +19,10 @@ pub const LARGE_PAGE_BYTES: u64 = 1 << LARGE_PAGE_SHIFT;
 pub const FRAMES_PER_LARGE: u64 = 1 << (LARGE_PAGE_SHIFT - PAGE_SHIFT);
 
 /// Page size of a mapping.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
 pub enum PageSize {
     /// 4 KiB page, mapped at the PT (level-1) entry.
+    #[default]
     Base4K,
     /// 2 MiB page, mapped at the PD (level-2) entry.
     Large2M,
@@ -221,6 +222,41 @@ impl Ppn {
 impl fmt::Display for Ppn {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "ppn:{:#x}", self.0)
+    }
+}
+
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+macro_rules! ckpt_addr {
+    ($($t:ty),*) => {$(
+        impl Ckpt for $t {
+            fn save(&self, w: &mut Saver) {
+                w.u64(self.0);
+            }
+            fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+                self.0 = r.u64()?;
+                Ok(())
+            }
+        }
+    )*};
+}
+
+ckpt_addr!(VAddr, PAddr, Vpn, Ppn);
+
+impl Ckpt for PageSize {
+    fn save(&self, w: &mut Saver) {
+        w.u8(match self {
+            PageSize::Base4K => 0,
+            PageSize::Large2M => 1,
+        });
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        *self = match r.u8()? {
+            0 => PageSize::Base4K,
+            1 => PageSize::Large2M,
+            _ => return Err(CkptError::Corrupt("unknown page size tag")),
+        };
+        Ok(())
     }
 }
 

@@ -312,6 +312,65 @@ impl PageTable {
     }
 }
 
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for Entry {
+    fn save(&self, w: &mut Saver) {
+        match self {
+            Entry::None => w.u8(0),
+            Entry::Table(child) => {
+                w.u8(1);
+                w.u32(*child);
+            }
+            Entry::Page(ppn) => {
+                w.u8(2);
+                ppn.save(w);
+            }
+        }
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        *self = match r.u8()? {
+            0 => Entry::None,
+            1 => Entry::Table(r.u32()?),
+            2 => {
+                let mut ppn = Ppn::default();
+                ppn.load(r)?;
+                Entry::Page(ppn)
+            }
+            _ => return Err(CkptError::Corrupt("unknown page-table entry tag")),
+        };
+        Ok(())
+    }
+}
+
+impl Ckpt for PageTable {
+    fn save(&self, w: &mut Saver) {
+        w.usize(self.nodes.len());
+        for node in &self.nodes {
+            node.frame.save(w);
+            node.entries.save(w);
+        }
+        w.u64(self.mapped_pages);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        let n = r.usize()?;
+        self.nodes.clear();
+        self.nodes.reserve(n);
+        for _ in 0..n {
+            let mut frame = Ppn::default();
+            frame.load(r)?;
+            let mut node = Node::new(frame);
+            node.entries.load(r)?;
+            self.nodes.push(node);
+        }
+        if self.nodes.is_empty() {
+            return Err(CkptError::Corrupt("page table without a root node"));
+        }
+        self.mapped_pages = r.u64()?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

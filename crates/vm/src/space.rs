@@ -38,7 +38,7 @@ impl Default for SpaceConfig {
 }
 
 /// A named, mapped virtual region.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct Region {
     /// Region name (for diagnostics).
     pub name: String,
@@ -404,6 +404,45 @@ impl AddressSpace {
         }
         self.shootdown_epoch += 1;
         Ok(true)
+    }
+}
+
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for Region {
+    fn save(&self, w: &mut Saver) {
+        w.str(&self.name);
+        self.base.save(w);
+        w.u64(self.bytes);
+        self.page_size.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.name = r.str()?.to_owned();
+        self.base.load(r)?;
+        self.bytes = r.u64()?;
+        self.page_size.load(r)
+    }
+}
+
+impl Ckpt for AddressSpace {
+    /// Serializes the *full* mapping state — page-table nodes, allocator
+    /// cursors, regions, and the shootdown epoch — so demand paging and
+    /// remap storms resume with the exact frame-allocation future the
+    /// uninterrupted run would have had.
+    fn save(&self, w: &mut Saver) {
+        self.table.save(w);
+        self.frames.save(w);
+        self.regions.save(w);
+        w.u64(self.next_vbase);
+        w.u64(self.shootdown_epoch);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.table.load(r)?;
+        self.frames.load(r)?;
+        self.regions.load(r)?;
+        self.next_vbase = r.u64()?;
+        self.shootdown_epoch = r.u64()?;
+        Ok(())
     }
 }
 

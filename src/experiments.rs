@@ -18,28 +18,34 @@
 //! sweep in any thread count.
 
 use crate::prelude::*;
+use gmmu_sim::ckpt::{Ckpt, Loader, Saver};
 use gmmu_sim::rng::fnv1a64;
 use gmmu_sim::trace::Tracer;
-use gmmu_simt::gpu::run_kernel;
+use gmmu_simt::gpu::{run_kernel, CheckpointOpts};
 use gmmu_simt::{IntervalRecorder, Observer};
 use std::collections::{HashMap, HashSet};
+use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
 const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
-               [--engine serial|parallel] [--run-threads N]
+               [--engine serial|parallel|event] [--run-threads N]
                [--trace PATH] [--intervals PATH] [--interval-stride N]
                [--fault-inject] [--fault-seed N]
+               [--journal PATH] [--shard I/N] [--kill-after N]
+               [--checkpoint-every N] [--checkpoint-path PATH]
+               [--resume PATH]
   --quick    tiny workloads on a 2-core machine (CI/smoke scope)
   --full     the paper's full 30-core machine (slow; final numbers)
   --csv      also print each table as CSV
   --jobs N   worker threads for design-point sweeps
              (default: GMMU_JOBS or the machine's available parallelism)
-  --engine serial|parallel
+  --engine serial|parallel|event
              intra-run execution engine (default serial); parallel
-             ticks cores concurrently within each cycle and is
-             bit-identical to serial
+             ticks cores concurrently within each cycle, event jumps
+             the calendar straight between scheduled wake cycles;
+             both are bit-identical to serial
   --run-threads N
              threads per simulation under --engine parallel, including
              the calling thread (default 2 when --engine parallel is
@@ -62,7 +68,29 @@ const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
              exits non-zero if any run panics, hangs, or trips the
              forward-progress watchdog
   --fault-seed N
-             seed for the deterministic fault schedules (default 0xfa57)";
+             seed for the deterministic fault schedules (default 0xfa57)
+  --journal PATH
+             restartable sweeps: append every completed design point
+             (key, wall time, full stats) to PATH and, on start, serve
+             points already journaled from PATH without recompute — a
+             killed sweep resumes where it left off
+  --shard I/N
+             run only every N-th design point starting at I (0-based)
+             of the deduplicated sweep; combine with a shared --journal
+             to split one sweep across N processes or machines, then
+             merge with a final unsharded run on the same journal
+  --kill-after N
+             stop after N freshly simulated design points with exit
+             status 3, journal intact (exercises the resume path)
+  --checkpoint-every N
+             snapshot the first simulated design point every N cycles
+             to --checkpoint-path (atomic overwrite, latest image wins)
+  --checkpoint-path PATH
+             where --checkpoint-every writes (default gmmu.ckpt)
+  --resume PATH
+             resume the first simulated design point from a checkpoint
+             image written by --checkpoint-every (the configuration and
+             instruments must match the snapshotting run)";
 
 /// Default sweep parallelism: the `GMMU_JOBS` environment variable when
 /// set, otherwise the machine's available parallelism.
@@ -112,6 +140,24 @@ pub struct ExperimentOpts {
     /// Threads per simulation under the parallel engine, including the
     /// calling thread (`--run-threads`).
     pub run_threads: usize,
+    /// Journal completed design points to this path and replay it on
+    /// start (`--journal`): the restartable-sweep mechanism.
+    pub journal: Option<&'static str>,
+    /// Run only design points `i % n == shard.0` of the deduplicated
+    /// sweep (`--shard I/N`).
+    pub shard: Option<(usize, usize)>,
+    /// Exit with status 3 after this many freshly simulated points
+    /// (`--kill-after`; exercises journal resume).
+    pub kill_after: Option<usize>,
+    /// Snapshot the first simulated design point every N cycles
+    /// (`--checkpoint-every`; 0 = off).
+    pub checkpoint_every: u64,
+    /// Where `--checkpoint-every` writes its image
+    /// (`--checkpoint-path`).
+    pub checkpoint_path: &'static str,
+    /// Resume the first simulated design point from this checkpoint
+    /// image (`--resume`).
+    pub resume: Option<&'static str>,
 }
 
 impl Default for ExperimentOpts {
@@ -128,6 +174,12 @@ impl Default for ExperimentOpts {
             fault_seed: 0xfa57,
             engine: EngineKind::Serial,
             run_threads: 1,
+            journal: None,
+            shard: None,
+            kill_after: None,
+            checkpoint_every: 0,
+            checkpoint_path: "gmmu.ckpt",
+            resume: None,
         }
     }
 }
@@ -204,6 +256,30 @@ impl ExperimentOpts {
                     Some(v) => opts.fault_seed = parse_seed(&v),
                     None => bad_usage("--fault-seed needs a value"),
                 },
+                "--journal" => match args.next() {
+                    Some(v) => opts.journal = Some(leak_path(v)),
+                    None => bad_usage("--journal needs a path"),
+                },
+                "--shard" => match args.next() {
+                    Some(v) => opts.shard = Some(parse_shard(&v)),
+                    None => bad_usage("--shard needs I/N"),
+                },
+                "--kill-after" => match args.next() {
+                    Some(v) => opts.kill_after = Some(parse_kill_after(&v)),
+                    None => bad_usage("--kill-after needs a value"),
+                },
+                "--checkpoint-every" => match args.next() {
+                    Some(v) => opts.checkpoint_every = parse_every(&v),
+                    None => bad_usage("--checkpoint-every needs a value"),
+                },
+                "--checkpoint-path" => match args.next() {
+                    Some(v) => opts.checkpoint_path = leak_path(v),
+                    None => bad_usage("--checkpoint-path needs a path"),
+                },
+                "--resume" => match args.next() {
+                    Some(v) => opts.resume = Some(leak_path(v)),
+                    None => bad_usage("--resume needs a path"),
+                },
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0)
@@ -223,6 +299,18 @@ impl ExperimentOpts {
                         opts.interval_stride = parse_stride(v)
                     } else if let Some(v) = other.strip_prefix("--fault-seed=") {
                         opts.fault_seed = parse_seed(v)
+                    } else if let Some(v) = other.strip_prefix("--journal=") {
+                        opts.journal = Some(leak_path(v.to_string()))
+                    } else if let Some(v) = other.strip_prefix("--shard=") {
+                        opts.shard = Some(parse_shard(v))
+                    } else if let Some(v) = other.strip_prefix("--kill-after=") {
+                        opts.kill_after = Some(parse_kill_after(v))
+                    } else if let Some(v) = other.strip_prefix("--checkpoint-every=") {
+                        opts.checkpoint_every = parse_every(v)
+                    } else if let Some(v) = other.strip_prefix("--checkpoint-path=") {
+                        opts.checkpoint_path = leak_path(v.to_string())
+                    } else if let Some(v) = other.strip_prefix("--resume=") {
+                        opts.resume = Some(leak_path(v.to_string()))
                     } else {
                         bad_usage(&format!("unknown argument `{other}`"))
                     }
@@ -266,6 +354,12 @@ impl ExperimentOpts {
     pub fn observes(&self) -> bool {
         self.trace.is_some() || self.intervals.is_some()
     }
+
+    /// Whether checkpointing (`--checkpoint-every` / `--resume`) was
+    /// requested.
+    pub fn checkpoints(&self) -> bool {
+        self.checkpoint_every > 0 || self.resume.is_some()
+    }
 }
 
 fn parse_jobs(v: &str) -> usize {
@@ -279,7 +373,38 @@ fn parse_engine(v: &str) -> EngineKind {
     match v {
         "serial" => EngineKind::Serial,
         "parallel" => EngineKind::Parallel,
-        _ => bad_usage(&format!("--engine needs serial or parallel, got `{v}`")),
+        "event" => EngineKind::Event,
+        _ => bad_usage(&format!(
+            "--engine needs serial, parallel, or event, got `{v}`"
+        )),
+    }
+}
+
+fn parse_shard(v: &str) -> (usize, usize) {
+    let parsed = v.split_once('/').and_then(|(i, n)| {
+        let i = i.parse::<usize>().ok()?;
+        let n = n.parse::<usize>().ok()?;
+        (n >= 1 && i < n).then_some((i, n))
+    });
+    match parsed {
+        Some(s) => s,
+        None => bad_usage(&format!("--shard needs I/N with 0 <= I < N, got `{v}`")),
+    }
+}
+
+fn parse_kill_after(v: &str) -> usize {
+    match v.parse::<usize>() {
+        Ok(n) if n >= 1 => n,
+        _ => bad_usage(&format!("--kill-after needs a positive integer, got `{v}`")),
+    }
+}
+
+fn parse_every(v: &str) -> u64 {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => bad_usage(&format!(
+            "--checkpoint-every needs a positive cycle count, got `{v}`"
+        )),
     }
 }
 
@@ -369,11 +494,42 @@ pub struct PointRun {
 fn engine_label(cfg: &GpuConfig) -> &'static str {
     if cfg.engine == EngineKind::Parallel && cfg.run_threads > 1 && cfg.n_cores > 1 {
         "parallel"
+    } else if cfg.engine == EngineKind::Event {
+        "event"
     } else if cfg.tick_every_cycle || std::env::var_os("GMMU_TICK_EVERY_CYCLE").is_some() {
         "tick_every_cycle"
     } else {
         "event_skip"
     }
+}
+
+/// Maps a journaled engine label back to the static string the live
+/// label function would have produced.
+fn intern_engine_label(v: &str) -> &'static str {
+    match v {
+        "parallel" => "parallel",
+        "event" => "event",
+        "tick_every_cycle" => "tick_every_cycle",
+        "event_skip" => "event_skip",
+        _ => "journal",
+    }
+}
+
+fn hex_encode(bytes: &[u8]) -> String {
+    let mut s = String::with_capacity(bytes.len() * 2);
+    for b in bytes {
+        let _ = write!(s, "{b:02x}");
+    }
+    s
+}
+
+fn hex_decode(s: &str) -> Option<Vec<u8>> {
+    if !s.len().is_multiple_of(2) {
+        return None;
+    }
+    (0..s.len() / 2)
+        .map(|i| u8::from_str_radix(&s[2 * i..2 * i + 2], 16).ok())
+        .collect()
 }
 
 /// Simulates one design point with the observation instruments the
@@ -387,7 +543,11 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
     if opts.intervals.is_some() {
         obs.intervals = Some(IntervalRecorder::new(opts.interval_stride));
     }
-    let stats = Gpu::new(spec.cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+    let stats = if opts.checkpoints() {
+        checkpointed_run(opts, spec, w, &mut obs)
+    } else {
+        Gpu::new(spec.cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs)
+    };
     if let (Some(path), Some(buf)) = (opts.trace, obs.tracer.buffer()) {
         match buf.write_chrome_json(path) {
             Ok(()) => eprintln!(
@@ -416,6 +576,128 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
     stats
 }
 
+/// Runs one design point on the checkpointed event engine: the run is
+/// snapshotted every `--checkpoint-every` cycles to `--checkpoint-path`
+/// (written atomically, latest image wins) and optionally resumed from
+/// a `--resume` image. Checkpointed runs own a clone of the shared
+/// workload address space (demand state must be restorable), and they
+/// are bit-identical to the unobserved run.
+fn checkpointed_run(
+    opts: ExperimentOpts,
+    spec: &PointSpec,
+    w: &Workload,
+    obs: &mut Observer,
+) -> RunStats {
+    let resume_bytes = opts.resume.map(|path| match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("checkpoint: cannot read --resume {path}: {e}");
+            std::process::exit(1)
+        }
+    });
+    let path = opts.checkpoint_path;
+    let tmp = format!("{path}.tmp");
+    let mut sink = |img: &[u8]| {
+        let write = std::fs::write(&tmp, img).and_then(|()| std::fs::rename(&tmp, path));
+        if let Err(e) = write {
+            eprintln!("checkpoint: cannot write {path}: {e}");
+        }
+    };
+    let mut space = w.space.clone();
+    let run = Gpu::new(spec.cfg.clone()).run_event_checkpointed(
+        w.kernel.as_ref(),
+        &mut space,
+        obs,
+        CheckpointOpts {
+            every: opts.checkpoint_every,
+            sink: &mut sink,
+            resume: resume_bytes.as_deref(),
+        },
+    );
+    match run {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("checkpoint: resume refused: {e:?}");
+            std::process::exit(1)
+        }
+    }
+}
+
+/// Appends one completed design point to the sweep journal: version
+/// tag, key fingerprint, engine label, wall seconds, the full
+/// [`RunStats`] as hex-encoded checkpoint bytes, and the memo key
+/// itself. One line per point; a line is only ever appended after its
+/// stats are final, so a killed sweep leaves a valid journal.
+fn journal_append(
+    journal: &Option<Mutex<std::fs::File>>,
+    key: &str,
+    run: &PointRun,
+    stats: &RunStats,
+) {
+    let Some(file) = journal else { return };
+    let mut w = Saver::new();
+    stats.save(&mut w);
+    let line = format!(
+        "v1\t{:016x}\t{}\t{:.6}\t{}\t{}\n",
+        run.fingerprint,
+        run.engine,
+        run.wall_s,
+        hex_encode(&w.into_bytes()),
+        key
+    );
+    use std::io::Write as _;
+    let mut f = file.lock().unwrap();
+    if f.write_all(line.as_bytes())
+        .and_then(|()| f.flush())
+        .is_err()
+    {
+        eprintln!("journal: append failed for {:016x}", run.fingerprint);
+    }
+}
+
+/// Parses one journal line back into the point it recorded. Returns
+/// `None` (the caller skips the line) on any malformed field, a
+/// fingerprint that does not match the key, or stats bytes that do not
+/// decode exactly.
+fn parse_journal_line(line: &str) -> Option<(String, PointRun, RunStats)> {
+    let mut fields = line.splitn(6, '\t');
+    if fields.next()? != "v1" {
+        return None;
+    }
+    let fingerprint = u64::from_str_radix(fields.next()?, 16).ok()?;
+    let engine = intern_engine_label(fields.next()?);
+    let wall_s = fields.next()?.parse::<f64>().ok()?;
+    let bytes = hex_decode(fields.next()?)?;
+    let key = fields.next()?.to_string();
+    if fnv1a64(key.as_bytes()) != fingerprint {
+        return None;
+    }
+    let mut r = Loader::new(&bytes);
+    let mut stats = RunStats::zeroed();
+    stats.load(&mut r).ok()?;
+    if r.remaining() != 0 {
+        return None;
+    }
+    // The key is `{large_pages}:{bench:?}:{cfg:?}`.
+    let (large, rest) = key.split_once(':')?;
+    let (bench, _) = rest.split_once(':')?;
+    let large_pages = large.parse::<bool>().ok()?;
+    let bench = Bench::all()
+        .into_iter()
+        .find(|b| format!("{b:?}") == bench)?;
+    let run = PointRun {
+        bench,
+        large_pages,
+        fingerprint,
+        engine,
+        wall_s,
+        cycles: stats.cycles,
+        sim_cycles_per_sec: stats.cycles_per_sec(),
+        observed: false,
+    };
+    Some((key, run, stats))
+}
+
 /// How [`Runner::run`] services a design point (see [`Runner::sweep`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Mode {
@@ -437,28 +719,84 @@ pub struct Runner {
     recorded: Vec<PointSpec>,
     mode: Mode,
     /// The first fresh simulation still owes the `--trace`/`--intervals`
-    /// outputs.
+    /// outputs and/or the `--checkpoint-every`/`--resume` handling.
     observe_pending: bool,
+    /// Open journal (`--journal`); completed points append here.
+    journal_file: Option<Mutex<std::fs::File>>,
     /// Simulations executed (diagnostics; cache hits don't count).
     pub runs: usize,
+    /// Design points served from the journal without recompute.
+    pub journal_hits: usize,
     /// Metadata for every simulation executed, in a deterministic order
-    /// (spec order for parallel sweeps, execution order otherwise).
+    /// (spec order for parallel sweeps, execution order otherwise;
+    /// journal-replayed points lead in journal order).
     pub point_log: Vec<PointRun>,
 }
 
 impl Runner {
-    /// Creates an empty runner.
+    /// Creates an empty runner. With `opts.journal` set, the journal is
+    /// opened for append and every point it already records is loaded
+    /// into the memo cache — those points replay without recompute.
     pub fn new(opts: ExperimentOpts) -> Self {
-        Self {
+        let journal_file = opts.journal.map(|path| {
+            let file = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path);
+            match file {
+                Ok(f) => Mutex::new(f),
+                Err(e) => {
+                    eprintln!("journal: cannot open {path}: {e}");
+                    std::process::exit(2)
+                }
+            }
+        });
+        let mut runner = Self {
             opts,
             workloads: HashMap::new(),
             large_page_workloads: HashMap::new(),
             cache: HashMap::new(),
             recorded: Vec::new(),
             mode: Mode::Direct,
-            observe_pending: opts.observes(),
+            observe_pending: opts.observes() || opts.checkpoints(),
+            journal_file,
             runs: 0,
+            journal_hits: 0,
             point_log: Vec::new(),
+        };
+        runner.load_journal();
+        runner
+    }
+
+    /// Replays every valid line of the journal into the memo cache and
+    /// the point log; malformed or stale lines are skipped with a note.
+    fn load_journal(&mut self) {
+        let Some(path) = self.opts.journal else {
+            return;
+        };
+        let Ok(body) = std::fs::read_to_string(path) else {
+            return; // fresh journal: nothing to replay
+        };
+        for line in body.lines() {
+            if line.is_empty() {
+                continue;
+            }
+            let Some((key, run, stats)) = parse_journal_line(line) else {
+                eprintln!("journal: skipping a malformed line in {path}");
+                continue;
+            };
+            if self.cache.contains_key(&key) {
+                continue; // duplicate point (e.g. overlapping shards)
+            }
+            self.journal_hits += 1;
+            self.point_log.push(run);
+            self.cache.insert(key, stats);
+        }
+        if self.journal_hits > 0 {
+            eprintln!(
+                "[journal] {} point(s) replayed from {path}",
+                self.journal_hits
+            );
         }
     }
 
@@ -505,7 +843,7 @@ impl Runner {
             run_kernel(spec.cfg.clone(), w.kernel.as_ref(), &w.space)
         };
         self.runs += 1;
-        self.point_log.push(PointRun {
+        let run = PointRun {
             bench: spec.bench,
             large_pages: spec.large_pages,
             fingerprint: fnv1a64(key.as_bytes()),
@@ -513,8 +851,10 @@ impl Runner {
             wall_s: started.elapsed().as_secs_f64(),
             cycles: stats.cycles,
             sim_cycles_per_sec: stats.cycles_per_sec(),
-            observed: observe,
-        });
+            observed: observe && opts.observes(),
+        };
+        journal_append(&self.journal_file, &key, &run, &stats);
+        self.point_log.push(run);
         self.cache.insert(key, stats.clone());
         stats
     }
@@ -611,6 +951,29 @@ impl Runner {
                 todo.push((key, spec));
             }
         }
+        // Shard the deduplicated, deterministically ordered queue:
+        // worker `i` of `n` takes every n-th point. Journaled points
+        // were already dropped above, so resumed shards skip straight
+        // to their remaining work.
+        if let Some((shard, n)) = self.opts.shard {
+            if n > 1 {
+                let mut i = 0usize;
+                todo.retain(|_| {
+                    let keep = i % n == shard;
+                    i += 1;
+                    keep
+                });
+            }
+        }
+        // `--kill-after N`: simulate a mid-sweep kill at a clean point
+        // boundary — run N fresh points, journal them, exit(3).
+        let mut kill = false;
+        if let Some(n) = self.opts.kill_after {
+            if todo.len() > n {
+                todo.truncate(n);
+                kill = true;
+            }
+        }
         if todo.is_empty() {
             return;
         }
@@ -618,9 +981,10 @@ impl Runner {
             self.ensure_workload(spec.bench, spec.large_pages);
         }
         if self.observe_pending {
-            // The observed point runs serially (its file writes must not
-            // interleave with workers) and first, so `--trace` on a
-            // sweep binary observes the sweep's first design point.
+            // The observed/checkpointed point runs serially (its file
+            // writes must not interleave with workers) and first, so
+            // `--trace` or `--resume` on a sweep binary applies to the
+            // sweep's first design point.
             let (key, spec) = todo.remove(0);
             self.observe_pending = false;
             let opts = self.opts;
@@ -632,7 +996,7 @@ impl Runner {
             };
             let stats = observed_run(opts, &spec, w);
             self.runs += 1;
-            self.point_log.push(PointRun {
+            let run = PointRun {
                 bench: spec.bench,
                 large_pages: spec.large_pages,
                 fingerprint: fnv1a64(key.as_bytes()),
@@ -640,23 +1004,30 @@ impl Runner {
                 wall_s: started.elapsed().as_secs_f64(),
                 cycles: stats.cycles,
                 sim_cycles_per_sec: stats.cycles_per_sec(),
-                observed: true,
-            });
+                observed: opts.observes(),
+            };
+            journal_append(&self.journal_file, &key, &run, &stats);
+            self.point_log.push(run);
             self.cache.insert(key, stats);
             if todo.is_empty() {
+                self.exit_if_killed(kill);
                 return;
             }
         }
         let workloads = &self.workloads;
         let large_page_workloads = &self.large_page_workloads;
+        let journal = &self.journal_file;
         let jobs = self.opts.jobs.clamp(1, todo.len());
         let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<(usize, RunStats, f64)>> = Mutex::new(Vec::with_capacity(todo.len()));
+        let done: Mutex<Vec<(usize, PointRun, RunStats)>> =
+            Mutex::new(Vec::with_capacity(todo.len()));
         std::thread::scope(|s| {
             for _ in 0..jobs {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, spec)) = todo.get(i) else { break };
+                    let Some((key, spec)) = todo.get(i) else {
+                        break;
+                    };
                     let started = Instant::now();
                     let w = if spec.large_pages {
                         &large_page_workloads[&spec.bench]
@@ -664,28 +1035,45 @@ impl Runner {
                         &workloads[&spec.bench]
                     };
                     let stats = run_kernel(spec.cfg.clone(), w.kernel.as_ref(), &w.space);
-                    done.lock()
-                        .unwrap()
-                        .push((i, stats, started.elapsed().as_secs_f64()));
+                    let run = PointRun {
+                        bench: spec.bench,
+                        large_pages: spec.large_pages,
+                        fingerprint: fnv1a64(key.as_bytes()),
+                        engine: engine_label(&spec.cfg),
+                        wall_s: started.elapsed().as_secs_f64(),
+                        cycles: stats.cycles,
+                        sim_cycles_per_sec: stats.cycles_per_sec(),
+                        observed: false,
+                    };
+                    // Journaled the moment it completes, so a real kill
+                    // loses at most the in-flight points.
+                    journal_append(journal, key, &run, &stats);
+                    done.lock().unwrap().push((i, run, stats));
                 });
             }
         });
         let mut done = done.into_inner().unwrap();
         done.sort_by_key(|&(i, _, _)| i); // spec order, not completion order
         self.runs += done.len();
-        for (i, stats, wall_s) in done {
-            let (key, spec) = &todo[i];
-            self.point_log.push(PointRun {
-                bench: spec.bench,
-                large_pages: spec.large_pages,
-                fingerprint: fnv1a64(key.as_bytes()),
-                engine: engine_label(&spec.cfg),
-                wall_s,
-                cycles: stats.cycles,
-                sim_cycles_per_sec: stats.cycles_per_sec(),
-                observed: false,
-            });
+        for (i, run, stats) in done {
+            let (key, _) = &todo[i];
+            self.point_log.push(run);
             self.cache.insert(key.clone(), stats);
+        }
+        self.exit_if_killed(kill);
+    }
+
+    /// Terminates a `--kill-after` run once its point budget is spent:
+    /// the journal already holds every completed point, so the next run
+    /// with the same `--journal` resumes without recompute.
+    fn exit_if_killed(&self, kill: bool) {
+        if kill {
+            eprintln!(
+                "[journal] stopping after {} fresh point(s) (--kill-after); \
+                 rerun with the same --journal to resume",
+                self.runs
+            );
+            std::process::exit(3)
         }
     }
 }

@@ -1,0 +1,314 @@
+//! Deterministic checkpoint/restore of full simulation state: a run
+//! snapshotted mid-flight and resumed in a fresh process-equivalent
+//! (new `Gpu`, new workload build, new observer) must finish
+//! bit-identical to an uninterrupted run — same `RunStats`, same span
+//! trace, same interval time-series — across the whole engine matrix
+//! and under demand paging, shootdown storms, and the mixed fault soup.
+
+use gmmu::experiments::{designs, ExperimentOpts};
+use gmmu::prelude::*;
+use gmmu_sim::ckpt::CkptError;
+use gmmu_sim::trace::Tracer;
+use gmmu_simt::gpu::CheckpointOpts;
+use gmmu_simt::IntervalRecorder;
+
+fn assert_same(a: &RunStats, b: &RunStats, what: &str) {
+    assert_eq!(a.cycles, b.cycles, "{what}: cycles");
+    assert_eq!(a.completed, b.completed, "{what}: completed");
+    assert_eq!(a.instructions, b.instructions, "{what}: instructions");
+    assert_eq!(
+        a.mem_instructions, b.mem_instructions,
+        "{what}: mem_instructions"
+    );
+    assert_eq!(a.idle_cycles, b.idle_cycles, "{what}: idle_cycles");
+    assert_eq!(
+        a.stall_breakdown, b.stall_breakdown,
+        "{what}: stall_breakdown"
+    );
+    assert_eq!(a.live_cycles, b.live_cycles, "{what}: live_cycles");
+    assert_eq!(
+        a.page_divergence, b.page_divergence,
+        "{what}: page_divergence"
+    );
+    assert_eq!(
+        a.l1_miss_latency, b.l1_miss_latency,
+        "{what}: l1_miss_latency"
+    );
+    assert_eq!(
+        a.tlb_miss_latency, b.tlb_miss_latency,
+        "{what}: tlb_miss_latency"
+    );
+    assert_eq!(a.tlb_accesses, b.tlb_accesses, "{what}: tlb_accesses");
+    assert_eq!(a.tlb_hits, b.tlb_hits, "{what}: tlb_hits");
+    assert_eq!(a.l1_accesses, b.l1_accesses, "{what}: l1_accesses");
+    assert_eq!(a.l1_hits, b.l1_hits, "{what}: l1_hits");
+    assert_eq!(
+        a.walk_refs_issued, b.walk_refs_issued,
+        "{what}: walk_refs_issued"
+    );
+    assert_eq!(
+        a.walk_refs_naive, b.walk_refs_naive,
+        "{what}: walk_refs_naive"
+    );
+    assert_eq!(a.walks, b.walks, "{what}: walks");
+    assert_eq!(
+        a.walk_l2_hit_rate, b.walk_l2_hit_rate,
+        "{what}: walk_l2_hit_rate"
+    );
+    assert_eq!(a.dram_requests, b.dram_requests, "{what}: dram_requests");
+    assert_eq!(a.replays, b.replays, "{what}: replays");
+    assert_eq!(a.dwarps_formed, b.dwarps_formed, "{what}: dwarps_formed");
+    assert_eq!(a.blocks_done, b.blocks_done, "{what}: blocks_done");
+    assert_eq!(a.faults, b.faults, "{what}: faults");
+    assert_eq!(a.shootdowns, b.shootdowns, "{what}: shootdowns");
+    assert_eq!(a.squashed_walks, b.squashed_walks, "{what}: squashed_walks");
+    assert_eq!(a.watchdog_fired, b.watchdog_fired, "{what}: watchdog_fired");
+}
+
+fn observer() -> Observer {
+    Observer {
+        tracer: Tracer::recording(),
+        intervals: Some(IntervalRecorder::new(1_000)),
+    }
+}
+
+/// Runs `bench` under `cfg` on the checkpointed event engine; returns
+/// the stats, the observer, and every emitted checkpoint image.
+fn run_ckpt(
+    bench: Bench,
+    cfg: &GpuConfig,
+    inject: Option<&FaultInjectConfig>,
+    every: u64,
+    resume: Option<&[u8]>,
+) -> (RunStats, Observer, Vec<Vec<u8>>) {
+    let mut w = match inject {
+        Some(inj) => build_demand_paged(bench, Scale::Tiny, 7, inj).0,
+        None => build(bench, Scale::Tiny, 7),
+    };
+    let mut obs = observer();
+    let mut images: Vec<Vec<u8>> = Vec::new();
+    let mut sink = |b: &[u8]| images.push(b.to_vec());
+    let stats = Gpu::new(cfg.clone())
+        .run_event_checkpointed(
+            w.kernel.as_ref(),
+            &mut w.space,
+            &mut obs,
+            CheckpointOpts {
+                every,
+                sink: &mut sink,
+                resume,
+            },
+        )
+        .expect("checkpointed run failed");
+    (stats, obs, images)
+}
+
+fn assert_observers_same(a: &Observer, b: &Observer, what: &str) {
+    assert_eq!(
+        a.tracer.buffer(),
+        b.tracer.buffer(),
+        "{what}: trace differs"
+    );
+    assert_eq!(
+        a.intervals.as_ref().unwrap().samples(),
+        b.intervals.as_ref().unwrap().samples(),
+        "{what}: interval series differs"
+    );
+}
+
+/// Snapshot/restore across the six-workload engine matrix: resume from
+/// a mid-run image and from the last image, with tracing and interval
+/// sampling attached, and require byte-identical results.
+#[test]
+fn checkpoint_roundtrip_is_bit_identical_across_the_matrix() {
+    type Configure = fn(&mut GpuConfig);
+    let matrix: [(Bench, &str, Configure); 6] = [
+        (Bench::Memcached, "naive", |c| c.mmu = designs::naive3()),
+        (Bench::Memcached, "augmented", |c| {
+            c.mmu = designs::augmented()
+        }),
+        (Bench::Bfs, "naive", |c| c.mmu = designs::naive3()),
+        (Bench::Bfs, "augmented", |c| c.mmu = designs::augmented()),
+        (Bench::Streamcluster, "ta-ccws", |c| {
+            c.mmu = designs::augmented();
+            c.policy = PolicyKind::TaCcws { tlb_weight: 4 };
+        }),
+        (Bench::Mummergpu, "tbc", |c| {
+            c.mmu = designs::augmented();
+            c.tbc = Some(TbcConfig::tlb_aware(3));
+        }),
+    ];
+    for (bench, name, configure) in matrix {
+        let mut cfg = ExperimentOpts::quick().gpu(MmuModel::Ideal);
+        configure(&mut cfg);
+        cfg.engine = EngineKind::Event;
+
+        // Uninterrupted reference (emission off: `every == 0`).
+        let (reference, obs_ref, none) = run_ckpt(bench, &cfg, None, 0, None);
+        assert!(none.is_empty(), "{bench}/{name}: emitted without a period");
+        assert!(reference.completed, "{bench}/{name} hit the cycle cap");
+
+        // Checkpointing run: ~3 images across the run. Emission must
+        // not perturb the run itself.
+        let every = (reference.cycles / 3).max(1);
+        let (ckpt_stats, obs_ckpt, images) = run_ckpt(bench, &cfg, None, every, None);
+        assert_same(
+            &reference,
+            &ckpt_stats,
+            &format!("{bench}/{name} emitting-vs-plain"),
+        );
+        assert_observers_same(
+            &obs_ref,
+            &obs_ckpt,
+            &format!("{bench}/{name} emitting-vs-plain"),
+        );
+        assert!(!images.is_empty(), "{bench}/{name}: no checkpoints emitted");
+
+        // Resume from a mid-run image and from the last image.
+        for (tag, img) in [
+            ("mid", &images[images.len() / 2]),
+            ("last", images.last().unwrap()),
+        ] {
+            let (resumed, obs_res, _) = run_ckpt(bench, &cfg, None, 0, Some(img));
+            assert_same(
+                &reference,
+                &resumed,
+                &format!("{bench}/{name} resumed-from-{tag}"),
+            );
+            assert_observers_same(
+                &obs_ref,
+                &obs_res,
+                &format!("{bench}/{name} resumed-from-{tag}"),
+            );
+        }
+    }
+}
+
+/// Snapshot/restore while the fault machinery is hot: demand-paged
+/// first-touch faults, periodic shootdown storms, and the mixed smoke
+/// soup. Every emitted image must resume to the identical end state —
+/// including images taken while pages sit in the CPU fault queue or a
+/// storm remap is pending.
+#[test]
+fn checkpoint_roundtrip_mid_fault_storm() {
+    let cases: [(&str, Bench, FaultInjectConfig); 3] = [
+        (
+            "demand-paged",
+            Bench::Bfs,
+            FaultInjectConfig::demand_paged(0xfa57),
+        ),
+        (
+            "storm",
+            Bench::Kmeans,
+            FaultInjectConfig::storm(0xfa57, 8_000, 3),
+        ),
+        ("smoke", Bench::Pathfinder, FaultInjectConfig::smoke(0xfa57)),
+    ];
+    for (name, bench, inject) in cases {
+        let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+        cfg.fault = FaultConfig::demand();
+        cfg.inject = Some(inject);
+        cfg.engine = EngineKind::Event;
+        // Storms remap fully-mapped regions; the other cases start
+        // demand-paged with first-touch faults.
+        let demand = name != "storm";
+        let inj = demand.then_some(&inject);
+
+        let (reference, obs_ref, _) = run_ckpt(bench, &cfg, inj, 0, None);
+        assert!(reference.completed, "{name} reference hit the cycle cap");
+        if demand {
+            assert!(reference.faults > 0, "{name}: nothing faulted");
+        } else {
+            assert!(reference.shootdowns > 0, "{name}: no storms landed");
+        }
+
+        let every = (reference.cycles / 4).max(1);
+        let (ckpt_stats, _, images) = run_ckpt(bench, &cfg, inj, every, None);
+        assert_same(&reference, &ckpt_stats, &format!("{name} emitting"));
+        assert!(!images.is_empty(), "{name}: no checkpoints emitted");
+        for (i, img) in images.iter().enumerate() {
+            let (resumed, obs_res, _) = run_ckpt(bench, &cfg, inj, 0, Some(img));
+            assert_same(&reference, &resumed, &format!("{name} image {i}"));
+            assert_observers_same(&obs_ref, &obs_res, &format!("{name} image {i}"));
+        }
+    }
+}
+
+/// A checkpoint must only load into the machine that wrote it: a
+/// different configuration is a fingerprint mismatch, a truncated image
+/// is refused, and garbage is rejected by magic.
+#[test]
+fn checkpoint_refuses_foreign_or_corrupt_images() {
+    let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    cfg.engine = EngineKind::Event;
+    let (reference, _, _) = run_ckpt(Bench::Bfs, &cfg, None, 0, None);
+    let every = (reference.cycles / 2).max(1);
+    let (_, _, images) = run_ckpt(Bench::Bfs, &cfg, None, every, None);
+    let img = images.first().expect("one checkpoint");
+
+    let resume = |cfg: &GpuConfig, bytes: &[u8]| -> Result<RunStats, CkptError> {
+        let mut w = build(Bench::Bfs, Scale::Tiny, 7);
+        let mut obs = observer();
+        let mut sink = |_: &[u8]| {};
+        Gpu::new(cfg.clone()).run_event_checkpointed(
+            w.kernel.as_ref(),
+            &mut w.space,
+            &mut obs,
+            CheckpointOpts {
+                every: 0,
+                sink: &mut sink,
+                resume: Some(bytes),
+            },
+        )
+    };
+
+    // Differently shaped machine.
+    let mut other = cfg.clone();
+    other.n_cores += 1;
+    assert!(
+        matches!(resume(&other, img), Err(CkptError::ConfigMismatch { .. })),
+        "a foreign config must be a fingerprint mismatch"
+    );
+
+    // Truncated payload.
+    assert!(
+        resume(&cfg, &img[..img.len() / 2]).is_err(),
+        "a truncated image must be refused"
+    );
+
+    // Garbage magic.
+    let mut garbage = img.clone();
+    garbage[0] ^= 0xff;
+    assert!(
+        matches!(resume(&cfg, &garbage), Err(CkptError::BadMagic)),
+        "bad magic must be rejected"
+    );
+
+    // Instruments must match the snapshotting run: the image carries a
+    // recorded trace, so resuming into a disabled observer is refused.
+    {
+        let mut w = build(Bench::Bfs, Scale::Tiny, 7);
+        let mut obs = Observer::off();
+        let mut sink = |_: &[u8]| {};
+        let err = Gpu::new(cfg.clone())
+            .run_event_checkpointed(
+                w.kernel.as_ref(),
+                &mut w.space,
+                &mut obs,
+                CheckpointOpts {
+                    every: 0,
+                    sink: &mut sink,
+                    resume: Some(img),
+                },
+            )
+            .unwrap_err();
+        assert!(
+            matches!(err, CkptError::Corrupt(_)),
+            "resuming without the snapshot's instruments must be refused"
+        );
+    }
+
+    // The pristine image still loads (the helpers above didn't consume it).
+    let resumed = resume(&cfg, img).expect("pristine image resumes");
+    assert_same(&reference, &resumed, "pristine resume");
+}

@@ -201,6 +201,44 @@ fn execution_engines_are_observably_equivalent() {
         }
     }
 
+    // The event-calendar engine jumps straight between scheduled wake
+    // cycles and only ticks the cores whose events fire; it must be
+    // bit-identical to the serial reference on every workload.
+    {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        for (i, (bench, name, configure)) in matrix.iter().enumerate() {
+            let s = r.run(*bench, |c| {
+                configure(c);
+                c.engine = EngineKind::Event;
+            });
+            assert_same(&reference[i], &s, &format!("{bench}/{name} event"));
+        }
+    }
+
+    // Event engine under the tick-every-cycle escape hatch: the flag
+    // forces the standard loop, which must still match.
+    {
+        let mut r = Runner::new(ExperimentOpts {
+            jobs: 1,
+            ..ExperimentOpts::quick()
+        });
+        for (i, (bench, name, configure)) in matrix.iter().enumerate() {
+            let s = r.run(*bench, |c| {
+                configure(c);
+                c.engine = EngineKind::Event;
+                c.tick_every_cycle = true;
+            });
+            assert_same(
+                &reference[i],
+                &s,
+                &format!("{bench}/{name} event+tick-every-cycle"),
+            );
+        }
+    }
+
     // Parallel engine under the tick-every-cycle global loop: the two
     // knobs are orthogonal and must compose.
     {
@@ -356,6 +394,25 @@ fn observation_is_invisible_and_engine_independent() {
             obs.intervals.as_ref().unwrap().samples(),
             obs_par.intervals.as_ref().unwrap().samples(),
             "{bench}/{name}: interval series differs under the parallel engine"
+        );
+
+        // The event-calendar engine visits only event cycles, yet the
+        // spans it emits and the interval series it samples must be
+        // byte-identical to the per-cycle engines' output.
+        let mut ev_cfg = cfg.clone();
+        ev_cfg.engine = EngineKind::Event;
+        let mut obs_ev = observer();
+        let ev = Gpu::new(ev_cfg).run_observed(w.kernel.as_ref(), &w.space, &mut obs_ev);
+        assert_same(&observed, &ev, &format!("{bench}/{name} event observed"));
+        assert_eq!(
+            obs.tracer.buffer(),
+            obs_ev.tracer.buffer(),
+            "{bench}/{name}: trace differs under the event engine"
+        );
+        assert_eq!(
+            obs.intervals.as_ref().unwrap().samples(),
+            obs_ev.intervals.as_ref().unwrap().samples(),
+            "{bench}/{name}: interval series differs under the event engine"
         );
     }
 }

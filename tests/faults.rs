@@ -56,27 +56,30 @@ fn all_benches_complete_fully_demand_paged() {
 }
 
 /// Demand-paged runs are deterministic and engine-independent: the
-/// tick-every-cycle loop, the idle-cycle-skipping engine, and the
-/// parallel intra-run engine service the same fault schedule on the
-/// same cycles.
+/// tick-every-cycle loop, the idle-cycle-skipping engine, the parallel
+/// intra-run engine, and the event-calendar engine service the same
+/// fault schedule on the same cycles.
 #[test]
 fn demand_paged_runs_agree_across_engines() {
     let inject = FaultInjectConfig::demand_paged(0xfa57);
     for bench in [Bench::Bfs, Bench::Kmeans] {
-        let run_with = |legacy: bool, threads: usize| {
+        let run_with = |engine: EngineKind, legacy: bool, threads: usize| {
             let (w, _) = build_demand_paged(bench, Scale::Tiny, 7, &inject);
             let mut cfg = faulting_cfg(Some(inject));
             cfg.tick_every_cycle = legacy;
-            if threads > 1 {
-                cfg.engine = EngineKind::Parallel;
-                cfg.run_threads = threads;
-            }
+            cfg.engine = engine;
+            cfg.run_threads = threads;
             run_faulted(w, cfg)
         };
-        let skip = run_with(false, 1);
-        let tick = run_with(true, 1);
-        let par = run_with(false, 2);
-        for (other, engine) in [(&tick, "tick-every-cycle"), (&par, "parallel")] {
+        let skip = run_with(EngineKind::Serial, false, 1);
+        let tick = run_with(EngineKind::Serial, true, 1);
+        let par = run_with(EngineKind::Parallel, false, 2);
+        let event = run_with(EngineKind::Event, false, 1);
+        for (other, engine) in [
+            (&tick, "tick-every-cycle"),
+            (&par, "parallel"),
+            (&event, "event"),
+        ] {
             assert_eq!(
                 skip.cycles, other.cycles,
                 "{bench}: {engine} engine disagrees"
@@ -106,7 +109,23 @@ fn shootdown_storms_flush_and_replay() {
     let w = build(Bench::Kmeans, Scale::Tiny, 7);
     let cfg = faulting_cfg(Some(inject));
     let n_cores = cfg.n_cores as u64;
-    let stats = run_faulted(w, cfg);
+    let stats = run_faulted(w, cfg.clone());
+
+    // The event engine schedules the storm itself as a calendar event;
+    // the squash/flush/replay cascade must land on the same cycles.
+    let event = {
+        let w = build(Bench::Kmeans, Scale::Tiny, 7);
+        let mut cfg = cfg;
+        cfg.engine = EngineKind::Event;
+        run_faulted(w, cfg)
+    };
+    assert_eq!(
+        stats.cycles, event.cycles,
+        "event engine disagrees on storms"
+    );
+    assert_eq!(stats.shootdowns, event.shootdowns);
+    assert_eq!(stats.squashed_walks, event.squashed_walks);
+    assert_eq!(stats.stall_breakdown, event.stall_breakdown);
     assert!(stats.completed, "storm run hit the cycle cap");
     assert!(!stats.watchdog_fired);
     assert!(stats.shootdowns > 0, "no core observed a shootdown");
@@ -140,6 +159,20 @@ fn mixed_fault_smoke_completes() {
     assert!(stats.completed);
     assert!(!stats.watchdog_fired);
     assert!(stats.faults > 0);
+
+    // Same mixed-fault soup through the event engine.
+    let event = {
+        let (w, _) = build_demand_paged(Bench::Pathfinder, Scale::Tiny, 7, &inject);
+        let mut cfg = faulting_cfg(Some(inject));
+        cfg.engine = EngineKind::Event;
+        run_faulted(w, cfg)
+    };
+    assert_eq!(
+        stats.cycles, event.cycles,
+        "event engine disagrees on smoke"
+    );
+    assert_eq!(stats.faults, event.faults);
+    assert_eq!(stats.instructions, event.instructions);
 }
 
 /// When a fault can never resolve — here, a read-only space the handler
@@ -149,39 +182,44 @@ fn mixed_fault_smoke_completes() {
 #[test]
 fn watchdog_fires_when_faults_cannot_resolve() {
     let inject = FaultInjectConfig::demand_paged(0xfa57);
-    let run_with = |legacy: bool, threads: usize| {
+    let run_with = |engine: EngineKind, legacy: bool, threads: usize| {
         let (w, unmapped) = build_demand_paged(Bench::Bfs, Scale::Tiny, 7, &inject);
         assert!(unmapped > 0);
         let mut cfg = faulting_cfg(Some(inject));
         cfg.fault.watchdog = 50_000;
         cfg.tick_every_cycle = legacy;
-        if threads > 1 {
-            cfg.engine = EngineKind::Parallel;
-            cfg.run_threads = threads;
-        }
+        cfg.engine = engine;
+        cfg.run_threads = threads;
         // Shared space: demand paging is on, but the handler has nothing
         // it may map into.
         Gpu::new(cfg).run(w.kernel.as_ref(), &w.space)
     };
-    let skip = run_with(false, 1);
+    let skip = run_with(EngineKind::Serial, false, 1);
     assert!(skip.watchdog_fired, "watchdog never fired");
     assert!(!skip.completed, "a watchdog kill is not a completion");
     assert!(
         skip.stall_breakdown.get(StallCause::FaultService) > 0,
         "the stalled tail must be attributed to fault service"
     );
-    let tick = run_with(true, 1);
+    let tick = run_with(EngineKind::Serial, true, 1);
     assert_eq!(
         skip.cycles, tick.cycles,
         "engines disagree on the kill cycle"
     );
     assert!(tick.watchdog_fired);
-    let par = run_with(false, 4);
+    let par = run_with(EngineKind::Parallel, false, 4);
     assert_eq!(
         skip.cycles, par.cycles,
         "parallel engine disagrees on the kill cycle"
     );
     assert!(par.watchdog_fired);
+    let event = run_with(EngineKind::Event, false, 1);
+    assert_eq!(
+        skip.cycles, event.cycles,
+        "event engine disagrees on the kill cycle"
+    );
+    assert!(event.watchdog_fired);
+    assert_eq!(skip.stall_breakdown, event.stall_breakdown);
 }
 
 /// Arming the fault model without any injection must be invisible: a
