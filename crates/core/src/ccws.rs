@@ -103,6 +103,68 @@ impl Default for PolicyConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for PolicyKind {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        match *self {
+            PolicyKind::None => w.u8(0),
+            PolicyKind::Ccws => w.u8(1),
+            PolicyKind::TaCcws { tlb_weight } => {
+                w.u8(2);
+                w.u32(tlb_weight);
+            }
+            PolicyKind::Tcws {
+                entries_per_warp,
+                lru_weights,
+            } => {
+                w.u8(3);
+                w.usize(entries_per_warp);
+                for weight in lru_weights {
+                    w.u32(weight);
+                }
+            }
+        }
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        *self = match r.u8()? {
+            0 => PolicyKind::None,
+            1 => PolicyKind::Ccws,
+            2 => PolicyKind::TaCcws {
+                tlb_weight: r.u32()?,
+            },
+            3 => {
+                let entries_per_warp = r.usize()?;
+                let mut lru_weights = [0u32; 4];
+                for weight in &mut lru_weights {
+                    *weight = r.u32()?;
+                }
+                PolicyKind::Tcws {
+                    entries_per_warp,
+                    lru_weights,
+                }
+            }
+            _ => return Err(gmmu_sim::ckpt::CkptError::Corrupt("unknown policy kind")),
+        };
+        Ok(())
+    }
+}
+
+impl gmmu_sim::ckpt::Ckpt for PolicyConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.u32(self.unit);
+        self.lls.save(w);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.unit = r.u32()?;
+        self.lls.load(r)
+    }
+}
+
 /// The locality-aware scheduling policy attached to one shader core.
 ///
 /// # Examples

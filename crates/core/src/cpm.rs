@@ -32,6 +32,21 @@ impl Default for CpmConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for CpmConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.u8(self.counter_bits);
+        w.u64(self.flush_interval);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.counter_bits = r.u8()?;
+        self.flush_interval = r.u64()?;
+        Ok(())
+    }
+}
+
 /// The warp-pair PTE-affinity matrix.
 ///
 /// # Examples

@@ -37,6 +37,25 @@ impl Default for LlsConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for LlsConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.u32(self.cutoff_unit);
+        w.u64(self.decay_interval);
+        w.u32(self.decay_shift);
+        w.usize(self.min_active);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.cutoff_unit = r.u32()?;
+        self.decay_interval = r.u64()?;
+        self.decay_shift = r.u32()?;
+        self.min_active = r.usize()?;
+        Ok(())
+    }
+}
+
 /// Per-warp lost-locality scores with cutoff-based issue throttling.
 ///
 /// # Examples

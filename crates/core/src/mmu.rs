@@ -43,6 +43,36 @@ pub enum MmuModel {
     },
 }
 
+impl gmmu_sim::ckpt::Ckpt for MmuModel {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        match self {
+            MmuModel::Ideal => w.u8(0),
+            MmuModel::Real { tlb, walker } => {
+                w.u8(1);
+                tlb.save(w);
+                walker.save(w);
+            }
+        }
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        *self = match r.u8()? {
+            0 => MmuModel::Ideal,
+            1 => {
+                let mut tlb = TlbConfig::default();
+                tlb.load(r)?;
+                let mut walker = WalkerConfig::serial();
+                walker.load(r)?;
+                MmuModel::Real { tlb, walker }
+            }
+            _ => return Err(gmmu_sim::ckpt::CkptError::Corrupt("unknown MMU model")),
+        };
+        Ok(())
+    }
+}
+
 impl MmuModel {
     /// The naive Figure 2 design: 128-entry 3-port blocking TLB, one
     /// serial walker.

@@ -130,6 +130,51 @@ impl Default for TlbConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for TlbMode {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.u8(match self {
+            TlbMode::Blocking => 0,
+            TlbMode::HitUnderMiss => 1,
+            TlbMode::HitUnderMissOverlap => 2,
+        });
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        *self = match r.u8()? {
+            0 => TlbMode::Blocking,
+            1 => TlbMode::HitUnderMiss,
+            2 => TlbMode::HitUnderMissOverlap,
+            _ => return Err(gmmu_sim::ckpt::CkptError::Corrupt("unknown TLB mode")),
+        };
+        Ok(())
+    }
+}
+
+impl gmmu_sim::ckpt::Ckpt for TlbConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.usize(self.entries);
+        w.usize(self.ways);
+        w.usize(self.ports);
+        self.mode.save(w);
+        w.usize(self.mshrs);
+        w.bool(self.ideal_latency);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.entries = r.usize()?;
+        self.ways = r.usize()?;
+        self.ports = r.usize()?;
+        self.mode.load(r)?;
+        self.mshrs = r.usize()?;
+        self.ideal_latency = r.bool()?;
+        Ok(())
+    }
+}
+
 #[derive(Debug, Clone, Copy, Default)]
 struct TlbEntry {
     vpn: Vpn,

@@ -102,6 +102,53 @@ impl WalkerConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for WalkerKind {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        match *self {
+            WalkerKind::Serial { count } => {
+                w.u8(0);
+                w.usize(count);
+            }
+            WalkerKind::Coalesced => w.u8(1),
+            WalkerKind::Software { trap_cycles } => {
+                w.u8(2);
+                w.u64(trap_cycles);
+            }
+        }
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        *self = match r.u8()? {
+            0 => WalkerKind::Serial { count: r.usize()? },
+            1 => WalkerKind::Coalesced,
+            2 => WalkerKind::Software {
+                trap_cycles: r.u64()?,
+            },
+            _ => return Err(gmmu_sim::ckpt::CkptError::Corrupt("unknown walker kind")),
+        };
+        Ok(())
+    }
+}
+
+impl gmmu_sim::ckpt::Ckpt for WalkerConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        self.kind.save(w);
+        w.u64(self.issue_spacing);
+        w.usize(self.pwc_entries);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.kind.load(r)?;
+        self.issue_spacing = r.u64()?;
+        self.pwc_entries = r.usize()?;
+        Ok(())
+    }
+}
+
 /// A queued walk request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct WalkRequest {

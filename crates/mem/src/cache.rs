@@ -36,6 +36,21 @@ impl CacheConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for CacheConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.usize(self.sets);
+        w.usize(self.ways);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.sets = r.usize()?;
+        self.ways = r.usize()?;
+        Ok(())
+    }
+}
+
 /// A line evicted to make room for a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Victim {

@@ -28,6 +28,21 @@ impl Default for DramConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for DramConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.u64(self.latency);
+        w.u64(self.service);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.latency = r.u64()?;
+        self.service = r.u64()?;
+        Ok(())
+    }
+}
+
 /// One DRAM channel.
 ///
 /// # Examples

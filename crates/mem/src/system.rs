@@ -64,6 +64,28 @@ impl Default for MemConfig {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for MemConfig {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.usize(self.channels);
+        self.l2_slice.save(w);
+        w.u64(self.icnt_latency);
+        w.u64(self.l2_latency);
+        w.u64(self.l2_service);
+        self.dram.save(w);
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        self.channels = r.usize()?;
+        self.l2_slice.load(r)?;
+        self.icnt_latency = r.u64()?;
+        self.l2_latency = r.u64()?;
+        self.l2_service = r.u64()?;
+        self.dram.load(r)
+    }
+}
+
 impl MemConfig {
     /// Latency of an L1 miss that hits in an uncontended L2.
     pub fn min_l2_hit_latency(&self) -> u64 {

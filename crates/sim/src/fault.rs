@@ -117,6 +117,28 @@ impl Default for FaultInjectConfig {
     }
 }
 
+impl crate::ckpt::Ckpt for FaultInjectConfig {
+    fn save(&self, w: &mut crate::ckpt::Saver) {
+        w.u64(self.seed);
+        w.f64(self.unmap_fraction);
+        w.f64(self.walk_delay_rate);
+        w.u64(self.walk_delay_cycles);
+        w.f64(self.reject_rate);
+        w.u64(self.storm_period);
+        w.u32(self.storms);
+    }
+    fn load(&mut self, r: &mut crate::ckpt::Loader<'_>) -> Result<(), crate::ckpt::CkptError> {
+        self.seed = r.u64()?;
+        self.unmap_fraction = r.f64()?;
+        self.walk_delay_rate = r.f64()?;
+        self.walk_delay_cycles = r.u64()?;
+        self.reject_rate = r.f64()?;
+        self.storm_period = r.u64()?;
+        self.storms = r.u32()?;
+        Ok(())
+    }
+}
+
 /// Converts a mixed 64-bit value into a uniform draw in `[0, 1)`.
 #[inline]
 fn unit(m: u64) -> f64 {

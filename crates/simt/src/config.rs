@@ -275,6 +275,137 @@ impl GpuConfig {
     pub const WARP_SIZE: usize = 32;
 }
 
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for CoreTimings {
+    fn save(&self, w: &mut Saver) {
+        w.u64(self.alu_latency);
+        w.u64(self.branch_latency);
+        w.u64(self.l1_hit_latency);
+        w.u64(self.store_issue);
+        w.u64(self.store_window);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.alu_latency = r.u64()?;
+        self.branch_latency = r.u64()?;
+        self.l1_hit_latency = r.u64()?;
+        self.store_issue = r.u64()?;
+        self.store_window = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Ckpt for TbcConfig {
+    fn save(&self, w: &mut Saver) {
+        w.bool(self.tlb_aware);
+        self.cpm.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.tlb_aware = r.bool()?;
+        self.cpm.load(r)
+    }
+}
+
+impl Ckpt for FaultConfig {
+    fn save(&self, w: &mut Saver) {
+        w.bool(self.demand_paging);
+        w.u64(self.minor_latency);
+        w.u64(self.major_latency);
+        w.f64(self.major_fraction);
+        w.u64(self.shootdown_backoff);
+        w.u64(self.watchdog);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.demand_paging = r.bool()?;
+        self.minor_latency = r.u64()?;
+        self.major_latency = r.u64()?;
+        self.major_fraction = r.f64()?;
+        self.shootdown_backoff = r.u64()?;
+        self.watchdog = r.u64()?;
+        Ok(())
+    }
+}
+
+impl Ckpt for EngineKind {
+    fn save(&self, w: &mut Saver) {
+        w.u8(match self {
+            EngineKind::Serial => 0,
+            EngineKind::Parallel => 1,
+            EngineKind::Event => 2,
+        });
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        *self = match r.u8()? {
+            0 => EngineKind::Serial,
+            1 => EngineKind::Parallel,
+            2 => EngineKind::Event,
+            _ => return Err(CkptError::Corrupt("unknown engine kind")),
+        };
+        Ok(())
+    }
+}
+
+impl Ckpt for GpuConfig {
+    /// Serializes *every* field, so a trace or image carrying a
+    /// `GpuConfig` can rebuild the exact machine in another process —
+    /// unlike checkpoint payloads, which pin the shape by fingerprint
+    /// and never serialize configuration.
+    fn save(&self, w: &mut Saver) {
+        w.usize(self.n_cores);
+        w.usize(self.warps_per_core);
+        w.usize(self.warps_per_block);
+        self.mmu.save(w);
+        self.policy.save(w);
+        self.policy_config.save(w);
+        match &self.tbc {
+            None => w.bool(false),
+            Some(tbc) => {
+                w.bool(true);
+                tbc.save(w);
+            }
+        }
+        self.mem.save(w);
+        self.l1.save(w);
+        w.usize(self.l1_mshrs);
+        self.timings.save(w);
+        self.granule.save(w);
+        w.bool(self.tick_every_cycle);
+        self.engine.save(w);
+        w.usize(self.run_threads);
+        w.u64(self.max_cycles);
+        w.u64(self.seed);
+        self.fault.save(w);
+        self.inject.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.n_cores = r.usize()?;
+        self.warps_per_core = r.usize()?;
+        self.warps_per_block = r.usize()?;
+        self.mmu.load(r)?;
+        self.policy.load(r)?;
+        self.policy_config.load(r)?;
+        self.tbc = if r.bool()? {
+            let mut tbc = TbcConfig::baseline();
+            tbc.load(r)?;
+            Some(tbc)
+        } else {
+            None
+        };
+        self.mem.load(r)?;
+        self.l1.load(r)?;
+        self.l1_mshrs = r.usize()?;
+        self.timings.load(r)?;
+        self.granule.load(r)?;
+        self.tick_every_cycle = r.bool()?;
+        self.engine.load(r)?;
+        self.run_threads = r.usize()?;
+        self.max_cycles = r.u64()?;
+        self.seed = r.u64()?;
+        self.fault.load(r)?;
+        self.inject.load(r)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -189,6 +189,48 @@ impl RunStats {
             self.idle_cycles as f64 / self.live_cycles as f64
         }
     }
+
+    /// Names of fields that differ between two results, ignoring
+    /// `wall_s` (the only nondeterministic field). Empty means the runs
+    /// were behaviourally identical — the equality the trace-replay
+    /// conformance harness enforces.
+    pub fn diff(&self, other: &RunStats) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    out.push(stringify!($field));
+                }
+            };
+        }
+        cmp!(cycles);
+        cmp!(completed);
+        cmp!(instructions);
+        cmp!(mem_instructions);
+        cmp!(idle_cycles);
+        cmp!(stall_breakdown);
+        cmp!(live_cycles);
+        cmp!(page_divergence);
+        cmp!(l1_miss_latency);
+        cmp!(tlb_miss_latency);
+        cmp!(tlb_accesses);
+        cmp!(tlb_hits);
+        cmp!(l1_accesses);
+        cmp!(l1_hits);
+        cmp!(walk_refs_issued);
+        cmp!(walk_refs_naive);
+        cmp!(walks);
+        cmp!(walk_l2_hit_rate);
+        cmp!(dram_requests);
+        cmp!(replays);
+        cmp!(dwarps_formed);
+        cmp!(blocks_done);
+        cmp!(faults);
+        cmp!(shootdowns);
+        cmp!(squashed_walks);
+        cmp!(watchdog_fired);
+        out
+    }
 }
 
 /// Magic bytes opening every checkpoint image.

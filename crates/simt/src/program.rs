@@ -167,6 +167,88 @@ pub trait Kernel: Sync {
     fn branch_taken(&self, tid: ThreadId, site: u16, iter: u32) -> bool;
 }
 
+use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for Op {
+    fn save(&self, w: &mut Saver) {
+        match *self {
+            Op::Alu { cycles } => {
+                w.u8(0);
+                w.u32(cycles);
+            }
+            Op::Mem { site, kind } => {
+                w.u8(1);
+                w.u16(site);
+                kind.save(w);
+            }
+            Op::Branch {
+                site,
+                taken_pc,
+                reconv_pc,
+            } => {
+                w.u8(2);
+                w.u16(site);
+                w.u32(taken_pc);
+                w.u32(reconv_pc);
+            }
+        }
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        *self = match r.u8()? {
+            0 => Op::Alu { cycles: r.u32()? },
+            1 => {
+                let site = r.u16()?;
+                let mut kind = MemKind::Load;
+                kind.load(r)?;
+                Op::Mem { site, kind }
+            }
+            2 => Op::Branch {
+                site: r.u16()?,
+                taken_pc: r.u32()?,
+                reconv_pc: r.u32()?,
+            },
+            _ => return Err(CkptError::Corrupt("unknown opcode")),
+        };
+        Ok(())
+    }
+}
+
+impl Ckpt for Program {
+    fn save(&self, w: &mut Saver) {
+        w.usize(self.ops.len());
+        for op in &self.ops {
+            op.save(w);
+        }
+    }
+    /// Re-checks the structural invariants [`Program::new`] asserts, so a
+    /// corrupt stream surfaces as [`CkptError::Corrupt`] instead of a
+    /// panic.
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        let len = r.usize()?;
+        let mut ops = Vec::with_capacity(len.min(1 << 16));
+        for _ in 0..len {
+            let mut op = Op::Alu { cycles: 0 };
+            op.load(r)?;
+            ops.push(op);
+        }
+        let end = ops.len() as u32;
+        for (pc, op) in ops.iter().enumerate() {
+            if let Op::Branch {
+                taken_pc,
+                reconv_pc,
+                ..
+            } = *op
+            {
+                if taken_pc > end || reconv_pc > end || reconv_pc <= pc as u32 {
+                    return Err(CkptError::Corrupt("malformed branch targets"));
+                }
+            }
+        }
+        *self = Program::new(ops);
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

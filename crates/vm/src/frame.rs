@@ -128,6 +128,26 @@ impl FrameAlloc {
     }
 }
 
+impl gmmu_sim::ckpt::Ckpt for FramePolicy {
+    fn save(&self, w: &mut gmmu_sim::ckpt::Saver) {
+        w.u8(match self {
+            FramePolicy::Sequential => 0,
+            FramePolicy::Scrambled => 1,
+        });
+    }
+    fn load(
+        &mut self,
+        r: &mut gmmu_sim::ckpt::Loader<'_>,
+    ) -> Result<(), gmmu_sim::ckpt::CkptError> {
+        *self = match r.u8()? {
+            0 => FramePolicy::Sequential,
+            1 => FramePolicy::Scrambled,
+            _ => return Err(gmmu_sim::ckpt::CkptError::Corrupt("unknown frame policy")),
+        };
+        Ok(())
+    }
+}
+
 impl gmmu_sim::ckpt::Ckpt for FrameAlloc {
     /// Capacity and policy are configuration; only the allocation cursor
     /// state is serialized. (This cursor pair *is* the simulator's frame

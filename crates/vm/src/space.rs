@@ -119,6 +119,7 @@ impl From<MapError> for VmError {
 /// ```
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
+    config: SpaceConfig,
     table: PageTable,
     frames: FrameAlloc,
     regions: Vec<Region>,
@@ -147,12 +148,20 @@ impl AddressSpace {
         let mut frames = FrameAlloc::new(config.phys_frames, config.policy);
         let table = PageTable::try_new(&mut frames)?;
         Ok(Self {
+            config,
             table,
             frames,
             regions: Vec::new(),
             next_vbase: config.vbase,
             shootdown_epoch: 0,
         })
+    }
+
+    /// The configuration this space was created with. A trace frontend
+    /// uses this to rebuild an identically laid-out space (same frame
+    /// policy, same region bases) in another process.
+    pub fn config(&self) -> SpaceConfig {
+        self.config
     }
 
     /// Maps a new region of at least `bytes` bytes with the given page
@@ -408,6 +417,20 @@ impl AddressSpace {
 }
 
 use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
+
+impl Ckpt for SpaceConfig {
+    fn save(&self, w: &mut Saver) {
+        w.u64(self.phys_frames);
+        self.policy.save(w);
+        w.u64(self.vbase);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.phys_frames = r.u64()?;
+        self.policy.load(r)?;
+        self.vbase = r.u64()?;
+        Ok(())
+    }
+}
 
 impl Ckpt for Region {
     fn save(&self, w: &mut Saver) {

@@ -22,7 +22,8 @@ use gmmu_sim::ckpt::{Ckpt, Loader, Saver};
 use gmmu_sim::rng::fnv1a64;
 use gmmu_sim::trace::Tracer;
 use gmmu_simt::gpu::{run_kernel, CheckpointOpts};
-use gmmu_simt::{IntervalRecorder, Observer};
+use gmmu_simt::{IntervalRecorder, Kernel, Observer};
+use gmmu_trace::{assemble, capture_launch, replay_run, Recorder, Trace};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -35,7 +36,7 @@ const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
                [--fault-inject] [--fault-seed N]
                [--journal PATH] [--shard I/N] [--kill-after N]
                [--checkpoint-every N] [--checkpoint-path PATH]
-               [--resume PATH]
+               [--resume PATH] [--capture-trace PATH] [--replay PATH]
   --quick    tiny workloads on a 2-core machine (CI/smoke scope)
   --full     the paper's full 30-core machine (slow; final numbers)
   --csv      also print each table as CSV
@@ -90,7 +91,19 @@ const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
   --resume PATH
              resume the first simulated design point from a checkpoint
              image written by --checkpoint-every (the configuration and
-             instruments must match the snapshotting run)";
+             instruments must match the snapshotting run)
+  --capture-trace PATH
+             record the first simulated design point to a GMTR trace
+             file: the kernel's full data-dependent behaviour plus the
+             machine configuration and final stats. Recording does not
+             perturb the run. Incompatible with --resume (a resumed run
+             only exercises the tail of the kernel)
+  --replay PATH
+             replay a GMTR trace instead of running the figure: rebuild
+             the captured machine, drive it from the recorded behaviour
+             on --engine/--run-threads, and diff the result against the
+             stats embedded in the trace; exits non-zero on any
+             difference";
 
 /// Default sweep parallelism: the `GMMU_JOBS` environment variable when
 /// set, otherwise the machine's available parallelism.
@@ -158,6 +171,11 @@ pub struct ExperimentOpts {
     /// Resume the first simulated design point from this checkpoint
     /// image (`--resume`).
     pub resume: Option<&'static str>,
+    /// Record the first simulated design point to this GMTR trace file
+    /// (`--capture-trace`).
+    pub capture_trace: Option<&'static str>,
+    /// Replay a GMTR trace instead of running the figure (`--replay`).
+    pub replay: Option<&'static str>,
 }
 
 impl Default for ExperimentOpts {
@@ -180,6 +198,8 @@ impl Default for ExperimentOpts {
             checkpoint_every: 0,
             checkpoint_path: "gmmu.ckpt",
             resume: None,
+            capture_trace: None,
+            replay: None,
         }
     }
 }
@@ -280,6 +300,14 @@ impl ExperimentOpts {
                     Some(v) => opts.resume = Some(leak_path(v)),
                     None => bad_usage("--resume needs a path"),
                 },
+                "--capture-trace" => match args.next() {
+                    Some(v) => opts.capture_trace = Some(leak_path(v)),
+                    None => bad_usage("--capture-trace needs a path"),
+                },
+                "--replay" => match args.next() {
+                    Some(v) => opts.replay = Some(leak_path(v)),
+                    None => bad_usage("--replay needs a path"),
+                },
                 "--help" | "-h" => {
                     eprintln!("{USAGE}");
                     std::process::exit(0)
@@ -311,6 +339,10 @@ impl ExperimentOpts {
                         opts.checkpoint_path = leak_path(v.to_string())
                     } else if let Some(v) = other.strip_prefix("--resume=") {
                         opts.resume = Some(leak_path(v.to_string()))
+                    } else if let Some(v) = other.strip_prefix("--capture-trace=") {
+                        opts.capture_trace = Some(leak_path(v.to_string()))
+                    } else if let Some(v) = other.strip_prefix("--replay=") {
+                        opts.replay = Some(leak_path(v.to_string()))
                     } else {
                         bad_usage(&format!("unknown argument `{other}`"))
                     }
@@ -327,6 +359,16 @@ impl ExperimentOpts {
             // M-way sweep would run N*M threads, so shrink the sweep
             // pool to keep the product within the machine.
             opts.jobs = opts.jobs.min((default_jobs() / opts.run_threads).max(1));
+        }
+        if opts.capture_trace.is_some() && opts.resume.is_some() {
+            // A resumed run only exercises the kernel's tail, so the
+            // recorded behaviour tables would be incomplete.
+            bad_usage("--capture-trace cannot be combined with --resume")
+        }
+        if let Some(path) = opts.replay {
+            // Replay replaces the figure: every binary that parses its
+            // arguments here can replay any GMTR trace.
+            run_replay(opts, path)
         }
         if opts.fault_inject {
             // The harness replaces the figure: every binary that parses
@@ -359,6 +401,11 @@ impl ExperimentOpts {
     /// requested.
     pub fn checkpoints(&self) -> bool {
         self.checkpoint_every > 0 || self.resume.is_some()
+    }
+
+    /// Whether trace capture (`--capture-trace`) was requested.
+    pub fn captures(&self) -> bool {
+        self.capture_trace.is_some()
     }
 }
 
@@ -533,8 +580,8 @@ fn hex_decode(s: &str) -> Option<Vec<u8>> {
 }
 
 /// Simulates one design point with the observation instruments the
-/// options ask for, writing the trace / interval files as a side
-/// effect. Results are bit-identical to the unobserved run.
+/// options ask for, writing the trace / interval / GMTR capture files
+/// as a side effect. Results are bit-identical to the unobserved run.
 fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStats {
     let mut obs = Observer::off();
     if opts.trace.is_some() {
@@ -543,11 +590,37 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
     if opts.intervals.is_some() {
         obs.intervals = Some(IntervalRecorder::new(opts.interval_stride));
     }
-    let stats = if opts.checkpoints() {
-        checkpointed_run(opts, spec, w, &mut obs)
-    } else {
-        Gpu::new(spec.cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs)
+    // Trace capture wraps the kernel in a recorder and snapshots the
+    // launch *before* the run, so a replay rebuilds the same initial
+    // address space. Recording every kernel answer does not perturb the
+    // simulation (the recorder delegates to the pure kernel).
+    let launch = opts.capture_trace.map(|_| {
+        let source = format!("{:?} {:?} seed={}", spec.bench, opts.scale, opts.seed);
+        capture_launch(w.kernel.as_ref(), &w.space, &spec.cfg, &source)
+    });
+    let recorder = opts.capture_trace.map(|_| Recorder::new(w.kernel.as_ref()));
+    let kernel: &dyn Kernel = match &recorder {
+        Some(rec) => rec,
+        None => w.kernel.as_ref(),
     };
+    let stats = if opts.checkpoints() {
+        checkpointed_run(opts, spec, kernel, w, &mut obs)
+    } else {
+        Gpu::new(spec.cfg.clone()).run_observed(kernel, &w.space, &mut obs)
+    };
+    if let (Some(path), Some(launch), Some(rec)) = (opts.capture_trace, launch, recorder) {
+        let trace = assemble(launch, rec, &stats);
+        let bytes = trace.encode();
+        match std::fs::write(path, &bytes) {
+            Ok(()) => eprintln!(
+                "capture: {} record(s) from {:?} written to {path} ({} bytes)",
+                trace.records.len(),
+                spec.bench,
+                bytes.len()
+            ),
+            Err(e) => eprintln!("capture: failed to write {path}: {e}"),
+        }
+    }
     if let (Some(path), Some(buf)) = (opts.trace, obs.tracer.buffer()) {
         match buf.write_chrome_json(path) {
             Ok(()) => eprintln!(
@@ -585,6 +658,7 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
 fn checkpointed_run(
     opts: ExperimentOpts,
     spec: &PointSpec,
+    kernel: &dyn Kernel,
     w: &Workload,
     obs: &mut Observer,
 ) -> RunStats {
@@ -605,7 +679,7 @@ fn checkpointed_run(
     };
     let mut space = w.space.clone();
     let run = Gpu::new(spec.cfg.clone()).run_event_checkpointed(
-        w.kernel.as_ref(),
+        kernel,
         &mut space,
         obs,
         CheckpointOpts {
@@ -758,7 +832,7 @@ impl Runner {
             cache: HashMap::new(),
             recorded: Vec::new(),
             mode: Mode::Direct,
-            observe_pending: opts.observes() || opts.checkpoints(),
+            observe_pending: opts.observes() || opts.checkpoints() || opts.captures(),
             journal_file,
             runs: 0,
             journal_hits: 0,
@@ -1141,6 +1215,68 @@ pub fn run_fault_injection(opts: ExperimentOpts) -> ! {
         std::process::exit(1)
     }
     std::process::exit(0)
+}
+
+/// Replays a GMTR trace captured with `--capture-trace`: rebuilds the
+/// captured machine and address space, drives the cores from the
+/// recorded kernel behaviour on the requested engine, and diffs every
+/// statistic (except wall time) against the stats embedded in the
+/// trace. Exits 0 on an exact match, 1 on any difference or on a
+/// refused file.
+pub fn run_replay(opts: ExperimentOpts, path: &str) -> ! {
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("replay: cannot read {path}: {e}");
+            std::process::exit(1)
+        }
+    };
+    let trace = match Trace::decode(&bytes) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("replay: {path} refused: {e:?}");
+            std::process::exit(1)
+        }
+    };
+    let mut cfg = trace.launch.config.clone();
+    cfg.engine = opts.engine;
+    cfg.run_threads = opts.run_threads;
+    println!(
+        "replay: {path}: kernel `{}` ({} threads), captured from `{}`, {} record(s)",
+        trace.launch.kernel_name,
+        trace.launch.num_threads,
+        trace.launch.source,
+        trace.records.len()
+    );
+    let started = Instant::now();
+    let stats = match replay_run(&trace, &cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("replay: {path} refused: {e:?}");
+            std::process::exit(1)
+        }
+    };
+    println!(
+        "replay: {:?} engine finished in {:.2}s: {} cycles, {} instructions, {} faults",
+        opts.engine,
+        started.elapsed().as_secs_f64(),
+        stats.cycles,
+        stats.instructions,
+        stats.faults
+    );
+    let diff = trace.stats.diff(&stats);
+    if diff.is_empty() {
+        println!("replay: statistics match the capture exactly");
+        std::process::exit(0)
+    }
+    eprintln!(
+        "replay: {} statistic(s) diverged from the capture:",
+        diff.len()
+    );
+    for field in &diff {
+        eprintln!("  {field}");
+    }
+    std::process::exit(1)
 }
 
 /// TLB geometry helper used by the design-space figures.

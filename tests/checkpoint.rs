@@ -234,6 +234,58 @@ fn checkpoint_roundtrip_mid_fault_storm() {
     }
 }
 
+/// A replayed trace is checkpointable like any other run: snapshot the
+/// replay mid-flight on the event engine, resume from the image in a
+/// fresh process-equivalent (new trace kernel, freshly rebuilt address
+/// space, new observer), and the end state must still match the stats
+/// embedded in the trace bit-identically.
+#[test]
+fn checkpoint_mid_replay_resumes_bit_identically() {
+    use gmmu_trace::{assemble, capture_launch, rebuild_space, Recorder, Trace, TraceKernel};
+
+    // Capture a trace of a plain run.
+    let cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    let mut w = build(Bench::Bfs, Scale::Tiny, 7);
+    let launch = capture_launch(w.kernel.as_ref(), &w.space, &cfg, "bfs tiny seed=7");
+    let rec = Recorder::new(w.kernel.as_ref());
+    let stats = Gpu::new(cfg.clone()).run_faulted(&rec, &mut w.space, &mut Observer::off());
+    let bytes = assemble(launch, rec, &stats).encode();
+    let trace = Trace::decode(&bytes).expect("trace decodes");
+
+    // Replay on the checkpointed event engine, emitting ~3 images.
+    let mut replay_cfg = trace.launch.config.clone();
+    replay_cfg.engine = EngineKind::Event;
+    let run = |every: u64, resume: Option<&[u8]>| -> (RunStats, Observer, Vec<Vec<u8>>) {
+        let kernel = TraceKernel::from_trace(&trace).expect("records expand");
+        let mut space = rebuild_space(&trace.launch).expect("space rebuilds");
+        let mut obs = observer();
+        let mut images: Vec<Vec<u8>> = Vec::new();
+        let mut sink = |b: &[u8]| images.push(b.to_vec());
+        let stats = Gpu::new(replay_cfg.clone())
+            .run_event_checkpointed(
+                &kernel,
+                &mut space,
+                &mut obs,
+                CheckpointOpts {
+                    every,
+                    sink: &mut sink,
+                    resume,
+                },
+            )
+            .expect("checkpointed replay failed");
+        (stats, obs, images)
+    };
+    let every = (trace.stats.cycles / 3).max(1);
+    let (replayed, obs_ref, images) = run(every, None);
+    assert_same(&trace.stats, &replayed, "checkpointed replay vs capture");
+    assert!(!images.is_empty(), "no checkpoints emitted during replay");
+
+    // Resume from a mid-run image in a fresh process-equivalent.
+    let (resumed, obs_res, _) = run(0, Some(&images[images.len() / 2]));
+    assert_same(&trace.stats, &resumed, "resumed replay vs capture");
+    assert_observers_same(&obs_ref, &obs_res, "resumed replay");
+}
+
 /// A checkpoint must only load into the machine that wrote it: a
 /// different configuration is a fingerprint mismatch, a truncated image
 /// is refused, and garbage is rejected by magic.

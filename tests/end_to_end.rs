@@ -8,6 +8,56 @@ fn quick() -> Runner {
     Runner::new(ExperimentOpts::quick())
 }
 
+fn quick_event() -> Runner {
+    let mut opts = ExperimentOpts::quick();
+    opts.engine = EngineKind::Event;
+    Runner::new(opts)
+}
+
+/// Engine choice is presentation, not machine: every figure invariant
+/// above holds on `--engine event` because the event engine reproduces
+/// the serial engine bit for bit — checked here across every workload,
+/// the naive and augmented MMUs, and the TBC / TA-CCWS features.
+#[test]
+fn event_engine_reproduces_serial_results_end_to_end() {
+    let mut serial = quick();
+    let mut event = quick_event();
+    for b in Bench::all() {
+        for (name, model) in [
+            ("naive3", designs::naive3()),
+            ("augmented", designs::augmented()),
+        ] {
+            let s = serial.run(b, |c| c.mmu = model);
+            let e = event.run(b, |c| c.mmu = model);
+            let diff = s.diff(&e);
+            assert!(
+                diff.is_empty(),
+                "{b}/{name}: event engine diverged from serial in {diff:?}"
+            );
+        }
+    }
+    type Configure = fn(&mut GpuConfig);
+    let features: [(&str, Configure); 2] = [
+        ("ta-ccws", |c| {
+            c.mmu = designs::augmented();
+            c.policy = PolicyKind::TaCcws { tlb_weight: 4 };
+        }),
+        ("tbc", |c| {
+            c.mmu = designs::augmented();
+            c.tbc = Some(TbcConfig::tlb_aware(3));
+        }),
+    ];
+    for (name, configure) in features {
+        let s = serial.run(Bench::Mummergpu, configure);
+        let e = event.run(Bench::Mummergpu, configure);
+        let diff = s.diff(&e);
+        assert!(
+            diff.is_empty(),
+            "mummergpu/{name}: event engine diverged from serial in {diff:?}"
+        );
+    }
+}
+
 #[test]
 fn naive_tlbs_degrade_every_benchmark() {
     let mut r = quick();

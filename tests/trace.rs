@@ -1,0 +1,173 @@
+//! Trace capture/replay conformance: a run recorded to a GMTR trace and
+//! replayed through any execution engine must reproduce the captured
+//! run's statistics bit-identically — with and without fault injection —
+//! and the format must refuse foreign, truncated, tampered, or
+//! future-versioned files. Committed golden fixtures pin the byte format
+//! itself: re-capturing a replayed golden run must reproduce the
+//! committed file byte for byte.
+
+use gmmu::experiments::{designs, ExperimentOpts};
+use gmmu::prelude::*;
+use gmmu_sim::ckpt::CkptError;
+use gmmu_trace::{
+    assemble, capture_launch, rebuild_space, replay_run, Recorder, Trace, TraceKernel,
+};
+
+/// Captures `bench` (Tiny scale, seed 7) under `cfg`, returning the
+/// encoded trace and the capture run's stats.
+fn capture(bench: Bench, cfg: &GpuConfig) -> (Vec<u8>, RunStats) {
+    let mut w = match &cfg.inject {
+        Some(inj) if inj.unmap_fraction > 0.0 => build_demand_paged(bench, Scale::Tiny, 7, inj).0,
+        _ => build(bench, Scale::Tiny, 7),
+    };
+    let source = format!("{bench} tiny seed=7");
+    let launch = capture_launch(w.kernel.as_ref(), &w.space, cfg, &source);
+    let rec = Recorder::new(w.kernel.as_ref());
+    let stats = Gpu::new(cfg.clone()).run_faulted(&rec, &mut w.space, &mut Observer::off());
+    let trace = assemble(launch, rec, &stats);
+    (trace.encode(), stats)
+}
+
+/// Replays `bytes` on each engine; every replay must match the stats
+/// embedded in the trace exactly (ignoring `wall_s`).
+fn assert_replays_match(bytes: &[u8], what: &str) {
+    let trace = Trace::decode(bytes).expect("trace decodes");
+    let engines = [
+        ("serial", EngineKind::Serial, 0),
+        ("parallel", EngineKind::Parallel, 2),
+        ("event", EngineKind::Event, 0),
+    ];
+    for (name, engine, threads) in engines {
+        let mut cfg = trace.launch.config.clone();
+        cfg.engine = engine;
+        cfg.run_threads = threads;
+        let replayed = replay_run(&trace, &cfg).expect("replay runs");
+        let diff = trace.stats.diff(&replayed);
+        assert!(
+            diff.is_empty(),
+            "{what}/{name}: replay diverged from capture in {diff:?}"
+        );
+    }
+}
+
+#[test]
+fn capture_replay_round_trips_on_every_bench_and_engine() {
+    let cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    for bench in Bench::all() {
+        let (bytes, stats) = capture(bench, &cfg);
+        assert!(stats.completed, "{bench} capture hit the cycle cap");
+        assert_replays_match(&bytes, &format!("{bench}"));
+    }
+}
+
+#[test]
+fn capture_does_not_perturb_the_run() {
+    let cfg = ExperimentOpts::quick().gpu(designs::naive3());
+    let w = build(Bench::Bfs, Scale::Tiny, 7);
+    let plain = Gpu::new(cfg.clone()).run(w.kernel.as_ref(), &w.space);
+    let (_, captured) = capture(Bench::Bfs, &cfg);
+    let diff = plain.diff(&captured);
+    assert!(diff.is_empty(), "recording changed the run: {diff:?}");
+}
+
+/// Replaying a trace while recording it again must reproduce the
+/// original file byte for byte: the canonical record order is engine-
+/// independent and the launch section survives the round trip.
+#[test]
+fn recapturing_a_replay_is_byte_identical() {
+    let cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    let (bytes, _) = capture(Bench::Pathfinder, &cfg);
+    let trace = Trace::decode(&bytes).expect("trace decodes");
+
+    let kernel = TraceKernel::from_trace(&trace).expect("records expand");
+    let mut space = rebuild_space(&trace.launch).expect("space rebuilds");
+    let relaunch = capture_launch(&kernel, &space, &trace.launch.config, &trace.launch.source);
+    let rec = Recorder::new(&kernel);
+    let stats =
+        Gpu::new(trace.launch.config.clone()).run_faulted(&rec, &mut space, &mut Observer::off());
+    let again = assemble(relaunch, rec, &stats).encode();
+    assert_eq!(again, bytes, "re-capture is not byte-identical");
+}
+
+#[test]
+fn replay_under_fault_injection_matches_capture() {
+    let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    cfg.fault = FaultConfig::demand();
+    cfg.inject = Some(FaultInjectConfig::smoke(0xfa57));
+    let (bytes, stats) = capture(Bench::Bfs, &cfg);
+    assert!(stats.completed, "faulted capture hit the cycle cap");
+    assert!(stats.faults > 0, "nothing demand-faulted");
+    assert_replays_match(&bytes, "bfs/smoke");
+}
+
+#[test]
+fn trace_refuses_foreign_truncated_or_tampered_files() {
+    let cfg = ExperimentOpts::quick().gpu(designs::naive3());
+    let (bytes, _) = capture(Bench::Kmeans, &cfg);
+
+    // Foreign magic.
+    let mut foreign = bytes.clone();
+    foreign[..4].copy_from_slice(b"GMCK");
+    assert_eq!(Trace::decode(&foreign).unwrap_err(), CkptError::BadMagic);
+
+    // A future format version (version 1 is the single varint byte at
+    // offset 4).
+    let mut future = bytes.clone();
+    assert_eq!(future[4], 1);
+    future[4] = 2;
+    assert_eq!(
+        Trace::decode(&future).unwrap_err(),
+        CkptError::BadVersion(2)
+    );
+
+    // Any flipped bit in the launch section is a fingerprint mismatch.
+    let mut tampered = bytes.clone();
+    tampered[40] ^= 0x01;
+    assert!(matches!(
+        Trace::decode(&tampered).unwrap_err(),
+        CkptError::ConfigMismatch { .. }
+    ));
+
+    // Truncation anywhere in the body.
+    for frac in [4, 2] {
+        let cut = bytes.len() / frac;
+        assert!(
+            Trace::decode(&bytes[..cut]).is_err(),
+            "truncated at {cut} must be refused"
+        );
+    }
+}
+
+/// The committed golden fixtures decode, re-encode byte-identically,
+/// replay to their embedded stats on every engine, and re-capture to
+/// the committed bytes. This pins the GMTR v1 byte format: an
+/// accidental layout change fails here even if round-trip tests still
+/// pass against the changed code.
+#[test]
+fn golden_fixtures_replay_and_recapture_byte_identically() {
+    for name in ["pathfinder_tiny", "kmeans_tiny"] {
+        let path = format!("{}/tests/fixtures/{name}.gmtr", env!("CARGO_MANIFEST_DIR"));
+        let bytes =
+            std::fs::read(&path).unwrap_or_else(|e| panic!("missing golden fixture {path}: {e}"));
+        let trace = Trace::decode(&bytes).expect("golden fixture decodes");
+        assert_eq!(
+            trace.encode(),
+            bytes,
+            "{name}: re-encode is not byte-identical"
+        );
+        assert_replays_match(&bytes, name);
+
+        // Re-capture the replayed run and require the committed bytes.
+        let kernel = TraceKernel::from_trace(&trace).expect("records expand");
+        let mut space = rebuild_space(&trace.launch).expect("space rebuilds");
+        let relaunch = capture_launch(&kernel, &space, &trace.launch.config, &trace.launch.source);
+        let rec = Recorder::new(&kernel);
+        let stats = Gpu::new(trace.launch.config.clone()).run_faulted(
+            &rec,
+            &mut space,
+            &mut Observer::off(),
+        );
+        let again = assemble(relaunch, rec, &stats).encode();
+        assert_eq!(again, bytes, "{name}: golden re-capture diverged");
+    }
+}
