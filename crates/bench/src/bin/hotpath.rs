@@ -410,6 +410,42 @@ fn engine_benches() -> (f64, f64) {
     (serial, event)
 }
 
+// ------------------------------------------------------------- Metrics
+
+/// End-to-end metrics-channel overhead on one real workload: best-of-3
+/// `sim_cycles_per_sec` with the channel instrumented-but-off (the
+/// default — every record site compiles down to an enabled check) and
+/// fully on (per-core staging buffers, per-cycle drains, sink folds).
+/// Both runs simulate bit-identical behaviour; only wall time differs.
+fn metrics_benches() -> (f64, f64) {
+    use gmmu::prelude::*;
+    use gmmu_sim::metrics::Metrics;
+    use gmmu_simt::Observer;
+    let w = build(Bench::Bfs, Scale::Tiny, 7);
+    let cfg = gmmu::ExperimentOpts::quick().gpu(MmuModel::augmented());
+    let best = |on: bool| -> (f64, u64) {
+        let mut cycles = 0u64;
+        let mut rate = 0f64;
+        for _ in 0..3 {
+            let mut obs = Observer::off();
+            if on {
+                obs.metrics = Metrics::recording();
+            }
+            let stats = Gpu::new(cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+            cycles = stats.cycles;
+            rate = rate.max(stats.cycles_per_sec());
+        }
+        (rate, cycles)
+    };
+    let (off, off_cycles) = best(false);
+    let (on, on_cycles) = best(true);
+    assert_eq!(
+        off_cycles, on_cycles,
+        "the metrics channel must not perturb the simulation"
+    );
+    (off, on)
+}
+
 fn main() {
     let budget = Duration::from_millis(150);
     let mut results: Vec<(String, f64)> = Vec::new();
@@ -419,6 +455,7 @@ fn main() {
     next_event_benches(&mut results, budget);
     calendar_benches(&mut results, budget);
     let (serial_rate, event_rate) = engine_benches();
+    let (metrics_off_rate, metrics_on_rate) = metrics_benches();
 
     for (name, ns) in &results {
         println!("{name:<32} {ns:>12.1} ns/iter");
@@ -447,6 +484,24 @@ fn main() {
         "event engine vs serial:         {engine_speedup:.2}x \
          ({event_rate:.0} vs {serial_rate:.0} sim cycles/s)"
     );
+    let metrics_off_vs_unobserved = if serial_rate > 0.0 {
+        metrics_off_rate / serial_rate
+    } else {
+        0.0
+    };
+    let metrics_on_vs_off = if metrics_off_rate > 0.0 {
+        metrics_on_rate / metrics_off_rate
+    } else {
+        0.0
+    };
+    println!(
+        "metrics off vs unobserved:      {metrics_off_vs_unobserved:.2}x \
+         ({metrics_off_rate:.0} vs {serial_rate:.0} sim cycles/s)"
+    );
+    println!(
+        "metrics on vs off:              {metrics_on_vs_off:.2}x \
+         ({metrics_on_rate:.0} vs {metrics_off_rate:.0} sim cycles/s)"
+    );
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -470,6 +525,18 @@ fn main() {
         json,
         "    \"calendar_vs_linear_scan\": {calendar_speedup:.3}"
     );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"metrics\": {{");
+    let _ = writeln!(
+        json,
+        "    \"off_sim_cycles_per_sec\": {metrics_off_rate:.0},"
+    );
+    let _ = writeln!(json, "    \"on_sim_cycles_per_sec\": {metrics_on_rate:.0},");
+    let _ = writeln!(
+        json,
+        "    \"off_vs_unobserved\": {metrics_off_vs_unobserved:.3},"
+    );
+    let _ = writeln!(json, "    \"on_vs_off\": {metrics_on_vs_off:.3}");
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"engine\": {{");
     let _ = writeln!(json, "    \"serial_sim_cycles_per_sec\": {serial_rate:.0},");

@@ -3,8 +3,10 @@
 //! For every benchmark, captures a GMTR trace of one run and replays it
 //! on all three execution engines (serial, parallel, event), with and
 //! without deterministic fault injection. Every replay must reproduce
-//! the captured run's statistics bit-identically (wall time excluded);
-//! any difference is listed and fails the harness. Results are printed
+//! the captured run's statistics bit-identically (wall time excluded),
+//! and every replay runs with the metrics channel on: the versioned
+//! metrics snapshots of the three engines must be byte-identical too.
+//! Any difference is listed and fails the harness. Results are printed
 //! as a table and written to `BENCH_validate.json`.
 //!
 //! With `GMMU_EMIT_GOLDEN=dir` the harness additionally writes the two
@@ -16,7 +18,9 @@
 use gmmu::experiments::designs;
 use gmmu::prelude::*;
 use gmmu::ExperimentOpts;
-use gmmu_trace::{assemble, capture_launch, replay_run, Recorder, Trace};
+use gmmu_sim::metrics::Metrics;
+use gmmu_sim::rng::fnv1a64;
+use gmmu_trace::{assemble, capture_launch, replay_run_observed, Recorder, Trace};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -40,6 +44,9 @@ struct Row {
     cycles: u64,
     wall_s: f64,
     diff: Vec<&'static str>,
+    /// FNV-1a 64 of the replay's metrics snapshot JSON; equal across
+    /// engines when the snapshot is engine-invariant.
+    metrics_fnv: u64,
 }
 
 fn main() {
@@ -65,6 +72,7 @@ fn main() {
     ];
     let mut rows: Vec<Row> = Vec::new();
     let mut failures = 0u32;
+    let mut metrics_failures = 0u32;
     for bench in Bench::all() {
         let plain = opts.gpu(designs::augmented());
         let mut faulted = opts.gpu(designs::augmented());
@@ -74,14 +82,18 @@ fn main() {
             let source = format!("{bench} {:?} seed={} ({variant})", opts.scale, opts.seed);
             let bytes = capture(bench, opts.scale, opts.seed, &cfg, &source);
             let trace = Trace::decode(&bytes).expect("a just-captured trace must decode");
+            let mut snapshots: Vec<String> = Vec::with_capacity(engines.len());
             for (engine_name, engine, threads) in engines {
                 let mut replay_cfg = trace.launch.config.clone();
                 replay_cfg.engine = engine;
                 replay_cfg.run_threads = threads;
+                let mut obs = Observer::off();
+                obs.metrics = Metrics::recording();
                 let started = Instant::now();
-                let stats =
-                    replay_run(&trace, &replay_cfg).expect("a just-captured trace must replay");
+                let (stats, snapshot) = replay_run_observed(&trace, &replay_cfg, &mut obs)
+                    .expect("a just-captured trace must replay");
                 let wall_s = started.elapsed().as_secs_f64();
+                let snapshot = snapshot.expect("the metrics channel was on");
                 let diff = trace.stats.diff(&stats);
                 let status = if diff.is_empty() {
                     "ok".to_string()
@@ -104,39 +116,59 @@ fn main() {
                     cycles: stats.cycles,
                     wall_s,
                     diff,
+                    metrics_fnv: fnv1a64(snapshot.as_bytes()),
                 });
+                snapshots.push(snapshot);
+            }
+            // The snapshot is a pure fold of the run's metric events, so
+            // the three engines must render byte-identical JSON.
+            if snapshots.iter().any(|s| s != &snapshots[0]) {
+                metrics_failures += 1;
+                eprintln!(
+                    "validate: metrics snapshots diverged across engines \
+                     for {} ({variant})",
+                    bench.name()
+                );
             }
         }
     }
 
-    let json = to_json(&opts, &rows, failures);
+    let json = to_json(&opts, &rows, failures, metrics_failures);
     match std::fs::write("BENCH_validate.json", &json) {
         Ok(()) => eprintln!("[validate] wrote BENCH_validate.json"),
         Err(e) => eprintln!("[validate] could not write BENCH_validate.json: {e}"),
     }
-    if failures > 0 {
-        eprintln!("validate: {failures} replay(s) diverged from their capture");
+    if failures > 0 || metrics_failures > 0 {
+        if failures > 0 {
+            eprintln!("validate: {failures} replay(s) diverged from their capture");
+        }
+        if metrics_failures > 0 {
+            eprintln!("validate: {metrics_failures} capture(s) with engine-variant metrics");
+        }
         std::process::exit(1)
     }
     println!(
-        "validate: {} replays, all statistics bit-identical to capture",
+        "validate: {} replays, all statistics bit-identical to capture, \
+         all metrics snapshots engine-invariant",
         rows.len()
     );
 }
 
-fn to_json(opts: &ExperimentOpts, rows: &[Row], failures: u32) -> String {
+fn to_json(opts: &ExperimentOpts, rows: &[Row], failures: u32, metrics_failures: u32) -> String {
     let mut s = String::new();
     let _ = writeln!(s, "{{");
     let _ = writeln!(s, "  \"scale\": \"{:?}\",", opts.scale);
     let _ = writeln!(s, "  \"seed\": {},", opts.seed);
     let _ = writeln!(s, "  \"failures\": {failures},");
+    let _ = writeln!(s, "  \"metrics_failures\": {metrics_failures},");
     let _ = writeln!(s, "  \"rows\": [");
     for (i, r) in rows.iter().enumerate() {
         let diff: Vec<String> = r.diff.iter().map(|d| format!("\"{d}\"")).collect();
         let _ = writeln!(
             s,
             "    {{\"bench\": \"{}\", \"variant\": \"{}\", \"engine\": \"{}\", \
-             \"cycles\": {}, \"wall_s\": {:.4}, \"ok\": {}, \"diff\": [{}]}}{}",
+             \"cycles\": {}, \"wall_s\": {:.4}, \"ok\": {}, \"diff\": [{}], \
+             \"metrics_snapshot_fnv\": \"{:016x}\"}}{}",
             r.bench,
             r.variant,
             r.engine,
@@ -144,6 +176,7 @@ fn to_json(opts: &ExperimentOpts, rows: &[Row], failures: u32) -> String {
             r.wall_s,
             r.diff.is_empty(),
             diff.join(", "),
+            r.metrics_fnv,
             if i + 1 < rows.len() { "," } else { "" }
         );
     }
@@ -154,7 +187,10 @@ fn to_json(opts: &ExperimentOpts, rows: &[Row], failures: u32) -> String {
 
 /// Writes the golden fixtures `tests/trace.rs` pins the byte format
 /// against: quick scope (Tiny scale), seed 7, augmented MMU — exactly
-/// the configuration the golden test re-captures under.
+/// the configuration the golden test re-captures under. Alongside the
+/// traces it writes `metrics_pathfinder_tiny.json`, the metrics-on
+/// replay snapshot of the pathfinder fixture, which pins the snapshot
+/// JSON schema the same way.
 fn emit_golden(dir: &str) {
     let cfg = ExperimentOpts::quick().gpu(designs::augmented());
     for (bench, name) in [
@@ -168,6 +204,26 @@ fn emit_golden(dir: &str) {
             Ok(()) => eprintln!(
                 "[validate] wrote golden fixture {path} ({} bytes)",
                 bytes.len()
+            ),
+            Err(e) => {
+                eprintln!("[validate] could not write {path}: {e}");
+                std::process::exit(1)
+            }
+        }
+        if bench != Bench::Pathfinder {
+            continue;
+        }
+        let trace = Trace::decode(&bytes).expect("golden trace decodes");
+        let mut obs = Observer::off();
+        obs.metrics = Metrics::recording();
+        let (_, snapshot) = replay_run_observed(&trace, &trace.launch.config.clone(), &mut obs)
+            .expect("golden trace replays");
+        let snapshot = snapshot.expect("the metrics channel was on");
+        let path = format!("{dir}/metrics_{name}.json");
+        match std::fs::write(&path, &snapshot) {
+            Ok(()) => eprintln!(
+                "[validate] wrote golden fixture {path} ({} bytes)",
+                snapshot.len()
             ),
             Err(e) => {
                 eprintln!("[validate] could not write {path}: {e}");

@@ -229,6 +229,11 @@ impl LocalityPolicy {
         &self.lls
     }
 
+    /// Registers this scheduler policy's instruments under `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.lost_locality_events"), self.events.get());
+    }
+
     /// An L1 line allocated by `owner` was evicted.
     pub fn on_l1_evict(&mut self, owner: u16, line: u64) {
         if self.kind.uses_line_vtas() {

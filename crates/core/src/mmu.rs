@@ -22,6 +22,7 @@ use crate::walker::{WalkDone, Walker, WalkerConfig};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
 use gmmu_mem::MemPort;
 use gmmu_sim::fault::{FaultInjectConfig, FaultInjector};
+use gmmu_sim::metrics::{MetricEvent, Metrics, MetricsRegistry};
 use gmmu_sim::stats::{Counter, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_MMU};
 use gmmu_sim::Cycle;
@@ -286,6 +287,12 @@ pub struct Mmu {
     stamp: u64,
     /// Deterministic fault injector (`None` = no perturbation at all).
     inject: Option<FaultInjector>,
+    /// Telemetry channel. Every lifecycle event (lookups, misses, walk
+    /// levels, stage attribution, fills) originates inside this MMU, so
+    /// the channel lives here; the engine drains it into the observer's
+    /// sink once per cycle. Transient like `done_scratch`: buffers are
+    /// empty at checkpoint boundaries and are not serialized.
+    metrics: Metrics,
     /// Requests rejected (blocking / MSHR-full).
     pub rejects: Counter,
     /// Per-miss resolution latency: miss detection → TLB fill applied
@@ -322,6 +329,7 @@ impl Mmu {
             lookup_next_free: 0,
             stamp: 0,
             inject: None,
+            metrics: Metrics::Off,
             rejects: Counter::new(),
             miss_latency: Summary::new(),
             faults: Counter::new(),
@@ -335,6 +343,50 @@ impl Mmu {
     /// behaves bit-identically to a build without the harness.
     pub fn set_injection(&mut self, cfg: Option<FaultInjectConfig>) {
         self.inject = cfg.map(FaultInjector::new);
+    }
+
+    /// Enables (or disables) telemetry staging: when on, lifecycle
+    /// events accumulate in a core-local buffer the engine drains with
+    /// [`Mmu::drain_metrics`] once per cycle. Off by default; off means
+    /// the event closures are never evaluated.
+    pub fn set_metrics(&mut self, enabled: bool) {
+        self.metrics = if enabled {
+            Metrics::staging()
+        } else {
+            Metrics::Off
+        };
+    }
+
+    /// Drains staged telemetry events into `dst` (the observer's sink).
+    pub fn drain_metrics(&mut self, dst: &mut Metrics) {
+        dst.absorb(&mut self.metrics);
+    }
+
+    /// Registers this MMU's instruments (TLB, walker, MSHRs, fault
+    /// counters) under `prefix` in deterministic order.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        if let Some(tlb) = &self.tlb {
+            tlb.register_metrics(&format!("{prefix}.tlb"), reg);
+        }
+        if let Some(walker) = &self.walker {
+            walker.register_metrics(&format!("{prefix}.walker"), reg);
+        }
+        self.mshrs.register_metrics(&format!("{prefix}.mshr"), reg);
+        reg.counter(format!("{prefix}.rejects"), self.rejects.get());
+        reg.counter(format!("{prefix}.faults"), self.faults.get());
+        reg.counter(format!("{prefix}.shootdowns"), self.shootdowns.get());
+        reg.counter(
+            format!("{prefix}.squashed_walks"),
+            self.squashed_walks.get(),
+        );
+        reg.counter(
+            format!("{prefix}.miss_latency.count"),
+            self.miss_latency.count(),
+        );
+        reg.gauge(
+            format!("{prefix}.miss_latency.mean"),
+            self.miss_latency.mean(),
+        );
     }
 
     /// The model this MMU implements.
@@ -397,7 +449,15 @@ impl Mmu {
             return;
         };
         self.done_scratch.clear();
-        walker.advance_traced(now, mem, space, &mut self.done_scratch, tracer, pid);
+        walker.advance_traced(
+            now,
+            mem,
+            space,
+            &mut self.done_scratch,
+            tracer,
+            &mut self.metrics,
+            pid,
+        );
         for mut done in self.done_scratch.drain(..) {
             if let Some(inj) = &self.inject {
                 done.complete += inj.walk_delay(done.vpn.raw(), done.enqueued);
@@ -433,6 +493,17 @@ impl Mmu {
         });
         self.mshrs.release(done.vpn.raw());
         let waiters = self.waiters.remove(&done.vpn.raw()).unwrap_or_default();
+        // Stage attribution: queueing before a lane picked the walk up,
+        // then active walking (memory references plus injected delays,
+        // which `advance_traced` folded into `complete`). The two stages
+        // sum exactly to the `miss_latency` sample recorded above.
+        self.metrics.record(|| MetricEvent::WalkStage {
+            queue: done.started - done.enqueued,
+            active: done.complete - done.started,
+        });
+        self.metrics.record(|| MetricEvent::Fill {
+            waiters: waiters.len() as u64,
+        });
         let _ = now;
         match done.translation {
             Some((ppn, _size)) => {
@@ -589,6 +660,9 @@ impl Mmu {
         let lookup_cycles = (pages.len() as u64).div_ceil(tlb_cfg.ports as u64);
         self.lookup_next_free = start + lookup_cycles;
         let ready_at = start + (lookup_cycles - 1) + tlb_cfg.access_penalty();
+        // One lookup-latency sample per accepted probe (hit or miss):
+        // port-arbitration wait plus the access penalty.
+        self.metrics.record(|| MetricEvent::Lookup(ready_at - now));
 
         let tlb = self.tlb.as_mut().expect("real model has a TLB");
         for req in pages {
@@ -625,10 +699,12 @@ impl Mmu {
                         .expect("real model has a walker")
                         .enqueue(vpn, home, now);
                     self.waiters.insert(vpn.raw(), vec![requester]);
+                    self.metrics.record(|| MetricEvent::Miss(vpn.raw()));
                     registered += 1;
                 }
                 MshrOutcome::Merged(_) => {
                     self.waiters.entry(vpn.raw()).or_default().push(requester);
+                    self.metrics.record(|| MetricEvent::Miss(vpn.raw()));
                     registered += 1;
                 }
                 // No free MSHR for this page: it stays pending and is

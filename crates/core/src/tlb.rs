@@ -297,6 +297,16 @@ impl Tlb {
         }
     }
 
+    /// Registers this TLB's instruments under `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.accesses"), self.accesses.get());
+        reg.counter(format!("{prefix}.hits"), self.hits.get());
+        reg.counter(format!("{prefix}.fills"), self.fills.get());
+        reg.counter(format!("{prefix}.entries"), self.config.entries as u64);
+        reg.gauge(format!("{prefix}.miss_rate"), self.miss_rate());
+        reg.gauge(format!("{prefix}.hit_depth.mean"), self.hit_depth.mean());
+    }
+
     #[inline]
     fn set_range(&self, vpn: Vpn) -> std::ops::Range<usize> {
         let set = (vpn.raw() & self.set_mask) as usize;

@@ -18,6 +18,7 @@
 
 use gmmu_mem::cache::{Cache, CacheConfig};
 use gmmu_mem::{AccessKind, MemPort, LINE_SHIFT};
+use gmmu_sim::metrics::{MetricEvent, Metrics};
 use gmmu_sim::stats::{Counter, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_WALKER};
 use gmmu_sim::Cycle;
@@ -173,6 +174,10 @@ pub struct WalkDone {
     pub complete: Cycle,
     /// Cycle the miss was originally enqueued.
     pub enqueued: Cycle,
+    /// Cycle a walker lane picked the request up (stage attribution:
+    /// `started - enqueued` is queueing, `complete - started` is the
+    /// active walk).
+    pub started: Cycle,
 }
 
 /// Statistics shared by all walker kinds.
@@ -308,6 +313,30 @@ impl Walker {
         &self.config
     }
 
+    /// Registers this walker's instruments under `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.lanes"), self.lanes.len() as u64);
+        reg.counter(format!("{prefix}.walks"), self.stats.walks.get());
+        reg.counter(
+            format!("{prefix}.refs_issued"),
+            self.stats.refs_issued.get(),
+        );
+        reg.counter(format!("{prefix}.refs_naive"), self.stats.refs_naive.get());
+        reg.counter(format!("{prefix}.pwc_hits"), self.stats.pwc_hits.get());
+        reg.counter(
+            format!("{prefix}.lane_busy_cycles"),
+            self.stats.lane_busy_cycles.get(),
+        );
+        reg.gauge(
+            format!("{prefix}.walk_latency.mean"),
+            self.stats.walk_latency.mean(),
+        );
+        reg.gauge(
+            format!("{prefix}.batch_size.mean"),
+            self.stats.batch_size.mean(),
+        );
+    }
+
     /// Queues a walk for `vpn` missed by `warp` at cycle `now`.
     pub fn enqueue(&mut self, vpn: Vpn, warp: u16, now: Cycle) {
         self.pending.push_back(WalkRequest {
@@ -364,11 +393,22 @@ impl Walker {
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
     ) {
-        self.advance_traced(now, mem, space, done, &mut Tracer::Off, 0);
+        self.advance_traced(
+            now,
+            mem,
+            space,
+            done,
+            &mut Tracer::Off,
+            &mut Metrics::Off,
+            0,
+        );
     }
 
     /// [`Walker::advance`] that also emits one `page_walk` span per walk
-    /// (track `TID_WALKER + lane`) under core `pid` when tracing is on.
+    /// (track `TID_WALKER + lane`) under core `pid` when tracing is on,
+    /// and one [`MetricEvent::WalkLevel`] per page-table level each walk
+    /// references when metrics are on.
+    #[allow(clippy::too_many_arguments)]
     pub fn advance_traced(
         &mut self,
         now: Cycle,
@@ -376,13 +416,18 @@ impl Walker {
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
         pid: u32,
     ) {
         match self.config.kind {
-            WalkerKind::Serial { .. } => self.advance_serial(now, mem, space, done, 0, tracer, pid),
-            WalkerKind::Coalesced => self.advance_coalesced(now, mem, space, done, tracer, pid),
+            WalkerKind::Serial { .. } => {
+                self.advance_serial(now, mem, space, done, 0, tracer, metrics, pid)
+            }
+            WalkerKind::Coalesced => {
+                self.advance_coalesced(now, mem, space, done, tracer, metrics, pid)
+            }
             WalkerKind::Software { trap_cycles } => {
-                self.advance_serial(now, mem, space, done, trap_cycles, tracer, pid)
+                self.advance_serial(now, mem, space, done, trap_cycles, tracer, metrics, pid)
             }
         }
     }
@@ -396,6 +441,7 @@ impl Walker {
         done: &mut Vec<WalkDone>,
         trap_cycles: u64,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
         pid: u32,
     ) {
         loop {
@@ -417,6 +463,10 @@ impl Walker {
             // A software handler pays the trap on entry and exit.
             let mut t = now + trap_cycles;
             for level in &walk.levels {
+                metrics.record(|| MetricEvent::WalkLevel {
+                    vpn: req.vpn.raw(),
+                    level: level.level as u8,
+                });
                 t = Self::pte_load(
                     &mut self.pwc,
                     &mut self.stats,
@@ -450,10 +500,12 @@ impl Walker {
                 translation: walk.result,
                 complete: t,
                 enqueued: req.enqueued,
+                started: now,
             });
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn advance_coalesced(
         &mut self,
         now: Cycle,
@@ -461,6 +513,7 @@ impl Walker {
         space: &AddressSpace,
         done: &mut Vec<WalkDone>,
         tracer: &mut Tracer,
+        metrics: &mut Metrics,
         pid: u32,
     ) {
         if self.pending.is_empty() || self.lanes[0] > now {
@@ -483,6 +536,13 @@ impl Walker {
                 let Some(level) = w.levels.get(li) else {
                     continue;
                 };
+                // Attribution is per-walk, not per-issued-load: each walk
+                // charges every level it needs even when the scheduler
+                // deduplicates the actual memory reference.
+                metrics.record(|| MetricEvent::WalkLevel {
+                    vpn: batch[wi].vpn.raw(),
+                    level: level.level as u8,
+                });
                 let pa = level.pte_paddr.raw();
                 match level_refs.iter_mut().find(|(a, _)| *a == pa) {
                     Some((_, users)) => users.push(wi), // duplicate: eliminated
@@ -540,6 +600,7 @@ impl Walker {
                 translation: walks[wi].result,
                 complete,
                 enqueued: req.enqueued,
+                started: now,
             });
         }
         self.stats.lane_busy_cycles.add(t - now);
@@ -570,6 +631,7 @@ impl Ckpt for WalkDone {
         self.translation.save(w);
         w.u64(self.complete);
         w.u64(self.enqueued);
+        w.u64(self.started);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         self.vpn.load(r)?;
@@ -577,6 +639,7 @@ impl Ckpt for WalkDone {
         self.translation.load(r)?;
         self.complete = r.u64()?;
         self.enqueued = r.u64()?;
+        self.started = r.u64()?;
         Ok(())
     }
 }

@@ -224,6 +224,16 @@ impl Cache {
         self.ways.fill(INVALID);
     }
 
+    /// Registers this cache's instruments under `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.accesses"), self.accesses.get());
+        reg.counter(format!("{prefix}.hits"), self.hits.get());
+        reg.gauge(
+            format!("{prefix}.hit_rate"),
+            self.hits.rate(self.accesses.get()),
+        );
+    }
+
     /// Number of valid lines (diagnostics).
     pub fn occupancy(&self) -> usize {
         self.ways.iter().filter(|w| w.valid).count()

@@ -91,6 +91,12 @@ impl Channel {
     pub fn next_free(&self) -> Cycle {
         self.next_free
     }
+
+    /// Registers this channel's instruments under `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.requests"), self.requests.get());
+        reg.gauge(format!("{prefix}.latency.mean"), self.latency.mean());
+    }
 }
 
 impl gmmu_sim::ckpt::Ckpt for Channel {

@@ -88,6 +88,12 @@ impl MshrFile {
         self.capacity
     }
 
+    /// Registers this MSHR file's instruments under `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.capacity"), self.capacity as u64);
+        reg.counter(format!("{prefix}.peak"), self.peak as u64);
+    }
+
     /// Completion cycle of an in-flight miss on `key`, if any.
     pub fn lookup(&self, key: u64) -> Option<Cycle> {
         self.entries.get(&key).copied()

@@ -279,6 +279,34 @@ impl MemorySystem {
             s.flush();
         }
     }
+
+    /// Registers the shared memory system's instruments under `prefix`:
+    /// aggregate request/latency counters, sliced-L2 totals, and one
+    /// group per DRAM channel, all in deterministic order.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut gmmu_sim::metrics::MetricsRegistry) {
+        reg.counter(format!("{prefix}.loads"), self.loads.get());
+        reg.counter(format!("{prefix}.stores"), self.stores.get());
+        reg.counter(format!("{prefix}.walk_refs"), self.walk_refs.get());
+        reg.counter(format!("{prefix}.walk_l2_hits"), self.walk_l2_hits.get());
+        reg.gauge(
+            format!("{prefix}.walk_l2_hit_rate"),
+            self.walk_l2_hit_rate(),
+        );
+        reg.gauge(
+            format!("{prefix}.load_latency.mean"),
+            self.load_latency.mean(),
+        );
+        reg.gauge(
+            format!("{prefix}.walk_latency.mean"),
+            self.walk_latency.mean(),
+        );
+        let (l2_accesses, l2_hits) = self.l2_totals();
+        reg.counter(format!("{prefix}.l2.accesses"), l2_accesses);
+        reg.counter(format!("{prefix}.l2.hits"), l2_hits);
+        for (i, ch) in self.channels.iter().enumerate() {
+            ch.register_metrics(&format!("{prefix}.dram{i}"), reg);
+        }
+    }
 }
 
 impl gmmu_sim::ckpt::Ckpt for MemorySystem {

@@ -16,6 +16,9 @@
 //! * [`fault`] — deterministic fault injection (demand faults, delayed
 //!   walks, transient rejections, shootdown storms) driven by the
 //!   counter-based mixers, so fault schedules are reproducible.
+//! * [`metrics`] — translation-lifecycle telemetry: a zero-cost metric
+//!   event channel, per-stage latency histograms, a hot-page table, and
+//!   a labeled instrument registry rendered as versioned JSON.
 //! * [`stats`] — counters, running means, and log-scale histograms used
 //!   for every statistic the paper reports.
 //! * [`table`] — plain-text/CSV table rendering for the figure harnesses.
@@ -38,6 +41,7 @@
 pub mod calendar;
 pub mod ckpt;
 pub mod fault;
+pub mod metrics;
 pub mod rng;
 pub mod stats;
 pub mod table;

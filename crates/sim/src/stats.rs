@@ -242,6 +242,25 @@ impl Histogram {
         self.max
     }
 
+    /// Sum of the (unclamped) samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Condenses the histogram into the fixed set of headline statistics
+    /// the figure tables and metrics snapshots report.
+    pub fn summary(&self) -> HistSummary {
+        HistSummary {
+            count: self.count,
+            sum: self.sum,
+            mean: self.mean(),
+            p50: self.percentile(0.5),
+            p90: self.percentile(0.9),
+            p99: self.percentile(0.99),
+            max: self.max,
+        }
+    }
+
     /// The smallest bucket value `v` such that at least `p` (0..=1) of the
     /// samples are `<= v`. Returns 0 when empty.
     pub fn percentile(&self, p: f64) -> u64 {
@@ -284,6 +303,28 @@ impl Histogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+}
+
+/// The headline statistics of one [`Histogram`], produced by
+/// [`Histogram::summary`]. Percentiles inherit the histogram's bucket
+/// clamping (values beyond the bound report as the bound); `sum`, `mean`
+/// and `max` are exact.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Exact sum of the samples.
+    pub sum: u64,
+    /// Exact arithmetic mean (0 when empty).
+    pub mean: f64,
+    /// Median (bucket-resolution).
+    pub p50: u64,
+    /// 90th percentile (bucket-resolution).
+    pub p90: u64,
+    /// 99th percentile (bucket-resolution).
+    pub p99: u64,
+    /// Exact largest sample.
+    pub max: u64,
 }
 
 impl crate::ckpt::Ckpt for Counter {
@@ -451,6 +492,24 @@ mod tests {
         assert_eq!(a.count(), 3);
         assert_eq!(a.bucket(2), 1);
         assert_eq!(a.max(), 3);
+    }
+
+    #[test]
+    fn histogram_summary_headline_stats() {
+        let mut h = Histogram::new();
+        for v in 0..100u64 {
+            h.record(v % 10);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.sum, h.sum());
+        assert_eq!(s.mean, 4.5);
+        assert_eq!(s.p50, 4);
+        assert_eq!(s.p90, 8);
+        assert_eq!(s.p99, 9);
+        assert_eq!(s.max, 9);
+        let empty = Histogram::new().summary();
+        assert_eq!(empty, HistSummary::default());
     }
 
     #[test]

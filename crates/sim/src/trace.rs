@@ -116,6 +116,15 @@ impl TraceBuffer {
     /// by Perfetto and chrome://tracing. Cycles map 1:1 to microseconds
     /// (`ts`/`dur`), so the UI's "us" readout is really cycles.
     pub fn to_chrome_json(&self) -> String {
+        self.to_chrome_json_with(&[])
+    }
+
+    /// [`TraceBuffer::to_chrome_json`] with extra pre-rendered JSON
+    /// objects spliced in after the span rows — used to add `"ph":"C"`
+    /// counter-track samples (e.g. per-stage walk latency from the
+    /// metrics channel) to a span trace. Each element of `extra` must be
+    /// one complete JSON object without a trailing comma.
+    pub fn to_chrome_json_with(&self, extra: &[String]) -> String {
         use std::fmt::Write;
         let mut out = String::with_capacity(64 + self.events.len() * 96);
         out.push_str("[\n");
@@ -129,12 +138,19 @@ impl TraceBuffer {
                 let sep = if j == 0 { "" } else { "," };
                 let _ = write!(out, "{sep}\"{k}\":{v}");
             }
-            let tail = if i + 1 == self.events.len() {
+            let tail = if i + 1 == self.events.len() && extra.is_empty() {
                 "}}"
             } else {
                 "}},"
             };
             out.push_str(tail);
+            out.push('\n');
+        }
+        for (j, row) in extra.iter().enumerate() {
+            out.push_str(row);
+            if j + 1 != extra.len() {
+                out.push(',');
+            }
             out.push('\n');
         }
         out.push_str("]\n");
@@ -352,6 +368,30 @@ mod tests {
         assert!(json.contains(r#""args":{}"#));
         // Exactly one comma-separated top-level list: last entry has no comma.
         assert_eq!(json.matches("},\n").count(), 1);
+    }
+
+    #[test]
+    fn chrome_json_with_counter_rows_stays_well_formed() {
+        let mut t = Tracer::recording();
+        t.record(|| TraceEvent::span("a", "c", 0, 1, 10, 5));
+        let rows = vec![
+            "{\"name\":\"walk_queue\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"args\":{\"cycles\":3}}"
+                .to_string(),
+            "{\"name\":\"walk_active\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"args\":{\"cycles\":7}}"
+                .to_string(),
+        ];
+        let json = t.buffer().unwrap().to_chrome_json_with(&rows);
+        assert!(json.starts_with("[\n"));
+        assert!(json.ends_with("]\n"));
+        assert!(json.contains("\"ph\":\"C\""));
+        // Span row gains a comma; the two counter rows are separated by
+        // one more; the final row has none.
+        assert_eq!(json.matches("},\n").count(), 2);
+        // Empty extras must render byte-identically to the plain form.
+        assert_eq!(
+            t.buffer().unwrap().to_chrome_json(),
+            t.buffer().unwrap().to_chrome_json_with(&[])
+        );
     }
 
     #[test]

@@ -20,6 +20,7 @@ use gmmu_core::cpm::CommonPageMatrix;
 use gmmu_core::mmu::{Mmu, MmuEvent, TranslateBuf, TranslateOutcome};
 use gmmu_mem::mshr::{MshrFile, MshrOutcome};
 use gmmu_mem::{AccessKind, Cache, CacheAccess, MemPort};
+use gmmu_sim::metrics::{Metrics, MetricsRegistry};
 use gmmu_sim::stats::{Counter, Histogram, Summary};
 use gmmu_sim::trace::{TraceEvent, Tracer, TID_DISPATCH};
 use gmmu_sim::Cycle;
@@ -522,6 +523,59 @@ impl ShaderCore {
     /// The core's L1 data cache.
     pub fn l1(&self) -> &Cache {
         &self.path.l1
+    }
+
+    /// Arms (or disarms) this core's metric staging buffer. Enabled
+    /// cores record lifecycle events into a per-core buffer that the
+    /// engine drains in core-index order each cycle — see
+    /// [`gmmu_sim::metrics::Metrics`] for why that keeps snapshots
+    /// engine-invariant.
+    pub fn set_metrics_staging(&mut self, enabled: bool) {
+        self.path.mmu.set_metrics(enabled);
+    }
+
+    /// Moves this core's buffered metric events into `dst`.
+    pub fn drain_metrics(&mut self, dst: &mut Metrics) {
+        self.path.mmu.drain_metrics(dst);
+    }
+
+    /// Registers this core's instruments (pipeline counters, stall
+    /// breakdown, coalescer, L1, policy, and the MMU tree) under
+    /// `prefix`.
+    pub fn register_metrics(&self, prefix: &str, reg: &mut MetricsRegistry) {
+        let s = &self.path.stats;
+        reg.counter(format!("{prefix}.instructions"), s.instructions.get());
+        reg.counter(
+            format!("{prefix}.mem_instructions"),
+            s.mem_instructions.get(),
+        );
+        reg.counter(format!("{prefix}.live_cycles"), s.live_cycles.get());
+        reg.counter(format!("{prefix}.idle_cycles"), s.idle_cycles.get());
+        reg.counter(format!("{prefix}.replays"), s.replays.get());
+        reg.counter(format!("{prefix}.dwarps_formed"), s.dwarps_formed.get());
+        reg.counter(format!("{prefix}.blocks_done"), s.blocks_done.get());
+        for (cause, cycles) in s.stall_breakdown.iter() {
+            let slug = cause.label().replace([' ', '/'], "_");
+            reg.counter(format!("{prefix}.stall.{slug}"), cycles);
+        }
+        reg.dist(
+            format!("{prefix}.coalescer.page_divergence"),
+            s.page_divergence.summary(),
+        );
+        reg.gauge(
+            format!("{prefix}.l1_miss_latency.mean"),
+            s.l1_miss_latency.mean(),
+        );
+        self.path.l1.register_metrics(&format!("{prefix}.l1"), reg);
+        self.path
+            .l1_mshrs
+            .register_metrics(&format!("{prefix}.l1_mshr"), reg);
+        self.path
+            .policy
+            .register_metrics(&format!("{prefix}.policy"), reg);
+        self.path
+            .mmu
+            .register_metrics(&format!("{prefix}.mmu"), reg);
     }
 
     /// The locality policy (CCWS-family diagnostics).

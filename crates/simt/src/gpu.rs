@@ -18,6 +18,7 @@ use gmmu_mem::MemorySystem;
 use gmmu_sim::calendar::Calendar;
 use gmmu_sim::ckpt::{fnv1a64, Ckpt, CkptError, Loader, Saver};
 use gmmu_sim::fault::{major_fault, FaultInjector};
+use gmmu_sim::metrics::{Metrics, MetricsRegistry};
 use gmmu_sim::stats::{Histogram, Summary};
 use gmmu_sim::trace::Tracer;
 use gmmu_sim::Cycle;
@@ -237,8 +238,10 @@ impl RunStats {
 pub const CKPT_MAGIC: [u8; 4] = *b"GMCK";
 /// Checkpoint format version. Bumped whenever the payload layout
 /// changes; old images are refused rather than misread (see
-/// `DESIGN.md`, "Checkpoint format versioning").
-pub const CKPT_VERSION: u32 = 1;
+/// `DESIGN.md`, "Checkpoint format versioning"). Version 2 added the
+/// walk-start cycle to in-flight walk records, the per-stage walk
+/// columns to interval snapshots, and the observer's metrics channel.
+pub const CKPT_VERSION: u32 = 2;
 
 /// The configuration fingerprint stored in a checkpoint header: a
 /// stable hash of the GPU configuration, kernel name, and thread count.
@@ -396,6 +399,14 @@ impl Gpu {
             self.cores[(b as usize) % n_cores].push_block(first, count);
         }
         let num_sites = kernel.program().num_sites().max(1);
+        // Arm (or disarm) each core's metric staging buffer: cores
+        // record lifecycle events locally and the engines drain them in
+        // core-index order each cycle, keeping the aggregation path off
+        // the parallel workers.
+        let metrics_on = obs.metrics.enabled();
+        for core in &mut self.cores {
+            core.set_metrics_staging(metrics_on);
+        }
         if let Some(rec) = obs.intervals.as_mut() {
             let lanes: usize = self
                 .cores
@@ -631,6 +642,15 @@ impl Gpu {
                     (issued, live)
                 }
             };
+            // Metric staging buffers drain into the observer's sink in
+            // core-index order every cycle; sink folds are commutative,
+            // so the snapshot is independent of which engine produced
+            // the events.
+            if obs.metrics.enabled() {
+                for core in &mut self.cores {
+                    core.drain_metrics(&mut obs.metrics);
+                }
+            }
             // New page faults raised this cycle enter the handler queue
             // once each; minor/major classification is a pure function
             // of the seed and the page.
@@ -676,7 +696,7 @@ impl Gpu {
             now += 1;
             if let Some(rec) = obs.intervals.as_mut() {
                 while rec.due(now) {
-                    let totals = Self::totals(&self.cores, &self.mem);
+                    let totals = Self::totals(&self.cores, &self.mem, &obs.metrics);
                     rec.sample(totals);
                 }
             }
@@ -725,7 +745,7 @@ impl Gpu {
                     // boundaries crossed by the jump record zero activity
                     // — exactly what the per-cycle engine records.
                     while rec.due(now) {
-                        let totals = Self::totals(&self.cores, &self.mem);
+                        let totals = Self::totals(&self.cores, &self.mem, &obs.metrics);
                         rec.sample(totals);
                     }
                 }
@@ -736,7 +756,7 @@ impl Gpu {
             }
         }
         if let Some(rec) = obs.intervals.as_mut() {
-            rec.finish(now, Self::totals(&self.cores, &self.mem));
+            rec.finish(now, Self::totals(&self.cores, &self.mem, &obs.metrics));
         }
         let mut stats = self.collect(now, completed);
         stats.watchdog_fired = watchdog_fired;
@@ -870,6 +890,7 @@ impl Gpu {
                 if let Some(rec) = obs.intervals.as_mut() {
                     rec.load(&mut r)?;
                 }
+                obs.metrics.load(&mut r)?;
                 if r.remaining() != 0 {
                     return Err(CkptError::Corrupt("trailing bytes after checkpoint"));
                 }
@@ -997,6 +1018,13 @@ impl Gpu {
                     }
                 }
             }
+            // Same drain as the serial loop; cores not due this cycle
+            // ran no MMU work and so staged nothing.
+            if obs.metrics.enabled() {
+                for core in &mut self.cores {
+                    core.drain_metrics(&mut obs.metrics);
+                }
+            }
             for &vpn in &fault_scratch {
                 if fault_q.iter().any(|&(v, _)| v == vpn) {
                     continue;
@@ -1054,7 +1082,7 @@ impl Gpu {
             now = next.min(self.config.max_cycles);
             if let Some(rec) = obs.intervals.as_mut() {
                 while rec.due(now) {
-                    let totals = Self::totals(&self.cores, &self.mem);
+                    let totals = Self::totals(&self.cores, &self.mem, &obs.metrics);
                     rec.sample(totals);
                 }
                 cal.schedule(key_sampler, rec.next_boundary());
@@ -1072,7 +1100,7 @@ impl Gpu {
             }
         }
         if let Some(rec) = obs.intervals.as_mut() {
-            rec.finish(now, Self::totals(&self.cores, &self.mem));
+            rec.finish(now, Self::totals(&self.cores, &self.mem, &obs.metrics));
         }
         let mut stats = self.collect(now, completed);
         stats.watchdog_fired = watchdog_fired;
@@ -1130,15 +1158,26 @@ impl Gpu {
         if let Some(rec) = obs.intervals.as_ref() {
             rec.save(&mut w);
         }
+        // Snapshots are taken at the top of a cycle, after the previous
+        // cycle's drain: per-core staging buffers are empty, so only the
+        // observer's aggregation sink needs to travel.
+        obs.metrics.save(&mut w);
         w.into_bytes()
     }
 
     /// Current whole-GPU totals of the counters interval samples track.
-    fn totals(cores: &[ShaderCore], mem: &MemorySystem) -> CounterSnapshot {
+    /// The per-stage walk columns come from the metrics channel and stay
+    /// zero when it is off.
+    fn totals(cores: &[ShaderCore], mem: &MemorySystem, metrics: &Metrics) -> CounterSnapshot {
         let mut t = CounterSnapshot {
             dram_requests: mem.dram_requests(),
             ..CounterSnapshot::default()
         };
+        if let Some(sink) = metrics.sink() {
+            let (queue, active) = sink.stage_cycles();
+            t.walk_queue_cycles = queue;
+            t.walk_active_cycles = active;
+        }
         for core in cores {
             t.instructions += core.stats().instructions.get();
             let mmu = core.mmu();
@@ -1204,6 +1243,23 @@ impl Gpu {
     /// The shared memory system (L2/DRAM statistics).
     pub fn memory(&self) -> &MemorySystem {
         &self.mem
+    }
+
+    /// Renders the versioned metrics snapshot of a finished (or paused)
+    /// run: the full instrument registry — every core in index order,
+    /// then the memory system — plus the observer sink's lifecycle
+    /// histograms and hot-page table. Returns `None` when the metrics
+    /// channel is off. The output contains no wall-clock or engine
+    /// fields, so identical simulations produce identical snapshots on
+    /// every engine.
+    pub fn metrics_snapshot(&self, obs: &Observer) -> Option<String> {
+        let sink = obs.metrics.sink()?;
+        let mut reg = MetricsRegistry::new();
+        for (i, core) in self.cores.iter().enumerate() {
+            core.register_metrics(&format!("core{i}"), &mut reg);
+        }
+        self.mem.register_metrics("mem", &mut reg);
+        Some(sink.snapshot_json(&reg))
     }
 }
 

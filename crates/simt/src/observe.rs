@@ -6,11 +6,15 @@
 //! * a [`Tracer`] collecting spans for a Chrome/Perfetto `trace.json`;
 //! * an [`IntervalRecorder`] sampling whole-GPU counters every `stride`
 //!   cycles, turning end-of-run aggregates into a time-series of IPC,
-//!   TLB hit rate, walker-lane occupancy, and DRAM traffic.
+//!   TLB hit rate, walker-lane occupancy, and DRAM traffic;
+//! * a [`Metrics`] channel collecting translation-lifecycle events into
+//!   per-stage latency histograms and a hot-page table (see
+//!   [`gmmu_sim::metrics`]).
 //!
-//! Both default to off, in which case the run is bit-identical to an
+//! All default to off, in which case the run is bit-identical to an
 //! unobserved one (the determinism suite asserts this).
 
+use gmmu_sim::metrics::Metrics;
 use gmmu_sim::trace::Tracer;
 use gmmu_sim::Cycle;
 
@@ -21,6 +25,10 @@ pub struct Observer {
     pub tracer: Tracer,
     /// Interval sampler (off by default).
     pub intervals: Option<IntervalRecorder>,
+    /// Translation-lifecycle metrics channel (off by default). When on,
+    /// this is the run's aggregation sink; per-core staging buffers
+    /// drain into it in core-index order each cycle.
+    pub metrics: Metrics,
 }
 
 impl Observer {
@@ -34,12 +42,13 @@ impl Observer {
         Observer {
             tracer: Tracer::recording(),
             intervals: None,
+            metrics: Metrics::Off,
         }
     }
 
     /// Whether any instrument is attached.
     pub fn enabled(&self) -> bool {
-        self.tracer.enabled() || self.intervals.is_some()
+        self.tracer.enabled() || self.intervals.is_some() || self.metrics.enabled()
     }
 }
 
@@ -57,6 +66,12 @@ pub struct CounterSnapshot {
     pub walker_busy_cycles: u64,
     /// Requests that reached DRAM.
     pub dram_requests: u64,
+    /// Cycles translations spent queued behind busy walker lanes
+    /// (metrics channel; zero when metrics are off).
+    pub walk_queue_cycles: u64,
+    /// Cycles translations spent in active page walks (metrics channel;
+    /// zero when metrics are off).
+    pub walk_active_cycles: u64,
 }
 
 /// One interval's worth of activity, as deltas over the epoch.
@@ -76,6 +91,12 @@ pub struct IntervalSample {
     pub walker_busy_cycles: u64,
     /// DRAM requests during the interval.
     pub dram_requests: u64,
+    /// Walk queueing cycles attributed during the interval (metrics
+    /// channel; zero when metrics are off).
+    pub walk_queue_cycles: u64,
+    /// Active page-walk cycles attributed during the interval (metrics
+    /// channel; zero when metrics are off).
+    pub walk_active_cycles: u64,
 }
 
 impl IntervalSample {
@@ -176,6 +197,8 @@ impl IntervalRecorder {
             tlb_hits: totals.tlb_hits - self.last.tlb_hits,
             walker_busy_cycles: totals.walker_busy_cycles - self.last.walker_busy_cycles,
             dram_requests: totals.dram_requests - self.last.dram_requests,
+            walk_queue_cycles: totals.walk_queue_cycles - self.last.walk_queue_cycles,
+            walk_active_cycles: totals.walk_active_cycles - self.last.walk_active_cycles,
         });
         self.last = totals;
     }
@@ -191,12 +214,13 @@ impl IntervalRecorder {
         let mut out = String::new();
         out.push_str(
             "end_cycle,cycles,instructions,ipc,tlb_accesses,tlb_hits,tlb_hit_rate,\
-             walker_busy_cycles,walker_occupancy,dram_requests\n",
+             walker_busy_cycles,walker_occupancy,dram_requests,\
+             walk_queue_cycles,walk_active_cycles\n",
         );
         for s in &self.samples {
             let _ = writeln!(
                 out,
-                "{},{},{},{:.4},{},{},{:.4},{},{:.4},{}",
+                "{},{},{},{:.4},{},{},{:.4},{},{:.4},{},{},{}",
                 s.end_cycle,
                 s.cycles,
                 s.instructions,
@@ -207,6 +231,8 @@ impl IntervalRecorder {
                 s.walker_busy_cycles,
                 s.walker_occupancy(self.lanes),
                 s.dram_requests,
+                s.walk_queue_cycles,
+                s.walk_active_cycles,
             );
         }
         out
@@ -228,7 +254,8 @@ impl IntervalRecorder {
                 "    {{\"end_cycle\": {}, \"cycles\": {}, \"instructions\": {}, \
                  \"ipc\": {:.4}, \"tlb_accesses\": {}, \"tlb_hits\": {}, \
                  \"tlb_hit_rate\": {:.4}, \"walker_busy_cycles\": {}, \
-                 \"walker_occupancy\": {:.4}, \"dram_requests\": {}}}{sep}",
+                 \"walker_occupancy\": {:.4}, \"dram_requests\": {}, \
+                 \"walk_queue_cycles\": {}, \"walk_active_cycles\": {}}}{sep}",
                 s.end_cycle,
                 s.cycles,
                 s.instructions,
@@ -239,6 +266,8 @@ impl IntervalRecorder {
                 s.walker_busy_cycles,
                 s.walker_occupancy(self.lanes),
                 s.dram_requests,
+                s.walk_queue_cycles,
+                s.walk_active_cycles,
             );
         }
         out.push_str("  ]\n}\n");
@@ -255,6 +284,8 @@ impl Ckpt for CounterSnapshot {
         w.u64(self.tlb_hits);
         w.u64(self.walker_busy_cycles);
         w.u64(self.dram_requests);
+        w.u64(self.walk_queue_cycles);
+        w.u64(self.walk_active_cycles);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         self.instructions = r.u64()?;
@@ -262,6 +293,8 @@ impl Ckpt for CounterSnapshot {
         self.tlb_hits = r.u64()?;
         self.walker_busy_cycles = r.u64()?;
         self.dram_requests = r.u64()?;
+        self.walk_queue_cycles = r.u64()?;
+        self.walk_active_cycles = r.u64()?;
         Ok(())
     }
 }
@@ -275,6 +308,8 @@ impl Ckpt for IntervalSample {
         w.u64(self.tlb_hits);
         w.u64(self.walker_busy_cycles);
         w.u64(self.dram_requests);
+        w.u64(self.walk_queue_cycles);
+        w.u64(self.walk_active_cycles);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         self.end_cycle = r.u64()?;
@@ -284,6 +319,8 @@ impl Ckpt for IntervalSample {
         self.tlb_hits = r.u64()?;
         self.walker_busy_cycles = r.u64()?;
         self.dram_requests = r.u64()?;
+        self.walk_queue_cycles = r.u64()?;
+        self.walk_active_cycles = r.u64()?;
         Ok(())
     }
 }
@@ -357,13 +394,18 @@ mod tests {
             tlb_hits: 2,
             walker_busy_cycles: 10,
             dram_requests: 1,
+            walk_queue_cycles: 3,
+            walk_active_cycles: 7,
         });
         let csv = r.to_csv();
         assert!(csv.starts_with("end_cycle,"));
-        assert!(csv.contains("10,10,5,0.5000,4,2,0.5000,10,0.5000,1"));
+        assert!(csv.contains("walk_queue_cycles,walk_active_cycles"));
+        assert!(csv.contains("10,10,5,0.5000,4,2,0.5000,10,0.5000,1,3,7"));
         let json = r.to_json();
         assert!(json.contains("\"stride\": 10"));
         assert!(json.contains("\"walker_lanes\": 2"));
         assert!(json.contains("\"ipc\": 0.5000"));
+        assert!(json.contains("\"walk_queue_cycles\": 3"));
+        assert!(json.contains("\"walk_active_cycles\": 7"));
     }
 }

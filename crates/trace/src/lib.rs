@@ -23,4 +23,6 @@ pub mod replay;
 
 pub use capture::{assemble, capture_launch, Recorder};
 pub use format::{Trace, TraceLaunch, TraceRecord, TRACE_MAGIC, TRACE_VERSION, WARP_LANES};
-pub use replay::{rebuild_space, replay_run, snapshot_space, SpaceSnapshot, TraceKernel};
+pub use replay::{
+    rebuild_space, replay_run, replay_run_observed, snapshot_space, SpaceSnapshot, TraceKernel,
+};

@@ -237,8 +237,29 @@ impl Kernel for TraceKernel {
 /// rebuilt or its records are inconsistent (see
 /// [`TraceKernel::from_trace`] / [`rebuild_space`]).
 pub fn replay_run(trace: &Trace, config: &GpuConfig) -> Result<RunStats, CkptError> {
+    let (stats, _) = replay_run_observed(trace, config, &mut Observer::off())?;
+    Ok(stats)
+}
+
+/// [`replay_run`] with observation instruments attached. When the
+/// observer's metrics channel is on, the returned `Option<String>` is
+/// the run's versioned metrics snapshot (see `Gpu::metrics_snapshot`),
+/// rendered while the replayed machine is still alive; it is `None`
+/// when metrics are off. Snapshots are engine-invariant, so replaying
+/// the same trace on any engine yields byte-identical snapshot JSON.
+///
+/// # Errors
+///
+/// Same conditions as [`replay_run`].
+pub fn replay_run_observed(
+    trace: &Trace,
+    config: &GpuConfig,
+    obs: &mut Observer,
+) -> Result<(RunStats, Option<String>), CkptError> {
     let kernel = TraceKernel::from_trace(trace)?;
     let mut space = rebuild_space(&trace.launch)?;
     let mut gpu = Gpu::new(config.clone());
-    Ok(gpu.run_faulted(&kernel, &mut space, &mut Observer::off()))
+    let stats = gpu.run_faulted(&kernel, &mut space, obs);
+    let snapshot = gpu.metrics_snapshot(obs);
+    Ok((stats, snapshot))
 }

@@ -19,11 +19,12 @@
 
 use crate::prelude::*;
 use gmmu_sim::ckpt::{Ckpt, Loader, Saver};
+use gmmu_sim::metrics::Metrics;
 use gmmu_sim::rng::fnv1a64;
 use gmmu_sim::trace::Tracer;
 use gmmu_simt::gpu::{run_kernel, CheckpointOpts};
 use gmmu_simt::{IntervalRecorder, Kernel, Observer};
-use gmmu_trace::{assemble, capture_launch, replay_run, Recorder, Trace};
+use gmmu_trace::{assemble, capture_launch, replay_run_observed, Recorder, Trace};
 use std::collections::{HashMap, HashSet};
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +34,7 @@ use std::time::Instant;
 const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
                [--engine serial|parallel|event] [--run-threads N]
                [--trace PATH] [--intervals PATH] [--interval-stride N]
+               [--metrics PATH]
                [--fault-inject] [--fault-seed N]
                [--journal PATH] [--shard I/N] [--kill-after N]
                [--checkpoint-every N] [--checkpoint-path PATH]
@@ -61,6 +63,13 @@ const USAGE: &str = "usage: harness [--quick | --full] [--csv] [--jobs N]
              (.json extension for JSON, otherwise CSV)
   --interval-stride N
              interval sample stride in cycles (default 10000)
+  --metrics PATH
+             write the first design point's versioned metrics snapshot
+             (instrument registry, per-stage walk latency histograms,
+             hot-page table) to PATH as JSON; snapshots are
+             engine-invariant. Under --replay: diff the replayed
+             snapshot against PATH when the file exists (exit non-zero
+             on any difference), write it otherwise
   --fault-inject
              run the fault-injection harness instead of the figure:
              every workload executes a fully demand-paged run (zero
@@ -143,6 +152,10 @@ pub struct ExperimentOpts {
     pub intervals: Option<&'static str>,
     /// Interval sample stride in cycles (`--interval-stride`).
     pub interval_stride: u64,
+    /// Write the first design point's metrics snapshot to this path
+    /// (`--metrics`); under `--replay`, diff against the file when it
+    /// exists and write it otherwise.
+    pub metrics: Option<&'static str>,
     /// Run the fault-injection harness instead of the figure
     /// (`--fault-inject`).
     pub fault_inject: bool,
@@ -188,6 +201,7 @@ impl Default for ExperimentOpts {
             trace: None,
             intervals: None,
             interval_stride: 10_000,
+            metrics: None,
             fault_inject: false,
             fault_seed: 0xfa57,
             engine: EngineKind::Serial,
@@ -271,6 +285,10 @@ impl ExperimentOpts {
                     Some(v) => opts.interval_stride = parse_stride(&v),
                     None => bad_usage("--interval-stride needs a value"),
                 },
+                "--metrics" => match args.next() {
+                    Some(v) => opts.metrics = Some(leak_path(v)),
+                    None => bad_usage("--metrics needs a path"),
+                },
                 "--fault-inject" => opts.fault_inject = true,
                 "--fault-seed" => match args.next() {
                     Some(v) => opts.fault_seed = parse_seed(&v),
@@ -325,6 +343,8 @@ impl ExperimentOpts {
                         opts.intervals = Some(leak_path(v.to_string()))
                     } else if let Some(v) = other.strip_prefix("--interval-stride=") {
                         opts.interval_stride = parse_stride(v)
+                    } else if let Some(v) = other.strip_prefix("--metrics=") {
+                        opts.metrics = Some(leak_path(v.to_string()))
                     } else if let Some(v) = other.strip_prefix("--fault-seed=") {
                         opts.fault_seed = parse_seed(v)
                     } else if let Some(v) = other.strip_prefix("--journal=") {
@@ -391,10 +411,10 @@ impl ExperimentOpts {
         cfg
     }
 
-    /// Whether any observation output (`--trace` / `--intervals`) was
-    /// requested.
+    /// Whether any observation output (`--trace` / `--intervals` /
+    /// `--metrics`) was requested.
     pub fn observes(&self) -> bool {
-        self.trace.is_some() || self.intervals.is_some()
+        self.trace.is_some() || self.intervals.is_some() || self.metrics.is_some()
     }
 
     /// Whether checkpointing (`--checkpoint-every` / `--resume`) was
@@ -590,6 +610,9 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
     if opts.intervals.is_some() {
         obs.intervals = Some(IntervalRecorder::new(opts.interval_stride));
     }
+    if opts.metrics.is_some() {
+        obs.metrics = Metrics::recording();
+    }
     // Trace capture wraps the kernel in a recorder and snapshots the
     // launch *before* the run, so a replay rebuilds the same initial
     // address space. Recording every kernel answer does not perturb the
@@ -603,10 +626,13 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
         Some(rec) => rec,
         None => w.kernel.as_ref(),
     };
-    let stats = if opts.checkpoints() {
+    let (stats, snapshot) = if opts.checkpoints() {
         checkpointed_run(opts, spec, kernel, w, &mut obs)
     } else {
-        Gpu::new(spec.cfg.clone()).run_observed(kernel, &w.space, &mut obs)
+        let mut gpu = Gpu::new(spec.cfg.clone());
+        let stats = gpu.run_observed(kernel, &w.space, &mut obs);
+        let snapshot = gpu.metrics_snapshot(&obs);
+        (stats, snapshot)
     };
     if let (Some(path), Some(launch), Some(rec)) = (opts.capture_trace, launch, recorder) {
         let trace = assemble(launch, rec, &stats);
@@ -622,7 +648,15 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
         }
     }
     if let (Some(path), Some(buf)) = (opts.trace, obs.tracer.buffer()) {
-        match buf.write_chrome_json(path) {
+        // With the metrics channel and interval recorder both on, the
+        // span trace gains a counter track of per-stage walk cycles.
+        let counters = metrics_counter_rows(&obs);
+        let write = if counters.is_empty() {
+            buf.write_chrome_json(path)
+        } else {
+            std::fs::write(path, buf.to_chrome_json_with(&counters))
+        };
+        match write {
             Ok(()) => eprintln!(
                 "trace: {} events from {:?} written to {path}",
                 buf.len(),
@@ -646,7 +680,43 @@ fn observed_run(opts: ExperimentOpts, spec: &PointSpec, w: &Workload) -> RunStat
             Err(e) => eprintln!("intervals: failed to write {path}: {e}"),
         }
     }
+    if let (Some(path), Some(body)) = (opts.metrics, snapshot) {
+        match std::fs::write(path, &body) {
+            Ok(()) => eprintln!(
+                "metrics: snapshot from {:?} written to {path} ({} bytes)",
+                spec.bench,
+                body.len()
+            ),
+            Err(e) => eprintln!("metrics: failed to write {path}: {e}"),
+        }
+    }
     stats
+}
+
+/// Renders the interval time-series' per-stage walk columns as Chrome
+/// `"ph":"C"` counter rows for [`TraceBuffer::to_chrome_json_with`]:
+/// one `walk_stage_cycles` sample per interval boundary carrying the
+/// queued and active walk cycles attributed during that interval.
+/// Empty unless both the metrics channel and the interval recorder ran.
+///
+/// [`TraceBuffer::to_chrome_json_with`]: gmmu_sim::trace::TraceBuffer::to_chrome_json_with
+fn metrics_counter_rows(obs: &Observer) -> Vec<String> {
+    if !obs.metrics.enabled() {
+        return Vec::new();
+    }
+    let Some(rec) = obs.intervals.as_ref() else {
+        return Vec::new();
+    };
+    rec.samples()
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"name\":\"walk_stage_cycles\",\"ph\":\"C\",\"ts\":{},\"pid\":0,\"tid\":0,\
+                 \"args\":{{\"queue\":{},\"active\":{}}}}}",
+                s.end_cycle, s.walk_queue_cycles, s.walk_active_cycles
+            )
+        })
+        .collect()
 }
 
 /// Runs one design point on the checkpointed event engine: the run is
@@ -661,7 +731,7 @@ fn checkpointed_run(
     kernel: &dyn Kernel,
     w: &Workload,
     obs: &mut Observer,
-) -> RunStats {
+) -> (RunStats, Option<String>) {
     let resume_bytes = opts.resume.map(|path| match std::fs::read(path) {
         Ok(b) => b,
         Err(e) => {
@@ -678,7 +748,8 @@ fn checkpointed_run(
         }
     };
     let mut space = w.space.clone();
-    let run = Gpu::new(spec.cfg.clone()).run_event_checkpointed(
+    let mut gpu = Gpu::new(spec.cfg.clone());
+    let run = gpu.run_event_checkpointed(
         kernel,
         &mut space,
         obs,
@@ -689,7 +760,10 @@ fn checkpointed_run(
         },
     );
     match run {
-        Ok(stats) => stats,
+        Ok(stats) => {
+            let snapshot = gpu.metrics_snapshot(obs);
+            (stats, snapshot)
+        }
         Err(e) => {
             eprintln!("checkpoint: resume refused: {e:?}");
             std::process::exit(1)
@@ -1249,8 +1323,12 @@ pub fn run_replay(opts: ExperimentOpts, path: &str) -> ! {
         trace.records.len()
     );
     let started = Instant::now();
-    let stats = match replay_run(&trace, &cfg) {
-        Ok(s) => s,
+    let mut obs = Observer::off();
+    if opts.metrics.is_some() {
+        obs.metrics = Metrics::recording();
+    }
+    let (stats, snapshot) = match replay_run_observed(&trace, &cfg, &mut obs) {
+        Ok(out) => out,
         Err(e) => {
             eprintln!("replay: {path} refused: {e:?}");
             std::process::exit(1)
@@ -1264,6 +1342,27 @@ pub fn run_replay(opts: ExperimentOpts, path: &str) -> ! {
         stats.instructions,
         stats.faults
     );
+    // `--metrics` on a replay is a conformance check of its own: the
+    // snapshot is engine-invariant, so a file written by one engine (or
+    // the capturing run) must match any replay byte-for-byte.
+    if let (Some(metrics_path), Some(body)) = (opts.metrics, snapshot.as_deref()) {
+        match std::fs::read_to_string(metrics_path) {
+            Ok(golden) if golden == body => {
+                println!("replay: metrics snapshot matches {metrics_path}");
+            }
+            Ok(_) => {
+                eprintln!("replay: metrics snapshot diverged from {metrics_path}");
+                std::process::exit(1)
+            }
+            Err(_) => match std::fs::write(metrics_path, body) {
+                Ok(()) => println!("replay: metrics snapshot written to {metrics_path}"),
+                Err(e) => {
+                    eprintln!("replay: cannot write {metrics_path}: {e}");
+                    std::process::exit(1)
+                }
+            },
+        }
+    }
     let diff = trace.stats.diff(&stats);
     if diff.is_empty() {
         println!("replay: statistics match the capture exactly");

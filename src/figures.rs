@@ -72,8 +72,9 @@ pub fn fig03(r: &mut Runner) -> Vec<Table> {
         &["bench", "mem insn %", "TLB miss %"],
     );
     let mut right = Table::new(
-        "Figure 3 (right) — page divergence per warp memory instruction",
-        &["bench", "avg divergence", "max divergence"],
+        "Figure 3 (right) — page divergence per warp memory instruction \
+         (headline distribution statistics)",
+        &["bench", "count", "mean", "p50", "p90", "p99", "max"],
     );
     for b in Bench::all() {
         let s = r.run(b, |c| c.mmu = designs::naive3());
@@ -82,10 +83,15 @@ pub fn fig03(r: &mut Runner) -> Vec<Table> {
             (100.0 * s.mem_insn_fraction()).into(),
             (100.0 * s.tlb_miss_rate()).into(),
         ]);
+        let d = s.page_divergence.summary();
         right.row(vec![
             bench_cell(b),
-            s.page_divergence.mean().into(),
-            s.page_divergence.max().into(),
+            d.count.into(),
+            d.mean.into(),
+            d.p50.into(),
+            d.p90.into(),
+            d.p99.into(),
+            d.max.into(),
         ]);
     }
     vec![left, right]

@@ -8,6 +8,7 @@
 use gmmu::experiments::{designs, ExperimentOpts};
 use gmmu::prelude::*;
 use gmmu_sim::ckpt::CkptError;
+use gmmu_sim::metrics::Metrics;
 use gmmu_sim::trace::Tracer;
 use gmmu_simt::gpu::CheckpointOpts;
 use gmmu_simt::IntervalRecorder;
@@ -69,6 +70,7 @@ fn observer() -> Observer {
     Observer {
         tracer: Tracer::recording(),
         intervals: Some(IntervalRecorder::new(1_000)),
+        metrics: Metrics::recording(),
     }
 }
 
@@ -113,6 +115,11 @@ fn assert_observers_same(a: &Observer, b: &Observer, what: &str) {
         a.intervals.as_ref().unwrap().samples(),
         b.intervals.as_ref().unwrap().samples(),
         "{what}: interval series differs"
+    );
+    assert_eq!(
+        a.metrics.sink(),
+        b.metrics.sink(),
+        "{what}: metrics sink differs"
     );
 }
 

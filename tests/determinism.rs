@@ -3,6 +3,7 @@
 
 use gmmu::experiments::{designs, ExperimentOpts, Runner};
 use gmmu::prelude::*;
+use gmmu_sim::metrics::Metrics;
 use gmmu_sim::trace::Tracer;
 use gmmu_simt::gpu::run_kernel;
 use gmmu_simt::IntervalRecorder;
@@ -308,6 +309,7 @@ fn observation_is_invisible_and_engine_independent() {
     let observer = || Observer {
         tracer: Tracer::recording(),
         intervals: Some(IntervalRecorder::new(1_000)),
+        metrics: Metrics::Off,
     };
     for (bench, name, configure) in matrix {
         let w = build(bench, opts.scale, opts.seed);
@@ -413,6 +415,71 @@ fn observation_is_invisible_and_engine_independent() {
             obs.intervals.as_ref().unwrap().samples(),
             obs_ev.intervals.as_ref().unwrap().samples(),
             "{bench}/{name}: interval series differs under the event engine"
+        );
+    }
+}
+
+/// The metrics channel must be invisible to the simulation — full
+/// `RunStats` bit-identical with metrics on versus an unobserved run on
+/// every engine — and the versioned snapshot it renders must be
+/// byte-identical across the serial, parallel, and event engines (the
+/// sink folds are commutative, so drain order cannot leak through).
+#[test]
+fn metrics_channel_is_invisible_and_snapshots_are_engine_invariant() {
+    type Configure = fn(&mut GpuConfig);
+    let matrix: [(Bench, &str, Configure); 2] = [
+        (Bench::Memcached, "naive", |c| c.mmu = designs::naive3()),
+        (Bench::Bfs, "augmented", |c| c.mmu = designs::augmented()),
+    ];
+    let opts = ExperimentOpts::quick();
+    for (bench, name, configure) in matrix {
+        let w = build(bench, opts.scale, opts.seed);
+        let mut cfg = opts.gpu(MmuModel::Ideal);
+        configure(&mut cfg);
+        let plain = Gpu::new(cfg.clone()).run(w.kernel.as_ref(), &w.space);
+
+        let mut snapshots: Vec<String> = Vec::new();
+        for (label, engine, threads) in [
+            ("serial", EngineKind::Serial, 1usize),
+            ("parallel", EngineKind::Parallel, 4),
+            ("event", EngineKind::Event, 1),
+        ] {
+            let mut e_cfg = cfg.clone();
+            e_cfg.engine = engine;
+            e_cfg.run_threads = threads;
+            let mut obs = Observer::off();
+            obs.metrics = Metrics::recording();
+            let mut gpu = Gpu::new(e_cfg);
+            let s = gpu.run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+            assert_same(&plain, &s, &format!("{bench}/{name} metrics-on {label}"));
+
+            let sink = obs.metrics.sink().expect("metrics were on");
+            assert!(
+                sink.lookup_latency.count() > 0,
+                "{bench}/{name} {label}: no lookups recorded"
+            );
+            assert_eq!(
+                sink.walk_queue.count(),
+                sink.walk_active.count(),
+                "{bench}/{name} {label}: stage histograms disagree on fills"
+            );
+            assert!(
+                !sink.hot_pages.is_empty(),
+                "{bench}/{name} {label}: hot-page table is empty"
+            );
+            snapshots.push(gpu.metrics_snapshot(&obs).expect("metrics were on"));
+        }
+        assert_eq!(
+            snapshots[0], snapshots[1],
+            "{bench}/{name}: parallel snapshot differs from serial"
+        );
+        assert_eq!(
+            snapshots[0], snapshots[2],
+            "{bench}/{name}: event snapshot differs from serial"
+        );
+        assert!(
+            snapshots[0].contains("\"schema\": \"gmmu-metrics\""),
+            "{bench}/{name}: snapshot lost its schema header"
         );
     }
 }

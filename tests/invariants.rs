@@ -2,6 +2,7 @@
 
 use gmmu::experiments::{designs, ExperimentOpts, Runner};
 use gmmu::prelude::*;
+use gmmu_sim::metrics::Metrics;
 
 fn quick() -> Runner {
     Runner::new(ExperimentOpts::quick())
@@ -34,6 +35,68 @@ fn stat_conservation_under_every_mmu() {
             assert_eq!(s.stall_breakdown.total(), s.idle_cycles, "{b}");
             assert!(s.stall_breakdown.get(StallCause::TlbFill) > 0, "{b}");
             assert!(s.instructions > 0 && s.cycles > 0, "{b}");
+        }
+    }
+}
+
+/// The metrics channel's per-stage walk attribution must agree exactly
+/// with the aggregate accounting the stats already keep: for every
+/// applied fill, `queue + active` is the same `complete - enqueued`
+/// span `tlb_miss_latency` records, and squashed walks appear in
+/// neither — so the stage histograms sum to the aggregate with equal
+/// counts. The stall breakdown must also stay an exact refinement of
+/// `idle_cycles` with the channel on.
+#[test]
+fn walk_stage_attribution_sums_to_the_miss_latency_aggregate() {
+    let opts = ExperimentOpts::quick();
+    for b in [Bench::Bfs, Bench::Memcached, Bench::Pathfinder] {
+        for model in [designs::naive3(), designs::augmented()] {
+            let w = build(b, opts.scale, opts.seed);
+            let mut cfg = opts.gpu(MmuModel::Ideal);
+            cfg.mmu = model;
+            let mut obs = Observer::off();
+            obs.metrics = Metrics::recording();
+            let s = Gpu::new(cfg).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+            let sink = obs.metrics.sink().expect("metrics were on");
+
+            assert_eq!(
+                sink.walk_queue.count(),
+                s.tlb_miss_latency.count(),
+                "{b}: queue-stage samples != applied fills"
+            );
+            assert_eq!(
+                sink.walk_active.count(),
+                s.tlb_miss_latency.count(),
+                "{b}: active-stage samples != applied fills"
+            );
+            assert_eq!(
+                sink.walk_queue.sum() + sink.walk_active.sum(),
+                s.tlb_miss_latency.sum(),
+                "{b}: stage cycles do not sum to the per-miss aggregate"
+            );
+            // One lookup sample per *accepted probe* (a probe covers all
+            // of one instruction's pages), so samples never exceed the
+            // per-page access counter.
+            assert!(sink.lookup_latency.count() > 0, "{b}: no lookup samples");
+            assert!(
+                sink.lookup_latency.count() <= s.tlb_accesses,
+                "{b}: more lookup events than TLB accesses"
+            );
+            // Hot-page misses count *registered* misses: every walk was
+            // one, MSHR merges add more, and only misses bounced by a
+            // full MSHR file (re-presented later) are excluded — so the
+            // total sits between the walk count and the stats' misses.
+            let hot_misses: u64 = sink.hot_pages.values().map(|p| p.tlb_misses).sum();
+            assert!(
+                hot_misses >= s.walks,
+                "{b}: fewer hot-page misses than walks"
+            );
+            assert!(
+                hot_misses <= s.tlb_accesses - s.tlb_hits,
+                "{b}: hot-page misses exceed TLB misses"
+            );
+            // The stall breakdown stays exact with the channel on.
+            assert_eq!(s.stall_breakdown.total(), s.idle_cycles, "{b}");
         }
     }
 }

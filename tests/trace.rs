@@ -9,8 +9,10 @@
 use gmmu::experiments::{designs, ExperimentOpts};
 use gmmu::prelude::*;
 use gmmu_sim::ckpt::CkptError;
+use gmmu_sim::metrics::Metrics;
 use gmmu_trace::{
-    assemble, capture_launch, rebuild_space, replay_run, Recorder, Trace, TraceKernel,
+    assemble, capture_launch, rebuild_space, replay_run, replay_run_observed, Recorder, Trace,
+    TraceKernel,
 };
 
 /// Captures `bench` (Tiny scale, seed 7) under `cfg`, returning the
@@ -169,5 +171,38 @@ fn golden_fixtures_replay_and_recapture_byte_identically() {
         );
         let again = assemble(relaunch, rec, &stats).encode();
         assert_eq!(again, bytes, "{name}: golden re-capture diverged");
+    }
+}
+
+/// The committed metrics snapshot fixture pins the snapshot JSON schema:
+/// replaying the golden pathfinder trace with the metrics channel on
+/// must reproduce `metrics_pathfinder_tiny.json` byte for byte, on every
+/// engine. A schema change (new field, renamed instrument, different
+/// float formatting) fails here and forces a deliberate fixture bump via
+/// `GMMU_EMIT_GOLDEN`.
+#[test]
+fn golden_metrics_snapshot_matches_committed_fixture() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    let bytes = std::fs::read(format!("{dir}/pathfinder_tiny.gmtr"))
+        .expect("missing golden fixture pathfinder_tiny.gmtr");
+    let golden = std::fs::read_to_string(format!("{dir}/metrics_pathfinder_tiny.json"))
+        .expect("missing golden fixture metrics_pathfinder_tiny.json");
+    let trace = Trace::decode(&bytes).expect("golden fixture decodes");
+    for (name, engine, threads) in [
+        ("serial", EngineKind::Serial, 0),
+        ("parallel", EngineKind::Parallel, 2),
+        ("event", EngineKind::Event, 0),
+    ] {
+        let mut cfg = trace.launch.config.clone();
+        cfg.engine = engine;
+        cfg.run_threads = threads;
+        let mut obs = Observer::off();
+        obs.metrics = Metrics::recording();
+        let (_, snapshot) = replay_run_observed(&trace, &cfg, &mut obs).expect("replay runs");
+        let snapshot = snapshot.expect("the metrics channel was on");
+        assert_eq!(
+            snapshot, golden,
+            "{name}: metrics snapshot diverged from the committed fixture"
+        );
     }
 }
