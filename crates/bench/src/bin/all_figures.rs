@@ -92,6 +92,15 @@ fn main() {
         fig_walls.push(wall);
     }
 
+    // The multi-tenant study runs outside the memo cache: the journal
+    // stores the pinned RunStats layout, which has no per-tenant slice.
+    let t0 = Instant::now();
+    for table in gmmu::figures::fig_multitenant(&opts) {
+        println!("{table}");
+    }
+    let mt_wall = t0.elapsed();
+    eprintln!("[fig_multitenant] done in {mt_wall:.1?}");
+
     let total_wall = started.elapsed();
     eprintln!(
         "[all] {} simulations in {:.1?} ({} jobs, {:.1} sims/s)",
@@ -128,12 +137,16 @@ fn main() {
     for (i, (name, _)) in figs.iter().enumerate() {
         let _ = writeln!(
             json,
-            "    {{\"name\": \"{name}\", \"sims\": {}, \"replay_wall_s\": {:.3}}}{}",
+            "    {{\"name\": \"{name}\", \"sims\": {}, \"replay_wall_s\": {:.3}}},",
             sims_per_fig[i],
             fig_walls[i].as_secs_f64(),
-            if i + 1 < figs.len() { "," } else { "" }
         );
     }
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"fig_multitenant\", \"sims\": 0, \"replay_wall_s\": {:.3}}}",
+        mt_wall.as_secs_f64()
+    );
     let _ = writeln!(json, "  ],");
     let _ = writeln!(json, "  \"points\": [");
     for (i, p) in runner.point_log.iter().enumerate() {

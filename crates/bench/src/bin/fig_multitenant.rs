@@ -1,0 +1,28 @@
+//! Multi-tenant robustness figure (no paper counterpart, DESIGN.md §13):
+//! per-tenant slowdown and unfairness vs co-runner count, ASID-tagged
+//! translation against the flush-on-switch baseline. Pass `--quick` for
+//! a smoke-scale run, `--full` for the 30-core configuration, `--csv`
+//! for machine-readable output after each table.
+fn main() {
+    let opts = gmmu::ExperimentOpts::from_args();
+    let csv = std::env::args().any(|a| a == "--csv");
+    let started = std::time::Instant::now();
+    for table in gmmu::figures::fig_multitenant(&opts) {
+        println!("{table}");
+        if csv {
+            print!("{}", table.to_csv());
+            println!();
+        }
+    }
+    if let Some(path) = opts.metrics {
+        let body = gmmu::figures::multitenant_metrics_snapshot(&opts);
+        match std::fs::write(path, &body) {
+            Ok(()) => eprintln!("[fig_multitenant] wrote per-tenant metrics to {path}"),
+            Err(e) => {
+                eprintln!("[fig_multitenant] cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    eprintln!("[fig_multitenant] done in {:.1?}", started.elapsed());
+}

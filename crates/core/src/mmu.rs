@@ -198,12 +198,16 @@ pub enum TranslateOutcome {
 }
 
 /// Events the shader core drains from the MMU each cycle and forwards to
-/// its scheduler policy / sleeping warps.
+/// its scheduler policy / sleeping warps. Every event carries the ASID
+/// of the address space it belongs to (0 in single-tenant runs) so the
+/// core can attribute wakes, faults, and squashes to the right tenant.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MmuEvent {
     /// A TLB fill displaced an entry (TCWS inserts it into the owner's
     /// victim tag array).
     Evicted {
+        /// Address space of the displaced entry.
+        asid: u16,
         /// Displaced page.
         vpn: Vpn,
         /// Warp that allocated the displaced entry.
@@ -214,6 +218,8 @@ pub enum MmuEvent {
     /// unit's MSHR, so the access proceeds even if the TLB entry is
     /// evicted before the warp next runs).
     Wake {
+        /// Address space the translation belongs to.
+        asid: u16,
         /// Warp to wake.
         warp: u16,
         /// Page whose translation arrived.
@@ -227,6 +233,8 @@ pub enum MmuEvent {
     /// until the modeled CPU handler maps the page (or aborts the run if
     /// demand paging is disabled).
     Fault {
+        /// Address space whose table lacks the page.
+        asid: u16,
         /// Faulting page.
         vpn: Vpn,
         /// Waiting warp (scheduling unit) to park.
@@ -236,6 +244,8 @@ pub enum MmuEvent {
     /// applied. One event per waiting warp; the core retries the access
     /// after a bounded backoff, re-walking against the updated table.
     Squashed {
+        /// Address space whose walk was squashed.
+        asid: u16,
         /// Waiting warp (scheduling unit) to retry.
         warp: u16,
         /// Page whose walk was squashed.
@@ -274,7 +284,8 @@ pub struct Mmu {
     tlb: Option<Tlb>,
     walker: Option<Walker>,
     mshrs: MshrFile,
-    /// Warps waiting on each in-flight page.
+    /// Warps waiting on each in-flight page, keyed by
+    /// [`gmmu_mem::mshr::tenant_key`] so pages never alias across ASIDs.
     waiters: HashMap<u64, Vec<u16>>,
     /// Finished walks not yet applied (completion in the future).
     pending_fills: Vec<WalkDone>,
@@ -287,6 +298,14 @@ pub struct Mmu {
     stamp: u64,
     /// Deterministic fault injector (`None` = no perturbation at all).
     inject: Option<FaultInjector>,
+    /// ASID-tagged TLB entries (the default). When `false` the MMU
+    /// models a legacy untagged TLB: entries implicitly belong to
+    /// `current_asid`, and presenting a different tenant flushes the
+    /// whole TLB (the flush-on-switch fallback the figures compare
+    /// against).
+    tagged: bool,
+    /// Tenant the untagged TLB's entries currently belong to.
+    current_asid: u16,
     /// Telemetry channel. Every lifecycle event (lookups, misses, walk
     /// levels, stage attribution, fills) originates inside this MMU, so
     /// the channel lives here; the engine drains it into the observer's
@@ -304,6 +323,14 @@ pub struct Mmu {
     pub shootdowns: Counter,
     /// In-flight walks squashed by shootdowns.
     pub squashed_walks: Counter,
+    /// Whole-TLB flushes taken by the untagged fallback on tenant switch.
+    pub switch_flushes: Counter,
+}
+
+/// Composite key for MSHRs and waiter lists: identity for ASID 0.
+#[inline]
+fn tkey(asid: u16, vpn: Vpn) -> u64 {
+    gmmu_mem::mshr::tenant_key(asid, vpn.raw())
 }
 
 impl Mmu {
@@ -329,12 +356,37 @@ impl Mmu {
             lookup_next_free: 0,
             stamp: 0,
             inject: None,
+            tagged: true,
+            current_asid: 0,
             metrics: Metrics::Off,
             rejects: Counter::new(),
             miss_latency: Summary::new(),
             faults: Counter::new(),
             shootdowns: Counter::new(),
             squashed_walks: Counter::new(),
+            switch_flushes: Counter::new(),
+        }
+    }
+
+    /// Selects ASID-tagged TLB entries (`true`, the default) or the
+    /// flush-on-switch fallback (`false`): an untagged TLB whose entire
+    /// contents are flushed whenever a different tenant presents a
+    /// request. Single-tenant runs never switch, so both settings are
+    /// bit-identical there.
+    pub fn set_tagging(&mut self, tagged: bool) {
+        self.tagged = tagged;
+    }
+
+    /// Whether TLB entries are ASID-tagged.
+    pub fn tagged(&self) -> bool {
+        self.tagged
+    }
+
+    /// Arms the walker's per-ASID fairness scheduler (no-op for models
+    /// without a walker or with `n_asids <= 1`).
+    pub fn set_walker_fairness(&mut self, n_asids: usize, tokens: u32, max_age: u64) {
+        if let Some(walker) = self.walker.as_mut() {
+            walker.set_fairness(n_asids, tokens, max_age);
         }
     }
 
@@ -378,6 +430,10 @@ impl Mmu {
         reg.counter(
             format!("{prefix}.squashed_walks"),
             self.squashed_walks.get(),
+        );
+        reg.counter(
+            format!("{prefix}.switch_flushes"),
+            self.switch_flushes.get(),
         );
         reg.counter(
             format!("{prefix}.miss_latency.count"),
@@ -431,7 +487,7 @@ impl Mmu {
     /// Services the walker and applies due TLB fills. Call once per core
     /// cycle before translating.
     pub fn advance(&mut self, now: Cycle, mem: &mut dyn MemPort, space: &AddressSpace) {
-        self.advance_traced(now, mem, space, &mut Tracer::Off, 0);
+        self.advance_tenants(now, mem, &[space], &mut Tracer::Off, 0);
     }
 
     /// [`Mmu::advance`] that also emits `tlb_miss` spans (miss enqueue →
@@ -445,14 +501,28 @@ impl Mmu {
         tracer: &mut Tracer,
         pid: u32,
     ) {
+        self.advance_tenants(now, mem, &[space], tracer, pid);
+    }
+
+    /// The multi-tenant [`Mmu::advance_traced`]: each in-flight walk is
+    /// resolved against `spaces[walk.asid]`. Single-space callers pass a
+    /// one-element slice.
+    pub fn advance_tenants(
+        &mut self,
+        now: Cycle,
+        mem: &mut dyn MemPort,
+        spaces: &[&AddressSpace],
+        tracer: &mut Tracer,
+        pid: u32,
+    ) {
         let Some(walker) = self.walker.as_mut() else {
             return;
         };
         self.done_scratch.clear();
-        walker.advance_traced(
+        walker.advance_tenants(
             now,
             mem,
-            space,
+            spaces,
             &mut self.done_scratch,
             tracer,
             &mut self.metrics,
@@ -460,9 +530,10 @@ impl Mmu {
         );
         for mut done in self.done_scratch.drain(..) {
             if let Some(inj) = &self.inject {
-                done.complete += inj.walk_delay(done.vpn.raw(), done.enqueued);
+                done.complete += inj.walk_delay_t(done.asid, done.vpn.raw(), done.enqueued);
             }
-            self.mshrs.set_completion(done.vpn.raw(), done.complete);
+            self.mshrs
+                .set_completion(tkey(done.asid, done.vpn), done.complete);
             self.pending_fills.push(done);
         }
         // Apply fills whose data has returned.
@@ -491,13 +562,17 @@ impl Mmu {
             .arg("vpn", done.vpn.raw())
             .arg("warp", done.warp as u64)
         });
-        self.mshrs.release(done.vpn.raw());
-        let waiters = self.waiters.remove(&done.vpn.raw()).unwrap_or_default();
+        self.mshrs.release(tkey(done.asid, done.vpn));
+        let waiters = self
+            .waiters
+            .remove(&tkey(done.asid, done.vpn))
+            .unwrap_or_default();
         // Stage attribution: queueing before a lane picked the walk up,
         // then active walking (memory references plus injected delays,
-        // which `advance_traced` folded into `complete`). The two stages
+        // which `advance_tenants` folded into `complete`). The two stages
         // sum exactly to the `miss_latency` sample recorded above.
         self.metrics.record(|| MetricEvent::WalkStage {
+            asid: done.asid,
             queue: done.started - done.enqueued,
             active: done.complete - done.started,
         });
@@ -510,14 +585,29 @@ impl Mmu {
                 let owner = done.warp;
                 self.stamp += 1;
                 let tlb = self.tlb.as_mut().expect("fills only occur with a TLB");
-                if let Some(victim) = tlb.fill(done.vpn, ppn, owner, self.stamp) {
-                    self.events.push(MmuEvent::Evicted {
-                        vpn: victim.vpn,
-                        owner: victim.owner,
-                    });
+                // Untagged fallback: a fill for a tenant other than the
+                // one the TLB currently holds must not enter it — the
+                // translation still reaches its waiters directly (the
+                // MSHR forwards it), exactly like a fill whose entry is
+                // evicted before the warp next runs.
+                if self.tagged || done.asid == self.current_asid {
+                    let fill_tag = if self.tagged { done.asid } else { 0 };
+                    if let Some(victim) = tlb.fill_asid(fill_tag, done.vpn, ppn, owner, self.stamp)
+                    {
+                        self.events.push(MmuEvent::Evicted {
+                            asid: if self.tagged {
+                                victim.asid
+                            } else {
+                                self.current_asid
+                            },
+                            vpn: victim.vpn,
+                            owner: victim.owner,
+                        });
+                    }
                 }
                 for warp in waiters {
                     self.events.push(MmuEvent::Wake {
+                        asid: done.asid,
                         warp,
                         vpn: done.vpn,
                         ppn,
@@ -530,6 +620,7 @@ impl Mmu {
                     // Defensive: a faulting walk always has at least its
                     // original requester waiting, but never drop a fault.
                     self.events.push(MmuEvent::Fault {
+                        asid: done.asid,
                         vpn: done.vpn,
                         warp: done.warp,
                     });
@@ -539,6 +630,7 @@ impl Mmu {
                     // forever.
                     for warp in waiters {
                         self.events.push(MmuEvent::Fault {
+                            asid: done.asid,
                             vpn: done.vpn,
                             warp,
                         });
@@ -590,8 +682,35 @@ impl Mmu {
         space: &AddressSpace,
         buf: &mut TranslateBuf,
     ) -> TranslateOutcome {
+        self.translate_tenant(now, requester, 0, pages, space, buf)
+    }
+
+    /// [`Mmu::translate`] for tenant `asid`: lookups, fills, MSHRs, and
+    /// walks are all tagged with the ASID, and `space` must be that
+    /// tenant's address space. With tagging disabled, presenting an ASID
+    /// other than the TLB's current tenant flushes the whole TLB first
+    /// (the flush-on-switch fallback).
+    pub fn translate_tenant(
+        &mut self,
+        now: Cycle,
+        requester: u16,
+        asid: u16,
+        pages: &[PageReq],
+        space: &AddressSpace,
+        buf: &mut TranslateBuf,
+    ) -> TranslateOutcome {
         assert!(!pages.is_empty(), "translate needs at least one page");
         buf.clear();
+        if !self.tagged && asid != self.current_asid {
+            self.switch_flushes.inc();
+            self.current_asid = asid;
+            if let Some(tlb) = self.tlb.as_mut() {
+                tlb.flush();
+            }
+        }
+        // Under tagging entries carry their true ASID; untagged entries
+        // all carry tag 0 and implicitly belong to `current_asid`.
+        let tag = if self.tagged { asid } else { 0 };
         let MmuModel::Real { tlb: tlb_cfg, .. } = self.model else {
             // Ideal: perfect translation, no cost.
             for req in pages {
@@ -612,9 +731,11 @@ impl Mmu {
         };
 
         // Injected transient queue-full rejection: the request bounces
-        // exactly as if an internal buffer were momentarily full.
+        // exactly as if an internal buffer were momentarily full. Drawn
+        // from the tenant's own stream (identical to the legacy stream
+        // for ASID 0).
         if let Some(inj) = &self.inject {
-            if inj.reject(now, requester as u64) {
+            if inj.reject_t(asid, now, requester as u64) {
                 self.rejects.inc();
                 return TranslateOutcome::Reject { retry_at: now + 8 };
             }
@@ -640,9 +761,9 @@ impl Mmu {
         // like hardware splitting a wide request.
         let tlb = self.tlb.as_ref().expect("real model has a TLB");
         if self.mshrs.len() == self.mshrs.capacity()
-            && pages
-                .iter()
-                .any(|p| !tlb.probe(p.vpn) && self.mshrs.lookup(p.vpn.raw()).is_none())
+            && pages.iter().any(|p| {
+                !tlb.probe_asid(tag, p.vpn) && self.mshrs.lookup(tkey(asid, p.vpn)).is_none()
+            })
         {
             self.rejects.inc();
             let earliest = self.mshrs.earliest_completion();
@@ -667,7 +788,7 @@ impl Mmu {
         let tlb = self.tlb.as_mut().expect("real model has a TLB");
         for req in pages {
             self.stamp += 1;
-            match tlb.lookup(req.vpn, req.warp, self.stamp) {
+            match tlb.lookup_asid(tag, req.vpn, req.warp, self.stamp) {
                 Some(hit) => {
                     buf.hits.push(Translation {
                         vpn: req.vpn,
@@ -692,19 +813,28 @@ impl Mmu {
                 .find(|p| p.vpn == vpn)
                 .expect("miss came from the request")
                 .warp;
-            match self.mshrs.allocate(vpn.raw()) {
+            match self.mshrs.allocate(tkey(asid, vpn)) {
                 MshrOutcome::Allocated => {
                     self.walker
                         .as_mut()
                         .expect("real model has a walker")
-                        .enqueue(vpn, home, now);
-                    self.waiters.insert(vpn.raw(), vec![requester]);
-                    self.metrics.record(|| MetricEvent::Miss(vpn.raw()));
+                        .enqueue_asid(asid, vpn, home, now);
+                    self.waiters.insert(tkey(asid, vpn), vec![requester]);
+                    self.metrics.record(|| MetricEvent::Miss {
+                        asid,
+                        vpn: vpn.raw(),
+                    });
                     registered += 1;
                 }
                 MshrOutcome::Merged(_) => {
-                    self.waiters.entry(vpn.raw()).or_default().push(requester);
-                    self.metrics.record(|| MetricEvent::Miss(vpn.raw()));
+                    self.waiters
+                        .entry(tkey(asid, vpn))
+                        .or_default()
+                        .push(requester);
+                    self.metrics.record(|| MetricEvent::Miss {
+                        asid,
+                        vpn: vpn.raw(),
+                    });
                     registered += 1;
                 }
                 // No free MSHR for this page: it stays pending and is
@@ -741,15 +871,72 @@ impl Mmu {
         let Some(walker) = self.walker.as_mut() else {
             return;
         };
-        let mut squashed: Vec<Vpn> = walker.shootdown().into_iter().map(|r| r.vpn).collect();
-        squashed.extend(self.pending_fills.drain(..).map(|d| d.vpn));
-        for vpn in squashed {
-            self.squashed_walks.inc();
-            self.mshrs.release(vpn.raw());
-            for warp in self.waiters.remove(&vpn.raw()).unwrap_or_default() {
-                self.events.push(MmuEvent::Squashed { warp, vpn });
+        let mut squashed: Vec<(u16, Vpn)> = walker
+            .shootdown()
+            .into_iter()
+            .map(|r| (r.asid, r.vpn))
+            .collect();
+        squashed.extend(self.pending_fills.drain(..).map(|d| (d.asid, d.vpn)));
+        self.squash(squashed);
+    }
+
+    /// ASID-scoped shootdown (the tagged design's whole point): flushes
+    /// only `asid`'s TLB entries and squashes only its in-flight walks,
+    /// leaving co-tenants' entries, queued walks, and pending fills
+    /// untouched. On single-tenant state `shootdown_asid(now, 0)` is
+    /// byte-identical to the full [`Mmu::shootdown`]. With tagging
+    /// disabled the TLB cannot discriminate, so the whole TLB is flushed
+    /// whenever the victim is the tenant it currently holds (other
+    /// tenants have no entries in it by construction).
+    pub fn shootdown_asid(&mut self, now: Cycle, asid: u16) {
+        let _ = now;
+        self.shootdowns.inc();
+        if let Some(tlb) = self.tlb.as_mut() {
+            if self.tagged {
+                tlb.flush_asid(asid);
+            } else if self.current_asid == asid {
+                tlb.flush();
             }
         }
+        let Some(walker) = self.walker.as_mut() else {
+            return;
+        };
+        let mut squashed: Vec<(u16, Vpn)> = walker
+            .shootdown_asid(asid)
+            .into_iter()
+            .map(|r| (r.asid, r.vpn))
+            .collect();
+        let mut i = 0;
+        while i < self.pending_fills.len() {
+            if self.pending_fills[i].asid == asid {
+                let d = self.pending_fills.remove(i);
+                squashed.push((d.asid, d.vpn));
+            } else {
+                i += 1;
+            }
+        }
+        self.squash(squashed);
+    }
+
+    fn squash(&mut self, squashed: Vec<(u16, Vpn)>) {
+        for (asid, vpn) in squashed {
+            self.squashed_walks.inc();
+            self.mshrs.release(tkey(asid, vpn));
+            for warp in self.waiters.remove(&tkey(asid, vpn)).unwrap_or_default() {
+                self.events.push(MmuEvent::Squashed { asid, warp, vpn });
+            }
+        }
+    }
+
+    /// In-flight walks (queued, walking, or awaiting fill) belonging to
+    /// `asid` — the watchdog's per-tenant diagnostic.
+    pub fn outstanding_walks_asid(&self, asid: u16) -> usize {
+        self.mshrs.len_asid(asid)
+    }
+
+    /// Queued-but-unstarted walks belonging to `asid`.
+    pub fn queued_walks_asid(&self, asid: u16) -> usize {
+        self.walker.as_ref().map_or(0, |w| w.queue_len_asid(asid))
     }
 }
 
@@ -758,24 +945,33 @@ use gmmu_sim::ckpt::{Ckpt, CkptError, Loader, Saver};
 impl Ckpt for MmuEvent {
     fn save(&self, w: &mut Saver) {
         match *self {
-            MmuEvent::Evicted { vpn, owner } => {
+            MmuEvent::Evicted { asid, vpn, owner } => {
                 w.u8(0);
+                w.u16(asid);
                 vpn.save(w);
                 w.u16(owner);
             }
-            MmuEvent::Wake { warp, vpn, ppn } => {
+            MmuEvent::Wake {
+                asid,
+                warp,
+                vpn,
+                ppn,
+            } => {
                 w.u8(1);
+                w.u16(asid);
                 w.u16(warp);
                 vpn.save(w);
                 ppn.save(w);
             }
-            MmuEvent::Fault { vpn, warp } => {
+            MmuEvent::Fault { asid, vpn, warp } => {
                 w.u8(2);
+                w.u16(asid);
                 vpn.save(w);
                 w.u16(warp);
             }
-            MmuEvent::Squashed { warp, vpn } => {
+            MmuEvent::Squashed { asid, warp, vpn } => {
                 w.u8(3);
+                w.u16(asid);
                 w.u16(warp);
                 vpn.save(w);
             }
@@ -786,25 +982,34 @@ impl Ckpt for MmuEvent {
         let mut ppn = Ppn::default();
         *self = match r.u8()? {
             0 => {
+                let asid = r.u16()?;
                 vpn.load(r)?;
                 let owner = r.u16()?;
-                MmuEvent::Evicted { vpn, owner }
+                MmuEvent::Evicted { asid, vpn, owner }
             }
             1 => {
+                let asid = r.u16()?;
                 let warp = r.u16()?;
                 vpn.load(r)?;
                 ppn.load(r)?;
-                MmuEvent::Wake { warp, vpn, ppn }
+                MmuEvent::Wake {
+                    asid,
+                    warp,
+                    vpn,
+                    ppn,
+                }
             }
             2 => {
+                let asid = r.u16()?;
                 vpn.load(r)?;
                 let warp = r.u16()?;
-                MmuEvent::Fault { vpn, warp }
+                MmuEvent::Fault { asid, vpn, warp }
             }
             3 => {
+                let asid = r.u16()?;
                 let warp = r.u16()?;
                 vpn.load(r)?;
-                MmuEvent::Squashed { warp, vpn }
+                MmuEvent::Squashed { asid, warp, vpn }
             }
             _ => return Err(CkptError::Corrupt("unknown MMU event tag")),
         };
@@ -838,11 +1043,13 @@ impl Ckpt for Mmu {
         }
         w.u64(self.lookup_next_free);
         w.u64(self.stamp);
+        w.u16(self.current_asid);
         self.rejects.save(w);
         self.miss_latency.save(w);
         self.faults.save(w);
         self.shootdowns.save(w);
         self.squashed_walks.save(w);
+        self.switch_flushes.save(w);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         if let Some(tlb) = &mut self.tlb {
@@ -860,6 +1067,7 @@ impl Ckpt for Mmu {
         self.events.clear();
         for _ in 0..n_events {
             let mut e = MmuEvent::Fault {
+                asid: 0,
                 vpn: Vpn::default(),
                 warp: 0,
             };
@@ -869,11 +1077,13 @@ impl Ckpt for Mmu {
         self.done_scratch.clear();
         self.lookup_next_free = r.u64()?;
         self.stamp = r.u64()?;
+        self.current_asid = r.u16()?;
         self.rejects.load(r)?;
         self.miss_latency.load(r)?;
         self.faults.load(r)?;
         self.shootdowns.load(r)?;
-        self.squashed_walks.load(r)
+        self.squashed_walks.load(r)?;
+        self.switch_flushes.load(r)
     }
 }
 
@@ -1190,7 +1400,7 @@ mod tests {
         let events: Vec<MmuEvent> = r.mmu.events().collect();
         assert!(events
             .iter()
-            .any(|e| matches!(e, MmuEvent::Squashed { warp: 4, vpn } if *vpn == p)));
+            .any(|e| matches!(e, MmuEvent::Squashed { warp: 4, vpn, .. } if *vpn == p)));
         assert_eq!(r.mmu.outstanding_walks(), 0, "squash released the MSHR");
         assert_eq!(r.mmu.squashed_walks.get(), 1);
         assert_eq!(r.mmu.shootdowns.get(), 1);

@@ -179,6 +179,10 @@ impl gmmu_sim::ckpt::Ckpt for TlbConfig {
 struct TlbEntry {
     vpn: Vpn,
     ppn: Ppn,
+    /// Address-space identifier of the tenant that owns this
+    /// translation. Lookups match on `(asid, vpn)`, so co-resident
+    /// tenants can cache the same virtual page without interference.
+    asid: u16,
     last_use: u64,
     /// Warp that allocated the entry (for victim tag arrays).
     owner: u16,
@@ -191,6 +195,7 @@ struct TlbEntry {
 const INVALID_ENTRY: TlbEntry = TlbEntry {
     vpn: Vpn::new(0),
     ppn: Ppn::new(0),
+    asid: 0,
     last_use: 0,
     owner: 0,
     history: [0; WARP_HISTORY],
@@ -217,6 +222,8 @@ pub struct TlbHit {
 /// An entry displaced by a fill.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TlbVictim {
+    /// Tenant the displaced entry belonged to.
+    pub asid: u16,
     /// Virtual page of the displaced entry.
     pub vpn: Vpn,
     /// Warp that allocated it.
@@ -314,15 +321,22 @@ impl Tlb {
     }
 
     /// Looks up `vpn` on behalf of `warp` at recency `stamp`, updating
-    /// LRU order, warp history, and statistics.
+    /// LRU order, warp history, and statistics. Matches ASID-0 entries
+    /// only; multi-tenant cores use [`Tlb::lookup_asid`].
     pub fn lookup(&mut self, vpn: Vpn, warp: u16, stamp: u64) -> Option<TlbHit> {
+        self.lookup_asid(0, vpn, warp, stamp)
+    }
+
+    /// [`Tlb::lookup`] scoped to tenant `asid`: only entries tagged with
+    /// the same ASID can hit.
+    pub fn lookup_asid(&mut self, asid: u16, vpn: Vpn, warp: u16, stamp: u64) -> Option<TlbHit> {
         self.accesses.inc();
         let range = self.set_range(vpn);
         // LRU depth = how many valid entries in the set are more recent.
         let mut hit_idx = None;
         for i in range.clone() {
             let e = &self.entries[i];
-            if e.valid && e.vpn == vpn {
+            if e.valid && e.vpn == vpn && e.asid == asid {
                 hit_idx = Some(i);
                 break;
             }
@@ -355,21 +369,45 @@ impl Tlb {
         Some(hit)
     }
 
-    /// Presence check without perturbing LRU, history, or statistics.
+    /// Presence check without perturbing LRU, history, or statistics
+    /// (ASID 0; see [`Tlb::probe_asid`]).
     pub fn probe(&self, vpn: Vpn) -> bool {
-        self.entries[self.set_range(vpn)]
-            .iter()
-            .any(|e| e.valid && e.vpn == vpn)
+        self.probe_asid(0, vpn)
     }
 
-    /// Installs a translation, returning any displaced victim.
+    /// [`Tlb::probe`] scoped to tenant `asid`.
+    pub fn probe_asid(&self, asid: u16, vpn: Vpn) -> bool {
+        self.entries[self.set_range(vpn)]
+            .iter()
+            .any(|e| e.valid && e.vpn == vpn && e.asid == asid)
+    }
+
+    /// Installs a translation for ASID 0, returning any displaced
+    /// victim; multi-tenant cores use [`Tlb::fill_asid`].
     pub fn fill(&mut self, vpn: Vpn, ppn: Ppn, warp: u16, stamp: u64) -> Option<TlbVictim> {
+        self.fill_asid(0, vpn, ppn, warp, stamp)
+    }
+
+    /// Installs a translation tagged with tenant `asid`, returning any
+    /// displaced victim. The victim may belong to another tenant —
+    /// capacity is shared — but a *match* (refill) never crosses ASIDs.
+    pub fn fill_asid(
+        &mut self,
+        asid: u16,
+        vpn: Vpn,
+        ppn: Ppn,
+        warp: u16,
+        stamp: u64,
+    ) -> Option<TlbVictim> {
         self.fills.inc();
         let range = self.set_range(vpn);
         let ways = &mut self.entries[range];
         // Refill over an existing entry for the same page (two walks can
         // race for one page only through MSHR merging, but stay safe).
-        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+        if let Some(e) = ways
+            .iter_mut()
+            .find(|e| e.valid && e.vpn == vpn && e.asid == asid)
+        {
             e.ppn = ppn;
             e.last_use = stamp;
             return None;
@@ -387,12 +425,14 @@ impl Tlb {
             }
         }
         let victim = ways[victim_idx].valid.then_some(TlbVictim {
+            asid: ways[victim_idx].asid,
             vpn: ways[victim_idx].vpn,
             owner: ways[victim_idx].owner,
         });
         ways[victim_idx] = TlbEntry {
             vpn,
             ppn,
+            asid,
             last_use: stamp,
             owner: warp,
             history: [warp, 0],
@@ -403,14 +443,33 @@ impl Tlb {
     }
 
     /// Invalidates every entry (TLB shootdown, Section 6.2: the GPU TLB
-    /// is flushed when the launching CPU updates the page table).
+    /// is flushed when the launching CPU changes the page table).
     pub fn flush(&mut self) {
         self.entries.fill(INVALID_ENTRY);
+    }
+
+    /// Invalidates only the entries owned by tenant `asid` — the
+    /// ASID-scoped shootdown. Other tenants' translations survive.
+    pub fn flush_asid(&mut self, asid: u16) {
+        for e in &mut self.entries {
+            if e.valid && e.asid == asid {
+                *e = INVALID_ENTRY;
+            }
+        }
     }
 
     /// Number of valid entries.
     pub fn occupancy(&self) -> usize {
         self.entries.iter().filter(|e| e.valid).count()
+    }
+
+    /// Number of valid entries owned by tenant `asid` (per-tenant
+    /// watchdog diagnostics).
+    pub fn occupancy_asid(&self, asid: u16) -> usize {
+        self.entries
+            .iter()
+            .filter(|e| e.valid && e.asid == asid)
+            .count()
     }
 }
 
@@ -420,6 +479,7 @@ impl Ckpt for TlbEntry {
     fn save(&self, w: &mut Saver) {
         self.vpn.save(w);
         self.ppn.save(w);
+        w.u16(self.asid);
         w.u64(self.last_use);
         w.u16(self.owner);
         for h in &self.history {
@@ -431,6 +491,7 @@ impl Ckpt for TlbEntry {
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         self.vpn.load(r)?;
         self.ppn.load(r)?;
+        self.asid = r.u16()?;
         self.last_use = r.u64()?;
         self.owner = r.u16()?;
         for h in &mut self.history {
@@ -574,6 +635,25 @@ mod tests {
         assert!(TlbMode::HitUnderMiss.hits_under_miss());
         assert!(!TlbMode::HitUnderMiss.cache_overlap());
         assert!(TlbMode::HitUnderMissOverlap.cache_overlap());
+    }
+
+    #[test]
+    fn asid_tags_isolate_tenants() {
+        let mut t = small();
+        t.fill_asid(1, vpn(2), Ppn::new(100), 0, 1);
+        t.fill_asid(2, vpn(2), Ppn::new(200), 0, 2);
+        // Same virtual page, two tenants, two live entries.
+        assert_eq!(t.lookup_asid(1, vpn(2), 0, 3).unwrap().ppn, Ppn::new(100));
+        assert_eq!(t.lookup_asid(2, vpn(2), 0, 4).unwrap().ppn, Ppn::new(200));
+        assert!(t.lookup_asid(3, vpn(2), 0, 5).is_none());
+        assert!(t.probe_asid(1, vpn(2)) && t.probe_asid(2, vpn(2)));
+        assert!(!t.probe_asid(0, vpn(2)));
+        // An ASID-scoped flush removes only that tenant's entries.
+        t.flush_asid(1);
+        assert!(!t.probe_asid(1, vpn(2)));
+        assert_eq!(t.lookup_asid(2, vpn(2), 0, 6).unwrap().ppn, Ppn::new(200));
+        assert_eq!(t.occupancy_asid(2), 1);
+        assert_eq!(t.occupancy_asid(1), 0);
     }
 
     #[test]

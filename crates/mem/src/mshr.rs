@@ -10,6 +10,23 @@ use gmmu_sim::Cycle;
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, HashMap};
 
+/// Bit position of the ASID tag inside a tenant-qualified MSHR key.
+pub const TENANT_KEY_SHIFT: u32 = 48;
+
+/// Builds a tenant-qualified MSHR key: the ASID occupies the top 16 bits
+/// and the page (or line) number the low 48. For ASID 0 this is the
+/// identity on `key`, so single-tenant keys are unchanged byte for byte.
+///
+/// # Panics
+///
+/// Panics (in debug builds) if `key` overflows 48 bits — virtual page
+/// numbers top out at 36 bits on a 48-bit VA, far below the tag.
+#[inline]
+pub fn tenant_key(asid: u16, key: u64) -> u64 {
+    debug_assert!(key < 1 << TENANT_KEY_SHIFT, "key overflows the ASID tag");
+    ((asid as u64) << TENANT_KEY_SHIFT) | key
+}
+
 /// Outcome of trying to register a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MshrOutcome {
@@ -81,6 +98,15 @@ impl MshrFile {
     /// Peak occupancy seen so far.
     pub fn peak(&self) -> usize {
         self.peak
+    }
+
+    /// Entries in flight whose [`tenant_key`] tag matches `asid`
+    /// (watchdog diagnostics; single-tenant keys all report under 0).
+    pub fn len_asid(&self, asid: u16) -> usize {
+        self.entries
+            .keys()
+            .filter(|&&k| (k >> TENANT_KEY_SHIFT) as u16 == asid)
+            .count()
     }
 
     /// Capacity.
@@ -251,6 +277,23 @@ mod tests {
     #[should_panic(expected = "at least one entry")]
     fn zero_capacity_rejected() {
         let _ = MshrFile::new(0);
+    }
+
+    #[test]
+    fn tenant_keys_partition_the_file() {
+        assert_eq!(tenant_key(0, 0xabc), 0xabc, "ASID 0 is the identity");
+        assert_ne!(tenant_key(1, 0xabc), tenant_key(2, 0xabc));
+        let mut m = MshrFile::new(8);
+        m.allocate(tenant_key(0, 5));
+        m.allocate(tenant_key(1, 5));
+        m.allocate(tenant_key(1, 6));
+        assert_eq!(m.len(), 3, "same page under two ASIDs never merges");
+        assert_eq!(m.len_asid(0), 1);
+        assert_eq!(m.len_asid(1), 2);
+        assert_eq!(m.len_asid(2), 0);
+        m.release(tenant_key(1, 5));
+        assert_eq!(m.len_asid(1), 1);
+        assert_eq!(m.lookup(tenant_key(0, 5)), Some(gmmu_sim::NEVER));
     }
 
     #[test]

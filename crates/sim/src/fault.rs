@@ -24,6 +24,16 @@ const SALT_DELAY: u64 = 0xFA02;
 const SALT_REJECT: u64 = 0xFA03;
 const SALT_STORM: u64 = 0xFA04;
 const SALT_MAJOR: u64 = 0xFA05;
+const SALT_TENANT: u64 = 0xFA06;
+
+/// Per-tenant seed perturbation: tenant `asid` draws its fault schedule
+/// from `seed ^ tenant_salt(asid)`. ASID 0 gets salt 0, so single-tenant
+/// runs (and tenant 0 of a multi-tenant run) see byte-identical
+/// schedules to the legacy single-space harness.
+#[inline]
+pub fn tenant_salt(asid: u16) -> u64 {
+    (asid as u64).wrapping_mul(SALT_TENANT.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1)
+}
 
 /// Deterministically classifies the fault on `vpn` as *major* (backing
 /// data must be fetched before mapping) with probability `fraction`.
@@ -99,6 +109,17 @@ impl FaultInjectConfig {
             reject_rate: 0.02,
             storm_period: 30_000,
             storms: 4,
+        }
+    }
+
+    /// The same configuration re-seeded for tenant `asid`: every fault
+    /// class draws an independent deterministic stream per tenant.
+    /// `for_tenant(0)` is the identity, preserving single-tenant
+    /// schedules bit-for-bit.
+    pub fn for_tenant(&self, asid: u16) -> Self {
+        Self {
+            seed: self.seed ^ tenant_salt(asid),
+            ..*self
         }
     }
 
@@ -200,6 +221,44 @@ impl FaultInjector {
         debug_assert!(n_regions > 0);
         (mix3(self.cfg.seed ^ SALT_STORM, k as u64, 0) % n_regions as u64) as usize
     }
+
+    /// Deterministically picks which of `n_tenants` tenants storm `k`
+    /// hits. Always tenant 0 for single-tenant runs, so the legacy storm
+    /// schedule is unchanged.
+    pub fn storm_victim(&self, k: u32, n_tenants: usize) -> u16 {
+        debug_assert!(n_tenants > 0);
+        if n_tenants == 1 {
+            return 0;
+        }
+        (mix3(self.cfg.seed ^ SALT_STORM, k as u64, 1) % n_tenants as u64) as u16
+    }
+
+    /// [`FaultInjector::walk_delay`] drawn from tenant `asid`'s stream.
+    /// ASID 0 is identical to the untenanted decision.
+    pub fn walk_delay_t(&self, asid: u16, vpn: u64, enqueued: Cycle) -> Cycle {
+        if self.cfg.walk_delay_rate > 0.0
+            && unit(mix3(
+                self.cfg.seed ^ tenant_salt(asid) ^ SALT_DELAY,
+                vpn,
+                enqueued,
+            )) < self.cfg.walk_delay_rate
+        {
+            self.cfg.walk_delay_cycles
+        } else {
+            0
+        }
+    }
+
+    /// [`FaultInjector::reject`] drawn from tenant `asid`'s stream.
+    /// ASID 0 is identical to the untenanted decision.
+    pub fn reject_t(&self, asid: u16, now: Cycle, requester: u64) -> bool {
+        self.cfg.reject_rate > 0.0
+            && unit(mix3(
+                self.cfg.seed ^ tenant_salt(asid) ^ SALT_REJECT,
+                now,
+                requester,
+            )) < self.cfg.reject_rate
+    }
 }
 
 #[cfg(test)]
@@ -248,6 +307,27 @@ mod tests {
     fn full_unmap_fraction_unmaps_everything() {
         let inj = FaultInjector::new(FaultInjectConfig::demand_paged(3));
         assert!((0..1000u64).all(|v| inj.unmap_page(v)));
+    }
+
+    #[test]
+    fn tenant_zero_streams_match_legacy() {
+        let inj = FaultInjector::new(FaultInjectConfig::smoke(7));
+        let t0 = FaultInjector::new(FaultInjectConfig::smoke(7).for_tenant(0));
+        let mut t1_diverged = false;
+        for i in 0..2048u64 {
+            assert_eq!(inj.walk_delay(i, 100 + i), inj.walk_delay_t(0, i, 100 + i));
+            assert_eq!(inj.reject(i, i % 48), inj.reject_t(0, i, i % 48));
+            assert_eq!(inj.unmap_page(i), t0.unmap_page(i));
+            t1_diverged |= inj.walk_delay(i, 100 + i) != inj.walk_delay_t(1, i, 100 + i);
+            t1_diverged |= inj.unmap_page(i)
+                != FaultInjector::new(FaultInjectConfig::smoke(7).for_tenant(1)).unmap_page(i);
+        }
+        assert!(t1_diverged, "tenant 1 must draw an independent stream");
+        assert_eq!(inj.storm_victim(1, 1), 0, "single tenant always storms 0");
+        let victims: std::collections::HashSet<u16> =
+            (1..64).map(|k| inj.storm_victim(k, 4)).collect();
+        assert!(victims.len() > 1, "storms must spread across tenants");
+        assert!(victims.iter().all(|&v| v < 4));
     }
 
     #[test]

@@ -32,14 +32,16 @@
 
 use crate::ckpt::{Ckpt, CkptError, Loader, Saver};
 use crate::stats::{HistSummary, Histogram};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 
 /// Snapshot schema identifier embedded in every JSON dump.
 pub const SCHEMA: &str = "gmmu-metrics";
 /// Snapshot schema version. Bump when the JSON shape changes; readers
-/// refuse snapshots from a different major version.
-pub const SCHEMA_VERSION: u32 = 1;
+/// refuse snapshots from a different major version. Version 2 added the
+/// ASID dimension: hot pages are keyed `(asid, vpn)` and a per-tenant
+/// `tenants` section carries walk-stage histograms per address space.
+pub const SCHEMA_VERSION: u32 = 2;
 /// Number of hot pages reported in the snapshot's `hot_pages` section.
 pub const HOT_PAGE_TOP_N: usize = 16;
 
@@ -60,9 +62,16 @@ pub enum MetricEvent {
     /// A TLB lookup completed; payload is its latency in cycles.
     Lookup(u64),
     /// A TLB miss was registered for this VPN (hot-page accounting).
-    Miss(u64),
+    Miss {
+        /// Address space the miss belongs to (0 for single-tenant runs).
+        asid: u16,
+        /// Virtual page number that missed.
+        vpn: u64,
+    },
     /// A page-table walk referenced one radix level for a VPN.
     WalkLevel {
+        /// Address space whose table is being walked.
+        asid: u16,
         /// Virtual page number being walked.
         vpn: u64,
         /// Radix level referenced (1 = leaf PTE, higher = upper levels).
@@ -70,6 +79,8 @@ pub enum MetricEvent {
     },
     /// A fill was applied; payload is the walk's stage attribution.
     WalkStage {
+        /// Address space the filled translation belongs to.
+        asid: u16,
         /// Cycles spent queued before a walker lane started the walk.
         queue: u64,
         /// Cycles from walk start to fill application.
@@ -109,6 +120,37 @@ impl Ckpt for HotPage {
     }
 }
 
+/// Per-tenant slices of the walk-stage histograms: one pair per ASID,
+/// folded alongside the run-wide aggregates so a multi-tenant snapshot
+/// shows which address space the walker cycles went to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsidStages {
+    /// Queue-stage cycles for this ASID's applied fills.
+    pub walk_queue: Histogram,
+    /// Active-stage cycles for this ASID's applied fills.
+    pub walk_active: Histogram,
+}
+
+impl Default for AsidStages {
+    fn default() -> Self {
+        Self {
+            walk_queue: Histogram::with_bound(STAGE_BOUND),
+            walk_active: Histogram::with_bound(STAGE_BOUND),
+        }
+    }
+}
+
+impl Ckpt for AsidStages {
+    fn save(&self, w: &mut Saver) {
+        self.walk_queue.save(w);
+        self.walk_active.save(w);
+    }
+    fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.walk_queue.load(r)?;
+        self.walk_active.load(r)
+    }
+}
+
 /// Accumulated lifecycle telemetry: the four stage histograms plus the
 /// hot-page table. All folds are commutative, so per-cycle drain order
 /// across cores never affects the final state.
@@ -122,8 +164,10 @@ pub struct MetricsSink {
     pub walk_active: Histogram,
     /// Warps woken per applied fill.
     pub fill_waiters: Histogram,
-    /// Per-VPN miss and walk-reference heat.
-    pub hot_pages: HashMap<u64, HotPage>,
+    /// Per-(ASID, VPN) miss and walk-reference heat.
+    pub hot_pages: HashMap<(u16, u64), HotPage>,
+    /// Walk-stage histograms sliced per tenant (ordered for rendering).
+    pub asid_stages: BTreeMap<u16, AsidStages>,
 }
 
 impl Default for MetricsSink {
@@ -141,6 +185,7 @@ impl MetricsSink {
             walk_active: Histogram::with_bound(STAGE_BOUND),
             fill_waiters: Histogram::with_bound(WAITERS_BOUND),
             hot_pages: HashMap::new(),
+            asid_stages: BTreeMap::new(),
         }
     }
 
@@ -148,14 +193,23 @@ impl MetricsSink {
     pub fn apply(&mut self, ev: MetricEvent) {
         match ev {
             MetricEvent::Lookup(latency) => self.lookup_latency.record(latency),
-            MetricEvent::Miss(vpn) => self.hot_pages.entry(vpn).or_default().tlb_misses += 1,
-            MetricEvent::WalkLevel { vpn, level } => {
-                let idx = (level.max(1) as usize - 1).min(3);
-                self.hot_pages.entry(vpn).or_default().level_refs[idx] += 1;
+            MetricEvent::Miss { asid, vpn } => {
+                self.hot_pages.entry((asid, vpn)).or_default().tlb_misses += 1
             }
-            MetricEvent::WalkStage { queue, active } => {
+            MetricEvent::WalkLevel { asid, vpn, level } => {
+                let idx = (level.max(1) as usize - 1).min(3);
+                self.hot_pages.entry((asid, vpn)).or_default().level_refs[idx] += 1;
+            }
+            MetricEvent::WalkStage {
+                asid,
+                queue,
+                active,
+            } => {
                 self.walk_queue.record(queue);
                 self.walk_active.record(active);
+                let slice = self.asid_stages.entry(asid).or_default();
+                slice.walk_queue.record(queue);
+                slice.walk_active.record(active);
             }
             MetricEvent::Fill { waiters } => self.fill_waiters.record(waiters),
         }
@@ -168,9 +222,10 @@ impl MetricsSink {
     }
 
     /// The `n` hottest pages, ordered by TLB misses (descending) then
-    /// VPN (ascending) so the report is deterministic.
-    pub fn top_pages(&self, n: usize) -> Vec<(u64, HotPage)> {
-        let mut pages: Vec<(u64, HotPage)> = self.hot_pages.iter().map(|(&v, &p)| (v, p)).collect();
+    /// `(asid, vpn)` (ascending) so the report is deterministic.
+    pub fn top_pages(&self, n: usize) -> Vec<((u16, u64), HotPage)> {
+        let mut pages: Vec<((u16, u64), HotPage)> =
+            self.hot_pages.iter().map(|(&k, &p)| (k, p)).collect();
         pages.sort_by(|a, b| b.1.tlb_misses.cmp(&a.1.tlb_misses).then(a.0.cmp(&b.0)));
         pages.truncate(n);
         pages
@@ -212,16 +267,28 @@ impl MetricsSink {
             );
         }
         let _ = writeln!(s, "  }},");
+        let _ = writeln!(s, "  \"tenants\": [");
+        let n_tenants = self.asid_stages.len();
+        for (i, (asid, slice)) in self.asid_stages.iter().enumerate() {
+            let comma = if i + 1 < n_tenants { "," } else { "" };
+            let _ = writeln!(
+                s,
+                "    {{\"asid\": {asid}, \"walk_queue\": {}, \"walk_active\": {}}}{comma}",
+                render_summary(&slice.walk_queue.summary()),
+                render_summary(&slice.walk_active.summary()),
+            );
+        }
+        let _ = writeln!(s, "  ],");
         let _ = writeln!(s, "  \"hot_pages\": {{");
         let _ = writeln!(s, "    \"top_n\": {HOT_PAGE_TOP_N},");
         let _ = writeln!(s, "    \"tracked\": {},", self.hot_pages.len());
         let _ = writeln!(s, "    \"pages\": [");
         let top = self.top_pages(HOT_PAGE_TOP_N);
-        for (i, (vpn, page)) in top.iter().enumerate() {
+        for (i, ((asid, vpn), page)) in top.iter().enumerate() {
             let comma = if i + 1 < top.len() { "," } else { "" };
             let _ = writeln!(
                 s,
-                "      {{\"vpn\": {vpn}, \"tlb_misses\": {}, \"level_refs\": [{}, {}, {}, {}]}}{comma}",
+                "      {{\"asid\": {asid}, \"vpn\": {vpn}, \"tlb_misses\": {}, \"level_refs\": [{}, {}, {}, {}]}}{comma}",
                 page.tlb_misses,
                 page.level_refs[0],
                 page.level_refs[1],
@@ -243,11 +310,17 @@ impl Ckpt for MetricsSink {
         self.walk_active.save(w);
         self.fill_waiters.save(w);
         w.u64(self.hot_pages.len() as u64);
-        let mut vpns: Vec<u64> = self.hot_pages.keys().copied().collect();
-        vpns.sort_unstable();
-        for vpn in vpns {
-            w.u64(vpn);
-            self.hot_pages[&vpn].save(w);
+        let mut keys: Vec<(u16, u64)> = self.hot_pages.keys().copied().collect();
+        keys.sort_unstable();
+        for key in keys {
+            w.u16(key.0);
+            w.u64(key.1);
+            self.hot_pages[&key].save(w);
+        }
+        w.u64(self.asid_stages.len() as u64);
+        for (asid, slice) in &self.asid_stages {
+            w.u16(*asid);
+            slice.save(w);
         }
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
@@ -258,10 +331,19 @@ impl Ckpt for MetricsSink {
         let n = r.u64()? as usize;
         self.hot_pages.clear();
         for _ in 0..n {
+            let asid = r.u16()?;
             let vpn = r.u64()?;
             let mut page = HotPage::default();
             page.load(r)?;
-            self.hot_pages.insert(vpn, page);
+            self.hot_pages.insert((asid, vpn), page);
+        }
+        let n = r.u64()? as usize;
+        self.asid_stages.clear();
+        for _ in 0..n {
+            let asid = r.u16()?;
+            let mut slice = AsidStages::default();
+            slice.load(r)?;
+            self.asid_stages.insert(asid, slice);
         }
         Ok(())
     }
@@ -455,15 +537,24 @@ mod tests {
     fn sink_folds_are_commutative() {
         let events = [
             MetricEvent::Lookup(2),
-            MetricEvent::Miss(7),
-            MetricEvent::WalkLevel { vpn: 7, level: 1 },
-            MetricEvent::WalkLevel { vpn: 7, level: 4 },
+            MetricEvent::Miss { asid: 0, vpn: 7 },
+            MetricEvent::WalkLevel {
+                asid: 0,
+                vpn: 7,
+                level: 1,
+            },
+            MetricEvent::WalkLevel {
+                asid: 0,
+                vpn: 7,
+                level: 4,
+            },
             MetricEvent::WalkStage {
+                asid: 1,
                 queue: 3,
                 active: 40,
             },
             MetricEvent::Fill { waiters: 2 },
-            MetricEvent::Miss(9),
+            MetricEvent::Miss { asid: 1, vpn: 9 },
             MetricEvent::Lookup(1),
         ];
         let mut fwd = MetricsSink::new();
@@ -476,8 +567,11 @@ mod tests {
         }
         assert_eq!(fwd, rev);
         assert_eq!(fwd.stage_cycles(), (3, 40));
-        assert_eq!(fwd.hot_pages[&7].tlb_misses, 1);
-        assert_eq!(fwd.hot_pages[&7].level_refs, [1, 0, 0, 1]);
+        assert_eq!(fwd.hot_pages[&(0, 7)].tlb_misses, 1);
+        assert_eq!(fwd.hot_pages[&(0, 7)].level_refs, [1, 0, 0, 1]);
+        // The per-tenant slice only holds ASID 1's stage cycles.
+        assert_eq!(fwd.asid_stages[&1].walk_queue.sum(), 3);
+        assert!(!fwd.asid_stages.contains_key(&0));
     }
 
     #[test]
@@ -485,12 +579,12 @@ mod tests {
         let mut on = Metrics::recording();
         let mut staged = Metrics::staging();
         staged.record(|| MetricEvent::Lookup(5));
-        staged.record(|| MetricEvent::Miss(3));
+        staged.record(|| MetricEvent::Miss { asid: 0, vpn: 3 });
         on.absorb(&mut staged);
         on.absorb(&mut staged); // second drain is a no-op
         let sink = on.sink().unwrap();
         assert_eq!(sink.lookup_latency.count(), 1);
-        assert_eq!(sink.hot_pages[&3].tlb_misses, 1);
+        assert_eq!(sink.hot_pages[&(0, 3)].tlb_misses, 1);
         assert!(matches!(&staged, Metrics::Buffer(b) if b.is_empty()));
     }
 
@@ -499,18 +593,34 @@ mod tests {
         let mut sink = MetricsSink::new();
         for (vpn, misses) in [(10u64, 2u64), (3, 5), (8, 2), (1, 1)] {
             for _ in 0..misses {
-                sink.apply(MetricEvent::Miss(vpn));
+                sink.apply(MetricEvent::Miss { asid: 0, vpn });
             }
         }
-        let top: Vec<u64> = sink.top_pages(3).iter().map(|(v, _)| *v).collect();
+        let top: Vec<u64> = sink.top_pages(3).iter().map(|((_, v), _)| *v).collect();
         assert_eq!(top, vec![3, 8, 10]);
+    }
+
+    #[test]
+    fn same_vpn_under_different_asids_is_two_pages() {
+        let mut sink = MetricsSink::new();
+        sink.apply(MetricEvent::Miss { asid: 0, vpn: 5 });
+        sink.apply(MetricEvent::Miss { asid: 1, vpn: 5 });
+        sink.apply(MetricEvent::Miss { asid: 1, vpn: 5 });
+        assert_eq!(sink.hot_pages.len(), 2);
+        assert_eq!(sink.hot_pages[&(0, 5)].tlb_misses, 1);
+        assert_eq!(sink.hot_pages[&(1, 5)].tlb_misses, 2);
+        // Ties break by (asid, vpn): ASID 1 leads on miss count.
+        let top = sink.top_pages(2);
+        assert_eq!(top[0].0, (1, 5));
+        assert_eq!(top[1].0, (0, 5));
     }
 
     #[test]
     fn snapshot_json_is_deterministic_and_versioned() {
         let mut sink = MetricsSink::new();
-        sink.apply(MetricEvent::Miss(42));
+        sink.apply(MetricEvent::Miss { asid: 0, vpn: 42 });
         sink.apply(MetricEvent::WalkStage {
+            asid: 0,
             queue: 1,
             active: 9,
         });
@@ -522,17 +632,27 @@ mod tests {
         let b = sink.snapshot_json(&reg);
         assert_eq!(a, b);
         assert!(a.contains("\"schema\": \"gmmu-metrics\""));
-        assert!(a.contains("\"version\": 1"));
+        assert!(a.contains("\"version\": 2"));
         assert!(a.contains("\"core0.tlb.hits\""));
-        assert!(a.contains("\"vpn\": 42"));
+        assert!(a.contains("\"asid\": 0, \"vpn\": 42"));
+        assert!(a.contains("\"tenants\": ["));
     }
 
     #[test]
     fn metrics_ckpt_round_trips_and_enforces_shape() {
         let mut on = Metrics::recording();
         on.record(|| MetricEvent::Lookup(3));
-        on.record(|| MetricEvent::Miss(5));
-        on.record(|| MetricEvent::WalkLevel { vpn: 5, level: 2 });
+        on.record(|| MetricEvent::Miss { asid: 0, vpn: 5 });
+        on.record(|| MetricEvent::WalkLevel {
+            asid: 0,
+            vpn: 5,
+            level: 2,
+        });
+        on.record(|| MetricEvent::WalkStage {
+            asid: 3,
+            queue: 2,
+            active: 11,
+        });
         let mut w = Saver::new();
         on.save(&mut w);
         let bytes = w.into_bytes();

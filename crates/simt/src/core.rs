@@ -52,6 +52,22 @@ pub struct CoreStats {
     pub dwarps_formed: Counter,
     /// Thread blocks completed.
     pub blocks_done: Counter,
+    /// Per-ASID slice of `instructions` (index = ASID, grown on
+    /// demand). Feeds the per-tenant watchdog and slowdown accounting.
+    /// TBC runs are single-tenant and leave these empty.
+    pub tenant_instructions: Vec<Counter>,
+    /// Per-ASID slice of `blocks_done` (index = ASID).
+    pub tenant_blocks_done: Vec<Counter>,
+}
+
+impl CoreStats {
+    fn tenant_counter(v: &mut Vec<Counter>, asid: u16) -> &mut Counter {
+        let i = asid as usize;
+        if v.len() <= i {
+            v.resize_with(i + 1, Counter::default);
+        }
+        &mut v[i]
+    }
 }
 
 /// A memory instruction in flight for one warp (generated once; replays
@@ -121,6 +137,9 @@ pub(crate) enum MemIssue {
 /// A baseline (non-TBC) warp context.
 #[derive(Debug, Clone)]
 pub(crate) struct Warp {
+    /// The tenant this warp's block belongs to (selects the address
+    /// space, kernel, and iteration-slot base in the [`RunCtx`]).
+    pub asid: u16,
     pub first_tid: ThreadId,
     pub stack: Option<SimtStack>,
     pub ready_at: Cycle,
@@ -135,6 +154,7 @@ pub(crate) struct Warp {
 impl Warp {
     fn empty() -> Self {
         Self {
+            asid: 0,
             first_tid: 0,
             stack: None,
             ready_at: 0,
@@ -168,6 +188,22 @@ impl Default for Warp {
 pub(crate) enum ExecMode {
     Baseline { warps: Vec<Warp> },
     Tbc(TbcState),
+}
+
+/// Everything the executors need to run warps from several tenants in
+/// one tick: the address space and kernel of each ASID (index = ASID)
+/// plus each tenant's base offset into the shared branch/mem
+/// iteration-counter array. Single-tenant callers wrap their one space
+/// and kernel with base 0 ([`ShaderCore::tick`]).
+pub struct RunCtx<'a, 'b> {
+    /// Address space per ASID.
+    pub spaces: &'a [&'a AddressSpace],
+    /// Kernel per ASID.
+    pub kernels: &'a [&'a dyn Kernel],
+    /// Per-thread, per-site iteration counters for all tenants.
+    pub iters: &'b mut [u32],
+    /// Each tenant's first slot in `iters`.
+    pub iters_base: &'a [usize],
 }
 
 /// The pieces of a core that the memory path needs; split out so the
@@ -274,12 +310,13 @@ impl MemPath {
     }
 
     /// Issues (or replays) a pending memory instruction for scheduling
-    /// unit `requester`. The unit's home pages carry their own static
-    /// warp ids (TBC).
+    /// unit `requester` on behalf of tenant `asid`. The unit's home
+    /// pages carry their own static warp ids (TBC).
     pub(crate) fn issue_mem(
         &mut self,
         now: Cycle,
         requester: u16,
+        asid: u16,
         pending: &mut Pending,
         mem: &mut dyn MemPort,
         space: &AddressSpace,
@@ -294,9 +331,9 @@ impl MemPath {
                 .record(cbuf.page_divergence() as u64);
         }
         let mut tbuf = std::mem::take(&mut self.tbuf);
-        let outcome = self
-            .mmu
-            .translate(now, requester, &cbuf.pages, space, &mut tbuf);
+        let outcome =
+            self.mmu
+                .translate_tenant(now, requester, asid, &cbuf.pages, space, &mut tbuf);
         let result = match outcome {
             TranslateOutcome::Reject { retry_at } => MemIssue::Retry(retry_at.max(now + 1)),
             TranslateOutcome::AllHit { ready_at } => {
@@ -420,6 +457,8 @@ pub(crate) fn granule_vpn(va: VAddr, granule: PageSize) -> Vpn {
 /// A block of threads waiting to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub(crate) struct BlockWork {
+    /// The tenant the block belongs to.
+    pub asid: u16,
     pub first_tid: ThreadId,
     pub n_threads: u32,
 }
@@ -439,14 +478,18 @@ pub struct ShaderCore {
     /// Baseline mode: cycle each occupied slot's block was dispatched
     /// (the `block` trace span's start).
     slot_started: Vec<Cycle>,
+    /// Baseline mode: the tenant of each occupied slot's block.
+    slot_asid: Vec<u16>,
     /// Scratch for MMU event draining.
     events: Vec<MmuEvent>,
     /// Fault-and-recovery model knobs (copied from the GPU config).
     pub(crate) fault: FaultConfig,
-    /// Units parked on each faulted page, keyed by raw VPN.
+    /// Units parked on each faulted page, keyed by the ASID-tagged VPN
+    /// ([`gmmu_mem::mshr::tenant_key`]; identity for ASID 0).
     fault_waiters: std::collections::HashMap<u64, Vec<u16>>,
-    /// Faulted pages not yet reported to the GPU's fault handler.
-    pub(crate) pending_faults: Vec<Vpn>,
+    /// Faulted `(asid, page)` pairs not yet reported to the GPU's fault
+    /// handler.
+    pub(crate) pending_faults: Vec<(u16, Vpn)>,
     /// Memoized [`ShaderCore::next_event_at`] result (`None` = invalid;
     /// `Some(inner)` = the last computed answer). [`ShaderCore::tick`]
     /// keeps it across *quiet* ticks — cycles that provably changed no
@@ -493,6 +536,7 @@ impl ShaderCore {
             block_queue: std::collections::VecDeque::new(),
             slot_occupied: vec![false; cfg.warps_per_core / cfg.warps_per_block],
             slot_started: vec![0; cfg.warps_per_core / cfg.warps_per_block],
+            slot_asid: vec![0; cfg.warps_per_core / cfg.warps_per_block],
             events: Vec::new(),
             fault: cfg.fault,
             fault_waiters: std::collections::HashMap::new(),
@@ -503,8 +547,14 @@ impl ShaderCore {
 
     /// Queues a thread block for execution on this core.
     pub fn push_block(&mut self, first_tid: ThreadId, n_threads: u32) {
+        self.push_block_asid(0, first_tid, n_threads);
+    }
+
+    /// Queues tenant `asid`'s thread block for execution on this core.
+    pub fn push_block_asid(&mut self, asid: u16, first_tid: ThreadId, n_threads: u32) {
         self.next_event_cache.set(None);
         self.block_queue.push_back(BlockWork {
+            asid,
             first_tid,
             n_threads,
         });
@@ -612,6 +662,11 @@ impl ShaderCore {
                 {
                     self.slot_occupied[slot] = false;
                     self.path.stats.blocks_done.inc();
+                    CoreStats::tenant_counter(
+                        &mut self.path.stats.tenant_blocks_done,
+                        self.slot_asid[slot],
+                    )
+                    .inc();
                     let started = self.slot_started[slot];
                     tracer.record(|| {
                         TraceEvent::span(
@@ -629,10 +684,14 @@ impl ShaderCore {
     }
 
     /// Fills free block slots from the queue; returns whether any block
-    /// was dispatched.
-    fn dispatch_blocks(&mut self, kernel: &dyn Kernel, now: Cycle, tracer: &mut Tracer) -> bool {
+    /// was dispatched. `kernels` is indexed by each queued block's ASID.
+    fn dispatch_blocks(
+        &mut self,
+        kernels: &[&dyn Kernel],
+        now: Cycle,
+        tracer: &mut Tracer,
+    ) -> bool {
         self.reap_blocks(now, tracer);
-        let end_pc = kernel.program().end_pc();
         let mut dispatched = false;
         match &mut self.exec {
             ExecMode::Baseline { warps } => {
@@ -643,13 +702,16 @@ impl ShaderCore {
                         let Some(block) = self.block_queue.pop_front() else {
                             continue;
                         };
+                        let end_pc = kernels[block.asid as usize].program().end_pc();
                         dispatched = true;
                         self.slot_occupied[slot] = true;
                         self.slot_started[slot] = now;
+                        self.slot_asid[slot] = block.asid;
                         for (i, w) in warps[group].iter_mut().enumerate() {
                             let first = block.first_tid + (i as u32) * 32;
                             let in_block = block.n_threads.saturating_sub((i as u32) * 32).min(32);
                             *w = Warp {
+                                asid: block.asid,
                                 first_tid: first,
                                 stack: (in_block > 0).then(|| {
                                     let mask = if in_block == 32 {
@@ -670,6 +732,13 @@ impl ShaderCore {
                 }
             }
             ExecMode::Tbc(tbc) => {
+                // Thread block compaction schedules across a single
+                // kernel's blocks; multi-tenant runs use baseline mode.
+                debug_assert!(
+                    self.block_queue.iter().all(|b| b.asid == 0),
+                    "TBC is single-tenant"
+                );
+                let end_pc = kernels[0].program().end_pc();
                 dispatched = tbc.dispatch_blocks(&mut self.block_queue, end_pc, now);
             }
         }
@@ -798,17 +867,40 @@ impl ShaderCore {
         self.path.mmu.shootdown(now);
     }
 
+    /// Scoped shootdown: squashes tenant `asid`'s in-flight walks and
+    /// flushes only its TLB entries (or, in flush-on-switch mode, the
+    /// whole TLB when the victim is resident).
+    pub fn shootdown_asid(&mut self, now: Cycle, asid: u16) {
+        self.next_event_cache.set(None);
+        self.path.mmu.shootdown_asid(now, asid);
+    }
+
+    /// Selects ASID-tagged TLB entries (`true`, the default) or the
+    /// flush-on-switch fallback (`false`).
+    pub fn set_tagging(&mut self, tagged: bool) {
+        self.path.mmu.set_tagging(tagged);
+    }
+
+    /// Arms the walker's per-ASID fairness scheduler (no-op with
+    /// `n_asids <= 1`).
+    pub fn set_walker_fairness(&mut self, n_asids: usize, tokens: u32, max_age: u64) {
+        self.path.mmu.set_walker_fairness(n_asids, tokens, max_age);
+    }
+
     /// Moves faulted pages not yet reported to the fault handler into
     /// `out` (the GPU drains these each cycle).
-    pub(crate) fn drain_faults(&mut self, out: &mut Vec<Vpn>) {
+    pub(crate) fn drain_faults(&mut self, out: &mut Vec<(u16, Vpn)>) {
         out.append(&mut self.pending_faults);
     }
 
-    /// The CPU fault handler finished mapping `vpn`: release every unit
-    /// parked on it; units with no other outstanding pages replay their
-    /// access next cycle.
-    pub(crate) fn resolve_fault(&mut self, vpn: Vpn, now: Cycle) {
-        let Some(waiters) = self.fault_waiters.remove(&vpn.raw()) else {
+    /// The CPU fault handler finished mapping `vpn` for tenant `asid`:
+    /// release every unit parked on it; units with no other outstanding
+    /// pages replay their access next cycle.
+    pub(crate) fn resolve_fault(&mut self, asid: u16, vpn: Vpn, now: Cycle) {
+        let Some(waiters) = self
+            .fault_waiters
+            .remove(&gmmu_mem::mshr::tenant_key(asid, vpn.raw()))
+        else {
             return;
         };
         // This arms `ready_at` timers outside of a tick: the cached
@@ -831,19 +923,62 @@ impl ShaderCore {
     }
 
     /// A human-readable dump of everything that could explain a stuck
-    /// core, for the forward-progress watchdog's failure report.
+    /// core, for the forward-progress watchdog's failure report:
+    /// overall and per-ASID in-flight walk counts, each parked page
+    /// with its tenant and the warps waiting on it, and every live
+    /// unit's wait state.
     pub fn stall_diagnostics(&self, now: Cycle) -> String {
         use std::fmt::Write as _;
         let mut s = String::new();
         let _ = writeln!(
             s,
-            "core {}: outstanding_walks={} walker_queue={} unreported_faults={} faulted_pages={:?}",
+            "core {}: outstanding_walks={} walker_queue={} unreported_faults={}",
             self.id,
             self.path.mmu.outstanding_walks(),
             self.path.mmu.walker().map_or(0, |w| w.queue_len()),
             self.pending_faults.len(),
-            self.fault_waiters.keys().collect::<Vec<_>>(),
         );
+        // The tenants with any presence on this core, in ASID order.
+        let mut asids: Vec<u16> = match &self.exec {
+            ExecMode::Baseline { warps } => warps
+                .iter()
+                .filter(|w| !w.is_done())
+                .map(|w| w.asid)
+                .collect(),
+            ExecMode::Tbc(_) => vec![0],
+        };
+        asids.extend(
+            self.fault_waiters
+                .keys()
+                .map(|k| (k >> gmmu_mem::mshr::TENANT_KEY_SHIFT) as u16),
+        );
+        asids.sort_unstable();
+        asids.dedup();
+        if asids.len() > 1 {
+            for &a in &asids {
+                let _ = writeln!(
+                    s,
+                    "  asid {a}: in_flight_walks={} queued_walks={} instructions={}",
+                    self.path.mmu.outstanding_walks_asid(a),
+                    self.path.mmu.queued_walks_asid(a),
+                    self.path
+                        .stats
+                        .tenant_instructions
+                        .get(a as usize)
+                        .map_or(0, |c| c.get()),
+                );
+            }
+        }
+        let mut parked: Vec<(&u64, &Vec<u16>)> = self.fault_waiters.iter().collect();
+        parked.sort_unstable_by_key(|(k, _)| **k);
+        for (key, warps) in parked {
+            let _ = writeln!(
+                s,
+                "  faulted page: asid={} vpn={:#x} waiting_warps={warps:?}",
+                (key >> gmmu_mem::mshr::TENANT_KEY_SHIFT) as u16,
+                key & ((1u64 << gmmu_mem::mshr::TENANT_KEY_SHIFT) - 1),
+            );
+        }
         match &self.exec {
             ExecMode::Baseline { warps } => {
                 for (i, w) in warps.iter().enumerate() {
@@ -852,8 +987,9 @@ impl ShaderCore {
                     }
                     let _ = writeln!(
                         s,
-                        "  warp {i}: waiting_pages={} faulted_pages={} ready_at={} (now {now}) \
-                         wait={:?} pending_accesses={}",
+                        "  warp {i} (asid {}): waiting_pages={} faulted_pages={} ready_at={} \
+                         (now {now}) wait={:?} pending_accesses={}",
+                        w.asid,
                         w.waiting_pages,
                         w.faulted_pages,
                         w.ready_at,
@@ -878,18 +1014,40 @@ impl ShaderCore {
         iters: &mut [u32],
         tracer: &mut Tracer,
     ) -> bool {
-        let dispatched = self.dispatch_blocks(kernel, now, tracer);
+        let spaces = [space];
+        let kernels = [kernel];
+        let mut ctx = RunCtx {
+            spaces: &spaces,
+            kernels: &kernels,
+            iters,
+            iters_base: &[0],
+        };
+        self.tick_tenants(now, mem, &mut ctx, tracer) != 0
+    }
+
+    /// Advances the core by one cycle under a multi-tenant context.
+    /// Returns a bitmask with bit `asid` set for each tenant that
+    /// issued an instruction this cycle (the per-tenant watchdog's
+    /// progress signal; ASIDs are capped at 64 by the GPU driver).
+    pub fn tick_tenants(
+        &mut self,
+        now: Cycle,
+        mem: &mut dyn MemPort,
+        ctx: &mut RunCtx<'_, '_>,
+        tracer: &mut Tracer,
+    ) -> u64 {
+        let dispatched = self.dispatch_blocks(ctx.kernels, now, tracer);
         let pid = self.id as u32;
         let path = &mut self.path;
         path.l1_mshrs.expire(now);
         let mmu_was_idle = path.mmu.is_idle();
-        path.mmu.advance_traced(now, mem, space, tracer, pid);
+        path.mmu.advance_tenants(now, mem, ctx.spaces, tracer, pid);
         self.events.clear();
         self.events.extend(path.mmu.events());
         for ev in &self.events {
             match *ev {
-                MmuEvent::Evicted { vpn, owner } => path.policy.on_tlb_evict(owner, vpn),
-                MmuEvent::Wake { warp, vpn, ppn } => match &mut self.exec {
+                MmuEvent::Evicted { vpn, owner, .. } => path.policy.on_tlb_evict(owner, vpn),
+                MmuEvent::Wake { warp, vpn, ppn, .. } => match &mut self.exec {
                     ExecMode::Baseline { warps } => {
                         let w = &mut warps[warp as usize];
                         debug_assert!(w.waiting_pages > 0);
@@ -932,7 +1090,7 @@ impl ShaderCore {
                     }
                     ExecMode::Tbc(t) => t.wake(warp, vpn, ppn, path, now, mem, tracer, pid),
                 },
-                MmuEvent::Fault { vpn, warp } => {
+                MmuEvent::Fault { asid, vpn, warp } => {
                     if !self.fault.demand_paging {
                         panic!("GPU page fault on {vpn}: workloads must pre-map their regions")
                     }
@@ -949,13 +1107,16 @@ impl ShaderCore {
                         }
                         ExecMode::Tbc(t) => t.fault(warp),
                     }
-                    let waiters = self.fault_waiters.entry(vpn.raw()).or_default();
+                    let waiters = self
+                        .fault_waiters
+                        .entry(gmmu_mem::mshr::tenant_key(asid, vpn.raw()))
+                        .or_default();
                     if waiters.is_empty() {
-                        self.pending_faults.push(vpn);
+                        self.pending_faults.push((asid, vpn));
                     }
                     waiters.push(warp);
                 }
-                MmuEvent::Squashed { warp, vpn: _ } => match &mut self.exec {
+                MmuEvent::Squashed { warp, .. } => match &mut self.exec {
                     ExecMode::Baseline { warps } => {
                         let w = &mut warps[warp as usize];
                         w.waiting_pages = w.waiting_pages.saturating_sub(1);
@@ -982,18 +1143,24 @@ impl ShaderCore {
             ExecMode::Baseline { warps } => warps.iter().any(|w| w.schedulable(now)),
             ExecMode::Tbc(t) => t.has_ready_work(now),
         };
-        let issued = match &mut self.exec {
-            ExecMode::Baseline { warps } => baseline_issue(
-                path,
-                warps,
-                &mut self.rr_ptr,
-                now,
-                mem,
-                space,
-                kernel,
-                iters,
-            ),
-            ExecMode::Tbc(t) => t.issue(path, now, mem, space, kernel, iters, tracer, pid),
+        let issued: u64 = match &mut self.exec {
+            ExecMode::Baseline { warps } => {
+                baseline_issue(path, warps, &mut self.rr_ptr, now, mem, ctx)
+                    .map_or(0, |asid| 1u64 << (asid as u32 & 63))
+            }
+            ExecMode::Tbc(t) => {
+                debug_assert_eq!(ctx.spaces.len(), 1, "TBC is single-tenant");
+                u64::from(t.issue(
+                    path,
+                    now,
+                    mem,
+                    ctx.spaces[0],
+                    ctx.kernels[0],
+                    ctx.iters,
+                    tracer,
+                    pid,
+                ))
+            }
         };
         let live = match &self.exec {
             ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
@@ -1001,7 +1168,7 @@ impl ShaderCore {
         };
         if live {
             path.stats.live_cycles.inc();
-            if !issued {
+            if issued == 0 {
                 let cause = classify_stall(&self.exec, now);
                 path.stats.idle_cycles.inc();
                 path.stats.stall_breakdown.add(cause, 1);
@@ -1054,18 +1221,16 @@ fn classify_stall(exec: &ExecMode, now: Cycle) -> StallCause {
     best.unwrap_or(StallCause::Dispatch)
 }
 
-/// Picks and executes one instruction from the baseline warps.
-#[allow(clippy::too_many_arguments)]
+/// Picks and executes one instruction from the baseline warps; returns
+/// the issuing warp's ASID when one issued.
 fn baseline_issue(
     path: &mut MemPath,
     warps: &mut [Warp],
     rr_ptr: &mut usize,
     now: Cycle,
     mem: &mut dyn MemPort,
-    space: &AddressSpace,
-    kernel: &dyn Kernel,
-    iters: &mut [u32],
-) -> bool {
+    ctx: &mut RunCtx<'_, '_>,
+) -> Option<u16> {
     let n = warps.len();
     for off in 0..n {
         let w = (*rr_ptr + off) % n;
@@ -1081,29 +1246,36 @@ fn baseline_issue(
                 .as_ref()
                 .and_then(|s| s.current())
                 .expect("schedulable implies live");
-            if matches!(kernel.program().op(pc), Op::Mem { .. }) {
+            if matches!(
+                ctx.kernels[warps[w].asid as usize].program().op(pc),
+                Op::Mem { .. }
+            ) {
                 continue;
             }
         }
-        exec_one(path, warps, w, now, mem, space, kernel, iters);
+        let asid = warps[w].asid;
+        exec_one(path, warps, w, now, mem, ctx);
         *rr_ptr = (w + 1) % n;
-        return true;
+        return Some(asid);
     }
-    false
+    None
 }
 
-/// Executes the next instruction of baseline warp `w`.
-#[allow(clippy::too_many_arguments)]
+/// Executes the next instruction of baseline warp `w` against its
+/// tenant's kernel, address space, and iteration-counter slice.
 fn exec_one(
     path: &mut MemPath,
     warps: &mut [Warp],
     w: usize,
     now: Cycle,
     mem: &mut dyn MemPort,
-    space: &AddressSpace,
-    kernel: &dyn Kernel,
-    iters: &mut [u32],
+    ctx: &mut RunCtx<'_, '_>,
 ) {
+    let asid = warps[w].asid;
+    let kernel = ctx.kernels[asid as usize];
+    let space = ctx.spaces[asid as usize];
+    let base = ctx.iters_base[asid as usize];
+    let iters = &mut *ctx.iters;
     let num_sites = kernel.program().num_sites().max(1);
     let warp = &mut warps[w];
     let stack = warp.stack.as_mut().expect("schedulable implies live");
@@ -1114,6 +1286,7 @@ fn exec_one(
             warp.wait = WaitKind::Pipeline;
             stack.advance(pc + 1);
             path.stats.instructions.inc();
+            CoreStats::tenant_counter(&mut path.stats.tenant_instructions, asid).inc();
         }
         Op::Branch {
             site,
@@ -1124,7 +1297,7 @@ fn exec_one(
             for lane in 0..32 {
                 if mask & (1 << lane) != 0 {
                     let tid = warp.first_tid + lane;
-                    let slot = tid as usize * num_sites + site as usize;
+                    let slot = base + tid as usize * num_sites + site as usize;
                     let iter = iters[slot];
                     iters[slot] += 1;
                     if kernel.branch_taken(tid, site, iter) {
@@ -1136,6 +1309,7 @@ fn exec_one(
             warp.ready_at = now + path.timings.branch_latency;
             warp.wait = WaitKind::Pipeline;
             path.stats.instructions.inc();
+            CoreStats::tenant_counter(&mut path.stats.tenant_instructions, asid).inc();
         }
         Op::Mem { site, kind } => {
             if warp.pending.is_none() {
@@ -1143,7 +1317,7 @@ fn exec_one(
                 for lane in 0..32 {
                     if mask & (1 << lane) != 0 {
                         let tid = warp.first_tid + lane;
-                        let slot = tid as usize * num_sites + site as usize;
+                        let slot = base + tid as usize * num_sites + site as usize;
                         let iter = iters[slot];
                         iters[slot] += 1;
                         accesses.push((kernel.mem_addr(tid, site, iter), w as u16));
@@ -1159,12 +1333,13 @@ fn exec_one(
                     slept_at: 0,
                 });
                 path.stats.instructions.inc();
+                CoreStats::tenant_counter(&mut path.stats.tenant_instructions, asid).inc();
                 path.stats.mem_instructions.inc();
             } else {
                 path.stats.replays.inc();
             }
             let mut pending = warp.pending.take().expect("just set");
-            match path.issue_mem(now, w as u16, &mut pending, mem, space) {
+            match path.issue_mem(now, w as u16, asid, &mut pending, mem, space) {
                 MemIssue::Done(ready) => {
                     warp.ready_at = ready;
                     warp.wait = WaitKind::MemData {
@@ -1254,6 +1429,7 @@ impl Ckpt for Pending {
 
 impl Ckpt for Warp {
     fn save(&self, w: &mut Saver) {
+        w.u16(self.asid);
         w.u32(self.first_tid);
         self.stack.save(w);
         w.u64(self.ready_at);
@@ -1263,6 +1439,7 @@ impl Ckpt for Warp {
         self.wait.save(w);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.asid = r.u16()?;
         self.first_tid = r.u32()?;
         self.stack.load(r)?;
         self.ready_at = r.u64()?;
@@ -1275,10 +1452,12 @@ impl Ckpt for Warp {
 
 impl Ckpt for BlockWork {
     fn save(&self, w: &mut Saver) {
+        w.u16(self.asid);
         w.u32(self.first_tid);
         w.u32(self.n_threads);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        self.asid = r.u16()?;
         self.first_tid = r.u32()?;
         self.n_threads = r.u32()?;
         Ok(())
@@ -1297,6 +1476,8 @@ impl Ckpt for CoreStats {
         self.replays.save(w);
         self.dwarps_formed.save(w);
         self.blocks_done.save(w);
+        self.tenant_instructions.save(w);
+        self.tenant_blocks_done.save(w);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         self.instructions.load(r)?;
@@ -1308,7 +1489,9 @@ impl Ckpt for CoreStats {
         self.l1_miss_latency.load(r)?;
         self.replays.load(r)?;
         self.dwarps_formed.load(r)?;
-        self.blocks_done.load(r)
+        self.blocks_done.load(r)?;
+        self.tenant_instructions.load(r)?;
+        self.tenant_blocks_done.load(r)
     }
 }
 
@@ -1359,6 +1542,7 @@ impl Ckpt for ShaderCore {
         self.block_queue.save(w);
         self.slot_occupied.save(w);
         self.slot_started.save(w);
+        self.slot_asid.save(w);
         let mut waiters: Vec<(u64, Vec<u16>)> = self
             .fault_waiters
             .iter()
@@ -1378,6 +1562,7 @@ impl Ckpt for ShaderCore {
         self.block_queue.load(r)?;
         self.slot_occupied.load(r)?;
         self.slot_started.load(r)?;
+        self.slot_asid.load(r)?;
         let mut waiters: Vec<(u64, Vec<u16>)> = Vec::new();
         waiters.load(r)?;
         self.fault_waiters = waiters.into_iter().collect();

@@ -9,7 +9,7 @@
 //! same configuration.
 
 use crate::config::{EngineKind, GpuConfig};
-use crate::core::ShaderCore;
+use crate::core::{RunCtx, ShaderCore};
 use crate::observe::{CounterSnapshot, Observer};
 use crate::parallel::{worker_loop, ParallelPool};
 use crate::program::Kernel;
@@ -82,10 +82,88 @@ pub struct RunStats {
     /// True when the forward-progress watchdog killed the run (implies
     /// `completed == false`).
     pub watchdog_fired: bool,
+    /// Per-tenant results, populated by multi-tenant runs
+    /// ([`Gpu::run_tenants`] with two or more jobs) and empty otherwise.
+    /// Deterministic like every other field, but excluded from the
+    /// pinned [`Ckpt`] layout — cached single-tenant records predate it.
+    pub tenants: Vec<TenantStats>,
     /// Wall-clock seconds the run took on the host. The only
     /// nondeterministic field: every other field is bit-identical
     /// across engines, thread counts, and repeat runs.
     pub wall_s: f64,
+}
+
+/// One tenant's slice of a multi-tenant run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TenantStats {
+    /// The tenant's address-space identifier.
+    pub asid: u16,
+    /// Warp instructions this tenant committed.
+    pub instructions: u64,
+    /// Thread blocks this tenant completed.
+    pub blocks_done: u64,
+    /// Cycle the tenant's last block completed (the run's final cycle
+    /// when the tenant never finished).
+    pub finished_at: Cycle,
+    /// Pages the CPU fault handler mapped for this tenant.
+    pub faults: u64,
+}
+
+/// Policy knobs for a multi-tenant run. Deliberately *not* part of
+/// [`GpuConfig`]: that struct's checkpoint layout is pinned, and these
+/// knobs only shape scheduling, never the machine's geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantPolicy {
+    /// `true`: TLB entries, MSHR waiters, and in-flight walks carry the
+    /// owning ASID, so shootdowns and fault squashes are scoped to one
+    /// tenant. `false`: the flush-on-switch fallback — the TLB holds
+    /// only the current tenant's entries and is flushed whole on every
+    /// tenant switch (the comparison baseline).
+    pub tagged: bool,
+    /// Walk-scheduler fairness: translation grants per ASID per
+    /// round-robin round (0 leaves the legacy FIFO, for comparison).
+    pub walker_tokens: u32,
+    /// Walk-scheduler fairness: a queued walk older than this many
+    /// cycles is served unconditionally, oldest first.
+    pub walker_max_age: u64,
+    /// Per-tenant starvation watchdog: kill the run when a tenant with
+    /// remaining work has issued nothing for this many cycles, naming
+    /// the starved tenant (0 = off; the global watchdog still applies).
+    pub watchdog: Cycle,
+}
+
+impl Default for TenantPolicy {
+    fn default() -> Self {
+        Self {
+            tagged: true,
+            walker_tokens: 4,
+            walker_max_age: 50_000,
+            watchdog: 0,
+        }
+    }
+}
+
+impl TenantPolicy {
+    /// The flush-on-switch comparison baseline: untagged TLB, legacy
+    /// FIFO walker.
+    pub fn flush_on_switch() -> Self {
+        Self {
+            tagged: false,
+            walker_tokens: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// One tenant of a multi-tenant run: a kernel bound to the address
+/// space it executes in. The space must have been built with
+/// [`AddressSpace::with_asid`] matching its position in the job slice.
+pub struct TenantJob<'a> {
+    /// The tenant's kernel.
+    pub kernel: &'a dyn Kernel,
+    /// The tenant's address space (owned mutably: demand paging and
+    /// shootdown storms remap pages mid-run).
+    pub space: &'a mut AddressSpace,
 }
 
 impl RunStats {
@@ -119,6 +197,7 @@ impl RunStats {
             shootdowns: 0,
             squashed_walks: 0,
             watchdog_fired: false,
+            tenants: Vec::new(),
             wall_s: 0.0,
         }
     }
@@ -230,7 +309,37 @@ impl RunStats {
         cmp!(shootdowns);
         cmp!(squashed_walks);
         cmp!(watchdog_fired);
+        cmp!(tenants);
         out
+    }
+
+    /// Per-tenant slowdowns against each tenant's solo run of the same
+    /// configuration: `finished_at / solo.cycles` (1.0 = no
+    /// interference). Empty unless this was a multi-tenant run and
+    /// `solos` matches its tenant count.
+    pub fn tenant_slowdowns(&self, solos: &[RunStats]) -> Vec<f64> {
+        if self.tenants.is_empty() || solos.len() != self.tenants.len() {
+            return Vec::new();
+        }
+        self.tenants
+            .iter()
+            .zip(solos)
+            .map(|(t, solo)| t.finished_at as f64 / solo.cycles.max(1) as f64)
+            .collect()
+    }
+
+    /// Unfairness of a multi-tenant run: max over tenants of slowdown
+    /// divided by min (1.0 = perfectly fair interference, per the MASK
+    /// metric). Returns 1.0 when slowdowns are unavailable.
+    pub fn unfairness(&self, solos: &[RunStats]) -> f64 {
+        let s = self.tenant_slowdowns(solos);
+        let max = s.iter().cloned().fold(f64::MIN, f64::max);
+        let min = s.iter().cloned().fold(f64::MAX, f64::min);
+        if s.is_empty() || min <= 0.0 {
+            1.0
+        } else {
+            max / min
+        }
     }
 }
 
@@ -241,15 +350,29 @@ pub const CKPT_MAGIC: [u8; 4] = *b"GMCK";
 /// `DESIGN.md`, "Checkpoint format versioning"). Version 2 added the
 /// walk-start cycle to in-flight walk records, the per-stage walk
 /// columns to interval snapshots, and the observer's metrics channel.
-pub const CKPT_VERSION: u32 = 2;
+/// Version 3 added multi-tenant state: ASID tags throughout the fault
+/// queue, per-tenant shootdown epochs, progress clocks, and finish
+/// times, plus one address-space image per tenant.
+pub const CKPT_VERSION: u32 = 3;
 
 /// The configuration fingerprint stored in a checkpoint header: a
-/// stable hash of the GPU configuration, kernel name, and thread count.
+/// stable hash of the GPU configuration and every tenant's kernel name
+/// and thread count (plus the tenant policy for multi-tenant runs).
 /// [`Gpu::run_event_checkpointed`] refuses to resume a checkpoint whose
 /// fingerprint differs — state can only be loaded into an identically
 /// shaped machine.
-fn ckpt_fingerprint(config: &GpuConfig, kernel: &dyn Kernel) -> u64 {
-    let key = format!("{:?}|{}|{}", config, kernel.name(), kernel.num_threads());
+fn ckpt_fingerprint(
+    config: &GpuConfig,
+    tenants: &[TenantCtx<'_, '_>],
+    policy: &TenantPolicy,
+) -> u64 {
+    let mut key = format!("{config:?}");
+    for t in tenants {
+        key.push_str(&format!("|{}|{}", t.kernel.name(), t.kernel.num_threads()));
+    }
+    if tenants.len() > 1 {
+        key.push_str(&format!("|{policy:?}"));
+    }
     fnv1a64(key.as_bytes())
 }
 
@@ -287,6 +410,30 @@ impl SpaceAccess<'_> {
             SpaceAccess::Owned(s) => Some(s),
         }
     }
+}
+
+/// One tenant as the engines see it: a kernel bound to an address
+/// space, with whatever mutability the caller granted. Single-tenant
+/// runs are a one-element slice of these, which is exactly the legacy
+/// code path.
+struct TenantCtx<'k, 'a> {
+    kernel: &'k dyn Kernel,
+    space: SpaceAccess<'a>,
+}
+
+/// Sentinel for "this tenant has not finished yet" in per-tenant finish
+/// time tracking.
+const UNFINISHED: Cycle = Cycle::MAX;
+
+/// The drive loop's clock state bundled for checkpointing.
+struct DriveClocks<'s> {
+    now: Cycle,
+    last_progress: Cycle,
+    next_storm: u32,
+    last_epoch: &'s [u64],
+    progress_t: &'s [Cycle],
+    finished_at: &'s [Cycle],
+    faults_t: &'s [u64],
 }
 
 /// A configured GPU ready to run kernels.
@@ -366,39 +513,141 @@ impl Gpu {
         self.run_inner(kernel, SpaceAccess::Owned(space), obs)
     }
 
-    /// Shared run preamble: validates the kernel against the space,
-    /// distributes thread blocks round-robin over the cores, and returns
-    /// the per-thread-per-site iteration counters.
-    fn prepare_run(
+    /// Runs several tenants — distinct kernels in distinct address
+    /// spaces — concurrently on this one GPU until every tenant
+    /// finishes. Tenant `t`'s space must carry ASID `t`
+    /// ([`AddressSpace::with_asid`]); translation state (TLB entries,
+    /// MSHR waiters, in-flight walks) is ASID-tagged per `policy`, so
+    /// one tenant's shootdowns and faults never touch another's entries.
+    /// Spaces are owned mutably (the [`Gpu::run_faulted`] contract):
+    /// demand paging and injected cross-tenant shootdown storms remap
+    /// pages mid-run. The result's [`RunStats::tenants`] carries each
+    /// tenant's slice of the run.
+    ///
+    /// Deterministic like every single-tenant run: bit-identical across
+    /// the serial, parallel, and event engines.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Gpu::run`], plus: no jobs, more than 64
+    /// jobs, an ASID mismatch, or a TBC configuration with more than one
+    /// job (thread-block compaction is single-tenant).
+    pub fn run_tenants(
         &mut self,
-        kernel: &dyn Kernel,
-        space: &AddressSpace,
+        jobs: &mut [TenantJob<'_>],
+        policy: TenantPolicy,
         obs: &mut Observer,
-    ) -> Vec<u32> {
-        let threads = kernel.num_threads();
-        assert!(threads > 0, "kernel has no threads");
-        if self.config.granule == gmmu_vm::PageSize::Large2M {
+    ) -> RunStats {
+        let mut tenants: Vec<TenantCtx<'_, '_>> = jobs
+            .iter_mut()
+            .map(|j| TenantCtx {
+                kernel: j.kernel,
+                space: SpaceAccess::Owned(&mut *j.space),
+            })
+            .collect();
+        self.run_prepared(&mut tenants, &policy, obs)
+    }
+
+    /// [`Gpu::run_tenants`] on the event-calendar engine with
+    /// checkpoint/restore, the multi-tenant analogue of
+    /// [`Gpu::run_event_checkpointed`]: every tenant's address space and
+    /// all ASID-tagged translation state travel in the image, and a
+    /// resumed storm finishes bit-identical to an uninterrupted one.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Gpu::run_event_checkpointed`].
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`Gpu::run_tenants`].
+    pub fn run_tenants_checkpointed(
+        &mut self,
+        jobs: &mut [TenantJob<'_>],
+        policy: TenantPolicy,
+        obs: &mut Observer,
+        opts: CheckpointOpts<'_>,
+    ) -> Result<RunStats, CkptError> {
+        let mut tenants: Vec<TenantCtx<'_, '_>> = jobs
+            .iter_mut()
+            .map(|j| TenantCtx {
+                kernel: j.kernel,
+                space: SpaceAccess::Owned(&mut *j.space),
+            })
+            .collect();
+        self.run_ckpt_prepared(&mut tenants, &policy, obs, opts)
+    }
+
+    /// Shared run preamble: validates every kernel against its space,
+    /// distributes thread blocks round-robin over the cores (interleaved
+    /// one block per tenant per round, so co-runners contend from cycle
+    /// 0 — for one tenant this is exactly the legacy distribution), and
+    /// applies the tenant policy. Returns the per-thread-per-site
+    /// iteration counters, each tenant's base offset into them, and each
+    /// tenant's total block count.
+    fn prepare_run_tenants(
+        &mut self,
+        tenants: &[TenantCtx<'_, '_>],
+        policy: &TenantPolicy,
+        obs: &mut Observer,
+    ) -> (Vec<u32>, Vec<usize>, Vec<u64>) {
+        let n_t = tenants.len();
+        assert!(n_t > 0, "a run needs at least one tenant");
+        assert!(n_t <= 64, "at most 64 tenants (the issue mask is a u64)");
+        assert!(
+            n_t == 1 || self.config.tbc.is_none(),
+            "thread-block compaction is single-tenant only"
+        );
+        for (t, ctx) in tenants.iter().enumerate() {
+            assert_eq!(
+                ctx.space.get().asid(),
+                t as u16,
+                "tenant {t}'s space must carry ASID {t} (AddressSpace::with_asid)"
+            );
+            assert!(ctx.kernel.num_threads() > 0, "kernel has no threads");
+            if self.config.granule == gmmu_vm::PageSize::Large2M {
+                assert!(
+                    ctx.space
+                        .get()
+                        .regions()
+                        .iter()
+                        .all(|r| r.page_size == gmmu_vm::PageSize::Large2M),
+                    "a 2MB translation granule requires 2MB-backed regions"
+                );
+            }
+            let bt = ctx.kernel.block_threads();
             assert!(
-                space
-                    .regions()
-                    .iter()
-                    .all(|r| r.page_size == gmmu_vm::PageSize::Large2M),
-                "a 2MB translation granule requires 2MB-backed regions"
+                bt > 0 && bt.is_multiple_of(32),
+                "block size must be a warp multiple"
             );
         }
-        let bt = kernel.block_threads();
-        assert!(
-            bt > 0 && bt.is_multiple_of(32),
-            "block size must be a warp multiple"
-        );
-        let n_blocks = threads.div_ceil(bt);
         let n_cores = self.cores.len();
-        for b in 0..n_blocks {
-            let first = b * bt;
-            let count = (threads - first).min(bt);
-            self.cores[(b as usize) % n_cores].push_block(first, count);
+        let blocks_total: Vec<u64> = tenants
+            .iter()
+            .map(|c| c.kernel.num_threads().div_ceil(c.kernel.block_threads()) as u64)
+            .collect();
+        let max_blocks = blocks_total.iter().copied().max().unwrap_or(0);
+        let mut seq = 0usize;
+        for b in 0..max_blocks {
+            for (t, ctx) in tenants.iter().enumerate() {
+                if b >= blocks_total[t] {
+                    continue;
+                }
+                let bt = ctx.kernel.block_threads();
+                let threads = ctx.kernel.num_threads();
+                let first = b as u32 * bt;
+                let count = (threads - first).min(bt);
+                self.cores[seq % n_cores].push_block_asid(t as u16, first, count);
+                seq += 1;
+            }
         }
-        let num_sites = kernel.program().num_sites().max(1);
+        let mut iters_base = Vec::with_capacity(n_t);
+        let mut total_slots = 0usize;
+        for ctx in tenants {
+            iters_base.push(total_slots);
+            total_slots +=
+                ctx.kernel.num_threads() as usize * ctx.kernel.program().num_sites().max(1);
+        }
         // Arm (or disarm) each core's metric staging buffer: cores
         // record lifecycle events locally and the engines drain them in
         // core-index order each cycle, keeping the aggregation path off
@@ -406,6 +655,10 @@ impl Gpu {
         let metrics_on = obs.metrics.enabled();
         for core in &mut self.cores {
             core.set_metrics_staging(metrics_on);
+            core.set_tagging(policy.tagged);
+            if n_t > 1 && policy.walker_tokens > 0 {
+                core.set_walker_fairness(n_t, policy.walker_tokens, policy.walker_max_age);
+            }
         }
         if let Some(rec) = obs.intervals.as_mut() {
             let lanes: usize = self
@@ -415,7 +668,7 @@ impl Gpu {
                 .sum();
             rec.set_lanes(lanes as u64);
         }
-        vec![0u32; threads as usize * num_sites]
+        (vec![0u32; total_slots], iters_base, blocks_total)
     }
 
     /// Runs `kernel` on the event-calendar engine with deterministic
@@ -444,13 +697,33 @@ impl Gpu {
         kernel: &dyn Kernel,
         space: &mut AddressSpace,
         obs: &mut Observer,
+        opts: CheckpointOpts<'_>,
+    ) -> Result<RunStats, CkptError> {
+        let mut tenants = [TenantCtx {
+            kernel,
+            space: SpaceAccess::Owned(space),
+        }];
+        self.run_ckpt_prepared(&mut tenants, &TenantPolicy::default(), obs, opts)
+    }
+
+    fn run_ckpt_prepared(
+        &mut self,
+        tenants: &mut [TenantCtx<'_, '_>],
+        policy: &TenantPolicy,
+        obs: &mut Observer,
         mut opts: CheckpointOpts<'_>,
     ) -> Result<RunStats, CkptError> {
         let wall_start = std::time::Instant::now();
-        let mut iters = self.prepare_run(kernel, space, obs);
-        let mut access = SpaceAccess::Owned(space);
-        let mut stats =
-            self.drive_event_ckpt(kernel, &mut access, obs, &mut iters, Some(&mut opts))?;
+        let (mut iters, iters_base, blocks_total) = self.prepare_run_tenants(tenants, policy, obs);
+        let mut stats = self.drive_event_ckpt(
+            tenants,
+            policy,
+            obs,
+            &mut iters,
+            &iters_base,
+            &blocks_total,
+            Some(&mut opts),
+        )?;
         stats.wall_s = wall_start.elapsed().as_secs_f64();
         Ok(stats)
     }
@@ -458,11 +731,21 @@ impl Gpu {
     fn run_inner(
         &mut self,
         kernel: &dyn Kernel,
-        mut space: SpaceAccess<'_>,
+        space: SpaceAccess<'_>,
+        obs: &mut Observer,
+    ) -> RunStats {
+        let mut tenants = [TenantCtx { kernel, space }];
+        self.run_prepared(&mut tenants, &TenantPolicy::default(), obs)
+    }
+
+    fn run_prepared<'k>(
+        &mut self,
+        tenants: &mut [TenantCtx<'k, '_>],
+        policy: &TenantPolicy,
         obs: &mut Observer,
     ) -> RunStats {
         let wall_start = std::time::Instant::now();
-        let mut iters = self.prepare_run(kernel, space.get(), obs);
+        let (mut iters, iters_base, blocks_total) = self.prepare_run_tenants(tenants, policy, obs);
 
         // The parallel engine ticks cores concurrently within each
         // cycle behind a lock-step barrier; an ordered memory gate and
@@ -483,14 +766,30 @@ impl Gpu {
                 for _ in 0..n_workers {
                     s.spawn(|| worker_loop(&pool));
                 }
-                let stats = self.drive(kernel, &mut space, obs, &mut iters, Some(&pool));
+                let stats = self.drive(
+                    tenants,
+                    policy,
+                    obs,
+                    &mut iters,
+                    &iters_base,
+                    &blocks_total,
+                    Some(&pool),
+                );
                 pool.shutdown();
                 stats
             })
         } else if self.config.engine == EngineKind::Event && !legacy {
-            self.drive_event(kernel, &mut space, obs, &mut iters)
+            self.drive_event(tenants, policy, obs, &mut iters, &iters_base, &blocks_total)
         } else {
-            self.drive(kernel, &mut space, obs, &mut iters, None)
+            self.drive(
+                tenants,
+                policy,
+                obs,
+                &mut iters,
+                &iters_base,
+                &blocks_total,
+                None,
+            )
         };
         stats.wall_s = wall_start.elapsed().as_secs_f64();
         stats
@@ -498,15 +797,23 @@ impl Gpu {
 
     /// The global cycle loop, shared by every engine: `pool` selects
     /// how the per-cycle core ticks execute; all cross-core phases run
-    /// on the calling thread either way.
+    /// on the calling thread either way. Handles any tenant count — a
+    /// one-element slice is the legacy single-tenant path, bit-for-bit.
+    #[allow(clippy::too_many_arguments)]
     fn drive<'k>(
         &mut self,
-        kernel: &'k dyn Kernel,
-        space: &mut SpaceAccess<'_>,
+        tenants: &mut [TenantCtx<'k, '_>],
+        policy: &TenantPolicy,
         obs: &mut Observer,
         iters: &mut [u32],
+        iters_base: &[usize],
+        blocks_total: &[u64],
         pool: Option<&ParallelPool<'k>>,
     ) -> RunStats {
+        let n_t = tenants.len();
+        let track_tenants = n_t > 1;
+        let kernels: Vec<&'k dyn Kernel> = tenants.iter().map(|t| t.kernel).collect();
+        let owned = tenants.iter_mut().any(|t| t.space.get_mut().is_some());
         // Per-core staging tracers for the parallel engine, merged into
         // the observer's buffer in core-index order after every cycle.
         let mut staging: Vec<Tracer> = match pool {
@@ -530,26 +837,33 @@ impl Gpu {
             .inject
             .filter(|i| i.enabled())
             .map(FaultInjector::new);
-        // Pages in CPU fault service: (page, cycle the mapping lands).
-        let mut fault_q: Vec<(Vpn, Cycle)> = Vec::new();
-        let mut fault_scratch: Vec<Vpn> = Vec::new();
-        let mut resolved_scratch: Vec<Vpn> = Vec::new();
-        let mut last_epoch = space.get().shootdown_epoch();
+        // Pages in CPU fault service: ((tenant, page), landing cycle).
+        let mut fault_q: Vec<((u16, Vpn), Cycle)> = Vec::new();
+        let mut fault_scratch: Vec<(u16, Vpn)> = Vec::new();
+        let mut resolved_scratch: Vec<(u16, Vpn)> = Vec::new();
+        let mut last_epoch: Vec<u64> = tenants
+            .iter()
+            .map(|t| t.space.get().shootdown_epoch())
+            .collect();
         let mut next_storm: u32 = 1;
         let mut last_progress: Cycle = 0;
+        let mut progress_t: Vec<Cycle> = vec![0; n_t];
+        let mut finished_at: Vec<Cycle> = vec![UNFINISHED; n_t];
+        let mut faults_t: Vec<u64> = vec![0; n_t];
         let mut watchdog_fired = false;
         let mut now: Cycle = 0;
         let mut completed = true;
         loop {
             // Injected shootdown storms: remap a deterministically-chosen
-            // region, bumping the epoch the check below observes. Storm
-            // cycles are folded into the skip target, so both engines
-            // land on them exactly.
+            // region of a deterministically-chosen victim tenant, bumping
+            // the epoch the check below observes. Storm cycles are folded
+            // into the skip target, so both engines land on them exactly.
             if let Some(inj) = &injector {
                 while inj.storm_at(next_storm).is_some_and(|c| c <= now) {
                     let k = next_storm;
                     next_storm += 1;
-                    if let Some(sp) = space.get_mut() {
+                    let victim = inj.storm_victim(k, n_t) as usize;
+                    if let Some(sp) = tenants[victim].space.get_mut() {
                         if !sp.regions().is_empty() {
                             let idx = inj.storm_region(k, sp.regions().len());
                             let name = sp.regions()[idx].name.clone();
@@ -560,39 +874,48 @@ impl Gpu {
                     }
                 }
             }
-            // The GPU observes unmap/remap activity through the space's
-            // shootdown epoch: on a bump every core flushes its TLB and
-            // squashes in-flight walks (the squash events wake their
-            // warps for a backed-off retry this very cycle).
-            let epoch = space.get().shootdown_epoch();
-            if epoch != last_epoch {
-                last_epoch = epoch;
-                for core in &mut self.cores {
-                    core.shootdown(now);
+            // The GPU observes unmap/remap activity through each space's
+            // shootdown epoch: on a bump every core flushes that
+            // tenant's TLB entries and squashes its in-flight walks (the
+            // squash events wake their warps for a backed-off retry this
+            // very cycle). Other tenants' state is untouched.
+            for (t, ctx) in tenants.iter().enumerate() {
+                let epoch = ctx.space.get().shootdown_epoch();
+                if epoch != last_epoch[t] {
+                    last_epoch[t] = epoch;
+                    for core in &mut self.cores {
+                        if track_tenants {
+                            core.shootdown_asid(now, t as u16);
+                        } else {
+                            core.shootdown(now);
+                        }
+                    }
                 }
             }
             // CPU fault handler completions due this cycle: map the page
-            // (idempotent), then release every parked warp.
+            // into the faulting tenant's space (idempotent), then
+            // release every parked warp of that tenant.
             if !fault_q.is_empty() {
                 resolved_scratch.clear();
-                fault_q.retain(|&(vpn, at)| {
+                fault_q.retain(|&(key, at)| {
                     if at <= now {
-                        resolved_scratch.push(vpn);
+                        resolved_scratch.push(key);
                         false
                     } else {
                         true
                     }
                 });
-                for &vpn in &resolved_scratch {
-                    let mapped = match space.get_mut() {
+                for &(asid, vpn) in &resolved_scratch {
+                    let mapped = match tenants[asid as usize].space.get_mut() {
                         Some(sp) => sp.map_page(vpn).is_ok(),
                         // A shared space cannot be mapped into — see
                         // `run_faulted`.
                         None => false,
                     };
                     if mapped {
+                        faults_t[asid as usize] += 1;
                         for core in &mut self.cores {
-                            core.resolve_fault(vpn, now);
+                            core.resolve_fault(asid, vpn, now);
                         }
                     } else {
                         // Couldn't map (shared space, region gone, out of
@@ -600,34 +923,38 @@ impl Gpu {
                         // handler later. Releasing them would replay,
                         // refault, and count as issue progress — hiding
                         // the livelock from the watchdog.
-                        fault_q.push((vpn, now + fault_cfg.minor_latency.max(1)));
+                        fault_q.push(((asid, vpn), now + fault_cfg.minor_latency.max(1)));
                     }
                 }
             }
             let (issued, live) = match pool {
                 None => {
+                    let spaces: Vec<&AddressSpace> =
+                        tenants.iter().map(|t| t.space.get()).collect();
+                    let mut ctx = RunCtx {
+                        spaces: &spaces,
+                        kernels: &kernels,
+                        iters: &mut *iters,
+                        iters_base,
+                    };
                     let mut live = false;
-                    let mut issued = false;
+                    let mut issued = 0u64;
                     for core in &mut self.cores {
-                        issued |= core.tick(
-                            now,
-                            &mut self.mem,
-                            space.get(),
-                            kernel,
-                            iters,
-                            &mut obs.tracer,
-                        );
+                        issued |= core.tick_tenants(now, &mut self.mem, &mut ctx, &mut obs.tracer);
                         live |= core.has_work();
                     }
                     (issued, live)
                 }
                 Some(pool) => {
+                    let spaces: Vec<&AddressSpace> =
+                        tenants.iter().map(|t| t.space.get()).collect();
                     let issued = pool.run_cycle(
                         &mut self.cores,
                         &mut self.mem,
-                        space.get(),
-                        kernel,
+                        &spaces,
+                        &kernels,
                         iters,
+                        iters_base,
                         &mut staging,
                         now,
                     );
@@ -653,27 +980,50 @@ impl Gpu {
             }
             // New page faults raised this cycle enter the handler queue
             // once each; minor/major classification is a pure function
-            // of the seed and the page.
+            // of the seed and the ASID-salted page (for ASID 0 the salt
+            // is the identity, preserving single-tenant schedules).
             fault_scratch.clear();
             for core in &mut self.cores {
                 core.drain_faults(&mut fault_scratch);
             }
-            for &vpn in &fault_scratch {
-                if fault_q.iter().any(|&(v, _)| v == vpn) {
+            for &(asid, vpn) in &fault_scratch {
+                if fault_q.iter().any(|&(k, _)| k == (asid, vpn)) {
                     continue;
                 }
-                let latency = if major_fault(self.config.seed, vpn.raw(), fault_cfg.major_fraction)
-                {
+                let salted = gmmu_mem::mshr::tenant_key(asid, vpn.raw());
+                let latency = if major_fault(self.config.seed, salted, fault_cfg.major_fraction) {
                     fault_cfg.major_latency
                 } else {
                     fault_cfg.minor_latency
                 };
-                fault_q.push((vpn, now + latency.max(1)));
+                fault_q.push(((asid, vpn), now + latency.max(1)));
+            }
+            // A tenant finishes on the first visited cycle all its
+            // blocks are reaped; reaps happen inside ticks, so every
+            // engine observes the same finish cycle.
+            if track_tenants {
+                for t in 0..n_t {
+                    if finished_at[t] == UNFINISHED {
+                        let done: u64 = self
+                            .cores
+                            .iter()
+                            .map(|c| {
+                                c.stats()
+                                    .tenant_blocks_done
+                                    .get(t)
+                                    .map_or(0, |ctr| ctr.get())
+                            })
+                            .sum();
+                        if done >= blocks_total[t] {
+                            finished_at[t] = now;
+                        }
+                    }
+                }
             }
             if !live {
                 break;
             }
-            if issued {
+            if issued != 0 {
                 last_progress = now;
             } else if fault_cfg.watchdog > 0 && now - last_progress >= fault_cfg.watchdog {
                 eprintln!(
@@ -681,17 +1031,45 @@ impl Gpu {
                      (last progress at cycle {last_progress}, now {now})",
                     now - last_progress
                 );
-                eprintln!(
-                    "  {} page(s) in CPU fault service: {:?}",
-                    fault_q.len(),
-                    fault_q
-                );
+                Self::fault_q_diagnostics(&fault_q);
+                if track_tenants {
+                    Self::tenant_diagnostics(&progress_t, &finished_at, &faults_t);
+                }
                 for core in &self.cores {
                     eprint!("{}", core.stall_diagnostics(now));
                 }
                 watchdog_fired = true;
                 completed = false;
                 break;
+            }
+            // Per-tenant starvation watchdog: a tenant with remaining
+            // work must issue at least once per window, no matter what
+            // its co-runners do. Fires even on cycles where *other*
+            // tenants made progress — that is the whole point.
+            if policy.watchdog > 0 && track_tenants {
+                for (t, p) in progress_t.iter_mut().enumerate() {
+                    if issued & (1u64 << (t as u32 & 63)) != 0 {
+                        *p = now;
+                    }
+                }
+                if let Some(starved) = (0..n_t).find(|&t| {
+                    finished_at[t] == UNFINISHED && now - progress_t[t] >= policy.watchdog
+                }) {
+                    eprintln!(
+                        "gmmu tenant watchdog: tenant {starved} issued nothing for {} cycles \
+                         (last progress at cycle {}, now {now})",
+                        now - progress_t[starved],
+                        progress_t[starved]
+                    );
+                    Self::fault_q_diagnostics(&fault_q);
+                    Self::tenant_diagnostics(&progress_t, &finished_at, &faults_t);
+                    for core in &self.cores {
+                        eprint!("{}", core.stall_diagnostics(now));
+                    }
+                    watchdog_fired = true;
+                    completed = false;
+                    break;
+                }
             }
             now += 1;
             if let Some(rec) = obs.intervals.as_mut() {
@@ -704,7 +1082,7 @@ impl Gpu {
                 completed = false;
                 break;
             }
-            if legacy || issued {
+            if legacy || issued != 0 {
                 continue;
             }
             let mut target = Cycle::MAX;
@@ -714,14 +1092,14 @@ impl Gpu {
                 }
             }
             // Fault-handler completions, the storm schedule, and the
-            // watchdog deadline are global timers the cores know nothing
+            // watchdog deadlines are global timers the cores know nothing
             // about; folding them in keeps both engines on identical
             // cycles.
             for &(_, at) in &fault_q {
                 target = target.min(at);
             }
             if let Some(inj) = &injector {
-                if space.get_mut().is_some() {
+                if owned {
                     if let Some(c) = inj.storm_at(next_storm) {
                         target = target.min(c.max(now));
                     }
@@ -729,6 +1107,13 @@ impl Gpu {
             }
             if fault_cfg.watchdog > 0 {
                 target = target.min(last_progress + fault_cfg.watchdog);
+            }
+            if policy.watchdog > 0 && track_tenants {
+                for t in 0..n_t {
+                    if finished_at[t] == UNFINISHED {
+                        target = target.min(progress_t[t] + policy.watchdog);
+                    }
+                }
             }
             if target == Cycle::MAX || target <= now {
                 continue;
@@ -760,7 +1145,64 @@ impl Gpu {
         }
         let mut stats = self.collect(now, completed);
         stats.watchdog_fired = watchdog_fired;
+        if track_tenants {
+            stats.tenants = self.tenant_stats(&finished_at, &faults_t, now);
+        }
         stats
+    }
+
+    /// Watchdog helper: the pages currently in CPU fault service.
+    fn fault_q_diagnostics(fault_q: &[((u16, Vpn), Cycle)]) {
+        eprintln!(
+            "  {} page(s) in CPU fault service: {:?}",
+            fault_q.len(),
+            fault_q
+        );
+    }
+
+    /// Watchdog helper: each tenant's progress clock, completion state,
+    /// and mapped-fault count — the first place to look when a
+    /// multi-tenant run stalls.
+    fn tenant_diagnostics(progress_t: &[Cycle], finished_at: &[Cycle], faults_t: &[u64]) {
+        for (t, &p) in progress_t.iter().enumerate() {
+            eprintln!(
+                "  tenant {t}: last issue at cycle {p}, finished={}, faults_mapped={}",
+                finished_at[t] != UNFINISHED,
+                faults_t[t]
+            );
+        }
+    }
+
+    /// Assembles [`RunStats::tenants`] from the per-core tenant counters
+    /// plus the drive loop's finish/fault tracking.
+    fn tenant_stats(
+        &self,
+        finished_at: &[Cycle],
+        faults_t: &[u64],
+        end: Cycle,
+    ) -> Vec<TenantStats> {
+        (0..finished_at.len())
+            .map(|t| {
+                let mut instructions = 0;
+                let mut blocks_done = 0;
+                for core in &self.cores {
+                    let st = core.stats();
+                    instructions += st.tenant_instructions.get(t).map_or(0, |c| c.get());
+                    blocks_done += st.tenant_blocks_done.get(t).map_or(0, |c| c.get());
+                }
+                TenantStats {
+                    asid: t as u16,
+                    instructions,
+                    blocks_done,
+                    finished_at: if finished_at[t] == UNFINISHED {
+                        end
+                    } else {
+                        finished_at[t]
+                    },
+                    faults: faults_t[t],
+                }
+            })
+            .collect()
     }
 
     /// The event-calendar engine: every timer source — each core, the
@@ -791,12 +1233,14 @@ impl Gpu {
     ///    (phases in the same order, cores in index order).
     fn drive_event(
         &mut self,
-        kernel: &dyn Kernel,
-        space: &mut SpaceAccess<'_>,
+        tenants: &mut [TenantCtx<'_, '_>],
+        policy: &TenantPolicy,
         obs: &mut Observer,
         iters: &mut [u32],
+        iters_base: &[usize],
+        blocks_total: &[u64],
     ) -> RunStats {
-        self.drive_event_ckpt(kernel, space, obs, iters, None)
+        self.drive_event_ckpt(tenants, policy, obs, iters, iters_base, blocks_total, None)
             .expect("an event run without a resume image cannot fail")
     }
 
@@ -805,15 +1249,22 @@ impl Gpu {
     /// phase of that cycle runs, so a resumed run re-enters the loop in
     /// exactly the captured state and replays the remainder
     /// bit-identically.
+    #[allow(clippy::too_many_arguments)]
     fn drive_event_ckpt(
         &mut self,
-        kernel: &dyn Kernel,
-        space: &mut SpaceAccess<'_>,
+        tenants: &mut [TenantCtx<'_, '_>],
+        policy: &TenantPolicy,
         obs: &mut Observer,
         iters: &mut [u32],
+        iters_base: &[usize],
+        blocks_total: &[u64],
         mut ckpt: Option<&mut CheckpointOpts<'_>>,
     ) -> Result<RunStats, CkptError> {
         let n = self.cores.len();
+        let n_t = tenants.len();
+        let track_tenants = n_t > 1;
+        let kernels: Vec<&dyn Kernel> = tenants.iter().map(|t| t.kernel).collect();
+        let owned = tenants.iter_mut().any(|t| t.space.get_mut().is_some());
         let key_fault = n as u32;
         let key_storm = key_fault + 1;
         let key_watchdog = key_storm + 1;
@@ -826,16 +1277,22 @@ impl Gpu {
             .map(FaultInjector::new);
         let mut cal = Calendar::new(n + 4);
         let mut due: Vec<u32> = Vec::with_capacity(n + 4);
-        let mut fault_q: Vec<(Vpn, Cycle)> = Vec::new();
-        let mut fault_scratch: Vec<Vpn> = Vec::new();
-        let mut resolved_scratch: Vec<Vpn> = Vec::new();
+        let mut fault_q: Vec<((u16, Vpn), Cycle)> = Vec::new();
+        let mut fault_scratch: Vec<(u16, Vpn)> = Vec::new();
+        let mut resolved_scratch: Vec<(u16, Vpn)> = Vec::new();
         // Per core: the last cycle whose live/idle accounting has been
         // recorded (by a tick or a flushed idle span).
         let mut accounted: Vec<Cycle> = vec![0; n];
         let mut live_mask: Vec<bool> = self.cores.iter().map(|c| c.has_work()).collect();
-        let mut last_epoch = space.get().shootdown_epoch();
+        let mut last_epoch: Vec<u64> = tenants
+            .iter()
+            .map(|t| t.space.get().shootdown_epoch())
+            .collect();
         let mut next_storm: u32 = 1;
         let mut last_progress: Cycle = 0;
+        let mut progress_t: Vec<Cycle> = vec![0; n_t];
+        let mut finished_at: Vec<Cycle> = vec![UNFINISHED; n_t];
+        let mut faults_t: Vec<u64> = vec![0; n_t];
         let mut watchdog_fired = false;
         let mut now: Cycle = 0;
         let mut completed = true;
@@ -845,8 +1302,19 @@ impl Gpu {
         if fault_cfg.watchdog > 0 {
             cal.schedule(key_watchdog, fault_cfg.watchdog);
         }
+        if policy.watchdog > 0 && track_tenants {
+            // The tenant deadline shares the watchdog key; at start every
+            // progress clock is 0, so the first deadline is the smaller
+            // of the two windows.
+            let dl = if fault_cfg.watchdog > 0 {
+                fault_cfg.watchdog.min(policy.watchdog)
+            } else {
+                policy.watchdog
+            };
+            cal.schedule(key_watchdog, dl);
+        }
         if let Some(inj) = &injector {
-            if space.get_mut().is_some() {
+            if owned {
                 if let Some(c) = inj.storm_at(next_storm) {
                     cal.schedule(key_storm, c);
                 }
@@ -860,14 +1328,25 @@ impl Gpu {
             if let Some(bytes) = opts.resume {
                 let mut r = Loader::new(bytes);
                 let found = r.header(&CKPT_MAGIC, CKPT_VERSION)?;
-                let expected = ckpt_fingerprint(&self.config, kernel);
+                let expected = ckpt_fingerprint(&self.config, tenants, policy);
                 if found != expected {
                     return Err(CkptError::ConfigMismatch { expected, found });
                 }
                 now = r.u64()?;
                 last_progress = r.u64()?;
                 next_storm = r.u32()?;
-                last_epoch = r.u64()?;
+                for e in last_epoch.iter_mut() {
+                    *e = r.u64()?;
+                }
+                for p in progress_t.iter_mut() {
+                    *p = r.u64()?;
+                }
+                for f in finished_at.iter_mut() {
+                    *f = r.u64()?;
+                }
+                for f in faults_t.iter_mut() {
+                    *f = r.u64()?;
+                }
                 fault_q.load(&mut r)?;
                 for a in accounted.iter_mut() {
                     *a = r.u64()?;
@@ -876,10 +1355,14 @@ impl Gpu {
                 for it in iters.iter_mut() {
                     *it = r.u32()?;
                 }
-                match space {
-                    SpaceAccess::Owned(sp) => sp.load(&mut r)?,
-                    SpaceAccess::Shared(_) => {
-                        return Err(CkptError::Corrupt("resume requires an owned address space"))
+                for ctx in tenants.iter_mut() {
+                    match ctx.space.get_mut() {
+                        Some(sp) => sp.load(&mut r)?,
+                        None => {
+                            return Err(CkptError::Corrupt(
+                                "resume requires an owned address space",
+                            ))
+                        }
                     }
                 }
                 self.mem.load(&mut r)?;
@@ -906,15 +1389,17 @@ impl Gpu {
             // here with identical state.
             if let Some(opts) = ckpt.as_mut() {
                 if opts.every > 0 && now > 0 && now >= next_emit {
+                    let clocks = DriveClocks {
+                        now,
+                        last_progress,
+                        next_storm,
+                        last_epoch: &last_epoch,
+                        progress_t: &progress_t,
+                        finished_at: &finished_at,
+                        faults_t: &faults_t,
+                    };
                     let image = self.save_checkpoint(
-                        kernel,
-                        space,
-                        obs,
-                        iters,
-                        (now, last_progress, next_storm, last_epoch),
-                        &fault_q,
-                        &accounted,
-                        &cal,
+                        tenants, policy, obs, iters, &clocks, &fault_q, &accounted, &cal,
                     );
                     (opts.sink)(&image);
                     next_emit = now + opts.every;
@@ -938,7 +1423,8 @@ impl Gpu {
                 while inj.storm_at(next_storm).is_some_and(|c| c <= now) {
                     let k = next_storm;
                     next_storm += 1;
-                    if let Some(sp) = space.get_mut() {
+                    let victim = inj.storm_victim(k, n_t) as usize;
+                    if let Some(sp) = tenants[victim].space.get_mut() {
                         if !sp.regions().is_empty() {
                             let idx = inj.storm_region(k, sp.regions().len());
                             let name = sp.regions()[idx].name.clone();
@@ -946,75 +1432,84 @@ impl Gpu {
                         }
                     }
                 }
-                if space.get_mut().is_some() {
+                if owned {
                     match inj.storm_at(next_storm) {
                         Some(c) => cal.schedule(key_storm, c),
                         None => cal.cancel(key_storm),
                     }
                 }
             }
-            let epoch = space.get().shootdown_epoch();
-            if epoch != last_epoch {
-                last_epoch = epoch;
-                for (i, core) in self.cores.iter_mut().enumerate() {
-                    core.shootdown(now);
-                    cal.schedule(i as u32, now);
+            for (t, ctx) in tenants.iter().enumerate() {
+                let epoch = ctx.space.get().shootdown_epoch();
+                if epoch != last_epoch[t] {
+                    last_epoch[t] = epoch;
+                    for (i, core) in self.cores.iter_mut().enumerate() {
+                        if track_tenants {
+                            core.shootdown_asid(now, t as u16);
+                        } else {
+                            core.shootdown(now);
+                        }
+                        cal.schedule(i as u32, now);
+                    }
                 }
             }
             if !fault_q.is_empty() {
                 resolved_scratch.clear();
-                fault_q.retain(|&(vpn, at)| {
+                fault_q.retain(|&(key, at)| {
                     if at <= now {
-                        resolved_scratch.push(vpn);
+                        resolved_scratch.push(key);
                         false
                     } else {
                         true
                     }
                 });
-                for &vpn in &resolved_scratch {
-                    let mapped = match space.get_mut() {
+                for &(asid, vpn) in &resolved_scratch {
+                    let mapped = match tenants[asid as usize].space.get_mut() {
                         Some(sp) => sp.map_page(vpn).is_ok(),
                         None => false,
                     };
                     if mapped {
+                        faults_t[asid as usize] += 1;
                         for (i, core) in self.cores.iter_mut().enumerate() {
-                            core.resolve_fault(vpn, now);
+                            core.resolve_fault(asid, vpn, now);
                             cal.schedule(i as u32, now);
                         }
                     } else {
-                        fault_q.push((vpn, now + fault_cfg.minor_latency.max(1)));
+                        fault_q.push(((asid, vpn), now + fault_cfg.minor_latency.max(1)));
                     }
                 }
             }
             cal.take_due(now, &mut due);
-            let mut issued = false;
+            let mut issued = 0u64;
             fault_scratch.clear();
-            for &key in &due {
-                if key >= n as u32 {
-                    continue; // global timers: their phases already ran
-                }
-                let i = key as usize;
-                let core = &mut self.cores[i];
-                let fired = core.tick(
-                    now,
-                    &mut self.mem,
-                    space.get(),
-                    kernel,
-                    iters,
-                    &mut obs.tracer,
-                );
-                issued |= fired;
-                accounted[i] = now;
-                live_mask[i] = core.has_work();
-                core.drain_faults(&mut fault_scratch);
-                if fired {
-                    // After an issue the very next cycle may issue
-                    // again (round-robin arbitration carries no timer).
-                    cal.schedule(key, now + 1);
-                } else {
-                    match core.next_event_at(now) {
-                        Some(c) => cal.schedule(key, c),
-                        None => cal.cancel(key),
+            {
+                let spaces: Vec<&AddressSpace> = tenants.iter().map(|t| t.space.get()).collect();
+                let mut ctx = RunCtx {
+                    spaces: &spaces,
+                    kernels: &kernels,
+                    iters: &mut *iters,
+                    iters_base,
+                };
+                for &key in &due {
+                    if key >= n as u32 {
+                        continue; // global timers: their phases already ran
+                    }
+                    let i = key as usize;
+                    let core = &mut self.cores[i];
+                    let fired = core.tick_tenants(now, &mut self.mem, &mut ctx, &mut obs.tracer);
+                    issued |= fired;
+                    accounted[i] = now;
+                    live_mask[i] = core.has_work();
+                    core.drain_faults(&mut fault_scratch);
+                    if fired != 0 {
+                        // After an issue the very next cycle may issue
+                        // again (round-robin arbitration carries no timer).
+                        cal.schedule(key, now + 1);
+                    } else {
+                        match core.next_event_at(now) {
+                            Some(c) => cal.schedule(key, c),
+                            None => cal.cancel(key),
+                        }
                     }
                 }
             }
@@ -1025,26 +1520,49 @@ impl Gpu {
                     core.drain_metrics(&mut obs.metrics);
                 }
             }
-            for &vpn in &fault_scratch {
-                if fault_q.iter().any(|&(v, _)| v == vpn) {
+            for &(asid, vpn) in &fault_scratch {
+                if fault_q.iter().any(|&(k, _)| k == (asid, vpn)) {
                     continue;
                 }
-                let latency = if major_fault(self.config.seed, vpn.raw(), fault_cfg.major_fraction)
-                {
+                let salted = gmmu_mem::mshr::tenant_key(asid, vpn.raw());
+                let latency = if major_fault(self.config.seed, salted, fault_cfg.major_fraction) {
                     fault_cfg.major_latency
                 } else {
                     fault_cfg.minor_latency
                 };
-                fault_q.push((vpn, now + latency.max(1)));
+                fault_q.push(((asid, vpn), now + latency.max(1)));
             }
             match fault_q.iter().map(|&(_, at)| at).min() {
                 Some(at) => cal.schedule(key_fault, at),
                 None => cal.cancel(key_fault),
             }
+            // Same finish tracking as the serial loop: blocks reap only
+            // inside ticks, and a core that reaped was due, so the first
+            // cycle the count is complete is a visited cycle on every
+            // engine.
+            if track_tenants {
+                for t in 0..n_t {
+                    if finished_at[t] == UNFINISHED {
+                        let done: u64 = self
+                            .cores
+                            .iter()
+                            .map(|c| {
+                                c.stats()
+                                    .tenant_blocks_done
+                                    .get(t)
+                                    .map_or(0, |ctr| ctr.get())
+                            })
+                            .sum();
+                        if done >= blocks_total[t] {
+                            finished_at[t] = now;
+                        }
+                    }
+                }
+            }
             if !live_mask.iter().any(|&l| l) {
                 break;
             }
-            if issued {
+            if issued != 0 {
                 last_progress = now;
                 if fault_cfg.watchdog > 0 {
                     cal.schedule(key_watchdog, now + fault_cfg.watchdog);
@@ -1055,11 +1573,10 @@ impl Gpu {
                      (last progress at cycle {last_progress}, now {now})",
                     now - last_progress
                 );
-                eprintln!(
-                    "  {} page(s) in CPU fault service: {:?}",
-                    fault_q.len(),
-                    fault_q
-                );
+                Self::fault_q_diagnostics(&fault_q);
+                if track_tenants {
+                    Self::tenant_diagnostics(&progress_t, &finished_at, &faults_t);
+                }
                 for core in &self.cores {
                     eprint!("{}", core.stall_diagnostics(now));
                 }
@@ -1074,6 +1591,53 @@ impl Gpu {
                     }
                 }
                 break;
+            }
+            // Per-tenant starvation watchdog, mirroring the serial loop;
+            // the shared watchdog key is rescheduled to the earliest of
+            // the global and per-tenant deadlines so the kill cycle is
+            // always visited.
+            if policy.watchdog > 0 && track_tenants {
+                for (t, p) in progress_t.iter_mut().enumerate() {
+                    if issued & (1u64 << (t as u32 & 63)) != 0 {
+                        *p = now;
+                    }
+                }
+                if let Some(starved) = (0..n_t).find(|&t| {
+                    finished_at[t] == UNFINISHED && now - progress_t[t] >= policy.watchdog
+                }) {
+                    eprintln!(
+                        "gmmu tenant watchdog: tenant {starved} issued nothing for {} cycles \
+                         (last progress at cycle {}, now {now})",
+                        now - progress_t[starved],
+                        progress_t[starved]
+                    );
+                    Self::fault_q_diagnostics(&fault_q);
+                    Self::tenant_diagnostics(&progress_t, &finished_at, &faults_t);
+                    for core in &self.cores {
+                        eprint!("{}", core.stall_diagnostics(now));
+                    }
+                    watchdog_fired = true;
+                    completed = false;
+                    for (core, acc) in self.cores.iter_mut().zip(accounted.iter_mut()) {
+                        if *acc < now {
+                            core.note_idle_skip(*acc + 1, now - *acc);
+                            *acc = now;
+                        }
+                    }
+                    break;
+                }
+                let mut dl = Cycle::MAX;
+                if fault_cfg.watchdog > 0 {
+                    dl = dl.min(last_progress + fault_cfg.watchdog);
+                }
+                for t in 0..n_t {
+                    if finished_at[t] == UNFINISHED {
+                        dl = dl.min(progress_t[t] + policy.watchdog);
+                    }
+                }
+                if dl != Cycle::MAX {
+                    cal.schedule(key_watchdog, dl);
+                }
             }
             let next = cal
                 .peek_cycle()
@@ -1104,39 +1668,54 @@ impl Gpu {
         }
         let mut stats = self.collect(now, completed);
         stats.watchdog_fired = watchdog_fired;
+        if track_tenants {
+            stats.tenants = self.tenant_stats(&finished_at, &faults_t, now);
+        }
         Ok(stats)
     }
 
     /// Serializes the full simulation state at the top of cycle
-    /// `clocks.0`. Layout (after the header) is fixed by
-    /// [`CKPT_VERSION`]: engine clocks, fault queue, per-core idle
-    /// accounting, calendar, iteration counters, address space, memory
-    /// system, cores, then observer buffers. Geometry-length sequences
-    /// (accounted, iters, cores) are written per element without a
-    /// length — the machine shape is pinned by the fingerprint.
+    /// `clocks.now`. Layout (after the header) is fixed by
+    /// [`CKPT_VERSION`]: engine clocks (including the per-tenant epoch,
+    /// progress, finish, and fault arrays), fault queue, per-core idle
+    /// accounting, calendar, iteration counters, every tenant's address
+    /// space in ASID order, memory system, cores, then observer buffers.
+    /// Geometry-length sequences (per-tenant arrays, accounted, iters,
+    /// cores) are written per element without a length — the machine
+    /// shape is pinned by the fingerprint.
     #[allow(clippy::too_many_arguments)]
     fn save_checkpoint(
         &self,
-        kernel: &dyn Kernel,
-        space: &SpaceAccess<'_>,
+        tenants: &[TenantCtx<'_, '_>],
+        policy: &TenantPolicy,
         obs: &Observer,
         iters: &[u32],
-        clocks: (Cycle, Cycle, u32, u64),
-        fault_q: &[(Vpn, Cycle)],
+        clocks: &DriveClocks<'_>,
+        fault_q: &[((u16, Vpn), Cycle)],
         accounted: &[Cycle],
         cal: &Calendar,
     ) -> Vec<u8> {
-        let (now, last_progress, next_storm, last_epoch) = clocks;
         let mut w = Saver::new();
         w.header(
             &CKPT_MAGIC,
             CKPT_VERSION,
-            ckpt_fingerprint(&self.config, kernel),
+            ckpt_fingerprint(&self.config, tenants, policy),
         );
-        w.u64(now);
-        w.u64(last_progress);
-        w.u32(next_storm);
-        w.u64(last_epoch);
+        w.u64(clocks.now);
+        w.u64(clocks.last_progress);
+        w.u32(clocks.next_storm);
+        for &e in clocks.last_epoch {
+            w.u64(e);
+        }
+        for &p in clocks.progress_t {
+            w.u64(p);
+        }
+        for &f in clocks.finished_at {
+            w.u64(f);
+        }
+        for &f in clocks.faults_t {
+            w.u64(f);
+        }
         // Same wire shape as `Vec::save` (the resume path loads with it).
         w.usize(fault_q.len());
         for entry in fault_q {
@@ -1149,7 +1728,9 @@ impl Gpu {
         for &it in iters {
             w.u32(it);
         }
-        space.get().save(&mut w);
+        for ctx in tenants {
+            ctx.space.get().save(&mut w);
+        }
         self.mem.save(&mut w);
         for core in &self.cores {
             core.save(&mut w);

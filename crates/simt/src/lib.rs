@@ -47,7 +47,7 @@ pub mod stall;
 pub mod tbc;
 
 pub use config::{CoreTimings, EngineKind, FaultConfig, GpuConfig};
-pub use gpu::{Gpu, RunStats};
+pub use gpu::{Gpu, RunStats, TenantJob, TenantPolicy, TenantStats};
 pub use observe::{IntervalRecorder, IntervalSample, Observer};
 pub use program::{Kernel, MemKind, Op, Program};
 pub use stack::SimtStack;

@@ -29,21 +29,22 @@
 //!
 //! 3. **Ordered result merge.** Everything a tick emits ends up in
 //!    per-core staging (trace events in per-core [`Tracer`]s, the
-//!    issued flag in a per-core slot). After the cycle barrier the main
-//!    thread folds the staging in core-index order, reproducing the
-//!    serial emission order byte for byte. All cross-core phases —
-//!    storms, shootdowns, fault service, watchdog, idle-skip targets,
-//!    interval samples, final collection — run on the main thread
-//!    between barriers, untouched.
+//!    per-tenant issue mask in a per-core slot). After the cycle
+//!    barrier the main thread folds the staging in core-index order,
+//!    reproducing the serial emission order byte for byte. All
+//!    cross-core phases — storms, shootdowns, fault service, watchdog,
+//!    idle-skip targets, interval samples, final collection — run on
+//!    the main thread between barriers, untouched.
 //!
 //! Per-core state is only ever accessed by the thread that claimed the
 //! core (raw-pointer indexing into the cores slice with disjoint
-//! indices), the kernel is shared as `&dyn Kernel` (hence `Kernel:
-//! Sync`), the address space is read-only during ticks, and the
+//! indices), kernels are shared as `&dyn Kernel` (hence `Kernel:
+//! Sync`), the address spaces are read-only during ticks, and the
 //! per-thread iteration counters are disjoint per core because a block
-//! is dispatched to exactly one core and never migrates.
+//! is dispatched to exactly one core and never migrates (tenants'
+//! counter ranges are disjoint by construction on top of that).
 
-use crate::core::ShaderCore;
+use crate::core::{RunCtx, ShaderCore};
 use crate::program::Kernel;
 use gmmu_mem::{AccessKind, MemPort, MemResult, MemorySystem};
 use gmmu_sim::trace::Tracer;
@@ -67,16 +68,20 @@ fn backoff(spins: &mut u32) {
 
 /// One cycle's shared inputs, republished by the main thread before
 /// each generation bump. Raw pointers because the underlying borrows
-/// (`&mut self.cores`, `&mut self.mem`, ...) only live for the
-/// `run_cycle` call; the protocol guarantees workers dereference them
-/// only inside that window.
+/// (`&mut self.cores`, `&mut self.mem`, the per-cycle space refs, ...)
+/// only live for the `run_cycle` call; the protocol guarantees workers
+/// dereference them only inside that window.
 struct CycleWork<'k> {
     cores: *mut ShaderCore,
     mem: *mut MemorySystem,
-    space: *const AddressSpace,
-    kernel: Option<&'k dyn Kernel>,
+    /// `&[&AddressSpace]` with the reference layer erased (reference
+    /// and pointer layouts are identical); rebuilt in `tick_core`.
+    spaces: *const *const AddressSpace,
+    kernels: *const &'k dyn Kernel,
+    n_tenants: usize,
     iters: *mut u32,
     iters_len: usize,
+    iters_base: *const usize,
     tracers: *mut Tracer,
     now: Cycle,
 }
@@ -86,10 +91,12 @@ impl CycleWork<'_> {
         Self {
             cores: std::ptr::null_mut(),
             mem: std::ptr::null_mut(),
-            space: std::ptr::null(),
-            kernel: None,
+            spaces: std::ptr::null(),
+            kernels: std::ptr::null(),
+            n_tenants: 0,
             iters: std::ptr::null_mut(),
             iters_len: 0,
+            iters_base: std::ptr::null(),
             tracers: std::ptr::null_mut(),
             now: 0,
         }
@@ -105,8 +112,9 @@ pub(crate) struct ParallelPool<'k> {
     /// Per-core completion flags for the current generation; also the
     /// ordering gate [`GatedMem`] waits on.
     done: Vec<AtomicBool>,
-    /// Per-core "this tick issued an instruction" results.
-    issued: Vec<AtomicBool>,
+    /// Per-core "ASIDs that issued this tick" bitmasks (bit `t` = tenant
+    /// `t` issued; single-tenant runs use bit 0).
+    issued: Vec<AtomicU64>,
     /// Tells workers the run is over.
     quit: AtomicBool,
     work: UnsafeCell<CycleWork<'k>>,
@@ -126,7 +134,7 @@ impl<'k> ParallelPool<'k> {
         Self {
             ticket: AtomicU64::new(n_cores as u64),
             done: (0..n_cores).map(|_| AtomicBool::new(false)).collect(),
-            issued: (0..n_cores).map(|_| AtomicBool::new(false)).collect(),
+            issued: (0..n_cores).map(|_| AtomicU64::new(0)).collect(),
             quit: AtomicBool::new(false),
             work: UnsafeCell::new(CycleWork::empty()),
             n_cores,
@@ -139,22 +147,26 @@ impl<'k> ParallelPool<'k> {
     }
 
     /// Executes one cycle's core ticks across the pool (the calling
-    /// thread participates). Returns whether any core issued. On return
-    /// every tick has completed, `tracers[i]` holds core `i`'s spans
-    /// for this cycle, and the borrows passed in are quiescent again.
-    #[allow(clippy::too_many_arguments)] // mirrors ShaderCore::tick + the cores slice
+    /// thread participates). Returns the OR of every core's per-tenant
+    /// issue mask. On return every tick has completed, `tracers[i]`
+    /// holds core `i`'s spans for this cycle, and the borrows passed in
+    /// are quiescent again.
+    #[allow(clippy::too_many_arguments)] // mirrors ShaderCore::tick_tenants + the cores slice
     pub(crate) fn run_cycle(
         &self,
         cores: &mut [ShaderCore],
         mem: &mut MemorySystem,
-        space: &AddressSpace,
-        kernel: &'k dyn Kernel,
+        spaces: &[&AddressSpace],
+        kernels: &[&'k dyn Kernel],
         iters: &mut [u32],
+        iters_base: &[usize],
         tracers: &mut [Tracer],
         now: Cycle,
-    ) -> bool {
+    ) -> u64 {
         debug_assert_eq!(cores.len(), self.n_cores);
         debug_assert_eq!(tracers.len(), self.n_cores);
+        debug_assert_eq!(spaces.len(), kernels.len());
+        debug_assert_eq!(spaces.len(), iters_base.len());
         for d in &self.done {
             d.store(false, Ordering::Relaxed);
         }
@@ -164,10 +176,12 @@ impl<'k> ParallelPool<'k> {
             *self.work.get() = CycleWork {
                 cores: cores.as_mut_ptr(),
                 mem,
-                space,
-                kernel: Some(kernel),
+                spaces: spaces.as_ptr().cast::<*const AddressSpace>(),
+                kernels: kernels.as_ptr(),
+                n_tenants: kernels.len(),
                 iters: iters.as_mut_ptr(),
                 iters_len: iters.len(),
+                iters_base: iters_base.as_ptr(),
                 tracers: tracers.as_mut_ptr(),
                 now,
             };
@@ -183,7 +197,9 @@ impl<'k> ParallelPool<'k> {
                 backoff(&mut spins);
             }
         }
-        self.issued.iter().any(|i| i.load(Ordering::Relaxed))
+        self.issued
+            .iter()
+            .fold(0u64, |m, i| m | i.load(Ordering::Relaxed))
     }
 
     /// Claims and ticks cores until the current generation is
@@ -217,21 +233,30 @@ impl<'k> ParallelPool<'k> {
     /// core `idx`, `tracers[idx]`, or this core's iteration counters.
     unsafe fn tick_core(&self, idx: usize) {
         let w = &*self.work.get();
+        debug_assert!(!w.kernels.is_null(), "ticket claimed before work published");
         let core = &mut *w.cores.add(idx);
         let tracer = &mut *w.tracers.add(idx);
         // Cores write disjoint counter slots (a block lives on exactly
         // one core), so handing each claim a full view of the slice is
         // race-free.
         let iters = std::slice::from_raw_parts_mut(w.iters, w.iters_len);
-        let kernel = w.kernel.expect("ticket claimed before work published");
-        let space = &*w.space;
+        let spaces: &[&AddressSpace] =
+            std::slice::from_raw_parts(w.spaces.cast::<&AddressSpace>(), w.n_tenants);
+        let kernels: &[&dyn Kernel] = std::slice::from_raw_parts(w.kernels, w.n_tenants);
+        let iters_base = std::slice::from_raw_parts(w.iters_base, w.n_tenants);
+        let mut ctx = RunCtx {
+            spaces,
+            kernels,
+            iters,
+            iters_base,
+        };
         let mut gate = GatedMem {
             mem: w.mem,
             done: &self.done,
             core_index: idx,
             cleared: idx == 0,
         };
-        let issued = core.tick(w.now, &mut gate, space, kernel, iters, tracer);
+        let issued = core.tick_tenants(w.now, &mut gate, &mut ctx, tracer);
         self.issued[idx].store(issued, Ordering::Relaxed);
         self.done[idx].store(true, Ordering::Release);
     }

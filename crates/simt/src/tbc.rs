@@ -829,7 +829,7 @@ impl TbcState {
                     path.stats.replays.inc();
                 }
                 let mut pending = self.units[u as usize].pending.take().expect("just set");
-                match path.issue_mem(now, u, &mut pending, mem, space) {
+                match path.issue_mem(now, u, 0, &mut pending, mem, space) {
                     MemIssue::Done(ready) => {
                         let unit = &mut self.units[u as usize];
                         unit.ready_at = ready;

@@ -44,7 +44,7 @@ pub const TRACE_VERSION: u32 = 1;
 /// Warp width, which fixes the lane-mask geometry of trace records.
 pub const WARP_LANES: u32 = 32;
 
-const TAG_END: u8 = 0;
+pub(crate) const TAG_END: u8 = 0;
 const TAG_MEM: u8 = 1;
 const TAG_BRANCH: u8 = 2;
 const TAG_SYNC: u8 = 3;
@@ -145,7 +145,7 @@ pub struct Trace {
     pub stats: RunStats,
 }
 
-fn save_launch(launch: &TraceLaunch, w: &mut Saver) {
+pub(crate) fn save_launch(launch: &TraceLaunch, w: &mut Saver) {
     w.str(&launch.kernel_name);
     w.u32(launch.num_threads);
     w.u32(launch.block_threads);
@@ -164,7 +164,7 @@ fn save_launch(launch: &TraceLaunch, w: &mut Saver) {
     w.str(&launch.source);
 }
 
-fn load_launch(r: &mut Loader<'_>) -> Result<TraceLaunch, CkptError> {
+pub(crate) fn load_launch(r: &mut Loader<'_>) -> Result<TraceLaunch, CkptError> {
     let kernel_name = r.str()?.to_owned();
     let num_threads = r.u32()?;
     let block_threads = r.u32()?;
@@ -197,7 +197,7 @@ fn load_launch(r: &mut Loader<'_>) -> Result<TraceLaunch, CkptError> {
     })
 }
 
-fn save_record(rec: &TraceRecord, w: &mut Saver) {
+pub(crate) fn save_record(rec: &TraceRecord, w: &mut Saver) {
     match rec {
         TraceRecord::Mem {
             site,
@@ -244,7 +244,7 @@ fn save_record(rec: &TraceRecord, w: &mut Saver) {
     }
 }
 
-fn load_record(tag: u8, r: &mut Loader<'_>) -> Result<TraceRecord, CkptError> {
+pub(crate) fn load_record(tag: u8, r: &mut Loader<'_>) -> Result<TraceRecord, CkptError> {
     match tag {
         TAG_MEM => {
             let site = r.u16()?;

@@ -69,7 +69,18 @@ pub fn snapshot_space(space: &AddressSpace) -> SpaceSnapshot {
 /// either means the launch section does not describe a space this
 /// library could have produced.
 pub fn rebuild_space(launch: &TraceLaunch) -> Result<AddressSpace, CkptError> {
-    let mut space = AddressSpace::try_new(launch.space)
+    rebuild_space_asid(launch, 0)
+}
+
+/// [`rebuild_space`] into the `asid`-th physical window (multi-tenant
+/// replay rebuilds tenant `t`'s space at ASID `t`). ASID 0 is
+/// byte-identical to [`rebuild_space`].
+///
+/// # Errors
+///
+/// Same conditions as [`rebuild_space`].
+pub fn rebuild_space_asid(launch: &TraceLaunch, asid: u16) -> Result<AddressSpace, CkptError> {
+    let mut space = AddressSpace::try_with_asid(launch.space, asid)
         .map_err(|_| CkptError::Corrupt("space config cannot hold a page-table root"))?;
     for want in &launch.regions {
         let got = space
@@ -107,7 +118,17 @@ impl TraceKernel {
     /// sites outside the launch bounds, or whose iterations arrive out
     /// of order (the canonical stream is iteration-ascending per lane).
     pub fn from_trace(trace: &Trace) -> Result<Self, CkptError> {
-        let launch = &trace.launch;
+        Self::from_parts(&trace.launch, &trace.records)
+    }
+
+    /// [`TraceKernel::from_trace`] from a launch and record stream held
+    /// outside a [`Trace`] (multi-tenant traces carry one such pair per
+    /// tenant).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`TraceKernel::from_trace`].
+    pub fn from_parts(launch: &TraceLaunch, records: &[TraceRecord]) -> Result<Self, CkptError> {
         let num_threads = launch.num_threads as usize;
         let num_sites = launch.program.num_sites();
         let mut mem = vec![Vec::new(); num_sites * num_threads];
@@ -121,7 +142,7 @@ impl TraceKernel {
             }
             Ok(tid)
         };
-        for rec in &trace.records {
+        for rec in records {
             match rec {
                 TraceRecord::Mem {
                     site,

@@ -37,6 +37,11 @@ pub enum FramePolicy {
 pub struct FrameAlloc {
     /// Total 4 KiB frames (power of two).
     capacity: u64,
+    /// First frame number this allocator may hand out: every allocation
+    /// is offset by `base`, so allocators with disjoint
+    /// `base..base+capacity` windows can never alias (the multi-tenant
+    /// isolation guarantee).
+    base: u64,
     /// Next sequential index for small-frame allocation (grows upward).
     next_small: u64,
     /// Next 2 MiB-aligned boundary for large allocations (grows downward).
@@ -57,10 +62,29 @@ impl FrameAlloc {
     /// Panics if `capacity` is not a power of two or is smaller than one
     /// 2 MiB run.
     pub fn new(capacity: u64, policy: FramePolicy) -> Self {
+        Self::with_base(capacity, policy, 0)
+    }
+
+    /// Creates an allocator over `capacity` 4 KiB frames starting at
+    /// frame `base`. All frames handed out lie in
+    /// `base..base + capacity`; distinct bases at `capacity` stride give
+    /// each tenant a private physical window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is not a power of two, is smaller than one
+    /// 2 MiB run, or `base` is not 2 MiB-aligned (large-page alignment
+    /// must survive the offset).
+    pub fn with_base(capacity: u64, policy: FramePolicy, base: u64) -> Self {
         assert!(capacity.is_power_of_two(), "frame capacity must be 2^k");
         assert!(capacity >= FRAMES_PER_LARGE, "capacity below one 2MB run");
+        assert!(
+            base.is_multiple_of(FRAMES_PER_LARGE),
+            "frame base must be 2MB-aligned"
+        );
         Self {
             capacity,
+            base,
             next_small: 1, // frame 0 reserved (null / CR3 sanity)
             next_large: capacity,
             policy,
@@ -71,6 +95,11 @@ impl FrameAlloc {
     /// Total frame capacity.
     pub fn capacity(&self) -> u64 {
         self.capacity
+    }
+
+    /// First frame of this allocator's physical window.
+    pub fn base(&self) -> u64 {
+        self.base
     }
 
     /// Frames currently allocated (small-region sequential high-water
@@ -105,12 +134,12 @@ impl FrameAlloc {
                 }
             }
         };
-        Some(Ppn::new(raw))
+        Some(Ppn::new(self.base + raw))
     }
 
     /// Returns a frame to the allocator.
     pub fn free(&mut self, frame: Ppn) {
-        debug_assert!(frame.raw() < self.capacity);
+        debug_assert!(frame.raw() >= self.base && frame.raw() - self.base < self.capacity);
         self.free_list.push(frame);
     }
 
@@ -124,7 +153,7 @@ impl FrameAlloc {
             return None;
         }
         self.next_large = candidate;
-        Some(Ppn::new(candidate))
+        Some(Ppn::new(self.base + candidate))
     }
 }
 
@@ -234,5 +263,30 @@ mod tests {
     #[should_panic(expected = "2^k")]
     fn non_power_of_two_capacity_rejected() {
         let _ = FrameAlloc::new(1000, FramePolicy::Sequential);
+    }
+
+    #[test]
+    fn based_allocators_are_disjoint() {
+        let cap = 1u64 << 12;
+        let mut a = FrameAlloc::with_base(cap, FramePolicy::Scrambled, 0);
+        let mut b = FrameAlloc::with_base(cap, FramePolicy::Scrambled, cap);
+        for _ in 0..512 {
+            let fa = a.alloc().unwrap().raw();
+            let fb = b.alloc().unwrap().raw();
+            assert!(fa < cap, "base-0 frame escaped its window: {fa}");
+            assert!((cap..2 * cap).contains(&fb), "based frame escaped: {fb}");
+            assert_eq!(fb, fa + cap, "offset must not change the sequence");
+        }
+        let la = a.alloc_large().unwrap().raw();
+        let lb = b.alloc_large().unwrap().raw();
+        assert_eq!(la % FRAMES_PER_LARGE, 0);
+        assert_eq!(lb % FRAMES_PER_LARGE, 0);
+        assert_eq!(lb, la + cap);
+    }
+
+    #[test]
+    #[should_panic(expected = "2MB-aligned")]
+    fn misaligned_base_rejected() {
+        let _ = FrameAlloc::with_base(1 << 12, FramePolicy::Sequential, 7);
     }
 }

@@ -120,6 +120,10 @@ impl From<MapError> for VmError {
 #[derive(Debug, Clone)]
 pub struct AddressSpace {
     config: SpaceConfig,
+    /// Address-space identifier. Tenant `asid` allocates frames from the
+    /// physical window `asid * phys_frames ..`, so two spaces on one GPU
+    /// can never alias a frame — data or page-table node.
+    asid: u16,
     table: PageTable,
     frames: FrameAlloc,
     regions: Vec<Region>,
@@ -128,7 +132,7 @@ pub struct AddressSpace {
 }
 
 impl AddressSpace {
-    /// Creates an empty address space.
+    /// Creates an empty address space with ASID 0.
     ///
     /// # Panics
     ///
@@ -138,6 +142,16 @@ impl AddressSpace {
         Self::try_new(config).expect("no frame for page-table root")
     }
 
+    /// Creates an empty address space owning the `asid`-th physical
+    /// window. ASID 0 is byte-identical to [`AddressSpace::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on frame exhaustion, like [`AddressSpace::new`].
+    pub fn with_asid(config: SpaceConfig, asid: u16) -> Self {
+        Self::try_with_asid(config, asid).expect("no frame for page-table root")
+    }
+
     /// Fallible [`AddressSpace::new`].
     ///
     /// # Errors
@@ -145,16 +159,35 @@ impl AddressSpace {
     /// Returns [`VmError::OutOfMemory`] when the allocator cannot provide
     /// the page-table root frame.
     pub fn try_new(config: SpaceConfig) -> Result<Self, VmError> {
-        let mut frames = FrameAlloc::new(config.phys_frames, config.policy);
+        Self::try_with_asid(config, 0)
+    }
+
+    /// Fallible [`AddressSpace::with_asid`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError::OutOfMemory`] when the allocator cannot provide
+    /// the page-table root frame.
+    pub fn try_with_asid(config: SpaceConfig, asid: u16) -> Result<Self, VmError> {
+        // `phys_frames` is a power of two >= 512, so the per-tenant base
+        // is always 2 MiB-aligned.
+        let base = asid as u64 * config.phys_frames;
+        let mut frames = FrameAlloc::with_base(config.phys_frames, config.policy, base);
         let table = PageTable::try_new(&mut frames)?;
         Ok(Self {
             config,
+            asid,
             table,
             frames,
             regions: Vec::new(),
             next_vbase: config.vbase,
             shootdown_epoch: 0,
         })
+    }
+
+    /// This space's address-space identifier.
+    pub fn asid(&self) -> u16 {
+        self.asid
     }
 
     /// The configuration this space was created with. A trace frontend
@@ -453,6 +486,7 @@ impl Ckpt for AddressSpace {
     /// remap storms resume with the exact frame-allocation future the
     /// uninterrupted run would have had.
     fn save(&self, w: &mut Saver) {
+        w.u16(self.asid);
         self.table.save(w);
         self.frames.save(w);
         self.regions.save(w);
@@ -460,6 +494,10 @@ impl Ckpt for AddressSpace {
         w.u64(self.shootdown_epoch);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
+        let asid = r.u16()?;
+        if asid != self.asid {
+            return Err(CkptError::Corrupt("address-space ASID mismatch"));
+        }
         self.table.load(r)?;
         self.frames.load(r)?;
         self.regions.load(r)?;
@@ -606,6 +644,64 @@ mod tests {
         assert_eq!(size, PageSize::Large2M);
         assert!(s.translate(r.at(0)).is_ok(), "whole 2MB page mapped");
         assert!(s.translate(r.at(2 << 20)).is_err());
+    }
+
+    #[test]
+    fn tenant_spaces_never_share_frames() {
+        let cfg = SpaceConfig::default();
+        let mut spaces: Vec<AddressSpace> = (0..3u16)
+            .map(|asid| AddressSpace::with_asid(cfg, asid))
+            .collect();
+        let regions: Vec<Region> = spaces
+            .iter_mut()
+            .map(|s| {
+                s.map_region("r", 64 * PAGE_BYTES, PageSize::Base4K)
+                    .unwrap()
+            })
+            .collect();
+        let mut frames = std::collections::HashSet::new();
+        for (s, r) in spaces.iter().zip(&regions) {
+            let window = s.asid() as u64 * cfg.phys_frames..(s.asid() as u64 + 1) * cfg.phys_frames;
+            for p in 0..r.num_pages() {
+                let (pa, _) = s.translate(r.at(p * PAGE_BYTES)).unwrap();
+                assert!(
+                    window.contains(&pa.ppn().raw()),
+                    "asid {} frame {} escaped its window",
+                    s.asid(),
+                    pa.ppn().raw()
+                );
+                assert!(frames.insert(pa.ppn().raw()), "cross-tenant frame alias");
+            }
+            // Page-table node frames live in the window too.
+            for lvl in &s.walk(r.at(0).vpn()).levels {
+                let node_frame = lvl.pte_paddr.raw() >> 12;
+                assert!(
+                    window.contains(&node_frame),
+                    "asid {} page-table node escaped its window",
+                    s.asid()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn asid_zero_space_matches_legacy_layout() {
+        let mut legacy = AddressSpace::new(SpaceConfig::default());
+        let mut tenant0 = AddressSpace::with_asid(SpaceConfig::default(), 0);
+        let a = legacy
+            .map_region("r", 32 * PAGE_BYTES, PageSize::Base4K)
+            .unwrap();
+        let b = tenant0
+            .map_region("r", 32 * PAGE_BYTES, PageSize::Base4K)
+            .unwrap();
+        assert_eq!(a, b);
+        for p in 0..a.num_pages() {
+            assert_eq!(
+                legacy.translate(a.at(p * PAGE_BYTES)).unwrap().0.raw(),
+                tenant0.translate(b.at(p * PAGE_BYTES)).unwrap().0.raw(),
+                "asid-0 frame sequence must be byte-identical to legacy"
+            );
+        }
     }
 
     #[test]

@@ -34,6 +34,7 @@ pub mod memcached;
 pub mod mummergpu;
 pub mod pathfinder;
 pub mod streamcluster;
+pub mod tenants;
 mod util;
 
 use gmmu_sim::fault::{FaultInjectConfig, FaultInjector};
@@ -157,7 +158,21 @@ pub fn build(bench: Bench, scale: Scale, seed: u64) -> Workload {
 /// Builds a benchmark with an explicit page size (Section 9 studies
 /// 2 MiB pages).
 pub fn build_paged(bench: Bench, scale: Scale, seed: u64, pages: PageSize) -> Workload {
-    let mut space = AddressSpace::new(SpaceConfig::default());
+    build_tenant_paged(bench, scale, seed, pages, 0)
+}
+
+/// Builds a benchmark into an address space owning the `asid`-th
+/// physical window (see [`gmmu_vm::AddressSpace::with_asid`]). ASID 0
+/// is byte-identical to [`build_paged`], so single-tenant callers lose
+/// nothing by going through this path.
+pub fn build_tenant_paged(
+    bench: Bench,
+    scale: Scale,
+    seed: u64,
+    pages: PageSize,
+    asid: u16,
+) -> Workload {
+    let mut space = AddressSpace::with_asid(SpaceConfig::default(), asid);
     let kernel: Box<dyn Kernel + Send + Sync> = match bench {
         Bench::Bfs => Box::new(bfs::BfsKernel::build(&mut space, scale, seed, pages)),
         Bench::Kmeans => Box::new(kmeans::KmeansKernel::build(&mut space, scale, seed, pages)),

@@ -766,6 +766,110 @@ pub fn ablations(r: &mut Runner) -> Vec<Table> {
     vec![walkers, geometry, cpm]
 }
 
+/// Multi-tenant robustness study (no paper counterpart; see DESIGN.md
+/// §13): per-tenant slowdown and unfairness as co-runner count grows,
+/// ASID-tagged translation vs the flush-on-switch baseline.
+///
+/// Runs [`Gpu::run_tenants`] directly rather than through a [`Runner`]:
+/// the runner's journal stores the pinned `RunStats` checkpoint layout,
+/// which deliberately excludes the per-tenant slice this figure is
+/// about.
+pub fn fig_multitenant(opts: &crate::ExperimentOpts) -> Vec<Table> {
+    use gmmu_workloads::tenants::scenario;
+    use gmmu_workloads::{build_tenant_paged, tenants::TenantSpec};
+
+    let cfg = opts.gpu(designs::augmented());
+    let solo = |spec: &TenantSpec| -> RunStats {
+        let mut w = build_tenant_paged(spec.bench, spec.scale, spec.seed, PageSize::Base4K, 0);
+        Gpu::new(cfg.clone()).run_faulted(w.kernel.as_ref(), &mut w.space, &mut Observer::off())
+    };
+
+    let mut t = Table::new(
+        "Multi-tenant — slowdown vs co-runner count (augmented MMU, Zipf tenant mix \
+         with thrasher; ASID-tagged vs flush-on-switch)",
+        &[
+            "tenants",
+            "policy",
+            "mix",
+            "worst slowdown",
+            "mean slowdown",
+            "unfairness",
+        ],
+    );
+    for n in [2usize, 4] {
+        let sc = scenario(n, opts.scale, opts.seed, true);
+        let solos: Vec<RunStats> = sc.tenants.iter().map(solo).collect();
+        for (name, policy) in [
+            ("asid-tagged", gmmu_simt::TenantPolicy::default()),
+            (
+                "flush-on-switch",
+                gmmu_simt::TenantPolicy::flush_on_switch(),
+            ),
+        ] {
+            let mut built = sc.build();
+            let mut jobs: Vec<gmmu_simt::TenantJob<'_>> = built
+                .iter_mut()
+                .map(|w| gmmu_simt::TenantJob {
+                    kernel: w.kernel.as_ref(),
+                    space: &mut w.space,
+                })
+                .collect();
+            let stats = Gpu::new(cfg.clone()).run_tenants(&mut jobs, policy, &mut Observer::off());
+            let slow = stats.tenant_slowdowns(&solos);
+            let worst = slow.iter().copied().fold(0.0f64, f64::max);
+            let mean = if slow.is_empty() {
+                0.0
+            } else {
+                slow.iter().sum::<f64>() / slow.len() as f64
+            };
+            t.row(vec![
+                (n as u64).into(),
+                name.into(),
+                sc.describe().into(),
+                worst.into(),
+                mean.into(),
+                stats.unfairness(&solos).into(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Metrics snapshot of the 4-tenant mixed-fault acceptance scenario:
+/// demand faults, delayed walks, rejections, and cross-tenant storms on
+/// the augmented MMU, with the per-ASID walk-stage histograms and
+/// per-ASID hot-page keys the snapshot's `tenants` section carries
+/// (DESIGN.md §13). Deterministic and engine-invariant like every
+/// snapshot; backs `fig_multitenant --metrics PATH`.
+pub fn multitenant_metrics_snapshot(opts: &crate::ExperimentOpts) -> String {
+    use gmmu_sim::metrics::Metrics;
+    use gmmu_workloads::tenants::scenario;
+
+    let mut cfg = opts.gpu(designs::augmented());
+    cfg.fault = FaultConfig::demand();
+    let inject = FaultInjectConfig::smoke(opts.fault_seed);
+    cfg.inject = Some(inject);
+    let sc = scenario(4, opts.scale, opts.seed, true);
+    let (mut built, _) = sc.build_demand_paged(&inject);
+    let mut jobs: Vec<gmmu_simt::TenantJob<'_>> = built
+        .iter_mut()
+        .map(|w| gmmu_simt::TenantJob {
+            kernel: w.kernel.as_ref(),
+            space: &mut w.space,
+        })
+        .collect();
+    let policy = gmmu_simt::TenantPolicy {
+        watchdog: 2_000_000,
+        ..gmmu_simt::TenantPolicy::default()
+    };
+    let mut obs = Observer::off();
+    obs.metrics = Metrics::recording();
+    let mut gpu = Gpu::new(cfg);
+    let stats = gpu.run_tenants(&mut jobs, policy, &mut obs);
+    assert!(stats.completed, "metrics scenario hit the cycle cap");
+    gpu.metrics_snapshot(&obs).expect("metrics channel was on")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -371,3 +371,76 @@ fn checkpoint_refuses_foreign_or_corrupt_images() {
     let resumed = resume(&cfg, img).expect("pristine image resumes");
     assert_same(&reference, &resumed, "pristine resume");
 }
+
+/// Multi-tenant snapshot/restore with the storm machinery hot: a
+/// 2-tenant scenario under the mixed fault soup, checkpointed on the
+/// event engine, must resume from every emitted image — including
+/// images taken mid-storm with cross-tenant faults queued — to the
+/// identical end state, per-tenant slice included.
+#[test]
+fn multitenant_checkpoint_mid_storm_kill_and_resume() {
+    use gmmu_simt::{TenantJob, TenantPolicy};
+    use gmmu_workloads::tenants::scenario;
+
+    let inject = FaultInjectConfig::smoke(0xfa57);
+    let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    cfg.fault = FaultConfig::demand();
+    cfg.inject = Some(inject);
+    cfg.engine = EngineKind::Event;
+    let policy = TenantPolicy {
+        watchdog: 2_000_000,
+        ..TenantPolicy::default()
+    };
+
+    let run = |every: u64, resume: Option<&[u8]>| -> (RunStats, Observer, Vec<Vec<u8>>) {
+        let sc = scenario(2, Scale::Tiny, 7, true);
+        let (mut built, _) = sc.build_demand_paged(&inject);
+        let mut jobs: Vec<TenantJob<'_>> = built
+            .iter_mut()
+            .map(|w| TenantJob {
+                kernel: w.kernel.as_ref(),
+                space: &mut w.space,
+            })
+            .collect();
+        let mut obs = observer();
+        let mut images: Vec<Vec<u8>> = Vec::new();
+        let mut sink = |b: &[u8]| images.push(b.to_vec());
+        let stats = Gpu::new(cfg.clone())
+            .run_tenants_checkpointed(
+                &mut jobs,
+                policy,
+                &mut obs,
+                CheckpointOpts {
+                    every,
+                    sink: &mut sink,
+                    resume,
+                },
+            )
+            .expect("multi-tenant checkpointed run failed");
+        (stats, obs, images)
+    };
+
+    let (reference, obs_ref, none) = run(0, None);
+    assert!(none.is_empty(), "emitted without a period");
+    assert!(reference.completed, "reference hit the cycle cap");
+    assert!(!reference.watchdog_fired);
+    assert!(reference.shootdowns > 0, "no storms landed");
+    assert!(reference.faults > 0, "nothing faulted");
+    assert_eq!(reference.tenants.len(), 2);
+
+    let every = (reference.cycles / 4).max(1);
+    let (ckpt_stats, _, images) = run(every, None);
+    assert_same(&reference, &ckpt_stats, "mt emitting-vs-plain");
+    assert_eq!(reference.tenants, ckpt_stats.tenants);
+    assert!(!images.is_empty(), "no checkpoints emitted");
+
+    for (i, img) in images.iter().enumerate() {
+        let (resumed, obs_res, _) = run(0, Some(img));
+        assert_same(&reference, &resumed, &format!("mt image {i}"));
+        assert_eq!(
+            reference.tenants, resumed.tenants,
+            "image {i}: per-tenant slice diverged after resume"
+        );
+        assert_observers_same(&obs_ref, &obs_res, &format!("mt image {i}"));
+    }
+}

@@ -502,3 +502,39 @@ fn core_count_scales_throughput() {
         two.cycles
     );
 }
+
+/// A multi-tenant run is as reproducible as a single-tenant one: the
+/// same 4-tenant Zipf scenario under the mixed fault soup, run twice
+/// from scratch, produces bit-identical combined stats and an identical
+/// per-tenant slice.
+#[test]
+fn multitenant_runs_are_bit_identical_across_repeats() {
+    use gmmu_simt::{TenantJob, TenantPolicy};
+    use gmmu_workloads::tenants::scenario;
+
+    let run_once = || {
+        let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+        cfg.fault = FaultConfig::demand();
+        let inject = FaultInjectConfig::smoke(0xfa57);
+        cfg.inject = Some(inject);
+        let sc = scenario(4, Scale::Tiny, 7, true);
+        let (mut built, _) = sc.build_demand_paged(&inject);
+        let mut jobs: Vec<TenantJob<'_>> = built
+            .iter_mut()
+            .map(|w| TenantJob {
+                kernel: w.kernel.as_ref(),
+                space: &mut w.space,
+            })
+            .collect();
+        let policy = TenantPolicy {
+            watchdog: 2_000_000,
+            ..TenantPolicy::default()
+        };
+        Gpu::new(cfg).run_tenants(&mut jobs, policy, &mut Observer::off())
+    };
+    let a = run_once();
+    let b = run_once();
+    assert!(a.completed, "scenario hit the cycle cap");
+    assert_same(&a, &b, "multi-tenant repeat");
+    assert_eq!(a.tenants, b.tenants, "per-tenant slice differs on repeat");
+}

@@ -250,3 +250,61 @@ fn armed_but_fault_free_is_bit_identical() {
     assert_eq!(armed.squashed_walks, 0);
     assert!(!armed.watchdog_fired);
 }
+
+/// Cross-tenant shootdown storms: storms raised against one tenant's
+/// address space squash in-flight walks and flush only that ASID's
+/// entries, every tenant still commits exactly its storm-free work, and
+/// the serial and event engines agree on the whole cascade.
+#[test]
+fn cross_tenant_storms_squash_and_replay() {
+    use gmmu_simt::{TenantJob, TenantPolicy};
+    use gmmu_workloads::tenants::scenario;
+
+    let inject = FaultInjectConfig::storm(0xfa57, 8_000, 3);
+    let policy = TenantPolicy {
+        watchdog: 2_000_000,
+        ..TenantPolicy::default()
+    };
+    let run_with = |inject: Option<FaultInjectConfig>, engine: EngineKind| {
+        let mut cfg = faulting_cfg(inject);
+        cfg.engine = engine;
+        let mut built = scenario(2, Scale::Tiny, 7, true).build();
+        let mut jobs: Vec<TenantJob<'_>> = built
+            .iter_mut()
+            .map(|w| TenantJob {
+                kernel: w.kernel.as_ref(),
+                space: &mut w.space,
+            })
+            .collect();
+        Gpu::new(cfg).run_tenants(&mut jobs, policy, &mut Observer::off())
+    };
+
+    let stats = run_with(Some(inject), EngineKind::Serial);
+    assert!(stats.completed, "storm scenario hit the cycle cap");
+    assert!(!stats.watchdog_fired);
+    assert!(stats.shootdowns > 0, "no core observed a shootdown");
+    assert!(stats.squashed_walks > 0, "no walk was squashed");
+    assert_eq!(stats.tenants.len(), 2);
+
+    let event = run_with(Some(inject), EngineKind::Event);
+    assert_eq!(
+        stats.cycles, event.cycles,
+        "event engine disagrees on cross-tenant storms"
+    );
+    assert_eq!(stats.shootdowns, event.shootdowns);
+    assert_eq!(stats.squashed_walks, event.squashed_walks);
+    assert_eq!(stats.tenants, event.tenants);
+
+    // Storms perturb timing only: each tenant's committed work matches
+    // the storm-free run of the same scenario.
+    let clean = run_with(None, EngineKind::Serial);
+    assert!(clean.completed);
+    for (s, c) in stats.tenants.iter().zip(clean.tenants.iter()) {
+        assert_eq!(
+            s.instructions, c.instructions,
+            "tenant {}: storms changed the committed work",
+            s.asid
+        );
+        assert_eq!(s.blocks_done, c.blocks_done);
+    }
+}

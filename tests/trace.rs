@@ -206,3 +206,63 @@ fn golden_metrics_snapshot_matches_committed_fixture() {
         );
     }
 }
+
+/// Multi-tenant capture/replay conformance: a 2-tenant Zipf scenario
+/// under the mixed fault soup, captured to a GMTM container, must
+/// replay bit-identically (combined stats *and* per-tenant slice) on
+/// all three engines, and re-encoding the decoded trace reproduces the
+/// bytes.
+#[test]
+fn multitenant_capture_replay_round_trips() {
+    use gmmu_simt::TenantPolicy;
+    use gmmu_trace::{capture_tenants, replay_tenants, MultiTrace};
+    use gmmu_workloads::tenants::scenario;
+
+    let mut cfg = ExperimentOpts::quick().gpu(designs::augmented());
+    cfg.fault = FaultConfig::demand();
+    cfg.inject = Some(FaultInjectConfig::smoke(0xfa57));
+    let policy = TenantPolicy {
+        watchdog: 2_000_000,
+        ..TenantPolicy::default()
+    };
+
+    let sc = scenario(2, Scale::Tiny, 7, true);
+    let (built, unmapped) = sc.build_demand_paged(cfg.inject.as_ref().unwrap());
+    assert!(
+        unmapped.iter().all(|&u| u > 0),
+        "a tenant started fully mapped"
+    );
+    let (owned, mut spaces): (Vec<_>, Vec<_>) =
+        built.into_iter().map(|w| (w.kernel, w.space)).unzip();
+    let kernels: Vec<&dyn gmmu_simt::Kernel> = owned
+        .iter()
+        .map(|k| k.as_ref() as &dyn gmmu_simt::Kernel)
+        .collect();
+    let (trace, stats) = capture_tenants(&kernels, &mut spaces, &cfg, policy, "mt conformance");
+    assert!(stats.completed, "capture hit the cycle cap");
+    assert!(!stats.watchdog_fired);
+    assert_eq!(stats.tenants.len(), 2);
+
+    let bytes = trace.encode();
+    let back = MultiTrace::decode(&bytes).expect("GMTM decodes");
+    assert_eq!(back.encode(), bytes, "re-encode is not byte-identical");
+    assert_eq!(back.stats.tenants, stats.tenants);
+
+    for (name, engine, threads) in [
+        ("serial", EngineKind::Serial, 0),
+        ("parallel", EngineKind::Parallel, 2),
+        ("event", EngineKind::Event, 0),
+    ] {
+        let mut rcfg = back.tenants[0].launch.config.clone();
+        rcfg.engine = engine;
+        rcfg.run_threads = threads;
+        let (replayed, _) =
+            replay_tenants(&back, &rcfg, &mut Observer::off()).expect("GMTM replays");
+        let diff = back.stats.diff(&replayed);
+        assert!(diff.is_empty(), "{name}: replay diverged in {diff:?}");
+        assert_eq!(
+            back.stats.tenants, replayed.tenants,
+            "{name}: per-tenant slice diverged"
+        );
+    }
+}
