@@ -18,7 +18,17 @@
 //!   linear all-cores min-scan the skip engine performs per skip;
 //! * the engines end-to-end — serial vs. event-calendar
 //!   `sim_cycles_per_sec` on a real workload (same cycles, by
-//!   construction; the ratio is the sweep-wall-time win).
+//!   construction; the ratio is the sweep-wall-time win);
+//! * the arena page table vs. a boxed-per-node reference (the shape the
+//!   code had before the slab arena), on the translate path;
+//! * the time-wheel calendar vs. a lazy min-heap reference (its
+//!   pre-wheel shape) and vs. the linear min-scan;
+//! * allocation discipline — the binary installs a counting global
+//!   allocator and reports whole-run allocations per simulated
+//!   kilocycle for each engine (the machine-independent regression
+//!   signal CI gates on);
+//! * a standard multi-tenant point — 4 co-running tenants under the
+//!   default ASID-tagged policy, `sim_cycles_per_sec` end to end.
 
 use gmmu_core::mmu::MmuModel;
 use gmmu_core::tlb::{Tlb, TlbConfig};
@@ -29,11 +39,46 @@ use gmmu_simt::coalesce::{coalesce, CoalesceBuf};
 use gmmu_simt::core::ShaderCore;
 use gmmu_simt::program::{MemKind, Op, Program, ThreadId};
 use gmmu_simt::{GpuConfig, Kernel};
+use gmmu_vm::frame::{FrameAlloc, FramePolicy};
+use gmmu_vm::PageTable;
 use gmmu_vm::{AddressSpace, PageSize, Ppn, Region, SpaceConfig, VAddr, Vpn};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::hint::black_box;
 use std::time::{Duration, Instant};
+
+/// Counts every heap acquisition (alloc/realloc/alloc_zeroed; frees are
+/// uninteresting — a steady-state free implies a later matching alloc).
+/// Mirrors `tests/alloc_discipline.rs`, which asserts the zero-alloc
+/// window; this binary *reports* the whole-run rate per engine.
+struct CountingAlloc;
+
+static ALLOCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+fn allocs() -> u64 {
+    ALLOCS.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: std::alloc::Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        unsafe { std::alloc::System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
 
 /// Times `f` in self-calibrating batches for roughly `budget` and
 /// returns the best per-iteration time in nanoseconds.
@@ -381,6 +426,335 @@ fn calendar_benches(results: &mut Vec<(String, f64)>, budget: Duration) {
     results.push(("calendar_linear_scan_x256".into(), ns));
 }
 
+// ----------------------------------------------------- Page-table arena
+
+/// Boxed-per-node radix page table: the pre-arena shape, where each
+/// interior node owns its own 512-entry `Vec` and descent chases a
+/// `Box` per level. Same tree fan-out and leaf payload as the real
+/// table so the comparison isolates the memory layout.
+struct NodeTable {
+    root: Box<RefNode>,
+}
+
+struct RefNode {
+    entries: Vec<RefEntry>,
+}
+
+enum RefEntry {
+    Empty,
+    Next(Box<RefNode>),
+    Leaf(u64),
+}
+
+impl RefNode {
+    fn empty() -> Box<RefNode> {
+        Box::new(RefNode {
+            entries: (0..512).map(|_| RefEntry::Empty).collect(),
+        })
+    }
+}
+
+impl NodeTable {
+    fn new() -> Self {
+        Self {
+            root: RefNode::empty(),
+        }
+    }
+
+    fn map(&mut self, vpn: u64, ppn: u64) {
+        let mut node = &mut self.root;
+        for level in (1..4).rev() {
+            let idx = ((vpn >> (9 * level)) & 511) as usize;
+            if !matches!(node.entries[idx], RefEntry::Next(_)) {
+                node.entries[idx] = RefEntry::Next(RefNode::empty());
+            }
+            let RefEntry::Next(next) = &mut node.entries[idx] else {
+                unreachable!()
+            };
+            node = next;
+        }
+        node.entries[(vpn & 511) as usize] = RefEntry::Leaf(ppn);
+    }
+
+    fn deep_clone(&self) -> NodeTable {
+        fn clone_node(node: &RefNode) -> Box<RefNode> {
+            Box::new(RefNode {
+                entries: node
+                    .entries
+                    .iter()
+                    .map(|e| match e {
+                        RefEntry::Empty => RefEntry::Empty,
+                        RefEntry::Next(n) => RefEntry::Next(clone_node(n)),
+                        RefEntry::Leaf(p) => RefEntry::Leaf(*p),
+                    })
+                    .collect(),
+            })
+        }
+        NodeTable {
+            root: clone_node(&self.root),
+        }
+    }
+
+    fn translate(&self, vpn: u64) -> Option<u64> {
+        let mut node = &self.root;
+        for level in (1..4).rev() {
+            let idx = ((vpn >> (9 * level)) & 511) as usize;
+            match &node.entries[idx] {
+                RefEntry::Next(next) => node = next,
+                _ => return None,
+            }
+        }
+        match node.entries[(vpn & 511) as usize] {
+            RefEntry::Leaf(ppn) => Some(ppn),
+            _ => None,
+        }
+    }
+}
+
+/// Arena vs. boxed-node page table on the three paths that matter:
+///
+/// * **build** — mapping 16384 pages (37 nodes) into a bare table.
+///   Wall time slightly favours the reference (the real `map` checks
+///   alignment/overlap and allocates simulated frames); the decisive
+///   number is the *allocation count*, reported separately: the arena
+///   grows one slab under amortized doubling, the node reference
+///   allocates a `Box` plus a 512-entry `Vec` per node.
+/// * **clone** — the checkpoint path (`Ckpt::save` snapshots address
+///   spaces). The arena clones as one flat memcpy; the reference deep
+///   clones the tree, re-allocating every node.
+/// * **translate** — 256 random lookups. Reported for completeness;
+///   this path only runs in workload setup and trace replay (the sim
+///   walks via `walk()`), and on an L1-hot table the reference's
+///   leaner per-level code wins — the arena is not a latency play.
+fn page_table_benches(results: &mut Vec<(String, f64)>, budget: Duration) {
+    const PAGES: u64 = 1 << 14;
+    let mut space = AddressSpace::new(SpaceConfig::default());
+    let region = space
+        .map_region("arena", PAGES << 12, PageSize::Base4K)
+        .expect("map");
+    let base_vpn = region.at(0).raw() >> 12;
+
+    let mut node_table = NodeTable::new();
+    for p in 0..PAGES {
+        node_table.map(base_vpn + p, 0x1000 + p);
+    }
+
+    let ns = bench_ns(budget, || {
+        let mut frames = FrameAlloc::new(1 << 21, FramePolicy::Sequential);
+        let mut t = PageTable::new(&mut frames);
+        for p in 0..PAGES {
+            t.map(
+                Vpn::new(base_vpn + p),
+                Ppn::new(0x1000 + p),
+                PageSize::Base4K,
+                &mut frames,
+            )
+            .expect("map");
+        }
+        black_box(&t);
+    });
+    results.push(("page_table_arena_build_16k".into(), ns));
+
+    let ns = bench_ns(budget, || {
+        let mut t = NodeTable::new();
+        for p in 0..PAGES {
+            t.map(base_vpn + p, 0x1000 + p);
+        }
+        black_box(&t);
+    });
+    results.push(("page_table_node_ref_build_16k".into(), ns));
+
+    let ns = bench_ns(budget, || {
+        black_box(space.clone());
+    });
+    results.push(("page_table_arena_clone_16k".into(), ns));
+
+    let ns = bench_ns(budget, || {
+        black_box(node_table.deep_clone());
+    });
+    results.push(("page_table_node_ref_clone_16k".into(), ns));
+
+    let mut x = 0x0123_4567_89ab_cdefu64;
+    let seq: Vec<u64> = (0..256).map(|_| lcg(&mut x) % PAGES).collect();
+
+    let ns = bench_ns(budget, || {
+        for &p in &seq {
+            let va = region.at(p << 12);
+            black_box(space.translate(va).expect("mapped"));
+        }
+    });
+    results.push(("page_table_arena_translate_x256".into(), ns));
+
+    let ns = bench_ns(budget, || {
+        for &p in &seq {
+            black_box(node_table.translate(base_vpn + p).expect("mapped"));
+        }
+    });
+    results.push(("page_table_node_ref_translate_x256".into(), ns));
+}
+
+// ------------------------------------------------- Calendar (vs. heap)
+
+/// Lazy min-heap calendar reference — the shape [`Calendar`] had before
+/// the time-wheel front: every (re)schedule pushes, stale tops are
+/// discarded on pop.
+struct HeapCalendar {
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, u32)>>,
+    scheduled_at: Vec<u64>,
+}
+
+impl HeapCalendar {
+    fn new(keys: usize) -> Self {
+        Self {
+            heap: std::collections::BinaryHeap::new(),
+            scheduled_at: vec![u64::MAX; keys],
+        }
+    }
+
+    fn schedule(&mut self, key: u32, cycle: u64) {
+        self.scheduled_at[key as usize] = cycle;
+        self.heap.push(std::cmp::Reverse((cycle, key)));
+    }
+
+    fn peek_cycle(&mut self) -> Option<u64> {
+        while let Some(&std::cmp::Reverse((cycle, key))) = self.heap.peek() {
+            if self.scheduled_at[key as usize] == cycle {
+                return Some(cycle);
+            }
+            self.heap.pop();
+        }
+        None
+    }
+
+    fn take_due(&mut self, now: u64, due: &mut Vec<u32>) {
+        due.clear();
+        while let Some(&std::cmp::Reverse((cycle, key))) = self.heap.peek() {
+            if cycle > now {
+                break;
+            }
+            self.heap.pop();
+            if self.scheduled_at[key as usize] == cycle {
+                self.scheduled_at[key as usize] = u64::MAX;
+                due.push(key);
+            }
+        }
+        due.sort_unstable();
+    }
+}
+
+/// The same 256-step scheduling loop as `calendar_benches`, against the
+/// lazy-heap reference the wheel replaced.
+fn calendar_heap_benches(results: &mut Vec<(String, f64)>, budget: Duration) {
+    const KEYS: u32 = 32;
+    let mut cal = HeapCalendar::new(KEYS as usize);
+    let mut x = 0x2545f4914f6cdd1du64;
+    for k in 0..KEYS {
+        cal.schedule(k, 1 + lcg(&mut x) % 64);
+    }
+    let mut due: Vec<u32> = Vec::with_capacity(KEYS as usize);
+    let ns = bench_ns(budget, || {
+        for _ in 0..256 {
+            let now = cal.peek_cycle().expect("calendar never drains");
+            cal.take_due(now, &mut due);
+            for &k in &due {
+                cal.schedule(k, now + 1 + lcg(&mut x) % 64);
+            }
+            black_box(due.len());
+        }
+    });
+    results.push(("calendar_heap_ref_step_x256".into(), ns));
+}
+
+/// Heap allocations performed building each 16384-page table once —
+/// the deterministic half of the build comparison above.
+fn page_table_alloc_counts() -> (u64, u64) {
+    const PAGES: u64 = 1 << 14;
+    let base_vpn = 0x40000u64;
+    let before = allocs();
+    let mut frames = FrameAlloc::new(1 << 21, FramePolicy::Sequential);
+    let mut t = PageTable::new(&mut frames);
+    for p in 0..PAGES {
+        t.map(
+            Vpn::new(base_vpn + p),
+            Ppn::new(0x1000 + p),
+            PageSize::Base4K,
+            &mut frames,
+        )
+        .expect("map");
+    }
+    let arena = allocs() - before;
+    std::hint::black_box(&t);
+
+    let before = allocs();
+    let mut r = NodeTable::new();
+    for p in 0..PAGES {
+        r.map(base_vpn + p, 0x1000 + p);
+    }
+    let node = allocs() - before;
+    std::hint::black_box(&r);
+    (arena, node)
+}
+
+// --------------------------------------------------------- Allocations
+
+/// Whole-run heap allocations per simulated kilocycle, per engine, on
+/// one tiny workload (construction and teardown included — the
+/// steady-state *window* is asserted to be zero-alloc by
+/// `tests/alloc_discipline.rs`; this is the end-to-end rate). The
+/// counts are near machine-independent, which makes them the robust
+/// CI regression signal alongside the wall-clock rates.
+fn alloc_benches() -> Vec<(String, f64)> {
+    use gmmu::prelude::*;
+    let w = build(Bench::Bfs, Scale::Tiny, 7);
+    let mut out = Vec::new();
+    for (name, engine, threads) in [
+        ("serial", EngineKind::Serial, 1usize),
+        ("event", EngineKind::Event, 1),
+        ("parallel", EngineKind::Parallel, 2),
+    ] {
+        let mut cfg = gmmu::ExperimentOpts::quick().gpu(MmuModel::augmented());
+        cfg.engine = engine;
+        cfg.run_threads = threads;
+        let before = allocs();
+        let stats = gmmu_simt::gpu::run_kernel(cfg, w.kernel.as_ref(), &w.space);
+        let after = allocs();
+        let per_kcycle = (after - before) as f64 / (stats.cycles as f64 / 1000.0);
+        out.push((name.to_string(), per_kcycle));
+    }
+    out
+}
+
+// --------------------------------------------------------- Multi-tenant
+
+/// The standard multi-tenant throughput point: 4 co-running tenants
+/// (Zipf mix with a thrasher) under the default ASID-tagged policy,
+/// best-of-3 `sim_cycles_per_sec` on the serial engine.
+fn multitenant_bench() -> f64 {
+    use gmmu::prelude::*;
+    use gmmu_simt::{Observer, TenantJob, TenantPolicy};
+    use gmmu_workloads::tenants::scenario;
+    let cfg = gmmu::ExperimentOpts::quick().gpu(MmuModel::augmented());
+    let sc = scenario(4, Scale::Tiny, 7, true);
+    let mut rate = 0f64;
+    for _ in 0..3 {
+        let mut built = sc.build();
+        let mut jobs: Vec<TenantJob<'_>> = built
+            .iter_mut()
+            .map(|w| TenantJob {
+                kernel: w.kernel.as_ref(),
+                space: &mut w.space,
+            })
+            .collect();
+        let stats = Gpu::new(cfg.clone()).run_tenants(
+            &mut jobs,
+            TenantPolicy::default(),
+            &mut Observer::off(),
+        );
+        rate = rate.max(stats.cycles_per_sec());
+    }
+    rate
+}
+
 // ------------------------------------------------------------- Engines
 
 /// End-to-end engine throughput on one real workload: best-of-3
@@ -412,38 +786,43 @@ fn engine_benches() -> (f64, f64) {
 
 // ------------------------------------------------------------- Metrics
 
-/// End-to-end metrics-channel overhead on one real workload: best-of-3
-/// `sim_cycles_per_sec` with the channel instrumented-but-off (the
-/// default — every record site compiles down to an enabled check) and
-/// fully on (per-core staging buffers, per-cycle drains, sink folds).
-/// Both runs simulate bit-identical behaviour; only wall time differs.
-fn metrics_benches() -> (f64, f64) {
+/// End-to-end metrics-channel overhead on one real workload:
+/// `sim_cycles_per_sec` unobserved, with the channel
+/// instrumented-but-off (the default — every record site compiles
+/// down to an enabled check), and fully on (per-core staging buffers,
+/// per-cycle drains, sink folds). All three simulate bit-identical
+/// behaviour; only wall time differs. The three are measured
+/// *interleaved*, best-of-5 each, so the reported ratios compare
+/// same-window wall clocks — comparing best-of-N estimates taken
+/// minutes apart lets machine-speed drift masquerade as overhead.
+fn metrics_benches() -> (f64, f64, f64) {
     use gmmu::prelude::*;
     use gmmu_sim::metrics::Metrics;
     use gmmu_simt::Observer;
     let w = build(Bench::Bfs, Scale::Tiny, 7);
     let cfg = gmmu::ExperimentOpts::quick().gpu(MmuModel::augmented());
-    let best = |on: bool| -> (f64, u64) {
-        let mut cycles = 0u64;
-        let mut rate = 0f64;
-        for _ in 0..3 {
-            let mut obs = Observer::off();
-            if on {
-                obs.metrics = Metrics::recording();
-            }
-            let stats = Gpu::new(cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
-            cycles = stats.cycles;
-            rate = rate.max(stats.cycles_per_sec());
-        }
-        (rate, cycles)
-    };
-    let (off, off_cycles) = best(false);
-    let (on, on_cycles) = best(true);
+    let (mut unobs, mut off, mut on) = (0f64, 0f64, 0f64);
+    let (mut unobs_cycles, mut on_cycles) = (0u64, 0u64);
+    for _ in 0..5 {
+        let stats = gmmu_simt::gpu::run_kernel(cfg.clone(), w.kernel.as_ref(), &w.space);
+        unobs_cycles = stats.cycles;
+        unobs = unobs.max(stats.cycles_per_sec());
+
+        let mut obs = Observer::off();
+        let stats = Gpu::new(cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+        off = off.max(stats.cycles_per_sec());
+
+        let mut obs = Observer::off();
+        obs.metrics = Metrics::recording();
+        let stats = Gpu::new(cfg.clone()).run_observed(w.kernel.as_ref(), &w.space, &mut obs);
+        on_cycles = stats.cycles;
+        on = on.max(stats.cycles_per_sec());
+    }
     assert_eq!(
-        off_cycles, on_cycles,
+        unobs_cycles, on_cycles,
         "the metrics channel must not perturb the simulation"
     );
-    (off, on)
+    (unobs, off, on)
 }
 
 fn main() {
@@ -454,8 +833,13 @@ fn main() {
     coalesce_benches(&mut results, budget);
     next_event_benches(&mut results, budget);
     calendar_benches(&mut results, budget);
+    calendar_heap_benches(&mut results, budget);
+    page_table_benches(&mut results, budget);
     let (serial_rate, event_rate) = engine_benches();
-    let (metrics_off_rate, metrics_on_rate) = metrics_benches();
+    let multitenant_rate = multitenant_bench();
+    let (metrics_unobs_rate, metrics_off_rate, metrics_on_rate) = metrics_benches();
+    let alloc_rates = alloc_benches();
+    let (pt_arena_allocs, pt_node_allocs) = page_table_alloc_counts();
 
     for (name, ns) in &results {
         println!("{name:<32} {ns:>12.1} ns/iter");
@@ -471,6 +855,19 @@ fn main() {
     let mshr_speedup = ratio("mshr_heap_cycle_x256", "mshr_linear_ref_cycle_x256");
     let cache_speedup = ratio("next_event_at_cached", "next_event_at_recomputed");
     let calendar_speedup = ratio("calendar_step_x256", "calendar_linear_scan_x256");
+    let calendar_vs_heap = ratio("calendar_step_x256", "calendar_heap_ref_step_x256");
+    let pt_build_speedup = ratio(
+        "page_table_arena_build_16k",
+        "page_table_node_ref_build_16k",
+    );
+    let pt_clone_speedup = ratio(
+        "page_table_arena_clone_16k",
+        "page_table_node_ref_clone_16k",
+    );
+    let pt_translate_ratio = ratio(
+        "page_table_arena_translate_x256",
+        "page_table_node_ref_translate_x256",
+    );
     let engine_speedup = if serial_rate > 0.0 {
         event_rate / serial_rate
     } else {
@@ -480,12 +877,16 @@ fn main() {
     println!("mshr heap vs map-scan:          {mshr_speedup:.2}x");
     println!("next-event cached vs recompute: {cache_speedup:.2}x");
     println!("calendar vs linear min-scan:    {calendar_speedup:.2}x");
+    println!("calendar vs lazy min-heap:      {calendar_vs_heap:.2}x");
+    println!("page table build, arena vs ref: {pt_build_speedup:.2}x");
+    println!("page table clone, arena vs ref: {pt_clone_speedup:.2}x");
+    println!("page table xlate, arena vs ref: {pt_translate_ratio:.2}x");
     println!(
         "event engine vs serial:         {engine_speedup:.2}x \
          ({event_rate:.0} vs {serial_rate:.0} sim cycles/s)"
     );
-    let metrics_off_vs_unobserved = if serial_rate > 0.0 {
-        metrics_off_rate / serial_rate
+    let metrics_off_vs_unobserved = if metrics_unobs_rate > 0.0 {
+        metrics_off_rate / metrics_unobs_rate
     } else {
         0.0
     };
@@ -496,12 +897,17 @@ fn main() {
     };
     println!(
         "metrics off vs unobserved:      {metrics_off_vs_unobserved:.2}x \
-         ({metrics_off_rate:.0} vs {serial_rate:.0} sim cycles/s)"
+         ({metrics_off_rate:.0} vs {metrics_unobs_rate:.0} sim cycles/s)"
     );
     println!(
         "metrics on vs off:              {metrics_on_vs_off:.2}x \
          ({metrics_on_rate:.0} vs {metrics_off_rate:.0} sim cycles/s)"
     );
+    println!("multi-tenant (4 tenants):       {multitenant_rate:.0} sim cycles/s");
+    for (name, per_kcycle) in &alloc_rates {
+        println!("allocs/kcycle ({name:<8}):       {per_kcycle:>8.1}");
+    }
+    println!("page table build allocs:        arena {pt_arena_allocs}, node ref {pt_node_allocs}");
 
     let mut json = String::new();
     let _ = writeln!(json, "{{");
@@ -523,7 +929,33 @@ fn main() {
     );
     let _ = writeln!(
         json,
-        "    \"calendar_vs_linear_scan\": {calendar_speedup:.3}"
+        "    \"calendar_vs_linear_scan\": {calendar_speedup:.3},"
+    );
+    let _ = writeln!(json, "    \"calendar_vs_heap\": {calendar_vs_heap:.3},");
+    let _ = writeln!(
+        json,
+        "    \"page_table_build_arena_vs_node\": {pt_build_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"page_table_clone_arena_vs_node\": {pt_clone_speedup:.3},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"page_table_translate_arena_vs_node\": {pt_translate_ratio:.3}"
+    );
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"alloc\": {{");
+    for (name, per_kcycle) in alloc_rates.iter() {
+        let _ = writeln!(json, "    \"{name}_allocs_per_kcycle\": {per_kcycle:.1},");
+    }
+    let _ = writeln!(
+        json,
+        "    \"page_table_build_arena_allocs\": {pt_arena_allocs},"
+    );
+    let _ = writeln!(
+        json,
+        "    \"page_table_build_node_ref_allocs\": {pt_node_allocs}"
     );
     let _ = writeln!(json, "  }},");
     let _ = writeln!(json, "  \"metrics\": {{");
@@ -541,7 +973,11 @@ fn main() {
     let _ = writeln!(json, "  \"engine\": {{");
     let _ = writeln!(json, "    \"serial_sim_cycles_per_sec\": {serial_rate:.0},");
     let _ = writeln!(json, "    \"event_sim_cycles_per_sec\": {event_rate:.0},");
-    let _ = writeln!(json, "    \"event_vs_serial\": {engine_speedup:.3}");
+    let _ = writeln!(json, "    \"event_vs_serial\": {engine_speedup:.3},");
+    let _ = writeln!(
+        json,
+        "    \"multitenant_sim_cycles_per_sec\": {multitenant_rate:.0}"
+    );
     let _ = writeln!(json, "  }}");
     let _ = writeln!(json, "}}");
     match std::fs::write("BENCH_hotpath.json", &json) {

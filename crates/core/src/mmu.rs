@@ -287,6 +287,10 @@ pub struct Mmu {
     /// Warps waiting on each in-flight page, keyed by
     /// [`gmmu_mem::mshr::tenant_key`] so pages never alias across ASIDs.
     waiters: HashMap<u64, Vec<u16>>,
+    /// Retired waiter lists, recycled by the next miss so steady-state
+    /// fills never allocate. Bounded by the MSHR count. Not serialized —
+    /// contents are dead (always cleared before reuse).
+    waiter_pool: Vec<Vec<u16>>,
     /// Finished walks not yet applied (completion in the future).
     pending_fills: Vec<WalkDone>,
     done_scratch: Vec<WalkDone>,
@@ -344,12 +348,18 @@ impl Mmu {
                 MshrFile::new(tlb.mshrs),
             ),
         };
+        // Waiter lists exist only for in-flight walks, so occupancy is
+        // bounded by the MSHR capacity; double it so tombstone-driven
+        // rehashes stay in place instead of allocating (see
+        // `MshrFile::new`).
+        let waiters = HashMap::with_capacity(2 * mshrs.capacity());
         Self {
             model,
             tlb,
             walker,
             mshrs,
-            waiters: HashMap::new(),
+            waiters,
+            waiter_pool: Vec::new(),
             pending_fills: Vec::new(),
             done_scratch: Vec::new(),
             events: Vec::new(),
@@ -605,7 +615,7 @@ impl Mmu {
                         });
                     }
                 }
-                for warp in waiters {
+                for &warp in &waiters {
                     self.events.push(MmuEvent::Wake {
                         asid: done.asid,
                         warp,
@@ -628,7 +638,7 @@ impl Mmu {
                     // One event per coalesced waiter — a single
                     // unattributed fault would leave merged warps asleep
                     // forever.
-                    for warp in waiters {
+                    for &warp in &waiters {
                         self.events.push(MmuEvent::Fault {
                             asid: done.asid,
                             vpn: done.vpn,
@@ -638,6 +648,13 @@ impl Mmu {
                 }
             }
         }
+        self.recycle_waiters(waiters);
+    }
+
+    /// Returns a drained waiter list to the pool for the next miss.
+    fn recycle_waiters(&mut self, mut list: Vec<u16>) {
+        list.clear();
+        self.waiter_pool.push(list);
     }
 
     /// Drains pending events.
@@ -819,7 +836,9 @@ impl Mmu {
                         .as_mut()
                         .expect("real model has a walker")
                         .enqueue_asid(asid, vpn, home, now);
-                    self.waiters.insert(tkey(asid, vpn), vec![requester]);
+                    let mut list = self.waiter_pool.pop().unwrap_or_default();
+                    list.push(requester);
+                    self.waiters.insert(tkey(asid, vpn), list);
                     self.metrics.record(|| MetricEvent::Miss {
                         asid,
                         vpn: vpn.raw(),
@@ -922,8 +941,11 @@ impl Mmu {
         for (asid, vpn) in squashed {
             self.squashed_walks.inc();
             self.mshrs.release(tkey(asid, vpn));
-            for warp in self.waiters.remove(&tkey(asid, vpn)).unwrap_or_default() {
-                self.events.push(MmuEvent::Squashed { asid, warp, vpn });
+            if let Some(list) = self.waiters.remove(&tkey(asid, vpn)) {
+                for &warp in &list {
+                    self.events.push(MmuEvent::Squashed { asid, warp, vpn });
+                }
+                self.recycle_waiters(list);
             }
         }
     }

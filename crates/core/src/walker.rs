@@ -240,6 +240,29 @@ impl WalkerStats {
     }
 }
 
+/// Reusable buffers for the coalesced walker's batch machinery. Owned
+/// by the walker, cleared (not dropped) at the start of every batch, so
+/// the steady state performs no heap allocation: capacities grow to the
+/// high-water mark of the run and stay there. Never serialized — the
+/// contents are dead between `advance` calls.
+#[derive(Debug, Clone, Default)]
+struct WalkScratch {
+    /// Requests drained from `pending` for the current batch.
+    batch: Vec<WalkRequest>,
+    /// Requests held back by the fairness cap (swapped with `pending`).
+    rest: VecDeque<WalkRequest>,
+    /// Per-ASID requests taken this batch (fairness accounting).
+    taken: Vec<u32>,
+    /// One page-table walk per batched request.
+    walks: Vec<gmmu_vm::Walk>,
+    /// Completion cycle per batched request.
+    walk_complete: Vec<Cycle>,
+    /// Unique PTE loads at the current level with their user walks. The
+    /// inner `Vec`s are recycled slot-by-slot (only a live prefix is
+    /// meaningful each level) so their capacity survives across levels.
+    level_refs: Vec<(u64, Vec<usize>)>,
+}
+
 /// A page-table walker attached to one shader core's TLB.
 ///
 /// Drive it by calling [`Walker::enqueue`] on TLB misses and
@@ -276,6 +299,8 @@ pub struct Walker {
     pwc: Option<Cache>,
     /// Per-ASID fairness scheduler; `None` is the exact legacy FIFO.
     fair: Option<FairState>,
+    /// Reusable batch buffers (see [`WalkScratch`]); not serialized.
+    scratch: WalkScratch,
     /// Statistics.
     pub stats: WalkerStats,
 }
@@ -308,6 +333,7 @@ impl Walker {
             pending: VecDeque::new(),
             pwc,
             fair: None,
+            scratch: WalkScratch::default(),
             stats: WalkerStats::default(),
         }
     }
@@ -468,7 +494,9 @@ impl Walker {
         if let Some(pwc) = self.pwc.as_mut() {
             pwc.flush();
         }
-        self.pending.drain(..).collect()
+        // `Vec::from` rotates the deque's buffer in place — the queue's
+        // allocation is handed to the caller rather than copied.
+        Vec::from(std::mem::take(&mut self.pending))
     }
 
     /// ASID-scoped shootdown: squashes only the queued walks belonging
@@ -678,13 +706,19 @@ impl Walker {
         // contributes at most `tokens` requests per batch — except aged
         // ones, which always board — so one thrashing tenant cannot
         // stretch every batch (and every co-tenant's walk) on its own.
-        let batch: Vec<WalkRequest> = match &self.fair {
-            None => self.pending.drain(..).collect(),
+        // All batch buffers come from the walker's scratch pool: cleared
+        // here, returned at the end, never reallocated in steady state.
+        let mut batch = std::mem::take(&mut self.scratch.batch);
+        batch.clear();
+        match &self.fair {
+            None => batch.extend(self.pending.drain(..)),
             Some(fair) => {
-                let (tokens, max_age) = (fair.tokens, fair.max_age);
-                let mut taken = vec![0u32; fair.n_asids];
-                let mut batch = Vec::new();
-                let mut rest = VecDeque::new();
+                let (tokens, max_age, n_asids) = (fair.tokens, fair.max_age, fair.n_asids);
+                let taken = &mut self.scratch.taken;
+                taken.clear();
+                taken.resize(n_asids, 0);
+                let mut rest = std::mem::take(&mut self.scratch.rest);
+                rest.clear();
                 for r in self.pending.drain(..) {
                     let aged = now.saturating_sub(r.enqueued) >= max_age;
                     let a = r.asid as usize;
@@ -695,23 +729,28 @@ impl Walker {
                         rest.push_back(r);
                     }
                 }
-                self.pending = rest;
-                batch
+                // The drained queue becomes next batch's `rest` buffer.
+                std::mem::swap(&mut self.pending, &mut rest);
+                self.scratch.rest = rest;
             }
-        };
+        }
         self.stats.batch_size.record(batch.len() as u64);
-        let walks: Vec<gmmu_vm::Walk> = batch
-            .iter()
-            .map(|r| spaces[r.asid as usize].walk(r.vpn))
-            .collect();
+        let mut walks = std::mem::take(&mut self.scratch.walks);
+        walks.clear();
+        walks.extend(batch.iter().map(|r| spaces[r.asid as usize].walk(r.vpn)));
         let max_levels = walks.iter().map(|w| w.levels.len()).max().unwrap_or(0);
-        let mut walk_complete: Vec<Cycle> = vec![now; walks.len()];
+        let mut walk_complete = std::mem::take(&mut self.scratch.walk_complete);
+        walk_complete.clear();
+        walk_complete.resize(walks.len(), now);
+        let mut level_refs = std::mem::take(&mut self.scratch.level_refs);
         let mut t = now;
         for li in 0..max_levels {
             // Unique PTE loads at this level, preserving first-seen order
             // and grouping same-line loads adjacently (sort by line then
-            // address; batches are small, so this is cheap).
-            let mut level_refs: Vec<(u64 /*paddr*/, Vec<usize /*walk idx*/>)> = Vec::new();
+            // address; batches are small, so this is cheap). Only the
+            // first `n_refs` slots of `level_refs` are live; dead slots
+            // keep their inner `Vec` capacity for recycling.
+            let mut n_refs = 0usize;
             for (wi, w) in walks.iter().enumerate() {
                 let Some(level) = w.levels.get(li) else {
                     continue;
@@ -725,16 +764,28 @@ impl Walker {
                     level: level.level as u8,
                 });
                 let pa = level.pte_paddr.raw();
-                match level_refs.iter_mut().find(|(a, _)| *a == pa) {
+                match level_refs[..n_refs].iter_mut().find(|(a, _)| *a == pa) {
                     Some((_, users)) => users.push(wi), // duplicate: eliminated
-                    None => level_refs.push((pa, vec![wi])),
+                    None => {
+                        if let Some(slot) = level_refs.get_mut(n_refs) {
+                            slot.0 = pa;
+                            slot.1.clear();
+                            slot.1.push(wi);
+                        } else {
+                            level_refs.push((pa, vec![wi]));
+                        }
+                        n_refs += 1;
+                    }
                 }
             }
-            if level_refs.is_empty() {
+            if n_refs == 0 {
                 break;
             }
-            level_refs.sort_by_key(|(a, _)| (*a >> LINE_SHIFT, *a));
-            let naive_refs: usize = level_refs.iter().map(|(_, u)| u.len()).sum();
+            // Unstable sort: keys are unique (entries were deduplicated
+            // by address), so the order is identical to a stable sort —
+            // without the stable sort's temporary heap buffer.
+            level_refs[..n_refs].sort_unstable_by_key(|(a, _)| (*a >> LINE_SHIFT, *a));
+            let naive_refs: usize = level_refs[..n_refs].iter().map(|(_, u)| u.len()).sum();
             self.stats.refs_naive.add(naive_refs as u64);
             // Issue the unique loads back-to-back; the level's loads are
             // independent, so their latencies overlap. The next level
@@ -746,7 +797,7 @@ impl Walker {
                 .next()
                 .expect("non-empty level");
             let mut level_done = t;
-            for (i, (pa, users)) in level_refs.iter().enumerate() {
+            for (i, (pa, users)) in level_refs[..n_refs].iter().enumerate() {
                 let issue = t + i as u64 * self.config.issue_spacing;
                 let complete =
                     Self::pte_load(&mut self.pwc, &mut self.stats, issue, level, *pa, mem);
@@ -787,6 +838,11 @@ impl Walker {
         }
         self.stats.lane_busy_cycles.add(t - now);
         self.lanes[0] = t;
+        // Hand every buffer back for the next batch.
+        self.scratch.batch = batch;
+        self.scratch.walks = walks;
+        self.scratch.walk_complete = walk_complete;
+        self.scratch.level_refs = level_refs;
     }
 }
 

@@ -79,7 +79,14 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         Self {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            // Twice the occupancy bound: insert/remove churn leaves
+            // tombstones, and hashbrown resizes (allocating) on an
+            // insert that finds no free growth slot *unless* the live
+            // items fit in half the table, in which case it rehashes in
+            // place. The headroom pins every such rehash to the
+            // in-place path, keeping the steady state allocation-free
+            // regardless of the process's hash seed.
+            entries: HashMap::with_capacity(2 * capacity),
             heap: BinaryHeap::with_capacity(capacity),
             peak: 0,
         }

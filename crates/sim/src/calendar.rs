@@ -8,15 +8,37 @@
 //! wake, jumps the clock straight to it, and touches only the
 //! components whose keys fired.
 //!
-//! The structure is a lazy min-heap over an authoritative `wake` array,
-//! the same stale-entry-discard scheme [`gmmu_mem`]'s MSHR file uses:
-//! rescheduling a key never removes its old heap entry; instead, a
-//! popped entry is valid only when it still matches `wake[key]`. This
-//! keeps both `schedule` and pop at `O(log n)` with no decrease-key.
+//! The structure is a *time-wheel front* over a lazy min-heap. Wakes
+//! landing within the next [`WHEEL_SLOTS`] cycles — the overwhelming
+//! majority: cores reschedule themselves a handful of cycles ahead —
+//! go into a per-cycle bucket of a circular wheel, which costs one
+//! `Vec::push` instead of a heap sift. Only far-future wakes (and
+//! wakes scheduled behind the wheel's cursor) take the heap path. Both
+//! tiers share one staleness rule, the same stale-entry-discard scheme
+//! [`gmmu_mem`]'s MSHR file uses: rescheduling a key never removes its
+//! old entry; instead, a drained entry is valid only when it still
+//! matches `wake[key]`. This keeps `schedule` at `O(1)` for near wakes,
+//! `O(log n)` for far ones, with no decrease-key.
+//!
+//! Ordering proof sketch: `take_due(now)` must emit exactly the keys
+//! with `wake[key] <= now`, sorted by key. Every `schedule` that sets
+//! `wake[key] = at` deposits one entry carrying `(at, key)` in either
+//! tier, so an authoritative wake always has at least one live entry;
+//! draining both tiers up to `now` therefore finds every due key, and
+//! stale duplicates are rejected by the `wake[key] == at` check (the
+//! first valid hit clears the slot to [`NEVER`], killing the rest).
+//! Because the result is sorted by key at the end, the *order* in which
+//! the two tiers surface entries is immaterial — the wheel cannot
+//! perturb the serial engine's core-index tie-break.
 
 use crate::{Cycle, NEVER};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+
+/// Number of per-cycle buckets in the wheel front (power of two). Wakes
+/// within `now + WHEEL_SLOTS` cycles bypass the heap entirely.
+const WHEEL_SLOTS: usize = 64;
+const WHEEL_MASK: u64 = WHEEL_SLOTS as u64 - 1;
 
 /// A calendar of wake times, one slot per key.
 ///
@@ -39,7 +61,20 @@ use std::collections::BinaryHeap;
 pub struct Calendar {
     /// Authoritative next wake per key; [`NEVER`] = unscheduled.
     wake: Vec<Cycle>,
-    /// Lazy min-heap of `(cycle, key)` entries; an entry is stale (and
+    /// Wheel front: bucket `c & WHEEL_MASK` holds `(cycle, key)` entries
+    /// for cycle `c` in the window `[wheel_base, wheel_base + SLOTS)`.
+    /// Entries are lazily validated against `wake` when drained. Bucket
+    /// `Vec`s keep their capacity forever — steady state pushes into
+    /// warm buffers and never touches the allocator.
+    wheel: Vec<Vec<(Cycle, u32)>>,
+    /// First cycle the wheel window covers; buckets for cycles below it
+    /// have been drained.
+    wheel_base: Cycle,
+    /// Total entries (live + stale) across wheel buckets, so empty-wheel
+    /// scans and big clock jumps can skip bucket iteration entirely.
+    wheel_len: usize,
+    /// Lazy min-heap of `(cycle, key)` entries for wakes beyond the
+    /// wheel window (or behind its cursor); an entry is stale (and
     /// discarded at pop) unless it equals `wake[key]`.
     heap: BinaryHeap<Reverse<(Cycle, u32)>>,
 }
@@ -49,6 +84,9 @@ impl Calendar {
     pub fn new(n_keys: usize) -> Self {
         Self {
             wake: vec![NEVER; n_keys],
+            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            wheel_base: 0,
+            wheel_len: 0,
             heap: BinaryHeap::with_capacity(n_keys),
         }
     }
@@ -71,7 +109,15 @@ impl Calendar {
             return;
         }
         *slot = at;
-        if at != NEVER {
+        if at == NEVER {
+            return;
+        }
+        // Near wakes ride the wheel; far (or behind-cursor) wakes take
+        // the heap, which handles any cycle.
+        if at.wrapping_sub(self.wheel_base) < WHEEL_SLOTS as u64 && at >= self.wheel_base {
+            self.wheel[(at & WHEEL_MASK) as usize].push((at, key));
+            self.wheel_len += 1;
+        } else {
             self.heap.push(Reverse((at, key)));
         }
     }
@@ -89,11 +135,42 @@ impl Calendar {
     /// The earliest scheduled wake cycle, discarding stale heap entries,
     /// or `None` when nothing is scheduled.
     pub fn peek_cycle(&mut self) -> Option<Cycle> {
+        let wheel_cand = self.peek_wheel();
+        let mut heap_cand = None;
         while let Some(&Reverse((at, key))) = self.heap.peek() {
             if self.wake[key as usize] == at {
-                return Some(at);
+                heap_cand = Some(at);
+                break;
             }
             self.heap.pop();
+        }
+        match (wheel_cand, heap_cand) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    /// Earliest cycle with a live wheel entry, compacting stale entries
+    /// as it scans (at most [`WHEEL_SLOTS`] buckets; the scan stops at
+    /// the first live one, which in steady state is the very next
+    /// bucket).
+    fn peek_wheel(&mut self) -> Option<Cycle> {
+        if self.wheel_len == 0 {
+            return None;
+        }
+        for off in 0..WHEEL_SLOTS as u64 {
+            let c = self.wheel_base + off;
+            let bucket = &mut self.wheel[(c & WHEEL_MASK) as usize];
+            if bucket.is_empty() {
+                continue;
+            }
+            let before = bucket.len();
+            let wake = &self.wake;
+            bucket.retain(|&(at, key)| wake[key as usize] == at);
+            self.wheel_len -= before - bucket.len();
+            if !bucket.is_empty() {
+                return Some(c);
+            }
         }
         None
     }
@@ -103,6 +180,33 @@ impl Calendar {
     /// engine's tie-break), and unschedules them.
     pub fn take_due(&mut self, now: Cycle, out: &mut Vec<u32>) {
         out.clear();
+        // Wheel tier: drain every bucket covering a cycle `<= now`. A
+        // clock jump past the whole window empties all buckets at once;
+        // otherwise at most `now - wheel_base + 1` buckets are touched.
+        if self.wheel_len > 0 && now >= self.wheel_base {
+            let span = now - self.wheel_base;
+            let buckets = if span >= WHEEL_SLOTS as u64 - 1 {
+                WHEEL_SLOTS as u64
+            } else {
+                span + 1
+            };
+            for off in 0..buckets {
+                let c = self.wheel_base + off;
+                let bucket = &mut self.wheel[(c & WHEEL_MASK) as usize];
+                self.wheel_len -= bucket.len();
+                for (at, key) in bucket.drain(..) {
+                    let slot = &mut self.wake[key as usize];
+                    if *slot == at {
+                        *slot = NEVER;
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        if now >= self.wheel_base {
+            self.wheel_base = now + 1;
+        }
+        // Heap tier.
         while let Some(&Reverse((at, key))) = self.heap.peek() {
             if at > now {
                 break;
@@ -126,13 +230,22 @@ impl Calendar {
     /// is reconstructed, dropping any staleness a checkpoint never
     /// carried).
     pub fn from_wakes(wake: Vec<Cycle>) -> Self {
+        // Everything starts on the heap tier; the wheel fills back up as
+        // the engine reschedules (a restore-time transient only — the
+        // two tiers are observationally identical).
         let heap = wake
             .iter()
             .enumerate()
             .filter(|&(_, &at)| at != NEVER)
             .map(|(k, &at)| Reverse((at, k as u32)))
             .collect();
-        Self { wake, heap }
+        Self {
+            wake,
+            wheel: vec![Vec::new(); WHEEL_SLOTS],
+            wheel_base: 0,
+            wheel_len: 0,
+            heap,
+        }
     }
 }
 
@@ -233,6 +346,40 @@ mod tests {
         cal.take_due(20, &mut a);
         restored.take_due(20, &mut b);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wheel_and_heap_tiers_agree_across_window_jumps() {
+        let mut cal = Calendar::new(8);
+        let mut due = Vec::new();
+        // Near wake (wheel), far wake (heap), and a wake exactly at the
+        // window edge.
+        cal.schedule(0, 3);
+        cal.schedule(1, 10_000);
+        cal.schedule(2, 63);
+        cal.schedule(3, 64);
+        assert_eq!(cal.peek_cycle(), Some(3));
+        // Jump the clock far past the whole wheel window.
+        cal.take_due(200, &mut due);
+        assert_eq!(due, vec![0, 2, 3]);
+        assert_eq!(cal.peek_cycle(), Some(10_000));
+        // Scheduling behind the cursor must still fire.
+        cal.schedule(4, 150);
+        cal.schedule(5, 201);
+        assert_eq!(cal.peek_cycle(), Some(150));
+        cal.take_due(201, &mut due);
+        assert_eq!(due, vec![4, 5]);
+        cal.take_due(10_000, &mut due);
+        assert_eq!(due, vec![1]);
+        assert_eq!(cal.peek_cycle(), None);
+        // A reschedule from the heap tier into the wheel tier leaves a
+        // stale heap entry behind; it must not double-fire.
+        cal.schedule(6, 90_000);
+        cal.schedule(6, 10_005);
+        cal.take_due(100_000, &mut due);
+        assert_eq!(due, vec![6]);
+        cal.take_due(100_000, &mut due);
+        assert!(due.is_empty());
     }
 
     /// Cross-check against a linear scan of the authoritative array

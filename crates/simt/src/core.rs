@@ -184,6 +184,12 @@ impl Default for Warp {
 }
 
 /// Execution mode: per-warp stacks or thread block compaction.
+//
+// `TbcState` dwarfs the baseline variant, but there is exactly one
+// `ExecMode` per shader core and it is matched on every cycle — boxing
+// the TBC side would trade a few hundred idle bytes per core for a
+// pointer chase on the hot tick path.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 pub(crate) enum ExecMode {
     Baseline { warps: Vec<Warp> },
@@ -221,9 +227,29 @@ pub(crate) struct MemPath {
     pub timings: CoreTimings,
     pub cbuf: CoalesceBuf,
     pub tbuf: TranslateBuf,
+    /// Scratch for [`MemPath::service_page`]'s line dedup; kept across
+    /// calls so the steady state allocates nothing.
+    seen_lines: Vec<u64>,
+    /// Scratch for [`MemPath::issue_mem`]'s hit-page retain filter.
+    hit_pages: Vec<Vpn>,
+    /// Recycled [`Pending::accesses`] allocations: every committed
+    /// memory instruction parks its address list here for the next one,
+    /// so the issue path stops allocating per instruction.
+    access_pool: Vec<Vec<(VAddr, u16)>>,
 }
 
 impl MemPath {
+    /// Takes a recycled access-list allocation (or a fresh one).
+    pub(crate) fn grab_accesses(&mut self) -> Vec<(VAddr, u16)> {
+        self.access_pool.pop().unwrap_or_default()
+    }
+
+    /// Parks a committed instruction's access list for reuse.
+    pub(crate) fn stash_accesses(&mut self, mut v: Vec<(VAddr, u16)>) {
+        v.clear();
+        self.access_pool.push(v);
+    }
+
     /// Accesses the L1 (and below) for one physical line; returns the
     /// cycle the data is usable and whether the request went to DRAM.
     fn access_line(
@@ -275,7 +301,8 @@ impl MemPath {
         let mut done = now;
         let granule = self.granule;
         let mut dram_seen = false;
-        let mut seen_lines: Vec<u64> = Vec::new();
+        let mut seen_lines = std::mem::take(&mut self.seen_lines);
+        seen_lines.clear();
         for &(va, home) in pending
             .accesses
             .iter()
@@ -301,6 +328,7 @@ impl MemPath {
                 }
             }
         }
+        self.seen_lines = seen_lines;
         pending.touched_dram |= dram_seen;
         pending
             .accesses
@@ -363,11 +391,14 @@ impl MemPath {
                     let done =
                         self.run_accesses(ready_at, &cbuf, &tbuf, pending, mem, Some(&tbuf.hits));
                     pending.overlap_done_at = pending.overlap_done_at.max(done);
-                    let hit_pages: Vec<Vpn> = tbuf.hits.iter().map(|t| t.vpn).collect();
+                    let mut hit_pages = std::mem::take(&mut self.hit_pages);
+                    hit_pages.clear();
+                    hit_pages.extend(tbuf.hits.iter().map(|t| t.vpn));
                     let granule = self.granule;
                     pending
                         .accesses
                         .retain(|(va, _)| !hit_pages.contains(&granule_vpn(*va, granule)));
+                    self.hit_pages = hit_pages;
                 }
                 MemIssue::WaitTlb(misses)
             }
@@ -499,6 +530,37 @@ pub struct ShaderCore {
     /// [`ShaderCore::resolve_fault`], [`ShaderCore::shootdown`]) drop it
     /// too.
     next_event_cache: Cell<Option<Option<Cycle>>>,
+    /// Memoized core-local timer scan (the non-MMU half of
+    /// [`ShaderCore::next_event_at`]): `None` = invalid, `Some(inner)`
+    /// = the last computed answer, where `inner` is `None` for a core
+    /// with no work and otherwise the earliest core timer (possibly
+    /// `Cycle::MAX` when only the MMU can wake it). Unlike
+    /// `next_event_cache` it survives ticks where only the MMU was
+    /// busy: in-flight walks advance without touching unit state until
+    /// an event drains, and drained events drop this cache. A cached
+    /// timer at or before `now` forces a recompute (the unit it named
+    /// became schedulable).
+    core_timer_cache: Cell<Option<Option<Cycle>>>,
+    /// Memoized idle verdict from the last full no-issue warp scan:
+    /// `(next_ready, live)` — no baseline warp can become schedulable
+    /// before `next_ready` (the earliest armed timer among units that
+    /// are neither waiting on pages nor faulted), and `live` is whether
+    /// any warp was live at all. While `now < next_ready` and nothing
+    /// external intervened (no dispatch, no drained event — both of
+    /// which run before the scan and refresh it), the round-robin issue
+    /// scan is provably a no-op and the tick skips it. Never set when a
+    /// schedulable (even policy-gated) warp exists: gated warps must
+    /// re-consult `issue_allowed` every cycle, as `policy.tick` can
+    /// open the gate.
+    idle_cache: Cell<Option<(Cycle, bool)>>,
+    /// Memoized stall classification: `(cause, valid_until)`. On a quiet
+    /// tick no unit state changes, so the classification from the last
+    /// idle cycle still holds — until `now` reaches `valid_until`, the
+    /// earliest `ready_at` that could flip a sleeping unit's cause. Any
+    /// tick that mutates unit state drops it (same discipline as
+    /// `next_event_cache`), so re-scanning every warp per idle cycle is
+    /// replaced by a `Cell` read on the common path.
+    stall_cache: Cell<Option<(StallCause, Cycle)>>,
 }
 
 impl ShaderCore {
@@ -530,6 +592,9 @@ impl ShaderCore {
                 timings: cfg.timings,
                 cbuf: CoalesceBuf::new(),
                 tbuf: TranslateBuf::new(),
+                seen_lines: Vec::new(),
+                hit_pages: Vec::new(),
+                access_pool: Vec::new(),
             },
             exec,
             rr_ptr: 0,
@@ -542,6 +607,9 @@ impl ShaderCore {
             fault_waiters: std::collections::HashMap::new(),
             pending_faults: Vec::new(),
             next_event_cache: Cell::new(None),
+            idle_cache: Cell::new(None),
+            core_timer_cache: Cell::new(None),
+            stall_cache: Cell::new(None),
         }
     }
 
@@ -552,7 +620,7 @@ impl ShaderCore {
 
     /// Queues tenant `asid`'s thread block for execution on this core.
     pub fn push_block_asid(&mut self, asid: u16, first_tid: ThreadId, n_threads: u32) {
-        self.next_event_cache.set(None);
+        self.drop_timer_caches();
         self.block_queue.push_back(BlockWork {
             asid,
             first_tid,
@@ -685,13 +753,13 @@ impl ShaderCore {
 
     /// Fills free block slots from the queue; returns whether any block
     /// was dispatched. `kernels` is indexed by each queued block's ASID.
-    fn dispatch_blocks(
-        &mut self,
-        kernels: &[&dyn Kernel],
-        now: Cycle,
-        tracer: &mut Tracer,
-    ) -> bool {
-        self.reap_blocks(now, tracer);
+    fn dispatch_blocks(&mut self, kernels: &[&dyn Kernel], now: Cycle) -> bool {
+        // Finished slots were reaped at the end of the tick that retired
+        // them (nothing changes between ticks), so dispatch only needs
+        // to scan for free slots when there is something to place.
+        if self.block_queue.is_empty() {
+            return false;
+        }
         let mut dispatched = false;
         match &mut self.exec {
             ExecMode::Baseline { warps } => {
@@ -782,15 +850,51 @@ impl ShaderCore {
         self.next_event_cache.set(None);
     }
 
-    /// The uncached scan behind [`ShaderCore::next_event_at`].
+    /// Drops both per-tick memoizations (next-event and stall cause);
+    /// called wherever unit state changes outside a quiet tick.
+    fn drop_timer_caches(&self) {
+        self.next_event_cache.set(None);
+        self.idle_cache.set(None);
+        self.core_timer_cache.set(None);
+        self.stall_cache.set(None);
+    }
+
+    /// The scan behind [`ShaderCore::next_event_at`]: the MMU's next
+    /// timer is read fresh (walks in flight move it every cycle), the
+    /// core-local half comes from `core_timer_cache` when still valid.
     fn compute_next_event_at(&self, now: Cycle) -> Option<Cycle> {
+        let core_part = match self.core_timer_cache.get() {
+            Some(inner) if inner.is_none_or(|c| c > now) => inner,
+            _ => {
+                let fresh = self.compute_core_timers(now);
+                // TBC timers fold tick-local state the cache discipline
+                // does not track; only the baseline scan is memoized.
+                if matches!(self.exec, ExecMode::Baseline { .. }) {
+                    self.core_timer_cache.set(Some(fresh));
+                }
+                fresh
+            }
+        };
+        let mut next = core_part?;
+        if let Some(c) = self.path.mmu.next_event_at() {
+            next = next.min(c.max(now + 1));
+        }
+        // A live core with no discernible timer must not be skipped
+        // past (defensive: guarantees forward progress).
+        Some(if next == Cycle::MAX { now + 1 } else { next })
+    }
+
+    /// The core-local timer sources: unit `ready_at` timers, the policy
+    /// decay epoch that may release a throttled unit, and dispatch into
+    /// a free slot. `None` when the core has no work at all. Every
+    /// returned cycle exceeds `now` (timers beyond `now`, `now + 1`
+    /// floors), which is what lets the memoized value's staleness be
+    /// detected by comparison against the current cycle alone.
+    fn compute_core_timers(&self, now: Cycle) -> Option<Cycle> {
         if !self.has_work() {
             return None;
         }
         let mut next = Cycle::MAX;
-        if let Some(c) = self.path.mmu.next_event_at() {
-            next = next.min(c.max(now + 1));
-        }
         match &self.exec {
             ExecMode::Baseline { warps } => {
                 let mut throttled = false;
@@ -832,9 +936,7 @@ impl ShaderCore {
                 }
             }
         }
-        // A live core with no discernible timer must not be skipped
-        // past (defensive: guarantees forward progress).
-        Some(if next == Cycle::MAX { now + 1 } else { next })
+        Some(next)
     }
 
     /// Accounts `skipped` elided cycles exactly as per-cycle ticking
@@ -852,7 +954,14 @@ impl ShaderCore {
             ExecMode::Tbc(t) => t.has_work(),
         };
         if live {
-            let cause = classify_stall(&self.exec, now);
+            let cause = match self.stall_cache.get() {
+                Some((cause, valid_until)) if now < valid_until => cause,
+                _ => {
+                    let fresh = classify_stall(&self.exec, now);
+                    self.stall_cache.set(Some(fresh));
+                    fresh.0
+                }
+            };
             self.path.stats.live_cycles.add(skipped);
             self.path.stats.idle_cycles.add(skipped);
             self.path.stats.stall_breakdown.add(cause, skipped);
@@ -863,7 +972,7 @@ impl ShaderCore {
     /// shootdown epoch bump; the resulting [`MmuEvent::Squashed`] events
     /// drain on this core's next tick.
     pub fn shootdown(&mut self, now: Cycle) {
-        self.next_event_cache.set(None);
+        self.drop_timer_caches();
         self.path.mmu.shootdown(now);
     }
 
@@ -871,7 +980,7 @@ impl ShaderCore {
     /// flushes only its TLB entries (or, in flush-on-switch mode, the
     /// whole TLB when the victim is resident).
     pub fn shootdown_asid(&mut self, now: Cycle, asid: u16) {
-        self.next_event_cache.set(None);
+        self.drop_timer_caches();
         self.path.mmu.shootdown_asid(now, asid);
     }
 
@@ -905,7 +1014,7 @@ impl ShaderCore {
         };
         // This arms `ready_at` timers outside of a tick: the cached
         // next-event value could otherwise skip straight past the wake.
-        self.next_event_cache.set(None);
+        self.drop_timer_caches();
         for unit in waiters {
             match &mut self.exec {
                 ExecMode::Baseline { warps } => {
@@ -1036,7 +1145,7 @@ impl ShaderCore {
         ctx: &mut RunCtx<'_, '_>,
         tracer: &mut Tracer,
     ) -> u64 {
-        let dispatched = self.dispatch_blocks(ctx.kernels, now, tracer);
+        let dispatched = self.dispatch_blocks(ctx.kernels, now);
         let pid = self.id as u32;
         let path = &mut self.path;
         path.l1_mshrs.expire(now);
@@ -1077,6 +1186,7 @@ impl ShaderCore {
                                 w.wait = WaitKind::MemData {
                                     dram: p.touched_dram,
                                 };
+                                path.stash_accesses(p.accesses);
                                 let stack = w.stack.as_mut().expect("waiting warp is live");
                                 let (pc, _) = stack.current().expect("live");
                                 stack.advance(pc + 1);
@@ -1136,21 +1246,49 @@ impl ShaderCore {
             cpm.tick(now);
         }
 
-        // Captured before issuing (which mutates): whether any unit
-        // could act this cycle. A schedulable-but-gated warp counts —
-        // `issue_allowed` perturbs policy state even when it denies.
-        let could_issue = match &self.exec {
-            ExecMode::Baseline { warps } => warps.iter().any(|w| w.schedulable(now)),
-            ExecMode::Tbc(t) => t.has_ready_work(now),
+        // One scan both issues and observes: `could_issue` is whether
+        // any unit could act this cycle (captured against pre-issue
+        // state — a schedulable-but-gated warp counts, as
+        // `issue_allowed` perturbs policy state even when it denies),
+        // and on a no-issue scan — which visited every warp anyway —
+        // liveness falls out for free. Only an issuing tick (where the
+        // executed instruction may have retired its warp) re-checks
+        // liveness, and that `any` scan short-circuits at the first
+        // live warp.
+        // Skip the scan outright when the last full scan proved no unit
+        // can become schedulable before `now` absent a dispatch or a
+        // drained event (both of which refresh the verdict below).
+        let idle_verdict = match self.idle_cache.get() {
+            Some((until, live)) if !dispatched && self.events.is_empty() && now < until => {
+                Some(live)
+            }
+            _ => None,
         };
-        let issued: u64 = match &mut self.exec {
+        let (issued, could_issue, live): (u64, bool, bool) = match &mut self.exec {
+            ExecMode::Baseline { .. } if idle_verdict.is_some() => {
+                (0, false, idle_verdict.expect("checked"))
+            }
             ExecMode::Baseline { warps } => {
-                baseline_issue(path, warps, &mut self.rr_ptr, now, mem, ctx)
-                    .map_or(0, |asid| 1u64 << (asid as u32 & 63))
+                let scan = baseline_issue(path, warps, &mut self.rr_ptr, now, mem, ctx);
+                let issued = scan
+                    .issued_asid
+                    .map_or(0, |asid| 1u64 << (asid as u32 & 63));
+                let live = match scan.live_if_unissued {
+                    Some(live) => live,
+                    None => warps.iter().any(|w| !w.is_done()),
+                };
+                // Every real scan refreshes the idle verdict: valid only
+                // when not even a policy-gated unit was schedulable.
+                self.idle_cache.set(match scan.live_if_unissued {
+                    Some(l) if !scan.saw_schedulable => Some((scan.next_ready, l)),
+                    _ => None,
+                });
+                (issued, scan.saw_schedulable, live)
             }
             ExecMode::Tbc(t) => {
                 debug_assert_eq!(ctx.spaces.len(), 1, "TBC is single-tenant");
-                u64::from(t.issue(
+                let could = t.has_ready_work(now);
+                let issued = u64::from(t.issue(
                     path,
                     now,
                     mem,
@@ -1159,30 +1297,48 @@ impl ShaderCore {
                     ctx.iters,
                     tracer,
                     pid,
-                ))
+                ));
+                (issued, could, t.has_work())
             }
         };
-        let live = match &self.exec {
-            ExecMode::Baseline { warps } => warps.iter().any(|w| !w.is_done()),
-            ExecMode::Tbc(t) => t.has_work(),
-        };
-        if live {
-            path.stats.live_cycles.inc();
-            if issued == 0 {
-                let cause = classify_stall(&self.exec, now);
-                path.stats.idle_cycles.inc();
-                path.stats.stall_breakdown.add(cause, 1);
-            }
-        }
-        // A quiet tick touched nothing `next_event_at` reads: no block
-        // dispatched, the MMU had nothing to advance, no events drained,
-        // and no unit could issue (so no executor or policy mutation
-        // either). Only then may the memoized next-event value survive.
+        // A quiet tick touched nothing `next_event_at` or the stall
+        // classifier reads: no block dispatched, the MMU had nothing to
+        // advance, no events drained, and no unit could issue (so no
+        // executor or policy mutation either). Only then may the
+        // memoized values survive into this cycle's classification.
         let quiet = !dispatched && mmu_was_idle && self.events.is_empty() && !could_issue;
         if !quiet {
             self.next_event_cache.set(None);
         }
-        self.reap_blocks(now, tracer);
+        // Unit state (what the stall classifier and the core-timer scan
+        // read) is untouched by a busy-but-eventless MMU: walks advance
+        // internally and only a drained event wakes a unit. So these
+        // two caches survive MMU-busy cycles that `next_event_cache`
+        // (which folds MMU timers) cannot.
+        if dispatched || !self.events.is_empty() || could_issue {
+            self.core_timer_cache.set(None);
+            self.stall_cache.set(None);
+        }
+        if live {
+            path.stats.live_cycles.inc();
+            if issued == 0 {
+                let cause = match self.stall_cache.get() {
+                    Some((cause, valid_until)) if now < valid_until => cause,
+                    _ => {
+                        let fresh = classify_stall(&self.exec, now);
+                        self.stall_cache.set(Some(fresh));
+                        fresh.0
+                    }
+                };
+                path.stats.idle_cycles.inc();
+                path.stats.stall_breakdown.add(cause, 1);
+            }
+        }
+        // Blocks can only finish on a tick that mutated unit state, so
+        // a quiet tick has nothing to reap.
+        if !quiet {
+            self.reap_blocks(now, tracer);
+        }
         issued
     }
 }
@@ -1194,9 +1350,15 @@ impl ShaderCore {
 /// gated by the locality policy — `baseline_issue` issues the first
 /// schedulable non-gated warp — so it classifies as `Throttled` without
 /// consulting (and perturbing) the policy.
-fn classify_stall(exec: &ExecMode, now: Cycle) -> StallCause {
+fn classify_stall(exec: &ExecMode, now: Cycle) -> (StallCause, Cycle) {
     let mut best: Option<StallCause> = None;
     let mut note = |c: StallCause| best = Some(best.map_or(c, |b| b.min(c)));
+    // How long the classification stays valid absent state changes: the
+    // earliest armed `ready_at` beyond `now`. Waiting/faulted units only
+    // change cause via an event or fault resolution, both of which drop
+    // the cache; a timer expiry alone can flip a sleeping unit to
+    // schedulable, so the cache must not outlive the nearest one.
+    let mut valid_until = Cycle::MAX;
     match exec {
         ExecMode::Baseline { warps } => {
             for w in warps {
@@ -1208,21 +1370,46 @@ fn classify_stall(exec: &ExecMode, now: Cycle) -> StallCause {
                 } else if w.waiting_pages > 0 {
                     note(StallCause::TlbFill);
                 } else if w.ready_at > now {
+                    valid_until = valid_until.min(w.ready_at);
                     note(w.wait.cause());
                 } else {
                     note(StallCause::Throttled);
                 }
             }
         }
-        ExecMode::Tbc(t) => t.classify_stall(now, &mut note),
+        ExecMode::Tbc(t) => {
+            // TBC unit state is not scanned for a bound; the cache is
+            // simply never reused (valid only at the computing cycle).
+            valid_until = now;
+            t.classify_stall(now, &mut note);
+        }
     }
     // No live unit at all (work still queued behind full slots or an
     // empty pipeline between blocks): a dispatch drought.
-    best.unwrap_or(StallCause::Dispatch)
+    (best.unwrap_or(StallCause::Dispatch), valid_until)
 }
 
-/// Picks and executes one instruction from the baseline warps; returns
-/// the issuing warp's ASID when one issued.
+/// What one round-robin pass over the baseline warps establishes.
+struct IssueScan {
+    /// The issuing warp's ASID, when one issued.
+    issued_asid: Option<u16>,
+    /// Whether any warp was schedulable at scan time (a policy-gated
+    /// warp counts; this is the pre-issue `could_issue` predicate).
+    saw_schedulable: bool,
+    /// Liveness observed by the scan — `Some` only when nothing issued,
+    /// in which case every warp was visited and no state changed, so
+    /// the answer is exact. An issuing scan stops early (and the issued
+    /// instruction may retire its warp), so the caller re-checks.
+    live_if_unissued: Option<bool>,
+    /// Earliest `ready_at` beyond `now` among units that only a timer
+    /// (not a fill or fault resolution) keeps from issuing; `Cycle::MAX`
+    /// when none. Meaningful only on a no-issue scan.
+    next_ready: Cycle,
+}
+
+/// Picks and executes one instruction from the baseline warps. The same
+/// pass records the schedulability and liveness facts the tick needs,
+/// so idle cycles cost one warp scan instead of three.
 fn baseline_issue(
     path: &mut MemPath,
     warps: &mut [Warp],
@@ -1230,13 +1417,24 @@ fn baseline_issue(
     now: Cycle,
     mem: &mut dyn MemPort,
     ctx: &mut RunCtx<'_, '_>,
-) -> Option<u16> {
+) -> IssueScan {
     let n = warps.len();
+    let mut saw_schedulable = false;
+    let mut any_live = false;
+    let mut next_ready = Cycle::MAX;
     for off in 0..n {
         let w = (*rr_ptr + off) % n;
         if !warps[w].schedulable(now) {
+            let wp = &warps[w];
+            if !wp.is_done() {
+                any_live = true;
+                if wp.waiting_pages == 0 && wp.faulted_pages == 0 && wp.ready_at > now {
+                    next_ready = next_ready.min(wp.ready_at);
+                }
+            }
             continue;
         }
+        saw_schedulable = true;
         // CCWS-style throttling gates *memory* instructions: throttled
         // warps may still run ALU/branch work, and a warp with a pending
         // memory instruction replays regardless (it holds MSHRs).
@@ -1250,15 +1448,26 @@ fn baseline_issue(
                 ctx.kernels[warps[w].asid as usize].program().op(pc),
                 Op::Mem { .. }
             ) {
+                any_live = true;
                 continue;
             }
         }
         let asid = warps[w].asid;
         exec_one(path, warps, w, now, mem, ctx);
         *rr_ptr = (w + 1) % n;
-        return Some(asid);
+        return IssueScan {
+            issued_asid: Some(asid),
+            saw_schedulable: true,
+            live_if_unissued: None,
+            next_ready: Cycle::MAX,
+        };
     }
-    None
+    IssueScan {
+        issued_asid: None,
+        saw_schedulable,
+        live_if_unissued: Some(any_live),
+        next_ready,
+    }
 }
 
 /// Executes the next instruction of baseline warp `w` against its
@@ -1313,7 +1522,7 @@ fn exec_one(
         }
         Op::Mem { site, kind } => {
             if warp.pending.is_none() {
-                let mut accesses = Vec::with_capacity(mask.count_ones() as usize);
+                let mut accesses = path.grab_accesses();
                 for lane in 0..32 {
                     if mask & (1 << lane) != 0 {
                         let tid = warp.first_tid + lane;
@@ -1346,6 +1555,7 @@ fn exec_one(
                         dram: pending.touched_dram,
                     };
                     warp.stack.as_mut().expect("live warp").advance(pc + 1);
+                    path.stash_accesses(pending.accesses);
                 }
                 MemIssue::WaitTlb(misses) => {
                     warp.waiting_pages = misses;
@@ -1568,7 +1778,7 @@ impl Ckpt for ShaderCore {
         self.fault_waiters = waiters.into_iter().collect();
         self.pending_faults.load(r)?;
         self.events.clear();
-        self.next_event_cache.set(None);
+        self.drop_timer_caches();
         Ok(())
     }
 }

@@ -425,6 +425,20 @@ struct TenantCtx<'k, 'a> {
 /// time tracking.
 const UNFINISHED: Cycle = Cycle::MAX;
 
+/// Recycles a `Vec` of shared references across borrow regions: clears
+/// it and re-types the (now empty) allocation with a fresh lifetime.
+/// The drive loops rebuild their tenant `spaces` slice every cycle —
+/// fault handling takes `&mut` access to the spaces in between, so the
+/// references themselves cannot be kept — and this lets the rebuild
+/// reuse one allocation instead of heap-allocating per cycle.
+fn recycle_refs<'b, T>(mut v: Vec<&T>) -> Vec<&'b T> {
+    v.clear();
+    // SAFETY: the vector is empty, so no reference values survive the
+    // cast; the layout of `Vec<&T>` is independent of the reference
+    // lifetime, which is the only thing that changes.
+    unsafe { std::mem::transmute(v) }
+}
+
 /// The drive loop's clock state bundled for checkpointing.
 struct DriveClocks<'s> {
     now: Cycle,
@@ -841,6 +855,7 @@ impl Gpu {
         let mut fault_q: Vec<((u16, Vpn), Cycle)> = Vec::new();
         let mut fault_scratch: Vec<(u16, Vpn)> = Vec::new();
         let mut resolved_scratch: Vec<(u16, Vpn)> = Vec::new();
+        let mut spaces_pool: Vec<&AddressSpace> = Vec::with_capacity(n_t);
         let mut last_epoch: Vec<u64> = tenants
             .iter()
             .map(|t| t.space.get().shootdown_epoch())
@@ -927,10 +942,10 @@ impl Gpu {
                     }
                 }
             }
+            let mut spaces = recycle_refs(std::mem::take(&mut spaces_pool));
+            spaces.extend(tenants.iter().map(|t| t.space.get()));
             let (issued, live) = match pool {
                 None => {
-                    let spaces: Vec<&AddressSpace> =
-                        tenants.iter().map(|t| t.space.get()).collect();
                     let mut ctx = RunCtx {
                         spaces: &spaces,
                         kernels: &kernels,
@@ -946,8 +961,6 @@ impl Gpu {
                     (issued, live)
                 }
                 Some(pool) => {
-                    let spaces: Vec<&AddressSpace> =
-                        tenants.iter().map(|t| t.space.get()).collect();
                     let issued = pool.run_cycle(
                         &mut self.cores,
                         &mut self.mem,
@@ -969,6 +982,7 @@ impl Gpu {
                     (issued, live)
                 }
             };
+            spaces_pool = recycle_refs(spaces);
             // Metric staging buffers drain into the observer's sink in
             // core-index order every cycle; sink folds are commutative,
             // so the snapshot is independent of which engine produced
@@ -1280,6 +1294,7 @@ impl Gpu {
         let mut fault_q: Vec<((u16, Vpn), Cycle)> = Vec::new();
         let mut fault_scratch: Vec<(u16, Vpn)> = Vec::new();
         let mut resolved_scratch: Vec<(u16, Vpn)> = Vec::new();
+        let mut spaces_pool: Vec<&AddressSpace> = Vec::with_capacity(n_t);
         // Per core: the last cycle whose live/idle accounting has been
         // recorded (by a tick or a flushed idle span).
         let mut accounted: Vec<Cycle> = vec![0; n];
@@ -1483,7 +1498,8 @@ impl Gpu {
             let mut issued = 0u64;
             fault_scratch.clear();
             {
-                let spaces: Vec<&AddressSpace> = tenants.iter().map(|t| t.space.get()).collect();
+                let mut spaces = recycle_refs(std::mem::take(&mut spaces_pool));
+                spaces.extend(tenants.iter().map(|t| t.space.get()));
                 let mut ctx = RunCtx {
                     spaces: &spaces,
                     kernels: &kernels,
@@ -1512,6 +1528,7 @@ impl Gpu {
                         }
                     }
                 }
+                spaces_pool = recycle_refs(spaces);
             }
             // Same drain as the serial loop; cores not due this cycle
             // ran no MMU work and so staged nothing.

@@ -67,10 +67,6 @@ impl Dwarp {
             && self.faulted_pages == 0
             && self.ready_at <= now
     }
-
-    fn thread_count(&self) -> usize {
-        self.lanes.iter().filter(|l| l.is_some()).count()
-    }
 }
 
 impl Default for Dwarp {
@@ -102,6 +98,13 @@ struct TbcBlock {
     started: Cycle,
 }
 
+/// A dynamic warp being assembled by [`TbcState::compact_threads`].
+#[derive(Debug)]
+struct Building {
+    lanes: [Option<ThreadId>; 32],
+    homes: Vec<u16>,
+}
+
 /// The TBC executor of one shader core.
 #[derive(Debug)]
 pub(crate) struct TbcState {
@@ -112,6 +115,19 @@ pub(crate) struct TbcState {
     free_units: Vec<u16>,
     rr: usize,
     cand_scratch: Vec<u16>,
+    /// Recycled unit-list allocations: retired [`TbcLevel::units`]
+    /// vectors parked here for the next dispatch or compaction, so
+    /// block/branch events stop heap-allocating in steady state.
+    u16_pool: Vec<Vec<u16>>,
+    /// Branch-evaluation scratch: taken/fall-through thread sets and a
+    /// copy of the level's units, reused across branch events.
+    taken_scratch: Vec<ThreadId>,
+    fall_scratch: Vec<ThreadId>,
+    old_units_scratch: Vec<u16>,
+    /// Compaction scratch: dynamic warps under construction, reused via
+    /// a live-prefix convention (entries beyond the current call's
+    /// count are stale but keep their `homes` allocations).
+    building_scratch: Vec<Building>,
 }
 
 impl TbcState {
@@ -133,6 +149,11 @@ impl TbcState {
             free_units: Vec::new(),
             rr: 0,
             cand_scratch: Vec::new(),
+            u16_pool: Vec::new(),
+            taken_scratch: Vec::new(),
+            fall_scratch: Vec::new(),
+            old_units_scratch: Vec::new(),
+            building_scratch: Vec::new(),
         }
     }
 
@@ -296,6 +317,7 @@ impl TbcState {
                 u.wait = WaitKind::MemData {
                     dram: p.touched_dram,
                 };
+                path.stash_accesses(p.accesses);
                 u.pc += 1;
                 // done_at_rpc is fixed up against the unit's level by
                 // maintain_block via the rpc check below.
@@ -395,7 +417,7 @@ impl TbcState {
                 return dispatched;
             };
             dispatched = true;
-            let mut units = Vec::new();
+            let mut units = self.grab_units();
             for w in 0..self.warps_per_block {
                 let first = work.first_tid + (w as u32) * 32;
                 let in_block = work.n_threads.saturating_sub((w as u32) * 32).min(32);
@@ -419,11 +441,12 @@ impl TbcState {
             block.active = true;
             block.first_tid = work.first_tid;
             block.started = now;
-            block.levels = vec![TbcLevel {
+            block.levels.clear();
+            block.levels.push(TbcLevel {
                 rpc: end_pc,
                 units,
                 resume_pc: None,
-            }];
+            });
         }
         dispatched
     }
@@ -527,11 +550,23 @@ impl TbcState {
         }
     }
 
+    /// Takes a recycled unit-list allocation (or a fresh one).
+    fn grab_units(&mut self) -> Vec<u16> {
+        self.u16_pool.pop().unwrap_or_default()
+    }
+
+    /// Parks a retired unit-list allocation for reuse.
+    fn stash_units(&mut self, mut v: Vec<u16>) {
+        v.clear();
+        self.u16_pool.push(v);
+    }
+
     fn pop_level(&mut self, b: usize, now: Cycle) {
         let level = self.blocks[b].levels.pop().expect("pop on empty stack");
-        for u in level.units {
+        for &u in &level.units {
             self.free_unit(u);
         }
+        self.stash_units(level.units);
         // If the new top is a paused parent, its children have all
         // popped (children always sit above their parent): resume it.
         let Some(top) = self.blocks[b].levels.last_mut() else {
@@ -582,10 +617,14 @@ impl TbcState {
         };
         let fall_pc = branch_pc + 1;
         // Evaluate outcomes; threads in units already done-at-rpc do not
-        // participate (they exited this level earlier).
-        let mut taken_threads = Vec::new();
-        let mut fall_threads = Vec::new();
-        let old_units: Vec<u16> = top.units.clone();
+        // participate (they exited this level earlier). All three
+        // buffers are pooled scratch, handed back on every exit path.
+        let mut taken_threads = std::mem::take(&mut self.taken_scratch);
+        taken_threads.clear();
+        let mut fall_threads = std::mem::take(&mut self.fall_scratch);
+        fall_threads.clear();
+        let mut old_units = std::mem::take(&mut self.old_units_scratch);
+        old_units.clone_from(&self.blocks[b].levels.last().expect("non-empty").units);
         for &u in &old_units {
             let unit = &self.units[u as usize];
             if !unit.at_branch {
@@ -609,11 +648,14 @@ impl TbcState {
         if taken_threads.is_empty() || fall_threads.is_empty() {
             // Uniform outcome: recompact everyone onto the single target.
             let (threads, pc) = if fall_threads.is_empty() {
-                (taken_threads, taken_pc)
+                (&taken_threads, taken_pc)
             } else {
-                (fall_threads, fall_pc)
+                (&fall_threads, fall_pc)
             };
             self.retarget_level(b, threads, pc, now, path);
+            self.taken_scratch = taken_threads;
+            self.fall_scratch = fall_threads;
+            self.old_units_scratch = old_units;
             return;
         }
 
@@ -622,11 +664,14 @@ impl TbcState {
         // ancestor level holds them), the other side continues in place.
         if reconv_pc == level_rpc && (taken_pc == reconv_pc) != (fall_pc == reconv_pc) {
             let (cont, cont_pc) = if taken_pc == reconv_pc {
-                (fall_threads, fall_pc)
+                (&fall_threads, fall_pc)
             } else {
-                (taken_threads, taken_pc)
+                (&taken_threads, taken_pc)
             };
             self.retarget_level(b, cont, cont_pc, now, path);
+            self.taken_scratch = taken_threads;
+            self.fall_scratch = fall_threads;
+            self.old_units_scratch = old_units;
             return;
         }
 
@@ -671,6 +716,9 @@ impl TbcState {
                 }
             }
         }
+        self.taken_scratch = taken_threads;
+        self.fall_scratch = fall_threads;
+        self.old_units_scratch = old_units;
     }
 
     /// Replaces the top level's units with a fresh compaction of
@@ -678,21 +726,23 @@ impl TbcState {
     fn retarget_level(
         &mut self,
         b: usize,
-        threads: Vec<ThreadId>,
+        threads: &[ThreadId],
         pc: u32,
         now: Cycle,
         path: &mut MemPath,
     ) {
-        let old: Vec<u16> = self.blocks[b]
-            .levels
-            .last()
-            .expect("retarget needs a level")
-            .units
-            .clone();
-        for u in old {
+        let old = std::mem::take(
+            &mut self.blocks[b]
+                .levels
+                .last_mut()
+                .expect("retarget needs a level")
+                .units,
+        );
+        for &u in &old {
             self.free_unit(u);
         }
-        let units = self.compact_threads(b, &threads, pc, now, path);
+        self.stash_units(old);
+        let units = self.compact_threads(b, threads, pc, now, path);
         let top = self.blocks[b].levels.last_mut().expect("non-empty");
         let rpc = top.rpc;
         top.units = units;
@@ -711,18 +761,17 @@ impl TbcState {
         now: Cycle,
         path: &mut MemPath,
     ) -> Vec<u16> {
-        struct Building {
-            lanes: [Option<ThreadId>; 32],
-            homes: Vec<u16>,
-        }
         let block_first = self.blocks[b].first_tid;
         let base_warp = self.blocks[b].base_warp;
         let tlb_aware = self.cfg.tlb_aware;
-        let mut building: Vec<Building> = Vec::new();
+        // Live-prefix scratch: `building[..n_build]` are this call's
+        // warps; stale entries beyond keep their `homes` allocations.
+        let mut building = std::mem::take(&mut self.building_scratch);
+        let mut n_build = 0usize;
         for &tid in threads {
             let lane = ((tid - block_first) % 32) as usize;
             let home = base_warp + ((tid - block_first) / 32) as u16;
-            let slot = building.iter_mut().find(|d| {
+            let slot = building[..n_build].iter_mut().find(|d| {
                 d.lanes[lane].is_none()
                     && (!tlb_aware
                         || path
@@ -740,19 +789,28 @@ impl TbcState {
                 None => {
                     let mut lanes = [None; 32];
                     lanes[lane] = Some(tid);
-                    building.push(Building {
-                        lanes,
-                        homes: vec![home],
-                    });
+                    if n_build < building.len() {
+                        let d = &mut building[n_build];
+                        d.lanes = lanes;
+                        d.homes.clear();
+                        d.homes.push(home);
+                    } else {
+                        building.push(Building {
+                            lanes,
+                            homes: vec![home],
+                        });
+                    }
+                    n_build += 1;
                 }
             }
         }
         let ready = now + path.timings.branch_latency;
-        let mut out = Vec::with_capacity(building.len());
-        for d in building {
+        let mut out = self.grab_units();
+        for built in building.iter().take(n_build) {
             path.stats.dwarps_formed.inc();
+            let lanes = built.lanes;
             let id = self.alloc_unit(Dwarp {
-                lanes: d.lanes,
+                lanes,
                 block: b as u16,
                 pc,
                 ready_at: ready,
@@ -761,6 +819,7 @@ impl TbcState {
             });
             out.push(id);
         }
+        self.building_scratch = building;
         out
     }
 
@@ -805,8 +864,8 @@ impl TbcState {
                 let block_first = self.blocks[block_idx].first_tid;
                 let base_warp = self.blocks[block_idx].base_warp;
                 if self.units[u as usize].pending.is_none() {
+                    let mut accesses = path.grab_accesses();
                     let unit = &self.units[u as usize];
-                    let mut accesses = Vec::with_capacity(unit.thread_count());
                     for tid in unit.lanes.iter().flatten() {
                         let slot = *tid as usize * num_sites + site as usize;
                         let iter = iters[slot];
@@ -838,6 +897,7 @@ impl TbcState {
                         };
                         unit.pc = pc + 1;
                         unit.done_at_rpc = unit.pc == level_rpc;
+                        path.stash_accesses(pending.accesses);
                     }
                     MemIssue::WaitTlb(misses) => {
                         let unit = &mut self.units[u as usize];
@@ -946,6 +1006,10 @@ impl Ckpt for TbcState {
         self.free_units.load(r)?;
         self.rr = r.usize()?;
         self.cand_scratch.clear();
+        self.taken_scratch.clear();
+        self.fall_scratch.clear();
+        self.old_units_scratch.clear();
+        self.building_scratch.clear();
         Ok(())
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::addr::{PAddr, PageSize, Ppn, Vpn, FRAMES_PER_LARGE};
 use crate::frame::FrameAlloc;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Bytes per page-table entry (x86-64).
 pub const PTE_BYTES: u64 = 8;
@@ -28,21 +29,6 @@ enum Entry {
     Page(Ppn),
 }
 
-#[derive(Debug, Clone)]
-struct Node {
-    frame: Ppn,
-    entries: Vec<Entry>,
-}
-
-impl Node {
-    fn new(frame: Ppn) -> Self {
-        Self {
-            frame,
-            entries: vec![Entry::None; ENTRIES_PER_NODE],
-        }
-    }
-}
-
 /// One level of a page-table walk: which level was accessed and the
 /// physical address of the entry that was loaded.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -53,6 +39,75 @@ pub struct WalkLevel {
     pub pte_paddr: PAddr,
 }
 
+const EMPTY_LEVEL: WalkLevel = WalkLevel {
+    level: 0,
+    pte_paddr: PAddr::new(0),
+};
+
+/// The PTE loads of one walk, stored inline. An x86-64 walk touches at
+/// most four levels, so a fixed array avoids a heap allocation per walk
+/// — the walker performs one of these per in-flight translation per
+/// cycle. Dereferences to a slice of the live prefix, so indexing,
+/// `iter()`, `len()` and friends work as they did when this was a
+/// `Vec<WalkLevel>`.
+#[derive(Debug, Clone, Copy)]
+pub struct WalkLevels {
+    buf: [WalkLevel; 4],
+    len: u8,
+}
+
+impl WalkLevels {
+    /// An empty level list.
+    pub const fn new() -> Self {
+        Self {
+            buf: [EMPTY_LEVEL; 4],
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn push(&mut self, level: WalkLevel) {
+        self.buf[self.len as usize] = level;
+        self.len += 1;
+    }
+
+    /// The live prefix as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[WalkLevel] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl Default for WalkLevels {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::ops::Deref for WalkLevels {
+    type Target = [WalkLevel];
+    #[inline]
+    fn deref(&self) -> &[WalkLevel] {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for WalkLevels {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for WalkLevels {}
+
+impl<'a> IntoIterator for &'a WalkLevels {
+    type Item = &'a WalkLevel;
+    type IntoIter = std::slice::Iter<'a, WalkLevel>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
 /// The result of walking the table for one virtual page.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Walk {
@@ -61,7 +116,7 @@ pub struct Walk {
     /// The PTE loads performed, in order (PML4 first). A walk that hits
     /// a non-present entry stops early but still performed the loads up
     /// to and including the missing entry.
-    pub levels: Vec<WalkLevel>,
+    pub levels: WalkLevels,
     /// The translation, if the page is mapped.
     pub result: Option<(Ppn, PageSize)>,
 }
@@ -100,7 +155,20 @@ impl std::fmt::Display for MapError {
 
 impl std::error::Error for MapError {}
 
-/// A four-level x86-64 page table rooted at a CR3 frame.
+/// `last_leaf` value meaning "no cached leaf". Valid encodings keep the
+/// tag strictly below [`LEAF_TAG_LIMIT`]` - 1`, so they can never
+/// collide with this sentinel.
+const NO_LEAF: u64 = u64::MAX;
+/// Leaf-cache node ids must fit in 21 bits (2 M page-table nodes — far
+/// beyond any simulated table; larger tables simply skip the cache).
+const LEAF_NODE_BITS: u32 = 21;
+const LEAF_NODE_LIMIT: u32 = 1 << LEAF_NODE_BITS;
+/// Leaf-cache tags (`vpn >> 9`, at most 43 bits for a 52-bit VPN) must
+/// stay below this to encode alongside the node id.
+const LEAF_TAG_LIMIT: u64 = (1 << (64 - LEAF_NODE_BITS)) - 1;
+
+/// A four-level x86-64 page table rooted at a CR3 frame, stored as a
+/// flat arena of nodes.
 ///
 /// # Examples
 ///
@@ -118,10 +186,37 @@ impl std::error::Error for MapError {}
 /// assert_eq!(walk.result, Some((data, PageSize::Base4K)));
 /// # Ok::<(), gmmu_vm::page_table::MapError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct PageTable {
-    nodes: Vec<Node>,
+    /// Physical frame of each node; index is the node id.
+    node_frames: Vec<Ppn>,
+    /// All node entries in one contiguous arena slab: node `i` owns
+    /// `slab[i * ENTRIES_PER_NODE .. (i + 1) * ENTRIES_PER_NODE]`.
+    /// Flattening the former per-node `Vec<Entry>` removes a pointer
+    /// chase (and an allocation) per level per walk.
+    slab: Vec<Entry>,
     mapped_pages: u64,
+    /// Last level-1 (PT) node a lookup descended into, packed as
+    /// `(vpn >> 9) << LEAF_NODE_BITS | node`. Table nodes are never
+    /// reclaimed or re-parented, so a prefix→node association stays
+    /// valid for the table's lifetime; only [`Ckpt::load`] rebuilds
+    /// nodes and must invalidate it. This makes the replay/rebuild path
+    /// (millions of sequential `translate` calls over warm regions) a
+    /// one-load lookup. Atomic (relaxed) rather than `Cell` so shared
+    /// references stay `Sync` for the parallel sweep engine; a racing
+    /// store merely replaces one permanently-valid pair with another.
+    last_leaf: AtomicU64,
+}
+
+impl Clone for PageTable {
+    fn clone(&self) -> Self {
+        Self {
+            node_frames: self.node_frames.clone(),
+            slab: self.slab.clone(),
+            mapped_pages: self.mapped_pages,
+            last_leaf: AtomicU64::new(self.last_leaf.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PageTable {
@@ -145,19 +240,21 @@ impl PageTable {
     pub fn try_new(frames: &mut FrameAlloc) -> Result<Self, MapError> {
         let root = frames.alloc().ok_or(MapError::OutOfFrames)?;
         Ok(Self {
-            nodes: vec![Node::new(root)],
+            node_frames: vec![root],
+            slab: vec![Entry::None; ENTRIES_PER_NODE],
             mapped_pages: 0,
+            last_leaf: AtomicU64::new(NO_LEAF),
         })
     }
 
     /// The physical frame of the root node (the CR3 value).
     pub fn root_frame(&self) -> Ppn {
-        self.nodes[0].frame
+        self.node_frames[0]
     }
 
     /// Number of table nodes allocated (all levels).
     pub fn node_count(&self) -> usize {
-        self.nodes.len()
+        self.node_frames.len()
     }
 
     /// Number of terminal mappings installed (any page size).
@@ -165,9 +262,27 @@ impl PageTable {
         self.mapped_pages
     }
 
+    #[inline]
+    fn entry(&self, node: u32, index: usize) -> Entry {
+        self.slab[node as usize * ENTRIES_PER_NODE + index]
+    }
+
+    #[inline]
+    fn set_entry(&mut self, node: u32, index: usize, e: Entry) {
+        self.slab[node as usize * ENTRIES_PER_NODE + index] = e;
+    }
+
+    /// Appends an empty node to the arena, returning its id.
+    fn push_node(&mut self, frame: Ppn) -> u32 {
+        let id = self.node_frames.len() as u32;
+        self.node_frames.push(frame);
+        self.slab
+            .resize(self.slab.len() + ENTRIES_PER_NODE, Entry::None);
+        id
+    }
+
     fn pte_paddr(&self, node: u32, index: usize) -> PAddr {
-        self.nodes[node as usize]
-            .frame
+        self.node_frames[node as usize]
             .base()
             .offset(index as u64 * PTE_BYTES)
     }
@@ -201,22 +316,21 @@ impl PageTable {
         let mut node = 0u32;
         for level in (terminal_level + 1..=4).rev() {
             let idx = vpn.index(level);
-            node = match self.nodes[node as usize].entries[idx] {
+            node = match self.entry(node, idx) {
                 Entry::Table(child) => child,
                 Entry::None => {
                     let frame = frames.alloc().ok_or(MapError::OutOfFrames)?;
-                    let child = self.nodes.len() as u32;
-                    self.nodes.push(Node::new(frame));
-                    self.nodes[node as usize].entries[idx] = Entry::Table(child);
+                    let child = self.push_node(frame);
+                    self.set_entry(node, idx, Entry::Table(child));
                     child
                 }
                 Entry::Page(_) => return Err(MapError::Overlap),
             };
         }
         let idx = vpn.index(terminal_level);
-        match self.nodes[node as usize].entries[idx] {
+        match self.entry(node, idx) {
             Entry::None => {
-                self.nodes[node as usize].entries[idx] = Entry::Page(ppn);
+                self.set_entry(node, idx, Entry::Page(ppn));
                 self.mapped_pages += 1;
                 Ok(())
             }
@@ -231,10 +345,41 @@ impl PageTable {
     /// the large page* that contains `vpn`, so callers can treat both page
     /// sizes uniformly at 4 KiB granularity.
     pub fn translate(&self, vpn: Vpn) -> Option<(Ppn, PageSize)> {
+        let result = self.translate_impl(vpn);
+        debug_assert_eq!(
+            result,
+            self.walk(vpn).result,
+            "translate fast path disagrees with walk for vpn {:#x}",
+            vpn.raw()
+        );
+        result
+    }
+
+    /// The non-allocating lookup itself: a one-load fast path through
+    /// the last-leaf cache, falling back to a full arena traversal.
+    #[inline]
+    fn translate_impl(&self, vpn: Vpn) -> Option<(Ppn, PageSize)> {
+        let tag = vpn.raw() >> 9;
+        let cached = self.last_leaf.load(Ordering::Relaxed);
+        if cached != NO_LEAF && cached >> LEAF_NODE_BITS == tag {
+            let cached_node = (cached & (LEAF_NODE_LIMIT as u64 - 1)) as u32;
+            // The cached PT node covers this VPN's 2 MiB window, and
+            // every interior entry above it was `Table`, so the level-1
+            // entry alone decides the translation.
+            return match self.entry(cached_node, vpn.index(1)) {
+                Entry::Page(base) => Some((base, PageSize::Base4K)),
+                Entry::None => None,
+                Entry::Table(_) => unreachable!("level-1 entries are always terminal or absent"),
+            };
+        }
         let mut node = 0u32;
         for level in (1..=4).rev() {
             let idx = vpn.index(level);
-            match self.nodes[node as usize].entries[idx] {
+            if level == 1 && node < LEAF_NODE_LIMIT && tag < LEAF_TAG_LIMIT {
+                self.last_leaf
+                    .store(tag << LEAF_NODE_BITS | node as u64, Ordering::Relaxed);
+            }
+            match self.entry(node, idx) {
                 Entry::None => return None,
                 Entry::Table(child) => node = child,
                 Entry::Page(base) => {
@@ -254,7 +399,7 @@ impl PageTable {
 
     /// Performs a full walk, recording each PTE load's physical address.
     pub fn walk(&self, vpn: Vpn) -> Walk {
-        let mut levels = Vec::with_capacity(4);
+        let mut levels = WalkLevels::new();
         let mut node = 0u32;
         for level in (1..=4).rev() {
             let idx = vpn.index(level);
@@ -262,7 +407,7 @@ impl PageTable {
                 level,
                 pte_paddr: self.pte_paddr(node, idx),
             });
-            match self.nodes[node as usize].entries[idx] {
+            match self.entry(node, idx) {
                 Entry::None => {
                     return Walk {
                         vpn,
@@ -292,16 +437,17 @@ impl PageTable {
     }
 
     /// Removes a mapping; returns `true` if one existed. Table nodes are
-    /// not reclaimed (matching typical OS behaviour under churn).
+    /// not reclaimed (matching typical OS behaviour under churn), which
+    /// is also what keeps the last-leaf cache valid across unmaps.
     pub fn unmap(&mut self, vpn: Vpn) -> bool {
         let mut node = 0u32;
         for level in (1..=4).rev() {
             let idx = vpn.index(level);
-            match self.nodes[node as usize].entries[idx] {
+            match self.entry(node, idx) {
                 Entry::None => return false,
                 Entry::Table(child) => node = child,
                 Entry::Page(_) if level <= 2 => {
-                    self.nodes[node as usize].entries[idx] = Entry::None;
+                    self.set_entry(node, idx, Entry::None);
                     self.mapped_pages -= 1;
                     return true;
                 }
@@ -344,29 +490,46 @@ impl Ckpt for Entry {
 }
 
 impl Ckpt for PageTable {
+    /// Byte-compatible with the pre-arena layout: node count, then per
+    /// node its frame and a length-prefixed entry list (always
+    /// [`ENTRIES_PER_NODE`]), then the mapped-page count.
     fn save(&self, w: &mut Saver) {
-        w.usize(self.nodes.len());
-        for node in &self.nodes {
-            node.frame.save(w);
-            node.entries.save(w);
+        w.usize(self.node_frames.len());
+        for (i, frame) in self.node_frames.iter().enumerate() {
+            frame.save(w);
+            w.usize(ENTRIES_PER_NODE);
+            for e in &self.slab[i * ENTRIES_PER_NODE..(i + 1) * ENTRIES_PER_NODE] {
+                e.save(w);
+            }
         }
         w.u64(self.mapped_pages);
     }
     fn load(&mut self, r: &mut Loader<'_>) -> Result<(), CkptError> {
         let n = r.usize()?;
-        self.nodes.clear();
-        self.nodes.reserve(n);
+        self.node_frames.clear();
+        self.node_frames.reserve(n);
+        self.slab.clear();
+        self.slab.reserve(n * ENTRIES_PER_NODE);
         for _ in 0..n {
             let mut frame = Ppn::default();
             frame.load(r)?;
-            let mut node = Node::new(frame);
-            node.entries.load(r)?;
-            self.nodes.push(node);
+            self.node_frames.push(frame);
+            let len = r.usize()?;
+            if len != ENTRIES_PER_NODE {
+                return Err(CkptError::Corrupt("page-table node entry count"));
+            }
+            for _ in 0..len {
+                let mut e = Entry::None;
+                e.load(r)?;
+                self.slab.push(e);
+            }
         }
-        if self.nodes.is_empty() {
+        if self.node_frames.is_empty() {
             return Err(CkptError::Corrupt("page table without a root node"));
         }
         self.mapped_pages = r.u64()?;
+        // Node ids were rebuilt from scratch; drop the leaf cache.
+        self.last_leaf.store(NO_LEAF, Ordering::Relaxed);
         Ok(())
     }
 }
@@ -512,6 +675,58 @@ mod tests {
         assert!(!pt.unmap(Vpn::new(77)));
         assert_eq!(pt.translate(Vpn::new(77)), None);
         assert_eq!(pt.mapped_pages(), 0);
+    }
+
+    #[test]
+    fn leaf_cache_tracks_unmap_and_remap() {
+        let (mut pt, mut frames) = setup();
+        let f1 = frames.alloc().unwrap();
+        pt.map(Vpn::new(0x40), f1, PageSize::Base4K, &mut frames)
+            .unwrap();
+        // Prime the cache, then change the PT node underneath it.
+        assert_eq!(pt.translate(Vpn::new(0x40)), Some((f1, PageSize::Base4K)));
+        assert!(pt.unmap(Vpn::new(0x40)));
+        assert_eq!(pt.translate(Vpn::new(0x40)), None, "stale cache hit");
+        let f2 = frames.alloc().unwrap();
+        pt.map(Vpn::new(0x41), f2, PageSize::Base4K, &mut frames)
+            .unwrap();
+        assert_eq!(pt.translate(Vpn::new(0x41)), Some((f2, PageSize::Base4K)));
+    }
+
+    #[test]
+    fn leaf_cache_does_not_shadow_large_pages() {
+        let (mut pt, mut frames) = setup();
+        let f = frames.alloc().unwrap();
+        // Base page in one 2 MiB window primes the cache...
+        pt.map(Vpn::new(0), f, PageSize::Base4K, &mut frames)
+            .unwrap();
+        assert!(pt.translate(Vpn::new(0)).is_some());
+        // ...then a large page in the *next* window must miss it.
+        let big = frames.alloc_large().unwrap();
+        pt.map(Vpn::new(512), big, PageSize::Large2M, &mut frames)
+            .unwrap();
+        let (ppn, size) = pt.translate(Vpn::new(512 + 9)).unwrap();
+        assert_eq!(size, PageSize::Large2M);
+        assert_eq!(ppn.raw(), big.raw() + 9);
+    }
+
+    #[test]
+    // `get(0)` is the point under test: the inline `WalkLevels` must keep
+    // the slice API callers used when `levels` was a `Vec`.
+    #[allow(clippy::get_first)]
+    fn walk_levels_deref_like_a_vec() {
+        let (mut pt, mut frames) = setup();
+        let f = frames.alloc().unwrap();
+        pt.map(Vpn::new(0x77), f, PageSize::Base4K, &mut frames)
+            .unwrap();
+        let w = pt.walk(Vpn::new(0x77));
+        assert_eq!(w.levels.len(), 4);
+        assert_eq!(w.levels.iter().count(), 4);
+        assert_eq!(w.levels[0].level, 4);
+        assert_eq!(w.levels.last().unwrap().level, 1);
+        assert_eq!(w.levels.first(), w.levels.get(0));
+        let again = pt.walk(Vpn::new(0x77));
+        assert_eq!(w, again);
     }
 
     #[test]

@@ -1,0 +1,313 @@
+//! Allocation discipline of the steady-state simulation loop.
+//!
+//! This binary installs a counting global allocator and drives the
+//! simulator's hot loop directly, asserting that **after warm-up** the
+//! per-cycle path performs zero heap allocations. Warm-up covers the
+//! documented escape list — structures that legitimately allocate while
+//! growing to their high-water mark and are then reused forever:
+//!
+//! * scratch pools reaching steady capacity (walker batch/level-ref
+//!   buffers, coalescer and translate buffers, TBC unit lists,
+//!   `Mmu` waiter lists, the per-cycle tenant `spaces` slice);
+//! * hash maps (MSHR files, fill waiters) growing to their peak
+//!   occupancy — `HashMap` keeps its capacity after `remove`;
+//! * the event calendar's wheel buckets and overflow heap;
+//! * page-table *growth* (mapping fresh pages allocates arena slabs) —
+//!   demand paging is therefore outside the steady-state window, which
+//!   is the paper's TLB-hit/walk regime, not the cold-fault regime;
+//! * run setup and teardown (kernel/space construction, stats).
+//!
+//! Anything not on that list that allocates per cycle is a regression
+//! the assertions below catch. The same counter backs the
+//! `allocs-per-kilocycle` section of the `hotpath` benchmark binary.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counts every allocation and reallocation; frees are not counted
+/// (the steady-state claim is about acquiring memory, and a free on
+/// the hot path implies a later matching alloc anyway).
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// When armed (`GMMU_ALLOC_TRAP=1` and inside a measurement window),
+/// the next allocation prints its backtrace — the fastest way to find
+/// whatever broke the discipline. Disarms itself before capturing so
+/// the capture's own allocations recurse harmlessly.
+static TRAP: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(false);
+
+fn note_alloc() {
+    ALLOCS.fetch_add(1, Ordering::Relaxed);
+    if TRAP.swap(false, Ordering::Relaxed) {
+        let bt = std::backtrace::Backtrace::force_capture();
+        eprintln!("[alloc-trap] allocation from:\n{bt}");
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        note_alloc();
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        note_alloc();
+        unsafe { System.alloc_zeroed(layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+fn allocs() -> u64 {
+    ALLOCS.load(Ordering::Relaxed)
+}
+
+use gmmu_core::mmu::MmuModel;
+use gmmu_mem::{MemConfig, MemorySystem};
+use gmmu_sim::trace::Tracer;
+use gmmu_simt::core::ShaderCore;
+use gmmu_simt::program::{MemKind, Op, Program, ThreadId};
+use gmmu_simt::{GpuConfig, Kernel};
+use gmmu_vm::{AddressSpace, PageSize, Region, SpaceConfig, VAddr};
+
+/// Looping stream kernel over a pre-mapped region: every page is
+/// resident, so the steady state exercises TLB hits, misses, walks,
+/// and cache traffic — but never demand paging.
+struct StreamKernel {
+    program: Program,
+    region: Region,
+    threads: u32,
+    trips: u32,
+}
+
+impl Kernel for StreamKernel {
+    fn name(&self) -> &str {
+        "alloc-discipline-stream"
+    }
+    fn program(&self) -> &Program {
+        &self.program
+    }
+    fn num_threads(&self) -> u32 {
+        self.threads
+    }
+    fn block_threads(&self) -> u32 {
+        128
+    }
+    fn mem_addr(&self, tid: ThreadId, _site: u16, iter: u32) -> VAddr {
+        let off = (tid as u64 * 4096 + iter as u64 * 256) % (1 << 20);
+        self.region.at(off & !7)
+    }
+    fn branch_taken(&self, _tid: ThreadId, _site: u16, iter: u32) -> bool {
+        iter + 1 < self.trips
+    }
+}
+
+fn stream_setup(trips: u32) -> (AddressSpace, StreamKernel, GpuConfig) {
+    let mut space = AddressSpace::new(SpaceConfig::default());
+    let region = space
+        .map_region("stream", 1 << 20, PageSize::Base4K)
+        .expect("map");
+    let kernel = StreamKernel {
+        program: Program::new(vec![
+            Op::Mem {
+                site: 0,
+                kind: MemKind::Load,
+            },
+            Op::Branch {
+                site: 1,
+                taken_pc: 0,
+                reconv_pc: 2,
+            },
+        ]),
+        region,
+        threads: 128,
+        trips,
+    };
+    let cfg = GpuConfig {
+        n_cores: 1,
+        warps_per_core: 8,
+        warps_per_block: 4,
+        mmu: MmuModel::augmented(),
+        ..GpuConfig::default()
+    };
+    (space, kernel, cfg)
+}
+
+/// The serial engine's steady-state loop body — `ShaderCore::tick`
+/// against the memory system — performs zero heap allocations once
+/// every scratch buffer has reached its high-water mark.
+fn serial_tick_loop_is_allocation_free() {
+    let (space, kernel, cfg) = stream_setup(u32::MAX);
+    let mut core = ShaderCore::new(0, &cfg);
+    core.push_block(0, 128);
+    let mut mem = MemorySystem::new(MemConfig::default());
+    let mut iters = vec![0u32; 128 * kernel.program.num_sites()];
+    let mut tracer = Tracer::Off;
+
+    // Warm-up: long enough for every pool, map, and cache to reach its
+    // high-water mark (TLB misses, walk batches, MSHR fills, waiter
+    // lists all occur many times over).
+    let mut now = 0u64;
+    while now < 20_000 {
+        core.tick(now, &mut mem, &space, &kernel, &mut iters, &mut tracer);
+        now += 1;
+    }
+    assert!(core.has_work(), "kernel drained during warm-up");
+
+    // Steady-state window: not one allocation allowed.
+    if std::env::var_os("GMMU_ALLOC_TRAP").is_some() {
+        TRAP.store(true, Ordering::Relaxed);
+    }
+    let before = allocs();
+    let window = 20_000;
+    for _ in 0..window {
+        core.tick(now, &mut mem, &space, &kernel, &mut iters, &mut tracer);
+        now += 1;
+    }
+    let after = allocs();
+    assert!(core.has_work(), "kernel drained inside the window");
+    assert_eq!(
+        after - before,
+        0,
+        "serial steady state allocated {} times over {} cycles",
+        after - before,
+        window
+    );
+}
+
+/// The event-calendar engine's steady-state loop body — `take_due`,
+/// per-core ticks, `next_event_at`, and rescheduling — is also
+/// allocation-free after warm-up.
+fn event_loop_is_allocation_free() {
+    use gmmu_sim::calendar::Calendar;
+    let (space, kernel, cfg) = stream_setup(u32::MAX);
+    let mut core = ShaderCore::new(0, &cfg);
+    core.push_block(0, 128);
+    let mut mem = MemorySystem::new(MemConfig::default());
+    let mut iters = vec![0u32; 128 * kernel.program.num_sites()];
+    let mut tracer = Tracer::Off;
+    let mut cal = Calendar::new(1);
+    let mut due: Vec<u32> = Vec::with_capacity(1);
+    cal.schedule(0, 0);
+
+    let mut steps = 0u64;
+    let step = |cal: &mut Calendar,
+                due: &mut Vec<u32>,
+                core: &mut ShaderCore,
+                mem: &mut MemorySystem,
+                iters: &mut [u32],
+                tracer: &mut Tracer| {
+        let now = cal.peek_cycle().expect("calendar drained");
+        cal.take_due(now, due);
+        if due.is_empty() {
+            return now;
+        }
+        let issued = core.tick(now, mem, &space, &kernel, iters, tracer);
+        if issued {
+            cal.schedule(0, now + 1);
+        } else {
+            match core.next_event_at(now) {
+                Some(c) => cal.schedule(0, c),
+                None => cal.schedule(0, now + 1),
+            }
+        }
+        now
+    };
+    while steps < 15_000 {
+        step(
+            &mut cal,
+            &mut due,
+            &mut core,
+            &mut mem,
+            &mut iters,
+            &mut tracer,
+        );
+        steps += 1;
+    }
+    assert!(core.has_work(), "kernel drained during warm-up");
+
+    let before = allocs();
+    for _ in 0..15_000 {
+        step(
+            &mut cal,
+            &mut due,
+            &mut core,
+            &mut mem,
+            &mut iters,
+            &mut tracer,
+        );
+    }
+    let after = allocs();
+    assert!(core.has_work(), "kernel drained inside the window");
+    assert_eq!(
+        after - before,
+        0,
+        "event steady state allocated {} times over 15000 steps",
+        after - before
+    );
+}
+
+/// Whole-run allocation budget per engine: one tiny workload end to
+/// end, counting *everything* (construction, warm-up, teardown). The
+/// budget is deliberately loose — it documents the order of magnitude
+/// and catches a reintroduced per-cycle allocation, which would blow
+/// through it by 100x. The parallel engine's budget includes its
+/// per-run worker threads and staging buffers.
+fn whole_run_allocation_budget_per_engine() {
+    use gmmu::prelude::*;
+    let w = build(Bench::Bfs, Scale::Tiny, 7);
+    for (engine, threads, budget) in [
+        (EngineKind::Serial, 1usize, 60u64),
+        (EngineKind::Event, 1, 60),
+        (EngineKind::Parallel, 2, 60),
+    ] {
+        let mut cfg = gmmu::ExperimentOpts::quick().gpu(MmuModel::augmented());
+        cfg.engine = engine;
+        cfg.run_threads = threads;
+        // First run warms nothing across runs (each run builds a fresh
+        // GPU), so measure a single complete run.
+        let before = allocs();
+        let stats = gmmu_simt::gpu::run_kernel(cfg, w.kernel.as_ref(), &w.space);
+        let after = allocs();
+        let per_kcycle = (after - before) as f64 / (stats.cycles as f64 / 1000.0);
+        assert!(
+            per_kcycle <= budget as f64,
+            "{engine:?}: {:.1} allocs per simulated kilocycle (budget {budget}) \
+             over {} cycles",
+            per_kcycle,
+            stats.cycles,
+        );
+    }
+}
+
+/// Runs without the libtest harness (see the `[[test]]` entry in
+/// `Cargo.toml`): the harness's worker threads allocate while sending
+/// completion events, which would race the process-global counter's
+/// measurement windows. Sequential execution keeps the process quiet.
+fn main() {
+    for (name, test) in [
+        (
+            "serial_tick_loop_is_allocation_free",
+            serial_tick_loop_is_allocation_free as fn(),
+        ),
+        (
+            "event_loop_is_allocation_free",
+            event_loop_is_allocation_free,
+        ),
+        (
+            "whole_run_allocation_budget_per_engine",
+            whole_run_allocation_budget_per_engine,
+        ),
+    ] {
+        test();
+        println!("test {name} ... ok");
+    }
+}

@@ -400,6 +400,73 @@ fn zipf_bounds() {
     });
 }
 
+/// The non-allocating `translate` fast path agrees with the full
+/// `walk` on every probe — mapped or not, 4 KiB or 2 MiB, before and
+/// after unmaps and remaps. `translate` caches the last PT node it
+/// descended into, so the probe sequence deliberately mixes repeats
+/// (cache hits), neighbours in the same 2 MiB prefix (tag hits on a
+/// different slot), and far jumps (tag misses).
+#[test]
+fn translate_agrees_with_walk() {
+    for_each_case("translate_agrees_with_walk", |rng| {
+        let mut space = AddressSpace::new(SpaceConfig::default());
+        let small = space
+            .map_region("small", rng.gen_range(1..64) * 4096, PageSize::Base4K)
+            .unwrap();
+        let large = space
+            .map_region("large", 2 << 20, PageSize::Large2M)
+            .unwrap();
+        let check = |space: &AddressSpace, vpn: Vpn| {
+            let walk = space.walk(vpn);
+            let translated = space
+                .translate(VAddr::new(vpn.raw() << 12))
+                .ok()
+                .map(|(pa, size)| (pa.ppn(), size));
+            // Both paths refine a large-page hit to the exact 4 KiB
+            // frame, so results compare directly at every page size.
+            assert_eq!(
+                translated,
+                walk.result,
+                "translate/walk disagree at vpn {:#x}",
+                vpn.raw()
+            );
+        };
+        let small_base = small.base.vpn().raw();
+        let large_base = large.base.vpn().raw();
+        let small_pages = small.num_pages();
+        let probe = |rng: &mut Xoshiro256| {
+            match rng.gen_range(0..4) {
+                // Inside the 4 KiB region (including repeats).
+                0 => small_base + rng.gen_range(0..small_pages),
+                // Inside the 2 MiB region.
+                1 => large_base + rng.gen_range(0..512),
+                // The guard gap right after a region: never mapped.
+                2 => small_base + small_pages + rng.gen_range(0..8),
+                // Far away: forces a leaf-cache tag miss.
+                _ => rng.gen_range(0..1 << 27),
+            }
+        };
+        for _ in 0..rng.gen_range(20..200) {
+            let vpn = probe(rng);
+            check(&space, Vpn::new(vpn));
+        }
+        // Unmap a random subset of the 4 KiB pages and re-probe: the
+        // fast path must observe the cleared entries immediately.
+        let salt = rng.gen_range(0..1 << 30);
+        space.unmap_pages_where(|v| (v.raw() ^ salt) % 3 == 0);
+        for _ in 0..rng.gen_range(20..100) {
+            let vpn = probe(rng);
+            check(&space, Vpn::new(vpn));
+        }
+        // Remap the small region (fresh frames, same VAs) and re-probe.
+        space.remap_region("small").unwrap();
+        for _ in 0..rng.gen_range(20..100) {
+            let vpn = probe(rng);
+            check(&space, Vpn::new(vpn));
+        }
+    });
+}
+
 /// ASID-scoped shootdowns are perfectly isolated at the TLB: flushing
 /// one tenant's entries never evicts another ASID's, for arbitrary
 /// interleavings of fills across tenants.
